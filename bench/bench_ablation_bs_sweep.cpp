@@ -1,0 +1,42 @@
+// Ablation: PlasmaTree's tuning-parameter sensitivity. The paper's central
+// practical argument for Greedy is that PlasmaTree needs a well-chosen
+// domain size BS; this sweep shows how much a wrong BS costs.
+#include "bench_common.hpp"
+#include "core/plan.hpp"
+#include "sim/critical_path.hpp"
+#include "trees/generators.hpp"
+
+using namespace tiledqr;
+
+int main() {
+  bench::Knobs knobs;
+  bench::banner("Ablation: PlasmaTree(TT) domain-size sensitivity", knobs);
+  const int p = knobs.p;
+
+  TextTable t(stringf("critical path vs BS, p = %d (Greedy shown for reference)", p));
+  std::vector<int> bss{1, 2, 3, 5, 8, 10, 13, 20, 27, 32, p};
+  std::vector<std::string> header{"q", "Greedy", "best", "worst/best"};
+  for (int bs : bss) header.push_back("BS=" + std::to_string(bs));
+  t.set_header(header);
+  for (int q : {1, 2, 4, 6, 8, 10, 16, 20, 32, 40}) {
+    if (q > p) continue;
+    if (knobs.quick && q > 10) continue;
+    long greedy = sim::critical_path_units(p, q, trees::greedy_tree(p, q));
+    long best = -1, worst = -1;
+    std::vector<long> cps;
+    for (int bs : bss) {
+      long cp = sim::critical_path_units(
+          p, q, trees::TreeConfig{trees::TreeKind::PlasmaTree, trees::KernelFamily::TT, bs, 0});
+      cps.push_back(cp);
+      if (best < 0 || cp < best) best = cp;
+      if (cp > worst) worst = cp;
+    }
+    std::vector<std::string> row{std::to_string(q), std::to_string(greedy),
+                                 std::to_string(best),
+                                 stringf("%.2f", double(worst) / double(best))};
+    for (long cp : cps) row.push_back(std::to_string(cp));
+    t.add_row(row);
+  }
+  bench::emit(t, "ablation_bs_sweep", knobs);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Ablation: Grasap(k) — how many trailing Asap columns help? The paper
+// leaves "the best k as a function of p and q" open; this sweep answers it
+// empirically (in the critical-path model) for a range of shapes.
+#include "bench_common.hpp"
+#include "sim/critical_path.hpp"
+#include "sim/dynamic.hpp"
+#include "trees/generators.hpp"
+
+using namespace tiledqr;
+
+int main() {
+  bench::Knobs knobs;
+  bench::banner("Ablation: Grasap(k) sweep (critical paths)", knobs);
+
+  TextTable t("critical path of Grasap(k); k = 0 is Greedy, k = q is Asap");
+  t.set_header({"p", "q", "Greedy", "best k", "best cp", "Asap", "sweep (k=0..q)"});
+  for (auto [p, q] : std::vector<std::pair<int, int>>{
+           {15, 2}, {15, 3}, {15, 6}, {30, 6}, {30, 10}, {40, 8}, {40, 16}, {64, 12}}) {
+    if (knobs.quick && p > 30) continue;
+    long greedy = sim::critical_path_units(p, q, trees::greedy_tree(p, q));
+    long best_cp = greedy;
+    int best_k = 0;
+    std::string sweep;
+    for (int k = 0; k <= q; ++k) {
+      long cp = sim::simulate_grasap(p, q, k).critical_path;
+      sweep += (k ? " " : "") + std::to_string(cp);
+      if (cp < best_cp) {
+        best_cp = cp;
+        best_k = k;
+      }
+    }
+    long asap = sim::simulate_asap(p, q).critical_path;
+    t.add_row({std::to_string(p), std::to_string(q), std::to_string(greedy),
+               std::to_string(best_k), std::to_string(best_cp), std::to_string(asap), sweep});
+  }
+  bench::emit(t, "ablation_grasap", knobs);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation: PlasmaTree (bottom domain shrinks) vs Hadri et al.'s
+// Semi/Fully-Parallel trees (top domain shrinks). The paper reports that
+// "the PLASMA algorithms performed identically or better" and omits the
+// comparison; this bench records it, in critical-path terms, at every q.
+#include "bench_common.hpp"
+#include "core/plan.hpp"
+#include "sim/critical_path.hpp"
+#include "trees/generators.hpp"
+
+using namespace tiledqr;
+
+int main() {
+  bench::Knobs knobs;
+  bench::banner("Ablation: PlasmaTree vs Hadri Semi/Fully-Parallel (critical paths)", knobs);
+  const int p = knobs.p;
+
+  TextTable t(stringf("best-BS critical paths, p = %d (TT = Fully-Parallel family)", p));
+  t.set_header({"q", "Greedy", "Plasma(TT)", "BS", "Hadri-FP", "BS", "Plasma(TS)", "BS",
+                "Hadri-SP", "BS"});
+  auto best_hadri = [&](int q, trees::KernelFamily fam, int* bs_out) {
+    long best = -1;
+    for (int bs = 1; bs <= p; ++bs) {
+      long cp = sim::critical_path_units(p, q, trees::hadri_tree(p, q, bs, fam));
+      if (best < 0 || cp < best) {
+        best = cp;
+        *bs_out = bs;
+      }
+    }
+    return best;
+  };
+  for (int q = 1; q <= p; ++q) {
+    if (knobs.quick ? (q > 8 && q % 8 != 0) : (q > 10 && q % 5 != 0 && q != p)) continue;
+    using trees::KernelFamily;
+    long greedy = sim::critical_path_units(p, q, trees::greedy_tree(p, q));
+    auto ptt = core::best_plasma_bs(p, q, KernelFamily::TT);
+    auto pts = core::best_plasma_bs(p, q, KernelFamily::TS);
+    int hfp_bs = 1, hsp_bs = 1;
+    long hfp = best_hadri(q, KernelFamily::TT, &hfp_bs);
+    long hsp = best_hadri(q, KernelFamily::TS, &hsp_bs);
+    t.add_row({std::to_string(q), std::to_string(greedy), std::to_string(ptt.critical_path),
+               std::to_string(ptt.bs), std::to_string(hfp), std::to_string(hfp_bs),
+               std::to_string(pts.critical_path), std::to_string(pts.bs), std::to_string(hsp),
+               std::to_string(hsp_bs)});
+  }
+  bench::emit(t, "ablation_hadri", knobs);
+  return 0;
+}

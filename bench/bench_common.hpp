@@ -1,0 +1,57 @@
+// Shared plumbing for the bench harness: environment-tunable problem sizes
+// and table emission (stdout + optional CSV next to the binary).
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/stringf.hpp"
+#include "common/table.hpp"
+
+namespace tiledqr::bench {
+
+/// Benchmark-wide knobs (paper values in comments). Defaults are scaled to
+/// finish in seconds on a laptop-class container; export the env vars to run
+/// at paper scale.
+struct Knobs {
+  int p = int(env_long("TILEDQR_P", 40));        // paper: 40
+  int nb = int(env_long("TILEDQR_NB", 64));      // paper: 200
+  int ib = int(env_long("TILEDQR_IB", 32));      // paper: 32
+  int threads = int(env_long("TILEDQR_THREADS", 0));  // paper: 48 cores
+  int reps = int(env_long("TILEDQR_REPS", 2));
+  bool csv = env_flag("TILEDQR_CSV", false);
+  bool quick = env_flag("TILEDQR_QUICK", false);
+};
+
+inline void emit(const TextTable& table, const std::string& csv_name, const Knobs& knobs) {
+  table.print(std::cout);
+  if (knobs.csv) {
+    std::ofstream out(csv_name + ".csv");
+    out << table.csv();
+    std::printf("(csv written to %s.csv)\n\n", csv_name.c_str());
+  }
+}
+
+inline void banner(const std::string& what, const Knobs& knobs) {
+  std::printf("=== %s ===\n", what.c_str());
+  std::printf("knobs: p=%d nb=%d ib=%d threads=%d reps=%d (override via TILEDQR_P/NB/IB/"
+              "THREADS/REPS)\n\n",
+              knobs.p, knobs.nb, knobs.ib,
+              knobs.threads > 0 ? knobs.threads : default_thread_count(), knobs.reps);
+}
+
+/// The q sweep used by the paper's experimental section.
+inline std::vector<int> experimental_q_values(int p, bool quick) {
+  std::vector<int> qs{1, 2, 4, 5, 10, 20, 40};
+  if (quick) qs = {1, 4, 10};
+  std::vector<int> out;
+  for (int q : qs)
+    if (q <= p) out.push_back(q);
+  return out;
+}
+
+}  // namespace tiledqr::bench

@@ -1,0 +1,82 @@
+// Shared experimental-sweep driver for the wall-clock benches (Figures 1, 2,
+// 3, 6, 7, 8 and Tables 6-9).
+//
+// PlasmaTree's "best" curve: the paper searches every domain size
+// exhaustively on the testbed. Here the candidate set is pruned to the
+// theoretical best BS plus the paper's recurring choices {1, 3, 5, 10, 17,
+// 20, 27, p}; each candidate is actually run and the fastest kept.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+
+namespace tiledqr::bench {
+
+struct SweepEntry {
+  core::RunRecord flat, plasma, fibonacci, greedy;
+  int plasma_bs = 1;
+  // TS family (only filled by all-kernel sweeps):
+  core::RunRecord flat_ts, plasma_ts;
+  int plasma_ts_bs = 1;
+};
+
+inline std::vector<int> plasma_candidates(int p, int q, trees::KernelFamily family) {
+  std::set<int> c{1, 3, 5, 10, 17, 20, 27, p};
+  c.insert(core::best_plasma_bs(p, q, family).bs);
+  std::vector<int> out;
+  for (int bs : c)
+    if (bs >= 1 && bs <= p) out.push_back(bs);
+  return out;
+}
+
+template <typename T>
+core::RunRecord best_plasma(const core::RunConfig& base, trees::KernelFamily family,
+                            int* best_bs) {
+  core::RunRecord best;
+  for (int bs : plasma_candidates(base.p, base.q, family)) {
+    core::RunConfig cfg = base;
+    cfg.tree = trees::TreeConfig{trees::TreeKind::PlasmaTree, family, bs, 0};
+    auto rec = core::run_factorization<T>(cfg);
+    if (best.seconds == 0.0 || rec.seconds < best.seconds) {
+      best = rec;
+      *best_bs = bs;
+    }
+  }
+  return best;
+}
+
+template <typename T>
+SweepEntry run_sweep_point(const Knobs& knobs, int q, bool include_ts) {
+  core::RunConfig base;
+  base.p = knobs.p;
+  base.q = q;
+  base.nb = knobs.nb;
+  base.ib = std::min(knobs.ib, knobs.nb);
+  base.threads = knobs.threads;
+  // Small-q runs take milliseconds and are noisy; since PlasmaTree's curve
+  // takes the best over several domain sizes, noise would bias it upward.
+  // Repeat small problems more so each estimate is tight.
+  base.reps = std::min(10, knobs.reps * std::max(1, 12 / std::max(1, q)));
+
+  using trees::KernelFamily;
+  using trees::TreeKind;
+  SweepEntry e;
+  base.tree = trees::TreeConfig{TreeKind::FlatTree, KernelFamily::TT, 1, 0};
+  e.flat = core::run_factorization<T>(base);
+  base.tree = trees::TreeConfig{TreeKind::Fibonacci, KernelFamily::TT, 1, 0};
+  e.fibonacci = core::run_factorization<T>(base);
+  base.tree = trees::TreeConfig{TreeKind::Greedy, KernelFamily::TT, 1, 0};
+  e.greedy = core::run_factorization<T>(base);
+  e.plasma = best_plasma<T>(base, KernelFamily::TT, &e.plasma_bs);
+  if (include_ts) {
+    base.tree = trees::TreeConfig{TreeKind::FlatTree, KernelFamily::TS, 1, 0};
+    e.flat_ts = core::run_factorization<T>(base);
+    e.plasma_ts = best_plasma<T>(base, KernelFamily::TS, &e.plasma_ts_bs);
+  }
+  return e;
+}
+
+}  // namespace tiledqr::bench

@@ -1,0 +1,37 @@
+// Figures 1b / 1d: experimental performance of the TT-kernel algorithms
+// (FlatTree, PlasmaTree best-BS, Fibonacci, Greedy) on this machine, double
+// complex and double precision.
+#include <complex>
+
+#include "bench_experimental.hpp"
+
+using namespace tiledqr;
+
+namespace {
+
+template <typename T>
+void experimental_table(const char* precision, bench::Knobs knobs) {
+  TextTable t(stringf("Figure 1 experimental GFLOP/s (%s), p = %d, nb = %d", precision,
+                      knobs.p, knobs.nb));
+  t.set_header({"q", "FlatTree(TT)", "PlasmaTree(TT,best)", "BS", "Fibonacci", "Greedy"});
+  for (int q : bench::experimental_q_values(knobs.p, knobs.quick)) {
+    auto e = bench::run_sweep_point<T>(knobs, q, /*include_ts=*/false);
+    t.add_row({std::to_string(q), stringf("%.3f", e.flat.gflops),
+               stringf("%.3f", e.plasma.gflops), std::to_string(e.plasma_bs),
+               stringf("%.3f", e.fibonacci.gflops), stringf("%.3f", e.greedy.gflops)});
+  }
+  bench::emit(t, std::string("fig1_experimental_") + precision, knobs);
+}
+
+}  // namespace
+
+int main() {
+  bench::Knobs knobs;
+  bench::banner("Figures 1b/1d: experimental performance, TT kernels", knobs);
+  // Complex arithmetic quadruples the flops per entry; halve the reps.
+  bench::Knobs zknobs = knobs;
+  zknobs.reps = std::max(1, knobs.reps / 2);
+  experimental_table<std::complex<double>>("double_complex", zknobs);
+  experimental_table<double>("double", knobs);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figures 1a / 1c: predicted performance of the TT-kernel algorithms from
+// the roofline model gamma_pred = gamma_seq * T / max(T/P, cp), with
+// gamma_seq measured on this machine and cp from the simulator.
+#include <complex>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "sim/critical_path.hpp"
+#include "trees/generators.hpp"
+
+using namespace tiledqr;
+
+namespace {
+
+template <typename T>
+void predicted_table(const char* precision, const bench::Knobs& knobs) {
+  const int p = knobs.p;
+  const int workers = knobs.threads > 0 ? knobs.threads : default_thread_count();
+  double gamma = core::measure_gamma_seq<T>(knobs.nb, std::min(knobs.ib, knobs.nb));
+  std::printf("gamma_seq (%s) = %.4f GFLOP/s, P = %d\n", precision, gamma, workers);
+
+  TextTable t(stringf("Figure 1 predicted GFLOP/s (%s), p = %d", precision, p));
+  t.set_header({"q", "FlatTree(TT)", "PlasmaTree(TT,best)", "BS", "Fibonacci", "Greedy"});
+  for (int q = 1; q <= p; ++q) {
+    if (knobs.quick && q > 8 && q % 8 != 0) continue;
+    auto pred = [&](long cp) {
+      return stringf("%.2f", core::predicted_gflops(gamma, p, q, cp, workers));
+    };
+    long flat = sim::critical_path_units(
+        p, q, trees::flat_tree(p, q, trees::KernelFamily::TT));
+    auto plasma = core::best_plasma_bs(p, q, trees::KernelFamily::TT);
+    long fib = sim::critical_path_units(p, q, trees::fibonacci_tree(p, q));
+    long greedy = sim::critical_path_units(p, q, trees::greedy_tree(p, q));
+    t.add_row({std::to_string(q), pred(flat), pred(plasma.critical_path),
+               std::to_string(plasma.bs), pred(fib), pred(greedy)});
+  }
+  bench::emit(t, std::string("fig1_predicted_") + precision, knobs);
+}
+
+}  // namespace
+
+int main() {
+  bench::Knobs knobs;
+  bench::banner("Figures 1a/1c: predicted performance, TT kernels", knobs);
+  predicted_table<std::complex<double>>("double_complex", knobs);
+  predicted_table<double>("double", knobs);
+  return 0;
+}

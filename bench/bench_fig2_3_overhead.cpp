@@ -1,0 +1,58 @@
+// Figures 2 and 3: overhead of each TT-kernel algorithm with respect to
+// Greedy (Greedy = 1), both in theoretical critical-path length (every q)
+// and in measured wall time (the experimental q sweep).
+#include <complex>
+
+#include "bench_experimental.hpp"
+#include "sim/critical_path.hpp"
+#include "trees/generators.hpp"
+
+using namespace tiledqr;
+
+namespace {
+
+void theoretical_overhead(const bench::Knobs& knobs) {
+  const int p = knobs.p;
+  TextTable t(stringf("Figure 2a/3a: critical-path overhead vs Greedy, p = %d", p));
+  t.set_header({"q", "FlatTree(TT)", "PlasmaTree(TT,best)", "Fibonacci", "Greedy"});
+  for (int q = 1; q <= p; ++q) {
+    if (knobs.quick && q > 8 && q % 8 != 0) continue;
+    long greedy = sim::critical_path_units(p, q, trees::greedy_tree(p, q));
+    auto ratio = [&](long cp) { return stringf("%.4f", double(cp) / double(greedy)); };
+    long flat =
+        sim::critical_path_units(p, q, trees::flat_tree(p, q, trees::KernelFamily::TT));
+    auto plasma = core::best_plasma_bs(p, q, trees::KernelFamily::TT);
+    long fib = sim::critical_path_units(p, q, trees::fibonacci_tree(p, q));
+    t.add_row({std::to_string(q), ratio(flat), ratio(plasma.critical_path), ratio(fib),
+               "1.0000"});
+  }
+  bench::emit(t, "fig2_3_theoretical_overhead", knobs);
+}
+
+template <typename T>
+void experimental_overhead(const char* precision, bench::Knobs knobs) {
+  TextTable t(stringf("Figure 2b-c/3b-c: time overhead vs Greedy (%s)", precision));
+  t.set_header({"q", "FlatTree(TT)", "PlasmaTree(TT,best)", "BS", "Fibonacci", "Greedy"});
+  for (int q : bench::experimental_q_values(knobs.p, knobs.quick)) {
+    auto e = bench::run_sweep_point<T>(knobs, q, /*include_ts=*/false);
+    auto ratio = [&](const core::RunRecord& r) {
+      return stringf("%.4f", r.seconds / e.greedy.seconds);
+    };
+    t.add_row({std::to_string(q), ratio(e.flat), ratio(e.plasma), std::to_string(e.plasma_bs),
+               ratio(e.fibonacci), "1.0000"});
+  }
+  bench::emit(t, std::string("fig2_3_experimental_overhead_") + precision, knobs);
+}
+
+}  // namespace
+
+int main() {
+  bench::Knobs knobs;
+  bench::banner("Figures 2/3: overhead with respect to Greedy (Greedy = 1)", knobs);
+  theoretical_overhead(knobs);
+  bench::Knobs fast = knobs;
+  fast.reps = 1;
+  experimental_overhead<std::complex<double>>("double_complex", fast);
+  experimental_overhead<double>("double", fast);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figures 4 and 5: sequential kernel performance, in cache and out of cache,
+// for double complex (Fig. 4) and double (Fig. 5). The paper's headline
+// numbers are the ratios TSQRT / (GEQRT + TTQRT) and TSMQR / (UNMQR + TTMQR),
+// both ~1.3 on its testbed: TS kernels run faster per flop than the TT pairs
+// doing the same job.
+#include <complex>
+
+#include "bench_common.hpp"
+#include "perf/kernel_bench.hpp"
+
+using namespace tiledqr;
+using kernels::KernelKind;
+
+namespace {
+
+template <typename T>
+void kernel_figure(const char* precision, const bench::Knobs& knobs) {
+  for (auto mode : {perf::CacheMode::InCache, perf::CacheMode::OutOfCache}) {
+    const char* mode_name = mode == perf::CacheMode::InCache ? "in_cache" : "out_of_cache";
+    TextTable t(stringf("kernel GFLOP/s, %s, %s", precision, mode_name));
+    t.set_header({"nb", "GEQRT", "TSQRT", "TTQRT", "GEQRT+TTQRT", "UNMQR", "TSMQR", "TTMQR",
+                  "UNMQR+TTMQR", "GEMM", "TS/TT factor", "TS/TT update"});
+    for (int nb : {60, 120, 200, 300}) {
+      if (knobs.quick && nb > 120) continue;
+      const int reps = nb >= 200 ? std::max(2, knobs.reps) : knobs.reps + 3;
+      auto r = perf::measure_kernel_rates<T>(nb, std::min(knobs.ib, nb), mode, reps);
+      auto f = [&](double v) { return stringf("%.3f", v); };
+      // Per-flop speed ratio of the TS kernel over the TT pair doing the
+      // same 6 (resp. 12+6... 18) units of work: time ratio at equal work.
+      double factor_ratio = r.geqrt_plus_ttqrt > 0 ? r.of(KernelKind::TSQRT) / r.geqrt_plus_ttqrt : 0;
+      double update_ratio = r.unmqr_plus_ttmqr > 0 ? r.of(KernelKind::TSMQR) / r.unmqr_plus_ttmqr : 0;
+      t.add_row({std::to_string(nb), f(r.of(KernelKind::GEQRT)), f(r.of(KernelKind::TSQRT)),
+                 f(r.of(KernelKind::TTQRT)), f(r.geqrt_plus_ttqrt), f(r.of(KernelKind::UNMQR)),
+                 f(r.of(KernelKind::TSMQR)), f(r.of(KernelKind::TTMQR)), f(r.unmqr_plus_ttmqr),
+                 f(r.gemm), f(factor_ratio), f(update_ratio)});
+    }
+    bench::emit(t, stringf("fig4_5_kernels_%s_%s", precision, mode_name), knobs);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Knobs knobs;
+  bench::banner("Figures 4/5: kernel performance (in/out of cache)", knobs);
+  kernel_figure<std::complex<double>>("double_complex", knobs);
+  kernel_figure<double>("double", knobs);
+  return 0;
+}

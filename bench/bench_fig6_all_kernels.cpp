@@ -1,0 +1,69 @@
+// Figure 6: predicted and experimental performance of ALL algorithms — the
+// TS-kernel family (FlatTree(TS), PlasmaTree(TS)) against the TT family
+// (FlatTree, PlasmaTree, Fibonacci, Greedy) — in both precisions.
+#include <complex>
+
+#include "bench_experimental.hpp"
+#include "sim/critical_path.hpp"
+#include "trees/generators.hpp"
+
+using namespace tiledqr;
+
+namespace {
+
+template <typename T>
+void predicted(const char* precision, const bench::Knobs& knobs) {
+  const int p = knobs.p;
+  const int workers = knobs.threads > 0 ? knobs.threads : default_thread_count();
+  double gamma = core::measure_gamma_seq<T>(knobs.nb, std::min(knobs.ib, knobs.nb));
+  TextTable t(stringf("Figure 6 predicted GFLOP/s (%s), gamma_seq = %.3f, P = %d", precision,
+                      gamma, workers));
+  t.set_header({"q", "FlatTree(TS)", "PlasmaTree(TS,best)", "FlatTree(TT)",
+                "PlasmaTree(TT,best)", "Fibonacci", "Greedy"});
+  for (int q = 1; q <= p; ++q) {
+    if (knobs.quick ? (q > 8 && q % 8 != 0) : (q > 10 && q % 5 != 0 && q != p)) continue;
+    auto pred = [&](long cp) {
+      return stringf("%.2f", core::predicted_gflops(gamma, p, q, cp, workers));
+    };
+    using trees::KernelFamily;
+    long flat_ts = sim::critical_path_units(p, q, trees::flat_tree(p, q, KernelFamily::TS));
+    auto plasma_ts = core::best_plasma_bs(p, q, KernelFamily::TS);
+    long flat_tt = sim::critical_path_units(p, q, trees::flat_tree(p, q, KernelFamily::TT));
+    auto plasma_tt = core::best_plasma_bs(p, q, KernelFamily::TT);
+    long fib = sim::critical_path_units(p, q, trees::fibonacci_tree(p, q));
+    long greedy = sim::critical_path_units(p, q, trees::greedy_tree(p, q));
+    t.add_row({std::to_string(q), pred(flat_ts), pred(plasma_ts.critical_path), pred(flat_tt),
+               pred(plasma_tt.critical_path), pred(fib), pred(greedy)});
+  }
+  bench::emit(t, std::string("fig6_predicted_") + precision, knobs);
+}
+
+template <typename T>
+void experimental(const char* precision, const bench::Knobs& knobs) {
+  TextTable t(stringf("Figure 6 experimental GFLOP/s (%s), p = %d, nb = %d", precision,
+                      knobs.p, knobs.nb));
+  t.set_header({"q", "FlatTree(TS)", "PlasmaTree(TS,best)", "BS", "FlatTree(TT)",
+                "PlasmaTree(TT,best)", "BS", "Fibonacci", "Greedy"});
+  for (int q : bench::experimental_q_values(knobs.p, knobs.quick)) {
+    auto e = bench::run_sweep_point<T>(knobs, q, /*include_ts=*/true);
+    auto f = [&](const core::RunRecord& r) { return stringf("%.3f", r.gflops); };
+    t.add_row({std::to_string(q), f(e.flat_ts), f(e.plasma_ts), std::to_string(e.plasma_ts_bs),
+               f(e.flat), f(e.plasma), std::to_string(e.plasma_bs), f(e.fibonacci),
+               f(e.greedy)});
+  }
+  bench::emit(t, std::string("fig6_experimental_") + precision, knobs);
+}
+
+}  // namespace
+
+int main() {
+  bench::Knobs knobs;
+  bench::banner("Figure 6: all kernels (TS + TT), predicted and experimental", knobs);
+  bench::Knobs fast = knobs;
+  fast.reps = 1;
+  predicted<std::complex<double>>("double_complex", knobs);
+  predicted<double>("double", knobs);
+  experimental<std::complex<double>>("double_complex", fast);
+  experimental<double>("double", fast);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figures 7 and 8: overhead of every algorithm (TS and TT families) with
+// respect to Greedy, theoretical and experimental.
+#include <complex>
+
+#include "bench_experimental.hpp"
+#include "sim/critical_path.hpp"
+#include "trees/generators.hpp"
+
+using namespace tiledqr;
+
+namespace {
+
+void theoretical(const bench::Knobs& knobs) {
+  const int p = knobs.p;
+  TextTable t(stringf("Figure 7a/8a: critical-path overhead vs Greedy, p = %d", p));
+  t.set_header({"q", "FlatTree(TS)", "PlasmaTree(TS,best)", "FlatTree(TT)",
+                "PlasmaTree(TT,best)", "Fibonacci"});
+  for (int q = 1; q <= p; ++q) {
+    if (knobs.quick ? (q > 8 && q % 8 != 0) : (q > 10 && q % 5 != 0 && q != p)) continue;
+    using trees::KernelFamily;
+    long greedy = sim::critical_path_units(p, q, trees::greedy_tree(p, q));
+    auto ratio = [&](long cp) { return stringf("%.4f", double(cp) / double(greedy)); };
+    t.add_row({std::to_string(q),
+               ratio(sim::critical_path_units(p, q, trees::flat_tree(p, q, KernelFamily::TS))),
+               ratio(core::best_plasma_bs(p, q, KernelFamily::TS).critical_path),
+               ratio(sim::critical_path_units(p, q, trees::flat_tree(p, q, KernelFamily::TT))),
+               ratio(core::best_plasma_bs(p, q, KernelFamily::TT).critical_path),
+               ratio(sim::critical_path_units(p, q, trees::fibonacci_tree(p, q)))});
+  }
+  bench::emit(t, "fig7_8_theoretical_overhead_all", knobs);
+}
+
+template <typename T>
+void experimental(const char* precision, const bench::Knobs& knobs) {
+  TextTable t(stringf("Figure 7b-c/8b-c: time overhead vs Greedy (%s)", precision));
+  t.set_header({"q", "FlatTree(TS)", "PlasmaTree(TS,best)", "FlatTree(TT)",
+                "PlasmaTree(TT,best)", "Fibonacci", "Greedy"});
+  for (int q : bench::experimental_q_values(knobs.p, knobs.quick)) {
+    auto e = bench::run_sweep_point<T>(knobs, q, /*include_ts=*/true);
+    auto ratio = [&](const core::RunRecord& r) {
+      return stringf("%.4f", r.seconds / e.greedy.seconds);
+    };
+    t.add_row({std::to_string(q), ratio(e.flat_ts), ratio(e.plasma_ts), ratio(e.flat),
+               ratio(e.plasma), ratio(e.fibonacci), "1.0000"});
+  }
+  bench::emit(t, std::string("fig7_8_experimental_overhead_") + precision, knobs);
+}
+
+}  // namespace
+
+int main() {
+  bench::Knobs knobs;
+  bench::banner("Figures 7/8: overhead vs Greedy, all kernels", knobs);
+  theoretical(knobs);
+  bench::Knobs fast = knobs;
+  fast.reps = 1;
+  experimental<std::complex<double>>("double_complex", fast);
+  experimental<double>("double", fast);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// google-benchmark microbenchmarks for the six tile kernels (double and
+// double complex), reporting wall time and effective GFLOP/s.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+
+#include "kernels/kernels.hpp"
+#include "matrix/generate.hpp"
+
+using namespace tiledqr;
+using kernels::ApplyTrans;
+using kernels::KernelKind;
+
+namespace {
+
+template <typename T>
+struct Operands {
+  Matrix<T> a1, a2, a2tri, c1, c2, t;
+  explicit Operands(int nb, int ib)
+      : a1(nb, nb), a2(nb, nb), a2tri(nb, nb), c1(nb, nb), c2(nb, nb), t(ib, nb) {
+    randomize(a1.view(), 1);
+    randomize(a2.view(), 2);
+    randomize(a2tri.view(), 3);
+    randomize(c1.view(), 4);
+    randomize(c2.view(), 5);
+    for (std::int64_t j = 0; j < nb; ++j)
+      for (std::int64_t i = j + 1; i < nb; ++i) {
+        a1(i, j) = T(0);
+        a2tri(i, j) = T(0);
+      }
+  }
+};
+
+template <typename T, KernelKind K>
+void BM_kernel(benchmark::State& state) {
+  const int nb = int(state.range(0));
+  const int ib = std::min<int>(32, nb);
+  Operands<T> base(nb, ib);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Operands<T> op = base;  // fresh operands each iteration
+    state.ResumeTiming();
+    switch (K) {
+      case KernelKind::GEQRT: kernels::geqrt(ib, op.a2.view(), op.t.view()); break;
+      case KernelKind::UNMQR:
+        kernels::unmqr(ApplyTrans::ConjTrans, ib, op.a2.view(), op.t.view(), op.c1.view());
+        break;
+      case KernelKind::TSQRT: kernels::tsqrt(ib, op.a1.view(), op.a2.view(), op.t.view()); break;
+      case KernelKind::TSMQR:
+        kernels::tsmqr(ApplyTrans::ConjTrans, ib, op.a2.view(), op.t.view(), op.c1.view(),
+                       op.c2.view());
+        break;
+      case KernelKind::TTQRT:
+        kernels::ttqrt(ib, op.a1.view(), op.a2tri.view(), op.t.view());
+        break;
+      case KernelKind::TTMQR:
+        kernels::ttmqr(ApplyTrans::ConjTrans, ib, op.a1.view(), op.t.view(), op.c1.view(),
+                       op.c2.view());
+        break;
+    }
+    benchmark::ClobberMemory();
+  }
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(kernels::kernel_flops(K, nb, is_complex_v<T>) * 1e-9,
+                         benchmark::Counter::kIsIterationInvariantRate);
+}
+
+#define TILEDQR_BENCH_KERNEL(T, NAME, KIND)                           \
+  BENCHMARK_TEMPLATE(BM_kernel, T, KernelKind::KIND)                  \
+      ->Name(NAME)                                                    \
+      ->Arg(64)                                                       \
+      ->Arg(128)                                                      \
+      ->Unit(benchmark::kMicrosecond)
+
+TILEDQR_BENCH_KERNEL(double, "d_geqrt", GEQRT);
+TILEDQR_BENCH_KERNEL(double, "d_unmqr", UNMQR);
+TILEDQR_BENCH_KERNEL(double, "d_tsqrt", TSQRT);
+TILEDQR_BENCH_KERNEL(double, "d_tsmqr", TSMQR);
+TILEDQR_BENCH_KERNEL(double, "d_ttqrt", TTQRT);
+TILEDQR_BENCH_KERNEL(double, "d_ttmqr", TTMQR);
+TILEDQR_BENCH_KERNEL(std::complex<double>, "z_geqrt", GEQRT);
+TILEDQR_BENCH_KERNEL(std::complex<double>, "z_unmqr", UNMQR);
+TILEDQR_BENCH_KERNEL(std::complex<double>, "z_tsqrt", TSQRT);
+TILEDQR_BENCH_KERNEL(std::complex<double>, "z_tsmqr", TSMQR);
+TILEDQR_BENCH_KERNEL(std::complex<double>, "z_ttqrt", TTQRT);
+TILEDQR_BENCH_KERNEL(std::complex<double>, "z_ttmqr", TTMQR);
+
+}  // namespace
+
+BENCHMARK_MAIN();

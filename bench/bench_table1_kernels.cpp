@@ -1,0 +1,34 @@
+// Table 1: the six kernels, their nominal weights (units of nb^3/3 flops),
+// and their measured time ratios, which should approach the weight ratios as
+// nb grows (the premise of the whole critical-path model).
+#include "bench_common.hpp"
+#include "perf/kernel_bench.hpp"
+
+using namespace tiledqr;
+using kernels::KernelKind;
+
+int main() {
+  bench::Knobs knobs;
+  bench::banner("Table 1: tiled QR kernels and weights", knobs);
+
+  TextTable weights("nominal kernel weights (units of nb^3/3 flops)");
+  weights.set_header({"operation", "panel", "cost", "update", "cost"});
+  weights.add_row({"factor square into triangle", "GEQRT", "4", "UNMQR", "6"});
+  weights.add_row({"zero square with triangle on top", "TSQRT", "6", "TSMQR", "12"});
+  weights.add_row({"zero triangle with triangle on top", "TTQRT", "2", "TTMQR", "6"});
+  bench::emit(weights, "table1_weights", knobs);
+
+  TextTable t("measured per-call time relative to GEQRT (in cache, double)");
+  t.set_header({"nb", "GEQRT", "UNMQR", "TSQRT", "TSMQR", "TTQRT", "TTMQR", "ideal"});
+  for (int nb : {32, 64, knobs.nb, 128}) {
+    auto sec = perf::measure_kernel_seconds<double>(nb, std::min(knobs.ib, nb),
+                                                    perf::CacheMode::InCache, knobs.reps + 3);
+    double base = sec[size_t(KernelKind::GEQRT)];
+    std::vector<std::string> row{std::to_string(nb)};
+    for (int k = 0; k < 6; ++k) row.push_back(stringf("%.2f", sec[size_t(k)] / base));
+    row.push_back("1.00/1.50/1.50/3.00/0.50/1.50");
+    t.add_row(row);
+  }
+  bench::emit(t, "table1_measured", knobs);
+  return 0;
+}

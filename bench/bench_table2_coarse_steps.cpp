@@ -1,0 +1,35 @@
+// Table 2: coarse-grain time-steps for Sameh-Kuck, Fibonacci and Greedy on a
+// 15 x 6 tile matrix (plus any TILEDQR_P-selected shape).
+#include "bench_common.hpp"
+#include "trees/coarse.hpp"
+
+using namespace tiledqr;
+
+namespace {
+
+void print_schedule(const char* name, const trees::CoarseSchedule& s, const bench::Knobs& knobs) {
+  TextTable t(stringf("%s (coarse model, makespan %d)", name, s.makespan));
+  std::vector<std::string> header{"row"};
+  for (int k = 1; k <= s.q; ++k) header.push_back("k=" + std::to_string(k));
+  t.set_header(header);
+  for (int i = 0; i < s.p; ++i) {
+    std::vector<std::string> row{std::to_string(i + 1)};
+    for (int k = 0; k < s.q; ++k) {
+      int v = s.step[size_t(i)][size_t(k)];
+      row.push_back(v == 0 ? (i <= k ? "?" : ".") : std::to_string(v));
+    }
+    t.add_row(row);
+  }
+  bench::emit(t, std::string("table2_") + name, knobs);
+}
+
+}  // namespace
+
+int main() {
+  bench::Knobs knobs;
+  bench::banner("Table 2: coarse-grain time-steps (15 x 6, as published)", knobs);
+  print_schedule("sameh_kuck", trees::coarse_sameh_kuck(15, 6), knobs);
+  print_schedule("fibonacci", trees::coarse_fibonacci(15, 6), knobs);
+  print_schedule("greedy", trees::coarse_greedy(15, 6), knobs);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 3: tiled time-steps (TT kernels, Table 1 weights) for FlatTree,
+// Fibonacci, Greedy, BinaryTree and PlasmaTree(BS=5) on a 15 x 6 grid.
+#include "bench_common.hpp"
+#include "sim/critical_path.hpp"
+#include "trees/generators.hpp"
+
+using namespace tiledqr;
+
+namespace {
+
+void print_zero_table(const std::string& name, int p, int q,
+                      const trees::EliminationList& list, const bench::Knobs& knobs) {
+  auto g = dag::build_task_graph(p, q, list);
+  auto cp = sim::earliest_finish(g);
+  auto z = sim::zero_time_table(g, cp);
+  TextTable t(stringf("%s (critical path %ld)", name.c_str(), cp.critical_path));
+  std::vector<std::string> header{"row"};
+  for (int k = 1; k <= q; ++k) header.push_back("k=" + std::to_string(k));
+  t.set_header(header);
+  for (int i = 0; i < p; ++i) {
+    std::vector<std::string> row{std::to_string(i + 1)};
+    for (int k = 0; k < q; ++k)
+      row.push_back(z[size_t(i)][size_t(k)] == 0 ? (i <= k ? "?" : ".")
+                                                 : std::to_string(z[size_t(i)][size_t(k)]));
+    t.add_row(row);
+  }
+  bench::emit(t, "table3_" + name, knobs);
+}
+
+}  // namespace
+
+int main() {
+  bench::Knobs knobs;
+  bench::banner("Table 3: tiled time-steps (15 x 6, as published)", knobs);
+  const int p = 15, q = 6;
+  using trees::KernelFamily;
+  print_zero_table("flat_tree", p, q, trees::flat_tree(p, q, KernelFamily::TT), knobs);
+  print_zero_table("fibonacci", p, q, trees::fibonacci_tree(p, q), knobs);
+  print_zero_table("greedy", p, q, trees::greedy_tree(p, q), knobs);
+  print_zero_table("binary_tree", p, q, trees::binary_tree(p, q), knobs);
+  print_zero_table("plasma_tree_bs5", p, q, trees::plasma_tree(p, q, 5, KernelFamily::TT),
+                   knobs);
+  return 0;
+}

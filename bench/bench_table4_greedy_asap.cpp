@@ -1,0 +1,62 @@
+// Table 4: (a) Greedy vs Asap vs Grasap(1) zero-times on 15 x 3 — the
+// "neither Greedy nor Asap is optimal" finding — and (b) Greedy vs Asap
+// critical paths on square-ish grids up to 128.
+#include "bench_common.hpp"
+#include "sim/critical_path.hpp"
+#include "sim/dynamic.hpp"
+#include "trees/generators.hpp"
+
+using namespace tiledqr;
+
+namespace {
+
+void print_table(const std::string& name, const std::vector<std::vector<long>>& z, long cp,
+                 const bench::Knobs& knobs) {
+  TextTable t(stringf("%s (critical path %ld)", name.c_str(), cp));
+  std::vector<std::string> header{"row"};
+  for (size_t k = 1; k <= z[0].size(); ++k) header.push_back("k=" + std::to_string(k));
+  t.set_header(header);
+  for (size_t i = 0; i < z.size(); ++i) {
+    std::vector<std::string> row{std::to_string(i + 1)};
+    for (size_t k = 0; k < z[i].size(); ++k)
+      row.push_back(z[i][k] == 0 ? (i <= k ? "?" : ".") : std::to_string(z[i][k]));
+    t.add_row(row);
+  }
+  bench::emit(t, "table4a_" + name, knobs);
+}
+
+}  // namespace
+
+int main() {
+  bench::Knobs knobs;
+  bench::banner("Table 4: Greedy / Asap / Grasap on 15 x 3, and larger grids", knobs);
+
+  {
+    auto g = dag::build_task_graph(15, 3, trees::greedy_tree(15, 3));
+    auto cp = sim::earliest_finish(g);
+    print_table("greedy", sim::zero_time_table(g, cp), cp.critical_path, knobs);
+  }
+  {
+    auto asap = sim::simulate_asap(15, 3);
+    print_table("asap", asap.zero_time, asap.critical_path, knobs);
+  }
+  {
+    auto grasap = sim::simulate_grasap(15, 3, 1);
+    print_table("grasap1", grasap.zero_time, grasap.critical_path, knobs);
+  }
+
+  TextTable t4b("Table 4b: Greedy generally outperforms Asap (critical paths)");
+  t4b.set_header({"p", "q", "Greedy", "Asap"});
+  for (int p : {16, 32, 64, 128}) {
+    for (int q : {16, 32, 64, 128}) {
+      if (q > p) continue;
+      if (knobs.quick && p > 64) continue;
+      long greedy = sim::critical_path_units(p, q, trees::greedy_tree(p, q));
+      long asap = sim::simulate_asap(p, q).critical_path;
+      t4b.add_row({std::to_string(p), std::to_string(q), std::to_string(greedy),
+                   std::to_string(asap)});
+    }
+  }
+  bench::emit(t4b, "table4b_greedy_vs_asap", knobs);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Regenerates paper Table 5: theoretical critical paths for p = 40 and
+// q = 1..40 — Greedy vs best-BS PlasmaTree(TT) vs Fibonacci, with the
+// overhead and gain columns of the paper.
+#include "bench_common.hpp"
+#include "core/plan.hpp"
+#include "sim/critical_path.hpp"
+#include "trees/generators.hpp"
+
+using namespace tiledqr;
+
+int main() {
+  bench::Knobs knobs;
+  bench::banner("Table 5: Greedy vs PlasmaTree(TT) vs Fibonacci (theoretical)", knobs);
+  const int p = knobs.p;
+
+  TextTable t(stringf("p = %d, critical paths in units of nb^3/3 flops", p));
+  t.set_header({"p", "q", "Greedy", "PlasmaTree(TT)", "BS", "Overhead", "Gain", "Fibonacci",
+                "Overhead", "Gain"});
+  for (int q = 1; q <= p; ++q) {
+    if (knobs.quick && q > 8 && q % 8 != 0) continue;
+    long greedy = sim::critical_path_units(p, q, trees::greedy_tree(p, q));
+    auto best = core::best_plasma_bs(p, q, trees::KernelFamily::TT);
+    long fib = sim::critical_path_units(p, q, trees::fibonacci_tree(p, q));
+    auto ratio = [&](long x) { return stringf("%.4f", double(x) / double(greedy)); };
+    auto gain = [&](long x) { return stringf("%.4f", 1.0 - double(greedy) / double(x)); };
+    t.add_row({std::to_string(p), std::to_string(q), std::to_string(greedy),
+               std::to_string(best.critical_path), std::to_string(best.bs),
+               ratio(best.critical_path), gain(best.critical_path), std::to_string(fib),
+               ratio(fib), gain(fib)});
+  }
+  bench::emit(t, "table5_critical_paths", knobs);
+  return 0;
+}

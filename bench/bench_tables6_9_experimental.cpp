@@ -1,0 +1,44 @@
+// Tables 6-9: experimental Greedy vs PlasmaTree(TT) and Greedy vs Fibonacci,
+// in double and double complex precision, with the paper's Overhead
+// (rate ratio vs Greedy) and Gain columns.
+#include <complex>
+
+#include "bench_experimental.hpp"
+
+using namespace tiledqr;
+
+namespace {
+
+template <typename T>
+void tables(const char* precision, const bench::Knobs& knobs) {
+  TextTable tp(stringf("Greedy vs PlasmaTree(TT), experimental %s (GFLOP/s)", precision));
+  tp.set_header({"p", "q", "Greedy", "PlasmaTree(TT)", "BS", "Overhead", "Gain"});
+  TextTable tf(stringf("Greedy vs Fibonacci, experimental %s (GFLOP/s)", precision));
+  tf.set_header({"p", "q", "Greedy", "Fibonacci", "Overhead", "Gain"});
+
+  for (int q : bench::experimental_q_values(knobs.p, knobs.quick)) {
+    auto e = bench::run_sweep_point<T>(knobs, q, /*include_ts=*/false);
+    double ov_p = e.plasma.gflops / e.greedy.gflops;
+    double ov_f = e.fibonacci.gflops / e.greedy.gflops;
+    tp.add_row({std::to_string(knobs.p), std::to_string(q), stringf("%.4f", e.greedy.gflops),
+                stringf("%.4f", e.plasma.gflops), std::to_string(e.plasma_bs),
+                stringf("%.4f", ov_p), stringf("%.4f", 1.0 - ov_p)});
+    tf.add_row({std::to_string(knobs.p), std::to_string(q), stringf("%.4f", e.greedy.gflops),
+                stringf("%.4f", e.fibonacci.gflops), stringf("%.4f", ov_f),
+                stringf("%.4f", 1.0 - ov_f)});
+  }
+  bench::emit(tp, stringf("tables6_7_greedy_vs_plasma_%s", precision), knobs);
+  bench::emit(tf, stringf("tables8_9_greedy_vs_fibonacci_%s", precision), knobs);
+}
+
+}  // namespace
+
+int main() {
+  bench::Knobs knobs;
+  bench::banner("Tables 6-9: experimental Greedy vs PlasmaTree(TT) / Fibonacci", knobs);
+  tables<double>("double", knobs);
+  bench::Knobs zknobs = knobs;
+  zknobs.reps = std::max(1, knobs.reps / 2);
+  tables<std::complex<double>>("double_complex", zknobs);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Theorem 1, Propositions 1 and 2: measured critical paths against the
+// paper's closed forms and bounds (the test suite asserts these; this bench
+// prints them for the record).
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/plan.hpp"
+#include "sim/critical_path.hpp"
+#include "sim/dynamic.hpp"
+#include "trees/generators.hpp"
+
+using namespace tiledqr;
+
+int main() {
+  bench::Knobs knobs;
+  bench::banner("Theorem 1 / Propositions 1-2: closed forms vs simulator", knobs);
+  using trees::KernelFamily;
+  using trees::TreeKind;
+
+  auto cp_of = [&](int p, int q, TreeKind kind, KernelFamily fam) {
+    return sim::critical_path_units(p, q, trees::TreeConfig{kind, fam, 1, 0});
+  };
+  bool all_ok = true;
+  auto row = [&](TextTable& t, int p, int q, long got, long want) {
+    bool ok = got == want;
+    all_ok = all_ok && ok;
+    t.add_row({std::to_string(p), std::to_string(q), std::to_string(got),
+               std::to_string(want), ok ? "ok" : "MISMATCH"});
+  };
+
+  TextTable t1("Theorem 1(1): FlatTree(TT) closed forms");
+  t1.set_header({"p", "q", "measured", "formula", "status"});
+  for (int p : {2, 5, 15, 40}) row(t1, p, 1, cp_of(p, 1, TreeKind::FlatTree, KernelFamily::TT), 2 * p + 2);
+  for (auto [p, q] : std::vector<std::pair<int, int>>{{5, 3}, {15, 6}, {40, 10}})
+    row(t1, p, q, cp_of(p, q, TreeKind::FlatTree, KernelFamily::TT), 6 * p + 16 * q - 22);
+  for (int n : {2, 5, 12})
+    row(t1, n, n, cp_of(n, n, TreeKind::FlatTree, KernelFamily::TT), 22 * n - 24);
+  bench::emit(t1, "theory_flat_tree", knobs);
+
+  TextTable t2("Proposition 2: FlatTree(TS) closed forms");
+  t2.set_header({"p", "q", "measured", "formula", "status"});
+  for (int p : {2, 5, 15}) row(t2, p, 1, cp_of(p, 1, TreeKind::FlatTree, KernelFamily::TS), 6 * p - 2);
+  for (auto [p, q] : std::vector<std::pair<int, int>>{{5, 3}, {15, 6}, {40, 10}})
+    row(t2, p, q, cp_of(p, q, TreeKind::FlatTree, KernelFamily::TS), 12 * p + 18 * q - 32);
+  for (int n : {2, 5, 8})
+    row(t2, n, n, cp_of(n, n, TreeKind::FlatTree, KernelFamily::TS), 30 * n - 34);
+  bench::emit(t2, "theory_ts_flat_tree", knobs);
+
+  TextTable t3("Proposition 1: BinaryTree, powers of two (q < p)");
+  t3.set_header({"p", "q", "measured", "formula", "status"});
+  for (auto [p, q] : std::vector<std::pair<int, int>>{{4, 2}, {8, 4}, {16, 8}, {32, 8}, {64, 16}}) {
+    long lg = std::lround(std::log2(double(p)));
+    row(t3, p, q, cp_of(p, q, TreeKind::BinaryTree, KernelFamily::TT),
+        (10 + 6 * lg) * q - 4 * lg - 6);
+  }
+  bench::emit(t3, "theory_binary_tree", knobs);
+
+  // Reproduction notes (see EXPERIMENTS.md): the Greedy bound is loose by
+  // one coarse step at large p/q — the paper's own Table 4b has
+  // Greedy(128,32) = 748 > 746 — so it is checked with 6 units of slack;
+  // the 22q-30 lower bound only applies away from the square boundary
+  // (Table 5's Greedy = 826 < 850 at p = q = 40), so it is checked for
+  // p >= 2q.
+  TextTable t4("Theorem 1(2,3): bounds for Fibonacci / Greedy, lower bound 22q-30");
+  t4.set_header({"p", "q", "Fib cp", "Fib bound", "Greedy cp", "Greedy bound", "22q-30"});
+  for (auto [p, q] : std::vector<std::pair<int, int>>{{15, 6}, {40, 10}, {64, 16}, {128, 32},
+                                                       {40, 40}}) {
+    long fib = sim::critical_path_units(p, q, trees::fibonacci_tree(p, q));
+    long fib_bound = 22L * q + 6L * long(std::ceil(std::sqrt(2.0 * p)));
+    long gre = sim::critical_path_units(p, q, trees::greedy_tree(p, q));
+    long gre_bound = 22L * q + 6L * long(std::ceil(std::log2(double(p))));
+    all_ok = all_ok && fib <= fib_bound && gre <= gre_bound + 6;
+    if (p >= 2 * q) all_ok = all_ok && gre >= 22L * q - 30;
+    t4.add_row({std::to_string(p), std::to_string(q), std::to_string(fib),
+                std::to_string(fib_bound), std::to_string(gre), std::to_string(gre_bound),
+                std::to_string(22L * q - 30)});
+  }
+  bench::emit(t4, "theory_bounds", knobs);
+
+  std::printf("theory check: %s\n", all_ok ? "ALL OK" : "MISMATCHES FOUND");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// Square linear systems via QR. The paper (§1) notes that QR-based solves
+// cost twice the flops of LU but are unconditionally stable and pivot-free.
+// This example solves a system whose growth factor makes partial-pivoting
+// LU uncomfortable (a Wilkinson-style matrix) and shows QR is unaffected.
+//
+//   ./linear_solve [n] [nb]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/tiled_qr.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/norms.hpp"
+
+using namespace tiledqr;
+
+int main(int argc, char** argv) {
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 512;
+  const int nb = argc > 2 ? std::atoi(argv[2]) : 64;
+
+  // Wilkinson's growth matrix: lower triangle of -1, unit diagonal, last
+  // column of 1 — the classic worst case for partial pivoting (growth 2^n).
+  Matrix<double> a(n, n);
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (i == j) a(i, j) = 1.0;
+      else if (i > j) a(i, j) = -1.0;
+    }
+    a(j, n - 1) = 1.0;
+  }
+
+  auto xtrue = random_matrix<double>(n, 1, 99);
+  Matrix<double> b(n, 1);
+  blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, 1.0, a.view(), xtrue.view(), 0.0, b.view());
+
+  core::Options opt;
+  opt.nb = nb;
+  opt.ib = std::min(32, nb);
+  opt.tree = trees::TreeConfig{trees::TreeKind::Greedy, trees::KernelFamily::TT, 1, 0};
+
+  auto qr = core::TiledQr<double>::factorize(a.view(), opt);
+  auto x = qr.solve(b.view());
+
+  Matrix<double> res(n, 1);
+  copy(b.view(), res.view());
+  blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, 1.0, a.view(), x.view(), -1.0, res.view());
+  double rel_res = frobenius_norm<double>(res.view()) / frobenius_norm<double>(b.view());
+  double ferr = difference_norm<double>(x.view(), xtrue.view()) /
+                frobenius_norm<double>(xtrue.view());
+
+  std::printf("QR solve of Wilkinson growth matrix, n = %lld (nb = %d)\n", (long long)n, nb);
+  std::printf("  relative residual ||Ax-b||/||b|| : %.3e\n", rel_res);
+  std::printf("  forward error     ||x-x*||/||x*||: %.3e\n", ferr);
+  // QR keeps the residual at machine-precision level regardless of the
+  // pivot-growth pathology. (The forward error also reflects conditioning.)
+  const bool ok = rel_res < 1e-12;
+  std::printf("%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

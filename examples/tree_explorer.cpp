@@ -1,0 +1,91 @@
+// Interactive exploration of the tiled algorithms: for a p x q tile grid,
+// prints each algorithm's zero-time table (the format of paper Tables 2-4)
+// and the critical-path comparison, including the exhaustive PlasmaTree
+// domain-size search.
+//
+//   ./tree_explorer [p] [q] [--coarse]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/table.hpp"
+#include "core/plan.hpp"
+#include "sim/critical_path.hpp"
+#include "sim/dynamic.hpp"
+#include "trees/generators.hpp"
+
+#include <iostream>
+
+using namespace tiledqr;
+
+namespace {
+
+void print_zero_table(const std::string& name, const std::vector<std::vector<long>>& t) {
+  std::printf("-- %s --\n", name.c_str());
+  for (size_t i = 0; i < t.size(); ++i) {
+    for (size_t k = 0; k < t[i].size(); ++k) {
+      if (t[i][k] == 0 && i <= k) std::printf("   ?");
+      else if (t[i][k] == 0) std::printf("   .");
+      else std::printf("%4ld", t[i][k]);
+    }
+    std::printf("\n");
+  }
+}
+
+std::vector<std::vector<long>> zero_table_of(int p, int q, const trees::EliminationList& list) {
+  auto g = dag::build_task_graph(p, q, list);
+  auto cp = sim::earliest_finish(g);
+  return sim::zero_time_table(g, cp);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int p = argc > 1 ? std::atoi(argv[1]) : 15;
+  const int q = argc > 2 ? std::atoi(argv[2]) : 6;
+  const bool coarse = argc > 3 && std::strcmp(argv[3], "--coarse") == 0;
+
+  std::printf("tile grid: p = %d, q = %d\n\n", p, q);
+
+  if (coarse) {
+    auto show = [&](const char* name, const trees::CoarseSchedule& s) {
+      std::vector<std::vector<long>> t(static_cast<size_t>(p));
+      for (int i = 0; i < p; ++i) t[size_t(i)].assign(s.step[size_t(i)].begin(), s.step[size_t(i)].end());
+      print_zero_table(std::string(name) + " (coarse, makespan " + std::to_string(s.makespan) + ")", t);
+    };
+    show("Sameh-Kuck", trees::coarse_sameh_kuck(p, q));
+    show("Fibonacci", trees::coarse_fibonacci(p, q));
+    show("Greedy", trees::coarse_greedy(p, q));
+    return 0;
+  }
+
+  using trees::KernelFamily;
+  using trees::TreeKind;
+  print_zero_table("FlatTree (TT)", zero_table_of(p, q, trees::flat_tree(p, q, KernelFamily::TT)));
+  print_zero_table("Fibonacci", zero_table_of(p, q, trees::fibonacci_tree(p, q)));
+  print_zero_table("Greedy", zero_table_of(p, q, trees::greedy_tree(p, q)));
+  print_zero_table("BinaryTree", zero_table_of(p, q, trees::binary_tree(p, q)));
+  print_zero_table("Asap", sim::simulate_asap(p, q).zero_time);
+
+  TextTable summary("critical paths (units of nb^3/3 flops)");
+  summary.set_header({"algorithm", "critical path"});
+  auto add = [&](const trees::TreeConfig& c) {
+    summary.add_row({c.name(), std::to_string(core::plan_critical_path(p, q, c))});
+  };
+  add({TreeKind::FlatTree, KernelFamily::TT, 1, 0});
+  add({TreeKind::FlatTree, KernelFamily::TS, 1, 0});
+  add({TreeKind::BinaryTree, KernelFamily::TT, 1, 0});
+  add({TreeKind::Fibonacci, KernelFamily::TT, 1, 0});
+  add({TreeKind::Greedy, KernelFamily::TT, 1, 0});
+  add({TreeKind::Asap, KernelFamily::TT, 1, 0});
+  add({TreeKind::Grasap, KernelFamily::TT, 1, 1});
+  auto best = core::best_plasma_bs(p, q, KernelFamily::TT);
+  summary.add_row({"PlasmaTree(TT) best BS=" + std::to_string(best.bs),
+                   std::to_string(best.critical_path)});
+  auto best_ts = core::best_plasma_bs(p, q, KernelFamily::TS);
+  summary.add_row({"PlasmaTree(TS) best BS=" + std::to_string(best_ts.bs),
+                   std::to_string(best_ts.critical_path)});
+  std::printf("\n");
+  summary.print(std::cout);
+  return 0;
+}

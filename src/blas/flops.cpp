@@ -1,0 +1,19 @@
+#include <cstdint>
+
+#include "blas/blas.hpp"
+
+namespace tiledqr::blas {
+
+double gemm_flops(std::int64_t m, std::int64_t n, std::int64_t k, bool complex_scalar) {
+  double f = 2.0 * double(m) * double(n) * double(k);
+  return complex_scalar ? 4.0 * f : f;
+}
+
+double geqrf_flops(std::int64_t m, std::int64_t n, bool complex_scalar) {
+  double dm = double(m);
+  double dn = double(n);
+  double f = 2.0 * dm * dn * dn - (2.0 / 3.0) * dn * dn * dn;
+  return complex_scalar ? 4.0 * f : f;
+}
+
+}  // namespace tiledqr::blas

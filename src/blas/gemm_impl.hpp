@@ -1,0 +1,187 @@
+// gemm / gemv / ger implementations.
+//
+// The NoTrans x NoTrans path — the hot loop of the update kernels — processes
+// four result columns per sweep over A so each A column is loaded once per
+// four C columns; the inner loops are stride-1 and auto-vectorize.
+#pragma once
+
+#include "common/error.hpp"
+
+namespace tiledqr::blas {
+
+namespace detail {
+
+template <typename T>
+void gemm_nn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c) {
+  const std::int64_t m = c.rows();
+  const std::int64_t n = c.cols();
+  const std::int64_t k = a.cols();
+  std::int64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    T* c0 = c.col(j);
+    T* c1 = c.col(j + 1);
+    T* c2 = c.col(j + 2);
+    T* c3 = c.col(j + 3);
+    for (std::int64_t l = 0; l < k; ++l) {
+      const T* al = a.col(l);
+      const T b0 = alpha * b(l, j);
+      const T b1 = alpha * b(l, j + 1);
+      const T b2 = alpha * b(l, j + 2);
+      const T b3 = alpha * b(l, j + 3);
+      for (std::int64_t i = 0; i < m; ++i) {
+        const T av = al[i];
+        c0[i] += b0 * av;
+        c1[i] += b1 * av;
+        c2[i] += b2 * av;
+        c3[i] += b3 * av;
+      }
+    }
+  }
+  for (; j < n; ++j) {
+    T* cj = c.col(j);
+    for (std::int64_t l = 0; l < k; ++l) {
+      const T bl = alpha * b(l, j);
+      const T* al = a.col(l);
+      for (std::int64_t i = 0; i < m; ++i) cj[i] += bl * al[i];
+    }
+  }
+}
+
+template <typename T>
+void gemm_tn(Op opa, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c) {
+  // c(i,j) += alpha * sum_l op(a(l,i)) * b(l,j); dot products over contiguous
+  // columns of A and B.
+  const std::int64_t m = c.rows();
+  const std::int64_t n = c.cols();
+  const std::int64_t k = a.rows();
+  const bool conj = (opa == Op::ConjTrans) && is_complex_v<T>;
+  for (std::int64_t j = 0; j < n; ++j) {
+    const T* bj = b.col(j);
+    for (std::int64_t i = 0; i < m; ++i) {
+      const T* ai = a.col(i);
+      T acc = T(0);
+      if (conj) {
+        for (std::int64_t l = 0; l < k; ++l) acc += conj_if_complex(ai[l]) * bj[l];
+      } else {
+        for (std::int64_t l = 0; l < k; ++l) acc += ai[l] * bj[l];
+      }
+      c(i, j) += alpha * acc;
+    }
+  }
+}
+
+template <typename T>
+void gemm_nt(Op opb, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c) {
+  // c(:,j) += alpha * sum_l a(:,l) * op(b(j,l))
+  const std::int64_t m = c.rows();
+  const std::int64_t n = c.cols();
+  const std::int64_t k = a.cols();
+  for (std::int64_t j = 0; j < n; ++j) {
+    T* cj = c.col(j);
+    for (std::int64_t l = 0; l < k; ++l) {
+      const T bl = alpha * apply_op(opb, b(j, l));
+      const T* al = a.col(l);
+      for (std::int64_t i = 0; i < m; ++i) cj[i] += bl * al[i];
+    }
+  }
+}
+
+template <typename T>
+void gemm_tt(Op opa, Op opb, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b,
+             MatrixView<T> c) {
+  const std::int64_t m = c.rows();
+  const std::int64_t n = c.cols();
+  const std::int64_t k = a.rows();
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      T acc = T(0);
+      for (std::int64_t l = 0; l < k; ++l)
+        acc += apply_op(opa, a(l, i)) * apply_op(opb, b(j, l));
+      c(i, j) += alpha * acc;
+    }
+  }
+}
+
+}  // namespace detail
+
+template <typename T>
+void gemm(Op opa, Op opb, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, T beta,
+          MatrixView<T> c) {
+  using detail::op_cols;
+  using detail::op_rows;
+  TILEDQR_CHECK(op_rows(opa, a.rows(), a.cols()) == c.rows(), "gemm: A/C row mismatch");
+  TILEDQR_CHECK(op_cols(opb, b.rows(), b.cols()) == c.cols(), "gemm: B/C col mismatch");
+  TILEDQR_CHECK(op_cols(opa, a.rows(), a.cols()) == op_rows(opb, b.rows(), b.cols()),
+                "gemm: inner dimension mismatch");
+
+  if (beta == T(0)) {
+    for (std::int64_t j = 0; j < c.cols(); ++j) {
+      T* cj = c.col(j);
+      for (std::int64_t i = 0; i < c.rows(); ++i) cj[i] = T(0);
+    }
+  } else if (beta != T(1)) {
+    for (std::int64_t j = 0; j < c.cols(); ++j) {
+      T* cj = c.col(j);
+      for (std::int64_t i = 0; i < c.rows(); ++i) cj[i] *= beta;
+    }
+  }
+  if (alpha == T(0) || c.empty() || op_cols(opa, a.rows(), a.cols()) == 0) return;
+
+  if (opa == Op::NoTrans && opb == Op::NoTrans) {
+    detail::gemm_nn(alpha, a, b, c);
+  } else if (opa != Op::NoTrans && opb == Op::NoTrans) {
+    detail::gemm_tn(opa, alpha, a, b, c);
+  } else if (opa == Op::NoTrans) {
+    detail::gemm_nt(opb, alpha, a, b, c);
+  } else {
+    detail::gemm_tt(opa, opb, alpha, a, b, c);
+  }
+}
+
+template <typename T>
+void gemv(Op opa, T alpha, ConstMatrixView<T> a, const T* x, T beta, T* y) {
+  const std::int64_t m = a.rows();
+  const std::int64_t n = a.cols();
+  if (opa == Op::NoTrans) {
+    if (beta != T(1)) scal(m, beta, y);
+    for (std::int64_t l = 0; l < n; ++l) axpy(m, alpha * x[l], a.col(l), y);
+  } else {
+    for (std::int64_t j = 0; j < n; ++j) {
+      T acc = T(0);
+      const T* aj = a.col(j);
+      if (opa == Op::ConjTrans) {
+        for (std::int64_t i = 0; i < m; ++i) acc += conj_if_complex(aj[i]) * x[i];
+      } else {
+        for (std::int64_t i = 0; i < m; ++i) acc += aj[i] * x[i];
+      }
+      y[j] = beta * y[j] + alpha * acc;
+    }
+  }
+}
+
+template <typename T>
+void ger(T alpha, const T* x, const T* y, MatrixView<T> a) {
+  for (std::int64_t j = 0; j < a.cols(); ++j)
+    axpy(a.rows(), alpha * conj_if_complex(y[j]), x, a.col(j));
+}
+
+template <typename T>
+void add(T alpha, ConstMatrixView<T> b, MatrixView<T> c) {
+  TILEDQR_CHECK(b.rows() == c.rows() && b.cols() == c.cols(), "add: shape mismatch");
+  for (std::int64_t j = 0; j < c.cols(); ++j) axpy(c.rows(), alpha, b.col(j), c.col(j));
+}
+
+template <typename T>
+void scale(T alpha, MatrixView<T> b) {
+  for (std::int64_t j = 0; j < b.cols(); ++j) scal(b.rows(), alpha, b.col(j));
+}
+
+template <typename T>
+void set_zero(MatrixView<T> b) {
+  for (std::int64_t j = 0; j < b.cols(); ++j) {
+    T* bj = b.col(j);
+    for (std::int64_t i = 0; i < b.rows(); ++i) bj[i] = T(0);
+  }
+}
+
+}  // namespace tiledqr::blas

@@ -1,0 +1,173 @@
+// Triangular multiply / solve implementations.
+#pragma once
+
+#include "common/error.hpp"
+
+namespace tiledqr::blas {
+
+namespace detail {
+
+template <typename T>
+inline T tri_diag(ConstMatrixView<T> a, Diag diag, std::int64_t i, Op opa) {
+  if (diag == Diag::Unit) return T(1);
+  return apply_op(opa, a(i, i));
+}
+
+}  // namespace detail
+
+template <typename T>
+void trmm(Side side, Uplo uplo, Op opa, Diag diag, T alpha, ConstMatrixView<T> a,
+          MatrixView<T> b) {
+  const std::int64_t n = a.rows();
+  TILEDQR_CHECK(a.rows() == a.cols(), "trmm: A must be square");
+  TILEDQR_CHECK(side == Side::Left ? b.rows() == n : b.cols() == n, "trmm: shape mismatch");
+
+  // Whether the operated matrix op(A) is effectively upper triangular.
+  const bool op_upper = (uplo == Uplo::Upper) == (opa == Op::NoTrans);
+
+  if (side == Side::Left) {
+    for (std::int64_t j = 0; j < b.cols(); ++j) {
+      T* bj = b.col(j);
+      if (op_upper) {
+        // new b_i depends on old b_l for l >= i: go top-down.
+        for (std::int64_t i = 0; i < n; ++i) {
+          T acc = detail::tri_diag(a, diag, i, opa) * bj[i];
+          if (opa == Op::NoTrans) {
+            for (std::int64_t l = i + 1; l < n; ++l) acc += a(i, l) * bj[l];
+          } else {
+            for (std::int64_t l = i + 1; l < n; ++l) acc += detail::apply_op(opa, a(l, i)) * bj[l];
+          }
+          bj[i] = alpha * acc;
+        }
+      } else {
+        // new b_i depends on old b_l for l <= i: go bottom-up.
+        for (std::int64_t i = n - 1; i >= 0; --i) {
+          T acc = detail::tri_diag(a, diag, i, opa) * bj[i];
+          if (opa == Op::NoTrans) {
+            for (std::int64_t l = 0; l < i; ++l) acc += a(i, l) * bj[l];
+          } else {
+            for (std::int64_t l = 0; l < i; ++l) acc += detail::apply_op(opa, a(l, i)) * bj[l];
+          }
+          bj[i] = alpha * acc;
+        }
+      }
+    }
+  } else {  // Side::Right: B := alpha * B * op(A)
+    if (op_upper) {
+      // new col j depends on old cols l <= j: go right-to-left.
+      for (std::int64_t j = n - 1; j >= 0; --j) {
+        T* bj = b.col(j);
+        scal(b.rows(), alpha * detail::tri_diag(a, diag, j, opa), bj);
+        for (std::int64_t l = 0; l < j; ++l) {
+          T coef = alpha * (opa == Op::NoTrans ? a(l, j) : detail::apply_op(opa, a(j, l)));
+          axpy(b.rows(), coef, b.col(l), bj);
+        }
+      }
+    } else {
+      // new col j depends on old cols l >= j: go left-to-right.
+      for (std::int64_t j = 0; j < n; ++j) {
+        T* bj = b.col(j);
+        scal(b.rows(), alpha * detail::tri_diag(a, diag, j, opa), bj);
+        for (std::int64_t l = j + 1; l < n; ++l) {
+          T coef = alpha * (opa == Op::NoTrans ? a(l, j) : detail::apply_op(opa, a(j, l)));
+          axpy(b.rows(), coef, b.col(l), bj);
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void trmm_acc(Uplo uplo, Op opa, Diag diag, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b,
+              MatrixView<T> c) {
+  const std::int64_t n = a.rows();
+  TILEDQR_CHECK(a.rows() == a.cols(), "trmm_acc: A must be square");
+  TILEDQR_CHECK(b.rows() == n && c.rows() == n && b.cols() == c.cols(),
+                "trmm_acc: shape mismatch");
+  const bool op_upper = (uplo == Uplo::Upper) == (opa == Op::NoTrans);
+  for (std::int64_t j = 0; j < b.cols(); ++j) {
+    const T* bj = b.col(j);
+    T* cj = c.col(j);
+    if (opa == Op::NoTrans) {
+      // c(:,j) += alpha * A * b(:,j): axpy with columns of A restricted to
+      // the triangle.
+      for (std::int64_t l = 0; l < n; ++l) {
+        const T coef = alpha * bj[l];
+        const T* al = a.col(l);
+        if (op_upper) {
+          for (std::int64_t i = 0; i < l; ++i) cj[i] += coef * al[i];
+          cj[l] += coef * (diag == Diag::Unit ? T(1) : al[l]);
+        } else {
+          cj[l] += coef * (diag == Diag::Unit ? T(1) : al[l]);
+          for (std::int64_t i = l + 1; i < n; ++i) cj[i] += coef * al[i];
+        }
+      }
+    } else {
+      // c(i,j) += alpha * sum over the triangle of op(a(l,i)) * b(l,j).
+      for (std::int64_t i = 0; i < n; ++i) {
+        const T* ai = a.col(i);
+        T acc = T(0);
+        if (op_upper) {
+          // op(A) upper means A^H with A lower: a(l,i) nonzero for l >= i.
+          for (std::int64_t l = i + 1; l < n; ++l) acc += detail::apply_op(opa, ai[l]) * bj[l];
+          acc += (diag == Diag::Unit ? T(1) : detail::apply_op(opa, ai[i])) * bj[i];
+        } else {
+          for (std::int64_t l = 0; l < i; ++l) acc += detail::apply_op(opa, ai[l]) * bj[l];
+          acc += (diag == Diag::Unit ? T(1) : detail::apply_op(opa, ai[i])) * bj[i];
+        }
+        cj[i] += alpha * acc;
+      }
+    }
+  }
+}
+
+template <typename T>
+void trsm(Side side, Uplo uplo, Op opa, Diag diag, T alpha, ConstMatrixView<T> a,
+          MatrixView<T> b) {
+  const std::int64_t n = a.rows();
+  TILEDQR_CHECK(a.rows() == a.cols(), "trsm: A must be square");
+  TILEDQR_CHECK(side == Side::Left ? b.rows() == n : b.cols() == n, "trsm: shape mismatch");
+  const bool op_upper = (uplo == Uplo::Upper) == (opa == Op::NoTrans);
+
+  auto op_elem = [&](std::int64_t i, std::int64_t l) -> T {
+    return opa == Op::NoTrans ? a(i, l) : detail::apply_op(opa, a(l, i));
+  };
+
+  if (side == Side::Left) {
+    for (std::int64_t j = 0; j < b.cols(); ++j) {
+      T* bj = b.col(j);
+      if (alpha != T(1)) scal(n, alpha, bj);
+      if (op_upper) {
+        for (std::int64_t i = n - 1; i >= 0; --i) {
+          T acc = bj[i];
+          for (std::int64_t l = i + 1; l < n; ++l) acc -= op_elem(i, l) * bj[l];
+          bj[i] = diag == Diag::Unit ? acc : acc / op_elem(i, i);
+        }
+      } else {
+        for (std::int64_t i = 0; i < n; ++i) {
+          T acc = bj[i];
+          for (std::int64_t l = 0; l < i; ++l) acc -= op_elem(i, l) * bj[l];
+          bj[i] = diag == Diag::Unit ? acc : acc / op_elem(i, i);
+        }
+      }
+    }
+  } else {
+    // X * op(A) = alpha * B  =>  column solves over X columns.
+    if (alpha != T(1)) scale(alpha, b);
+    if (op_upper) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        T* bj = b.col(j);
+        for (std::int64_t l = 0; l < j; ++l) axpy(b.rows(), -op_elem(l, j), b.col(l), bj);
+        if (diag == Diag::NonUnit) scal(b.rows(), T(1) / op_elem(j, j), bj);
+      }
+    } else {
+      for (std::int64_t j = n - 1; j >= 0; --j) {
+        T* bj = b.col(j);
+        for (std::int64_t l = j + 1; l < n; ++l) axpy(b.rows(), -op_elem(l, j), b.col(l), bj);
+        if (diag == Diag::NonUnit) scal(b.rows(), T(1) / op_elem(j, j), bj);
+      }
+    }
+  }
+}
+
+}  // namespace tiledqr::blas

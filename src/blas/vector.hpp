@@ -1,0 +1,55 @@
+// Level-1 helpers on contiguous vectors (tile columns are stride-1).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "matrix/scalar.hpp"
+
+namespace tiledqr::blas {
+
+/// y := y + alpha * x
+template <typename T>
+inline void axpy(std::int64_t n, T alpha, const T* x, T* y) noexcept {
+  for (std::int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+/// x := alpha * x
+template <typename T>
+inline void scal(std::int64_t n, T alpha, T* x) noexcept {
+  for (std::int64_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+/// Conjugated dot product: sum conj(x_i) * y_i.
+template <typename T>
+[[nodiscard]] inline T dotc(std::int64_t n, const T* x, const T* y) noexcept {
+  T acc = T(0);
+  for (std::int64_t i = 0; i < n; ++i) acc += conj_if_complex(x[i]) * y[i];
+  return acc;
+}
+
+/// Euclidean norm with overflow-safe scaling (LAPACK lassq-style; the
+/// magnitude is taken before squaring so 1e200-scale entries do not
+/// overflow and 1e-200-scale entries do not flush to zero).
+template <typename T>
+[[nodiscard]] inline RealType<T> nrm2(std::int64_t n, const T* x) noexcept {
+  using R = RealType<T>;
+  R scale = 0;
+  R ssq = 1;
+  for (std::int64_t i = 0; i < n; ++i) {
+    R ax = std::abs(x[i]);
+    if (ax != R(0)) {
+      if (scale < ax) {
+        R r = scale / ax;
+        ssq = R(1) + ssq * r * r;
+        scale = ax;
+      } else {
+        R r = ax / scale;
+        ssq += r * r;
+      }
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+}  // namespace tiledqr::blas

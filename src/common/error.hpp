@@ -1,0 +1,42 @@
+// Error handling primitives for tiledqr.
+//
+// The library throws `tiledqr::Error` (derived from std::runtime_error) on
+// contract violations. Hot kernel paths use TILEDQR_ASSERT, which compiles to
+// nothing in release builds unless TILEDQR_ENABLE_ASSERTS is defined.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tiledqr {
+
+/// Exception type thrown on any tiledqr API contract violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::string full = std::string("tiledqr: check `") + expr + "` failed at " + file + ":" +
+                     std::to_string(line);
+  if (!msg.empty()) full += ": " + msg;
+  throw Error(full);
+}
+}  // namespace detail
+
+}  // namespace tiledqr
+
+/// Always-on precondition check; throws tiledqr::Error when violated.
+#define TILEDQR_CHECK(expr, msg)                                              \
+  do {                                                                        \
+    if (!(expr)) ::tiledqr::detail::throw_error(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Debug-only check for hot paths.
+#if defined(TILEDQR_ENABLE_ASSERTS) || !defined(NDEBUG)
+#define TILEDQR_ASSERT(expr) TILEDQR_CHECK(expr, "")
+#else
+#define TILEDQR_ASSERT(expr) ((void)0)
+#endif

@@ -1,0 +1,27 @@
+#include "common/stringf.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace tiledqr {
+
+std::string vstringf(const char* fmt, std::va_list args) {
+  std::va_list copy;
+  va_copy(copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  if (needed <= 0) return {};
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  return out;
+}
+
+std::string stringf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::string out = vstringf(fmt, args);
+  va_end(args);
+  return out;
+}
+
+}  // namespace tiledqr

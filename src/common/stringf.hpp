@@ -1,0 +1,15 @@
+// printf-style std::string formatting (libstdc++ 12 lacks <format>).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace tiledqr {
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string stringf(const char* fmt, ...);
+
+/// vprintf-style variant.
+std::string vstringf(const char* fmt, std::va_list args);
+
+}  // namespace tiledqr

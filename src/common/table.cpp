@@ -1,0 +1,54 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace tiledqr {
+
+std::string TextTable::str() const {
+  std::vector<size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  auto emit = [&os, &widths](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << "  ";
+      os << row[i];
+      if (i + 1 < row.size()) os << std::string(widths[i] - row[i].size(), ' ');
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t i = 0; i < widths.size(); ++i) total += widths[i] + (i ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TextTable::csv() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ",";
+      os << row[i];
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << str() << "\n"; }
+
+}  // namespace tiledqr

@@ -1,0 +1,38 @@
+// Minimal fixed-width text table printer used by the bench harness to emit
+// paper-style tables, with optional CSV side-output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tiledqr {
+
+/// Accumulates rows of string cells and renders them as an aligned text table.
+class TextTable {
+ public:
+  /// `title` is printed above the table; may be empty.
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Appends a data row; rows may have different lengths.
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the aligned table.
+  [[nodiscard]] std::string str() const;
+
+  /// Renders as CSV (header + rows).
+  [[nodiscard]] std::string csv() const;
+
+  /// Prints `str()` to `os` followed by a blank line.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tiledqr

@@ -1,0 +1,78 @@
+// Shared experiment driver for the benchmark harness: plans an algorithm,
+// executes it on random data, and reports wall time / GFLOP/s. Planning is
+// excluded from the timed region; each repetition starts from a fresh copy
+// of the input tiles and the best (minimum) time is reported.
+#pragma once
+
+#include <string>
+
+#include "common/timer.hpp"
+#include "core/roofline.hpp"
+#include "core/tiled_qr.hpp"
+#include "matrix/generate.hpp"
+
+namespace tiledqr::core {
+
+struct RunConfig {
+  int p = 8;            ///< tile rows
+  int q = 8;            ///< tile columns
+  int nb = 96;          ///< tile size
+  int ib = 32;          ///< inner blocking
+  int threads = 0;      ///< 0 = default
+  int reps = 3;         ///< repetitions; best time is kept
+  trees::TreeConfig tree{};
+};
+
+struct RunRecord {
+  std::string algorithm;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  long cp_units = 0;
+};
+
+/// Times one algorithm on a p*nb x q*nb random matrix.
+template <typename T>
+[[nodiscard]] RunRecord run_factorization(const RunConfig& cfg) {
+  RunRecord rec;
+  rec.algorithm = cfg.tree.name();
+  const int threads = cfg.threads > 0 ? cfg.threads : default_thread_count();
+
+  Plan plan = make_plan(cfg.p, cfg.q, cfg.tree);
+  rec.cp_units = plan.critical_path;
+
+  const std::int64_t m = std::int64_t(cfg.p) * cfg.nb;
+  const std::int64_t n = std::int64_t(cfg.q) * cfg.nb;
+  auto dense = random_matrix<T>(m, n, 0xC0FFEE);
+  auto tiles0 = TileMatrix<T>::from_dense(dense.view(), cfg.nb);
+
+  double best = -1.0;
+  for (int r = 0; r < cfg.reps; ++r) {
+    TileMatrix<T> a = tiles0;
+    TStore<T> ts(cfg.p, cfg.q, cfg.ib, cfg.nb);
+    TStore<T> t2s(cfg.p, cfg.q, cfg.ib, cfg.nb);
+    WallTimer timer;
+    execute_graph(plan.graph, a, ts, t2s, cfg.ib, threads);
+    double sec = timer.seconds();
+    if (best < 0.0 || sec < best) best = sec;
+  }
+  rec.seconds = best;
+  rec.gflops = factorization_flops(m, n, is_complex_v<T>) / best * 1e-9;
+  return rec;
+}
+
+/// Sequential kernel rate gamma_seq (GFLOP/s): a single-threaded small
+/// factorization with the same nb/ib, as in the paper's prediction model.
+template <typename T>
+[[nodiscard]] double measure_gamma_seq(int nb, int ib) {
+  RunConfig cfg;
+  cfg.p = 6;
+  cfg.q = 3;
+  cfg.nb = nb;
+  cfg.ib = ib;
+  cfg.threads = 1;
+  cfg.reps = 2;
+  cfg.tree = trees::TreeConfig{trees::TreeKind::Greedy, trees::KernelFamily::TT, 1, 0};
+  return run_factorization<T>(cfg).gflops;
+}
+
+}  // namespace tiledqr::core

@@ -1,0 +1,12 @@
+#include <complex>
+
+#include "core/tiled_qr.hpp"
+
+namespace tiledqr::core {
+
+template class TiledQr<float>;
+template class TiledQr<double>;
+template class TiledQr<std::complex<float>>;
+template class TiledQr<std::complex<double>>;
+
+}  // namespace tiledqr::core

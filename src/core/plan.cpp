@@ -1,0 +1,42 @@
+#include "core/plan.hpp"
+
+#include "sim/critical_path.hpp"
+#include "sim/dynamic.hpp"
+#include "trees/generators.hpp"
+
+namespace tiledqr::core {
+
+Plan make_plan(int p, int q, const trees::TreeConfig& config) {
+  Plan plan;
+  if (trees::is_dynamic(config.kind)) {
+    auto dyn = config.kind == trees::TreeKind::Asap
+                   ? sim::simulate_asap(p, q)
+                   : sim::simulate_grasap(p, q, config.grasap_k);
+    plan.list = std::move(dyn.list);
+  } else {
+    plan.list = trees::make_static_elimination_list(p, q, config);
+  }
+  plan.graph = dag::build_task_graph(p, q, plan.list);
+  plan.critical_path = sim::earliest_finish(plan.graph).critical_path;
+  return plan;
+}
+
+long plan_critical_path(int p, int q, const trees::TreeConfig& config) {
+  return make_plan(p, q, config).critical_path;
+}
+
+BestBs best_plasma_bs(int p, int q, trees::KernelFamily family) {
+  BestBs best;
+  best.critical_path = -1;
+  for (int bs = 1; bs <= p; ++bs) {
+    trees::TreeConfig c{trees::TreeKind::PlasmaTree, family, bs, 0};
+    long cp = sim::critical_path_units(p, q, c);
+    if (best.critical_path < 0 || cp < best.critical_path) {
+      best.bs = bs;
+      best.critical_path = cp;
+    }
+  }
+  return best;
+}
+
+}  // namespace tiledqr::core

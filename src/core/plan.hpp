@@ -1,0 +1,33 @@
+// Planning: turn an algorithm selection (TreeConfig) into an elimination
+// list + task DAG + critical path, handling both static algorithms
+// (FlatTree, BinaryTree, Fibonacci, Greedy, PlasmaTree) and dynamic ones
+// (Asap, Grasap), whose lists come from the simulator.
+#pragma once
+
+#include "dag/task_graph.hpp"
+#include "trees/elimination.hpp"
+
+namespace tiledqr::core {
+
+struct Plan {
+  trees::EliminationList list;
+  dag::TaskGraph graph;
+  long critical_path = 0;  ///< Table 1 units (n_b^3/3 flops)
+};
+
+/// Builds the full plan for a p x q tile grid.
+[[nodiscard]] Plan make_plan(int p, int q, const trees::TreeConfig& config);
+
+/// Critical path only (cheaper than make_plan for sweeps is not needed;
+/// provided for readability at call sites).
+[[nodiscard]] long plan_critical_path(int p, int q, const trees::TreeConfig& config);
+
+/// Searches PlasmaTree domain sizes 1..p and returns the best (BS, critical
+/// path) pair — the paper's exhaustive-search composite.
+struct BestBs {
+  int bs = 1;
+  long critical_path = 0;
+};
+[[nodiscard]] BestBs best_plasma_bs(int p, int q, trees::KernelFamily family);
+
+}  // namespace tiledqr::core

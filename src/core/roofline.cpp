@@ -1,0 +1,32 @@
+#include "core/roofline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tiledqr::core {
+
+long total_weight_units(int p, int q) {
+  TILEDQR_CHECK(p >= q, "total_weight_units: requires p >= q");
+  return 6L * p * q * q - 2L * q * q * q;
+}
+
+double factorization_flops(long m, long n, bool complex_scalar) {
+  double dm = double(m), dn = double(n);
+  double f = 2.0 * dm * dn * dn - (2.0 / 3.0) * dn * dn * dn;
+  return complex_scalar ? 4.0 * f : f;
+}
+
+double predicted_rate(double gamma_seq, double total_work, double critical_path,
+                      int processors) {
+  TILEDQR_CHECK(processors >= 1, "predicted_rate: need at least one processor");
+  double limit = std::max(total_work / double(processors), critical_path);
+  return limit <= 0.0 ? gamma_seq : gamma_seq * total_work / limit;
+}
+
+double predicted_gflops(double gamma_seq_gflops, int p, int q, long cp_units, int processors) {
+  double t = double(total_weight_units(p, q));
+  return predicted_rate(gamma_seq_gflops, t, double(cp_units), processors);
+}
+
+}  // namespace tiledqr::core

@@ -1,0 +1,28 @@
+// The paper's performance prediction model (§4):
+//
+//   gamma_pred = gamma_seq * T / max(T / P, cp)
+//
+// where gamma_seq is the sequential kernel rate, T the total task weight, cp
+// the critical path length, and P the number of processors. This is the
+// Roofline-style bound the predicted curves of Figures 1 and 6 come from.
+#pragma once
+
+namespace tiledqr::core {
+
+/// Total task weight of any valid tiled QR algorithm on a p x q grid:
+/// 6 p q^2 - 2 q^3 in units of n_b^3/3 flops (requires p >= q).
+[[nodiscard]] long total_weight_units(int p, int q);
+
+/// Flops of the m x n factorization: 2 m n^2 - (2/3) n^3 (x4 for complex).
+[[nodiscard]] double factorization_flops(long m, long n, bool complex_scalar);
+
+/// gamma_pred in the same rate unit as gamma_seq; T and cp must share a unit.
+[[nodiscard]] double predicted_rate(double gamma_seq, double total_work, double critical_path,
+                                    int processors);
+
+/// Convenience for the tiled model: prediction in GFLOP/s from the
+/// sequential kernel rate, the (p, q) grid, and the critical path in units.
+[[nodiscard]] double predicted_gflops(double gamma_seq_gflops, int p, int q, long cp_units,
+                                      int processors);
+
+}  // namespace tiledqr::core

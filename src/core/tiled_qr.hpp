@@ -1,0 +1,280 @@
+// TiledQr<T>: the public entry point of the library.
+//
+//   auto qr = TiledQr<double>::factorize(a, options);   // A = Q R
+//   Matrix<double> r = qr.r_factor();
+//   Matrix<double> q = qr.q_thin();
+//   Matrix<double> x = qr.solve_least_squares(b);       // min ||A x - b||
+//
+// The factorization runs the selected tiled algorithm (Greedy by default)
+// through the dataflow runtime; the factored tiles retain the full
+// transformation log (GEQRT reflectors below the diagonal, TT reflector
+// tails above it, block factors in the T/T2 stores), so op(Q) can be applied
+// to anything afterwards (LAPACK xORMQR-style).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "common/env.hpp"
+#include "core/plan.hpp"
+#include "kernels/kernels.hpp"
+#include "matrix/tile_matrix.hpp"
+#include "runtime/executor.hpp"
+
+namespace tiledqr::core {
+
+using kernels::ApplyTrans;
+
+/// Factorization options.
+struct Options {
+  trees::TreeConfig tree{};  ///< algorithm (default: Greedy with TT kernels)
+  int nb = 128;              ///< tile size
+  int ib = 32;               ///< inner blocking of the kernels
+  int threads = 0;           ///< worker threads; 0 = TILEDQR_THREADS or hw concurrency
+};
+
+/// Storage for the ib x nb block factors of every tile.
+template <typename T>
+class TStore {
+ public:
+  TStore() = default;
+  TStore(int p, int q, int ib, int nb)
+      : q_(q), ib_(ib), nb_(nb), data_(size_t(p) * size_t(q) * size_t(ib) * size_t(nb)) {}
+
+  [[nodiscard]] MatrixView<T> at(int i, int k) noexcept {
+    return MatrixView<T>(data_.data() + (size_t(i) * size_t(q_) + size_t(k)) * size_t(ib_) *
+                                            size_t(nb_),
+                         ib_, nb_, ib_);
+  }
+  [[nodiscard]] ConstMatrixView<T> at(int i, int k) const noexcept {
+    return ConstMatrixView<T>(data_.data() + (size_t(i) * size_t(q_) + size_t(k)) * size_t(ib_) *
+                                                 size_t(nb_),
+                              ib_, nb_, ib_);
+  }
+
+ private:
+  int q_ = 0, ib_ = 0, nb_ = 0;
+  std::vector<T, AlignedAllocator<T>> data_;
+};
+
+/// Runs one DAG task's kernel on the tile storage (shared by TiledQr and the
+/// benchmark driver).
+template <typename T>
+void run_task_kernels(const dag::Task& t, TileMatrix<T>& a, TStore<T>& ts, TStore<T>& t2s,
+                      int ib) {
+  switch (t.kind) {
+    case kernels::KernelKind::GEQRT:
+      kernels::geqrt(ib, a.tile(t.i, t.k), ts.at(t.i, t.k));
+      break;
+    case kernels::KernelKind::UNMQR:
+      kernels::unmqr(ApplyTrans::ConjTrans, ib, a.tile(t.i, t.k), ts.at(t.i, t.k),
+                     a.tile(t.i, t.j));
+      break;
+    case kernels::KernelKind::TSQRT:
+      kernels::tsqrt(ib, a.tile(t.piv, t.k), a.tile(t.i, t.k), ts.at(t.i, t.k));
+      break;
+    case kernels::KernelKind::TSMQR:
+      kernels::tsmqr(ApplyTrans::ConjTrans, ib, a.tile(t.i, t.k), ts.at(t.i, t.k),
+                     a.tile(t.piv, t.j), a.tile(t.i, t.j));
+      break;
+    case kernels::KernelKind::TTQRT:
+      kernels::ttqrt(ib, a.tile(t.piv, t.k), a.tile(t.i, t.k), t2s.at(t.i, t.k));
+      break;
+    case kernels::KernelKind::TTMQR:
+      kernels::ttmqr(ApplyTrans::ConjTrans, ib, a.tile(t.i, t.k), t2s.at(t.i, t.k),
+                     a.tile(t.piv, t.j), a.tile(t.i, t.j));
+      break;
+  }
+}
+
+/// Executes a planned task graph over tile storage on `threads` workers.
+template <typename T>
+void execute_graph(const dag::TaskGraph& g, TileMatrix<T>& a, TStore<T>& ts, TStore<T>& t2s,
+                   int ib, int threads) {
+  runtime::execute(
+      g, [&](std::int32_t idx) { run_task_kernels(g.tasks[size_t(idx)], a, ts, t2s, ib); },
+      threads);
+}
+
+template <typename T>
+class TiledQr {
+ public:
+  /// Factorizes a dense matrix (copied into tiled layout).
+  [[nodiscard]] static TiledQr factorize(ConstMatrixView<T> a, const Options& opt) {
+    return factorize(TileMatrix<T>::from_dense(a, opt.nb), opt);
+  }
+
+  /// Factorizes a tiled matrix in place (consumed).
+  [[nodiscard]] static TiledQr factorize(TileMatrix<T> a, Options opt) {
+    TiledQr qr;
+    if (opt.threads <= 0) opt.threads = default_thread_count();
+    qr.opt_ = opt;
+    qr.a_ = std::move(a);
+    qr.plan_ = make_plan(qr.a_.mt(), qr.a_.nt(), opt.tree);
+    qr.t_ = TStore<T>(qr.a_.mt(), qr.a_.nt(), opt.ib, qr.a_.nb());
+    qr.t2_ = TStore<T>(qr.a_.mt(), qr.a_.nt(), opt.ib, qr.a_.nb());
+    execute_graph(qr.plan_.graph, qr.a_, qr.t_, qr.t2_, opt.ib, opt.threads);
+    return qr;
+  }
+
+  /// The factored tiles: R in the upper triangle of the top q tile rows,
+  /// reflector data elsewhere.
+  [[nodiscard]] const TileMatrix<T>& factors() const noexcept { return a_; }
+  [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const Options& options() const noexcept { return opt_; }
+
+  /// The n x n (m >= n) or m x n upper-triangular/trapezoidal R factor.
+  [[nodiscard]] Matrix<T> r_factor() const {
+    const std::int64_t k = std::min(a_.m(), a_.n());
+    Matrix<T> r(k, a_.n());
+    for (std::int64_t j = 0; j < a_.n(); ++j)
+      for (std::int64_t i = 0; i <= std::min<std::int64_t>(j, k - 1); ++i) r(i, j) = a_.at(i, j);
+    return r;
+  }
+
+  /// Applies op(Q) to a tiled matrix with the same row tiling, building an
+  /// application DAG over C's tiles and running it on `threads` workers
+  /// (LAPACK xUNMQR's role, parallelized like the factorization itself).
+  /// Results are bitwise identical to the sequential replay.
+  void apply_q(ApplyTrans trans, TileMatrix<T>& c, int threads) const {
+    TILEDQR_CHECK(c.mt() == a_.mt() && c.nb() == a_.nb(),
+                  "apply_q: row tiling of C must match the factorization");
+    if (threads <= 1) {
+      apply_q(trans, c);
+      return;
+    }
+    // Transformation log in application order.
+    std::vector<const dag::Task*> ops;
+    for (const auto& task : plan_.graph.tasks)
+      if (task.kind == kernels::KernelKind::GEQRT || task.kind == kernels::KernelKind::TSQRT ||
+          task.kind == kernels::KernelKind::TTQRT)
+        ops.push_back(&task);
+    if (trans == ApplyTrans::NoTrans) std::reverse(ops.begin(), ops.end());
+
+    // One task per (op, C tile column); dependencies via last-writer
+    // tracking on C's tiles.
+    dag::TaskGraph g;
+    g.p = c.mt();
+    g.q = c.nt();
+    std::vector<std::int32_t> last(size_t(c.mt()) * size_t(c.nt()), -1);
+    auto touch = [&](int row, int jc, std::int32_t id) {
+      auto& slot = last[size_t(row) * size_t(c.nt()) + size_t(jc)];
+      if (slot >= 0) {
+        g.tasks[size_t(slot)].succ.push_back(id);
+        ++g.tasks[size_t(id)].npred;
+      }
+      slot = id;
+    };
+    for (const auto* op : ops) {
+      for (int jc = 0; jc < c.nt(); ++jc) {
+        auto id = std::int32_t(g.tasks.size());
+        kernels::KernelKind kind =
+            op->kind == kernels::KernelKind::GEQRT   ? kernels::KernelKind::UNMQR
+            : op->kind == kernels::KernelKind::TSQRT ? kernels::KernelKind::TSMQR
+                                                     : kernels::KernelKind::TTMQR;
+        g.tasks.push_back(dag::Task{kind, op->i, op->piv, op->k, jc, 0, {}});
+        if (op->piv >= 0) touch(op->piv, jc, id);
+        touch(op->i, jc, id);
+      }
+    }
+    const int ib = opt_.ib;
+    runtime::execute(
+        g,
+        [&](std::int32_t id) {
+          const auto& task = g.tasks[size_t(id)];
+          switch (task.kind) {
+            case kernels::KernelKind::UNMQR:
+              kernels::unmqr(trans, ib, a_.tile(task.i, task.k), t_.at(task.i, task.k),
+                             c.tile(task.i, task.j));
+              break;
+            case kernels::KernelKind::TSMQR:
+              kernels::tsmqr(trans, ib, a_.tile(task.i, task.k), t_.at(task.i, task.k),
+                             c.tile(task.piv, task.j), c.tile(task.i, task.j));
+              break;
+            default:
+              kernels::ttmqr(trans, ib, a_.tile(task.i, task.k), t2_.at(task.i, task.k),
+                             c.tile(task.piv, task.j), c.tile(task.i, task.j));
+              break;
+          }
+        },
+        threads);
+  }
+
+  /// Applies op(Q) to a tiled matrix with the same row tiling (any number of
+  /// columns), replaying the transformation log sequentially.
+  void apply_q(ApplyTrans trans, TileMatrix<T>& c) const {
+    TILEDQR_CHECK(c.mt() == a_.mt() && c.nb() == a_.nb(),
+                  "apply_q: row tiling of C must match the factorization");
+    const int ib = opt_.ib;
+    auto apply_one = [&](const dag::Task& task) {
+      switch (task.kind) {
+        case kernels::KernelKind::GEQRT:
+          for (int jc = 0; jc < c.nt(); ++jc)
+            kernels::unmqr(trans, ib, a_.tile(task.i, task.k), t_.at(task.i, task.k),
+                           c.tile(task.i, jc));
+          break;
+        case kernels::KernelKind::TSQRT:
+          for (int jc = 0; jc < c.nt(); ++jc)
+            kernels::tsmqr(trans, ib, a_.tile(task.i, task.k), t_.at(task.i, task.k),
+                           c.tile(task.piv, jc), c.tile(task.i, jc));
+          break;
+        case kernels::KernelKind::TTQRT:
+          for (int jc = 0; jc < c.nt(); ++jc)
+            kernels::ttmqr(trans, ib, a_.tile(task.i, task.k), t2_.at(task.i, task.k),
+                           c.tile(task.piv, jc), c.tile(task.i, jc));
+          break;
+        default:
+          break;  // update kernels are not part of the log
+      }
+    };
+    const auto& tasks = plan_.graph.tasks;
+    if (trans == ApplyTrans::ConjTrans) {
+      for (const auto& task : tasks) apply_one(task);
+    } else {
+      for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) apply_one(*it);
+    }
+  }
+
+  /// Forms the thin m x n Q factor explicitly (m >= n).
+  [[nodiscard]] Matrix<T> q_thin() const {
+    TILEDQR_CHECK(a_.m() >= a_.n(), "q_thin: requires m >= n");
+    TileMatrix<T> c(a_.m(), a_.n(), a_.nb());
+    for (std::int64_t i = 0; i < a_.n(); ++i)
+      c.tile(int(i / a_.nb()), int(i / a_.nb()))(i % a_.nb(), i % a_.nb()) = T(1);
+    apply_q(ApplyTrans::NoTrans, c, opt_.threads);
+    return c.to_dense();
+  }
+
+  /// Least squares: min_x || A x - b ||_2 for tall A (m >= n); b is m x nrhs.
+  [[nodiscard]] Matrix<T> solve_least_squares(ConstMatrixView<T> b) const {
+    TILEDQR_CHECK(a_.m() >= a_.n(), "solve_least_squares: requires m >= n");
+    TILEDQR_CHECK(b.rows() == a_.m(), "solve_least_squares: rhs row mismatch");
+    auto c = TileMatrix<T>::from_dense(b, a_.nb());
+    apply_q(ApplyTrans::ConjTrans, c, opt_.threads);
+    Matrix<T> qtb = c.to_dense();
+    const std::int64_t n = a_.n();
+    Matrix<T> x(n, b.cols());
+    copy(ConstMatrixView<T>(qtb.sub(0, 0, n, b.cols())), x.view());
+    Matrix<T> r = r_factor();
+    blas::trsm(blas::Side::Left, blas::Uplo::Upper, blas::Op::NoTrans, blas::Diag::NonUnit,
+               T(1), r.sub(0, 0, n, n), x.view());
+    return x;
+  }
+
+  /// Solves the square system A x = b via QR (unconditionally stable, paper
+  /// §1); b is n x nrhs.
+  [[nodiscard]] Matrix<T> solve(ConstMatrixView<T> b) const {
+    TILEDQR_CHECK(a_.m() == a_.n(), "solve: matrix must be square");
+    return solve_least_squares(b);
+  }
+
+ private:
+  Options opt_;
+  TileMatrix<T> a_;
+  Plan plan_;
+  TStore<T> t_;
+  TStore<T> t2_;
+};
+
+}  // namespace tiledqr::core

@@ -1,0 +1,151 @@
+#include "dag/task_graph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tiledqr::dag {
+
+namespace {
+
+using kernels::KernelKind;
+
+/// Resource kinds per tile.
+enum Region : int { kU = 0, kL = 1, kT = 2, kT2 = 3 };
+
+/// Tracks last writer and readers-since-last-write per resource and lays
+/// down RAW / WAR / WAW edges as tasks are emitted in list order.
+class DependencyTracker {
+ public:
+  DependencyTracker(int p, int q, std::vector<Task>& tasks)
+      : q_(q), tasks_(tasks), last_writer_(size_t(p) * size_t(q) * 4, -1),
+        readers_(size_t(p) * size_t(q) * 4) {}
+
+  void read(std::int32_t task, int i, int j, Region r) {
+    const size_t res = index(i, j, r);
+    add_edge(last_writer_[res], task);
+    readers_[res].push_back(task);
+  }
+
+  void modify(std::int32_t task, int i, int j, Region r) {
+    const size_t res = index(i, j, r);
+    add_edge(last_writer_[res], task);
+    for (std::int32_t reader : readers_[res]) add_edge(reader, task);
+    readers_[res].clear();
+    last_writer_[res] = task;
+  }
+
+ private:
+  [[nodiscard]] size_t index(int i, int j, Region r) const {
+    return (size_t(i) * size_t(q_) + size_t(j)) * 4 + size_t(r);
+  }
+
+  void add_edge(std::int32_t from, std::int32_t to) {
+    if (from < 0 || from == to) return;
+    auto& succ = tasks_[size_t(from)].succ;
+    // Cheap de-duplication: consecutive accesses produce adjacent duplicates.
+    if (!succ.empty() && succ.back() == to) return;
+    if (std::find(succ.begin(), succ.end(), to) != succ.end()) return;
+    succ.push_back(to);
+    ++tasks_[size_t(to)].npred;
+  }
+
+  int q_;
+  std::vector<Task>& tasks_;
+  std::vector<std::int32_t> last_writer_;
+  std::vector<std::vector<std::int32_t>> readers_;
+};
+
+}  // namespace
+
+TaskGraph build_task_graph(int p, int q, const trees::EliminationList& list) {
+  auto valid = trees::validate_elimination_list(p, q, list);
+  TILEDQR_CHECK(valid.ok, "build_task_graph: invalid elimination list: " + valid.message);
+
+  TaskGraph g;
+  g.p = p;
+  g.q = q;
+  g.zero_task.assign(size_t(p) * size_t(q), -1);
+
+  DependencyTracker deps(p, q, g.tasks);
+  std::vector<char> triangular(size_t(p) * size_t(std::min(p, q)), 0);
+  auto tri = [&](int i, int k) -> char& {
+    return triangular[size_t(i) * size_t(std::min(p, q)) + size_t(k)];
+  };
+
+  auto emit = [&](KernelKind kind, int i, int piv, int k, int j) -> std::int32_t {
+    auto id = std::int32_t(g.tasks.size());
+    g.tasks.push_back(Task{kind, i, piv, k, j, 0, {}});
+    switch (kind) {
+      case KernelKind::GEQRT:
+        deps.modify(id, i, k, kU);
+        deps.modify(id, i, k, kL);
+        deps.modify(id, i, k, kT);
+        break;
+      case KernelKind::UNMQR:
+        deps.read(id, i, k, kL);
+        deps.read(id, i, k, kT);
+        deps.modify(id, i, j, kU);
+        deps.modify(id, i, j, kL);
+        break;
+      case KernelKind::TSQRT:
+        deps.modify(id, piv, k, kU);
+        deps.modify(id, i, k, kU);
+        deps.modify(id, i, k, kL);
+        deps.modify(id, i, k, kT);
+        break;
+      case KernelKind::TSMQR:
+        deps.read(id, i, k, kU);
+        deps.read(id, i, k, kL);
+        deps.read(id, i, k, kT);
+        deps.modify(id, piv, j, kU);
+        deps.modify(id, piv, j, kL);
+        deps.modify(id, i, j, kU);
+        deps.modify(id, i, j, kL);
+        break;
+      case KernelKind::TTQRT:
+        deps.modify(id, piv, k, kU);
+        deps.modify(id, i, k, kU);
+        deps.modify(id, i, k, kT2);
+        break;
+      case KernelKind::TTMQR:
+        deps.read(id, i, k, kU);
+        deps.read(id, i, k, kT2);
+        deps.modify(id, piv, j, kU);
+        deps.modify(id, piv, j, kL);
+        deps.modify(id, i, j, kU);
+        deps.modify(id, i, j, kL);
+        break;
+    }
+    return id;
+  };
+
+  auto triangularize = [&](int i, int k) {
+    if (tri(i, k)) return;
+    emit(KernelKind::GEQRT, i, -1, k, -1);
+    for (int j = k + 1; j < q; ++j) emit(KernelKind::UNMQR, i, -1, k, j);
+    tri(i, k) = 1;
+  };
+
+  for (const auto& e : list) {
+    triangularize(e.piv, e.col);
+    if (e.ts) {
+      auto id = emit(KernelKind::TSQRT, e.row, e.piv, e.col, -1);
+      g.zero_task[size_t(e.row) * size_t(q) + size_t(e.col)] = id;
+      for (int j = e.col + 1; j < q; ++j) emit(KernelKind::TSMQR, e.row, e.piv, e.col, j);
+    } else {
+      triangularize(e.row, e.col);
+      auto id = emit(KernelKind::TTQRT, e.row, e.piv, e.col, -1);
+      g.zero_task[size_t(e.row) * size_t(q) + size_t(e.col)] = id;
+      for (int j = e.col + 1; j < q; ++j) emit(KernelKind::TTMQR, e.row, e.piv, e.col, j);
+    }
+  }
+  // Diagonal tiles that were never triangularized (e.g. the last panel of a
+  // square matrix, or any panel whose eliminations all used TS kernels with
+  // pivots above) still need their final GEQRT.
+  for (int k = 0; k < std::min(p, q); ++k) triangularize(k, k);
+
+  return g;
+}
+
+}  // namespace tiledqr::dag

@@ -1,0 +1,23 @@
+#include "kernels/kernels.hpp"
+
+namespace tiledqr::kernels {
+
+const char* kernel_name(KernelKind k) noexcept {
+  switch (k) {
+    case KernelKind::GEQRT: return "GEQRT";
+    case KernelKind::UNMQR: return "UNMQR";
+    case KernelKind::TSQRT: return "TSQRT";
+    case KernelKind::TSMQR: return "TSMQR";
+    case KernelKind::TTQRT: return "TTQRT";
+    case KernelKind::TTMQR: return "TTMQR";
+  }
+  return "?";
+}
+
+double kernel_flops(KernelKind k, int nb, bool complex_scalar) noexcept {
+  double unit = double(nb) * double(nb) * double(nb) / 3.0;
+  double f = kernel_weight(k) * unit;
+  return complex_scalar ? 4.0 * f : f;
+}
+
+}  // namespace tiledqr::kernels

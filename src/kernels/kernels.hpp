@@ -1,0 +1,37 @@
+// Umbrella header for the kernel layer + kernel metadata (names, weights,
+// flop counts) shared with the DAG/simulation layers.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/householder.hpp"
+#include "kernels/tile_kernels.hpp"
+
+namespace tiledqr::kernels {
+
+/// The six tile kernels of Table 1.
+enum class KernelKind : std::uint8_t { GEQRT, UNMQR, TSQRT, TSMQR, TTQRT, TTMQR };
+
+inline constexpr int kNumKernelKinds = 6;
+
+/// Task weight in units of nb^3/3 flops (paper Table 1).
+[[nodiscard]] constexpr int kernel_weight(KernelKind k) noexcept {
+  switch (k) {
+    case KernelKind::GEQRT: return 4;
+    case KernelKind::UNMQR: return 6;
+    case KernelKind::TSQRT: return 6;
+    case KernelKind::TSMQR: return 12;
+    case KernelKind::TTQRT: return 2;
+    case KernelKind::TTMQR: return 6;
+  }
+  return 0;
+}
+
+/// Human-readable kernel name.
+[[nodiscard]] const char* kernel_name(KernelKind k) noexcept;
+
+/// Nominal flop count of a kernel on nb x nb tiles: weight * nb^3 / 3,
+/// multiplied by 4 for complex scalars.
+[[nodiscard]] double kernel_flops(KernelKind k, int nb, bool complex_scalar) noexcept;
+
+}  // namespace tiledqr::kernels

@@ -1,0 +1,316 @@
+// The six sequential tile kernels of the tiled QR factorization (paper §2.1,
+// Table 1), modeled on the PLASMA core_blas kernels:
+//
+//   GEQRT  factor a square tile into a triangle            (weight 4)
+//   UNMQR  apply a GEQRT transformation to a tile          (weight 6)
+//   TSQRT  zero a square tile against a triangle on top    (weight 6)
+//   TSMQR  apply a TSQRT transformation to a tile pair     (weight 12)
+//   TTQRT  zero a triangular tile against a triangle       (weight 2)
+//   TTMQR  apply a TTQRT transformation to a tile pair     (weight 6)
+//
+// Weights are in units of nb^3/3 flops. The TT kernels exploit the upper
+// triangular structure of the eliminated tile (reflector tails are upper
+// trapezoidal), which is where their 2x flop advantage over TS comes from.
+//
+// Storage conventions (per tile, matching PLASMA):
+//  * after GEQRT, the tile holds R in its upper triangle and the unit-lower
+//    reflectors V strictly below the diagonal; T factors go to a separate
+//    ib x nb array.
+//  * after TSQRT, the zeroed tile holds the dense reflector tails V2; its own
+//    T goes to another ib x nb array.
+//  * after TTQRT, the zeroed (triangular) tile holds the upper-trapezoidal
+//    reflector tails V2 in its upper triangle — the strictly-lower part (the
+//    GEQRT reflectors of that tile) is preserved, so a factorization can
+//    later replay both transformations (apply_q).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "kernels/householder.hpp"
+
+namespace tiledqr::kernels {
+
+namespace detail {
+template <typename T>
+using WorkVec = std::vector<T, AlignedAllocator<T>>;
+
+/// Panel start offsets for blocked application: ascending when applying Q^H,
+/// descending when applying Q (Q = B_1 B_2 ... B_l, so Q C applies B_l first).
+inline std::vector<std::int64_t> block_starts(std::int64_t k, int ib, ApplyTrans trans) {
+  std::vector<std::int64_t> starts;
+  for (std::int64_t i = 0; i < k; i += ib) starts.push_back(i);
+  if (trans == ApplyTrans::NoTrans) std::reverse(starts.begin(), starts.end());
+  return starts;
+}
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// GEQRT: blocked QR of an m x n tile. t must be ib x n (only the leading
+// min(ib, remaining) x sb block per panel is written).
+template <typename T>
+void geqrt(int ib, MatrixView<T> a, MatrixView<T> t) {
+  const std::int64_t m = a.rows();
+  const std::int64_t n = a.cols();
+  const std::int64_t k = std::min(m, n);
+  TILEDQR_CHECK(ib >= 1, "geqrt: ib must be >= 1");
+  TILEDQR_CHECK(t.rows() >= std::min<std::int64_t>(ib, k) && t.cols() >= k,
+                "geqrt: T too small");
+
+  detail::WorkVec<T> tau(static_cast<size_t>(k));
+  detail::WorkVec<T> work(size_t(ib) * size_t(n) + size_t(n));
+
+  for (std::int64_t i = 0; i < k; i += ib) {
+    const std::int64_t sb = std::min<std::int64_t>(ib, k - i);
+    auto panel = a.sub(i, i, m - i, sb);
+    geqr2(panel, tau.data() + i, work.data());
+    auto tblk = t.sub(0, i, sb, sb);
+    larft(ConstMatrixView<T>(panel), tau.data() + i, tblk);
+    if (i + sb < n) {
+      larfb_left(ApplyTrans::ConjTrans, ConstMatrixView<T>(panel), ConstMatrixView<T>(tblk),
+                 a.sub(i, i + sb, m - i, n - i - sb), work.data());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UNMQR: applies the transformation computed by geqrt (v = factored tile,
+// t = its block factors) to an m x nn tile c: c := op(Q) c.
+template <typename T>
+void unmqr(ApplyTrans trans, int ib, ConstMatrixView<T> v, ConstMatrixView<T> t,
+           MatrixView<T> c) {
+  const std::int64_t m = v.rows();
+  const std::int64_t k = std::min(m, v.cols());
+  TILEDQR_CHECK(c.rows() == m, "unmqr: C row mismatch");
+  detail::WorkVec<T> work(size_t(ib) * size_t(c.cols()));
+  for (std::int64_t i : detail::block_starts(k, ib, trans)) {
+    const std::int64_t sb = std::min<std::int64_t>(ib, k - i);
+    larfb_left(trans, v.sub(i, i, m - i, sb), t.sub(0, i, sb, sb),
+               c.sub(i, 0, m - i, c.cols()), work.data());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TSQRT: QR of the (2nb) x n stacked pair [R1; A2] where a1's upper triangle
+// holds R1 and a2 is a full m2 x n tile. On return a1's upper triangle holds
+// the updated R, a2 holds the dense reflector tails V2, and t the block
+// factors. a1's strictly-lower part is never touched.
+template <typename T>
+void tsqrt(int ib, MatrixView<T> a1, MatrixView<T> a2, MatrixView<T> t) {
+  const std::int64_t n = a1.cols();
+  const std::int64_t m2 = a2.rows();
+  TILEDQR_CHECK(a1.rows() >= std::min(a1.rows(), n), "tsqrt: bad a1");
+  TILEDQR_CHECK(a2.cols() == n, "tsqrt: a2 col mismatch");
+  TILEDQR_CHECK(ib >= 1, "tsqrt: ib must be >= 1");
+
+  detail::WorkVec<T> tau(static_cast<size_t>(n));
+  detail::WorkVec<T> work(size_t(ib) * size_t(n));
+
+  for (std::int64_t i = 0; i < n; i += ib) {
+    const std::int64_t sb = std::min<std::int64_t>(ib, n - i);
+    // Factor the panel columns one by one.
+    for (std::int64_t j = 0; j < sb; ++j) {
+      const std::int64_t ci = i + j;
+      larfg(a1(ci, ci), a2.col(ci), m2, tau[ci]);
+      const T* v2 = a2.col(ci);
+      for (std::int64_t jj = ci + 1; jj < i + sb; ++jj) {
+        // w = a1(ci,jj) + v2^H a2(:,jj);  rows (ci, :) of a1 and all of a2.
+        T w = a1(ci, jj) + blas::dotc(m2, v2, a2.col(jj));
+        w *= conj_if_complex(tau[ci]);
+        a1(ci, jj) -= w;
+        blas::axpy(m2, -w, v2, a2.col(jj));
+      }
+    }
+    // Form the sb x sb block factor: the identity parts of distinct
+    // reflectors are orthogonal, so only V2 contributes to V^H v_j.
+    auto tblk = t.sub(0, i, sb, sb);
+    for (std::int64_t j = 0; j < sb; ++j) {
+      for (std::int64_t l = 0; l < j; ++l)
+        tblk(l, j) = -tau[i + j] * blas::dotc(m2, a2.col(i + l), a2.col(i + j));
+      if (j > 0) {
+        auto tcol = MatrixView<T>(&tblk(0, j), j, 1, tblk.ld());
+        blas::trmm(blas::Side::Left, blas::Uplo::Upper, blas::Op::NoTrans, blas::Diag::NonUnit,
+                   T(1), tblk.sub(0, 0, j, j), tcol);
+      }
+      tblk(j, j) = tau[i + j];
+    }
+    // Apply the block reflector (Q^H) to the trailing columns.
+    if (i + sb < n) {
+      const std::int64_t nn = n - i - sb;
+      auto c1 = a1.sub(i, i + sb, sb, nn);
+      auto c2 = a2.sub(0, i + sb, m2, nn);
+      auto v2 = a2.sub(0, i, m2, sb);
+      MatrixView<T> w(work.data(), sb, nn, sb);
+      copy(ConstMatrixView<T>(c1), w);
+      blas::gemm(blas::Op::ConjTrans, blas::Op::NoTrans, T(1), ConstMatrixView<T>(v2),
+                 ConstMatrixView<T>(c2), T(1), w);
+      blas::trmm(blas::Side::Left, blas::Uplo::Upper, blas::Op::ConjTrans, blas::Diag::NonUnit,
+                 T(1), ConstMatrixView<T>(tblk), w);
+      blas::add(T(-1), ConstMatrixView<T>(w), c1);
+      blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, T(-1), ConstMatrixView<T>(v2),
+                 ConstMatrixView<T>(w), T(1), c2);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TSMQR: applies a TSQRT transformation (v2 = zeroed tile holding dense
+// reflector tails, t = its block factors) to the stacked pair [a1; a2]:
+//   [a1; a2] := op(Q) [a1; a2].
+template <typename T>
+void tsmqr(ApplyTrans trans, int ib, ConstMatrixView<T> v2, ConstMatrixView<T> t,
+           MatrixView<T> a1, MatrixView<T> a2) {
+  const std::int64_t k = v2.cols();
+  const std::int64_t m2 = v2.rows();
+  const std::int64_t nn = a1.cols();
+  TILEDQR_CHECK(a2.rows() == m2 && a2.cols() == nn, "tsmqr: shape mismatch");
+  detail::WorkVec<T> work(size_t(ib) * size_t(nn));
+
+  for (std::int64_t i : detail::block_starts(k, ib, trans)) {
+    const std::int64_t sb = std::min<std::int64_t>(ib, k - i);
+    auto v2blk = v2.sub(0, i, m2, sb);
+    auto tblk = t.sub(0, i, sb, sb);
+    auto c1 = a1.sub(i, 0, sb, nn);
+    MatrixView<T> w(work.data(), sb, nn, sb);
+    copy(ConstMatrixView<T>(c1), w);
+    blas::gemm(blas::Op::ConjTrans, blas::Op::NoTrans, T(1), v2blk, ConstMatrixView<T>(a2),
+               T(1), w);
+    blas::trmm(blas::Side::Left, blas::Uplo::Upper,
+               trans == ApplyTrans::ConjTrans ? blas::Op::ConjTrans : blas::Op::NoTrans,
+               blas::Diag::NonUnit, T(1), tblk, w);
+    blas::add(T(-1), ConstMatrixView<T>(w), c1);
+    blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, T(-1), v2blk, ConstMatrixView<T>(w), T(1),
+               a2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TTQRT: QR of the stacked pair [R1; R2] with both tiles upper triangular.
+// On return a1's upper triangle holds the updated R, a2's upper triangle the
+// upper-trapezoidal reflector tails V2, and t the block factors. The strictly
+// lower parts of both tiles are preserved.
+template <typename T>
+void ttqrt(int ib, MatrixView<T> a1, MatrixView<T> a2, MatrixView<T> t) {
+  const std::int64_t n = a1.cols();
+  TILEDQR_CHECK(a2.cols() == n, "ttqrt: a2 col mismatch");
+  TILEDQR_CHECK(ib >= 1, "ttqrt: ib must be >= 1");
+
+  detail::WorkVec<T> tau(static_cast<size_t>(n));
+  detail::WorkVec<T> work(size_t(ib) * size_t(n));
+
+  for (std::int64_t i = 0; i < n; i += ib) {
+    const std::int64_t sb = std::min<std::int64_t>(ib, n - i);
+    for (std::int64_t j = 0; j < sb; ++j) {
+      const std::int64_t ci = i + j;
+      // Column ci of a2 has nonzeros in rows 0..ci only.
+      larfg(a1(ci, ci), a2.col(ci), ci + 1, tau[ci]);
+      const T* v2 = a2.col(ci);
+      for (std::int64_t jj = ci + 1; jj < i + sb; ++jj) {
+        T w = a1(ci, jj) + blas::dotc(ci + 1, v2, a2.col(jj));
+        w *= conj_if_complex(tau[ci]);
+        a1(ci, jj) -= w;
+        blas::axpy(ci + 1, -w, v2, a2.col(jj));
+      }
+    }
+    auto tblk = t.sub(0, i, sb, sb);
+    for (std::int64_t j = 0; j < sb; ++j) {
+      // Reflector tail i+l has support rows 0..i+l only; the tile below that
+      // may hold unrelated data (the GEQRT reflectors), so the dot product
+      // must stop at the shorter support.
+      for (std::int64_t l = 0; l < j; ++l)
+        tblk(l, j) = -tau[i + j] * blas::dotc(i + l + 1, a2.col(i + l), a2.col(i + j));
+      if (j > 0) {
+        auto tcol = MatrixView<T>(&tblk(0, j), j, 1, tblk.ld());
+        blas::trmm(blas::Side::Left, blas::Uplo::Upper, blas::Op::NoTrans, blas::Diag::NonUnit,
+                   T(1), tblk.sub(0, 0, j, j), tcol);
+      }
+      tblk(j, j) = tau[i + j];
+    }
+    // Block-apply Q^H to trailing columns. V2 for this panel is the
+    // trapezoid a2[0:i+sb, i:i+sb]: a dense i x sb block D on top of an
+    // upper triangular sb x sb block U.
+    if (i + sb < n) {
+      const std::int64_t nn = n - i - sb;
+      auto c1 = a1.sub(i, i + sb, sb, nn);
+      auto c2top = a2.sub(0, i + sb, i, nn);
+      auto c2mid = a2.sub(i, i + sb, sb, nn);
+      auto d = a2.sub(0, i, i, sb);
+      auto u = a2.sub(i, i, sb, sb);
+      MatrixView<T> w(work.data(), sb, nn, sb);
+      copy(ConstMatrixView<T>(c1), w);
+      if (i > 0)
+        blas::gemm(blas::Op::ConjTrans, blas::Op::NoTrans, T(1), ConstMatrixView<T>(d),
+                   ConstMatrixView<T>(c2top), T(1), w);
+      blas::trmm_acc(blas::Uplo::Upper, blas::Op::ConjTrans, blas::Diag::NonUnit, T(1),
+                     ConstMatrixView<T>(u), ConstMatrixView<T>(c2mid), w);
+      blas::trmm(blas::Side::Left, blas::Uplo::Upper, blas::Op::ConjTrans, blas::Diag::NonUnit,
+                 T(1), ConstMatrixView<T>(tblk), w);
+      blas::add(T(-1), ConstMatrixView<T>(w), c1);
+      if (i > 0)
+        blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, T(-1), ConstMatrixView<T>(d),
+                   ConstMatrixView<T>(w), T(1), c2top);
+      blas::trmm_acc(blas::Uplo::Upper, blas::Op::NoTrans, blas::Diag::NonUnit, T(-1),
+                     ConstMatrixView<T>(u), ConstMatrixView<T>(w), c2mid);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TTMQR: applies a TTQRT transformation (v2 = zeroed tile holding the upper
+// trapezoidal reflector tails in its upper triangle) to the pair [a1; a2].
+template <typename T>
+void ttmqr(ApplyTrans trans, int ib, ConstMatrixView<T> v2, ConstMatrixView<T> t,
+           MatrixView<T> a1, MatrixView<T> a2) {
+  const std::int64_t k = v2.cols();
+  const std::int64_t nn = a1.cols();
+  TILEDQR_CHECK(a2.cols() == nn, "ttmqr: shape mismatch");
+  detail::WorkVec<T> work(size_t(ib) * size_t(nn));
+
+  for (std::int64_t i : detail::block_starts(k, ib, trans)) {
+    const std::int64_t sb = std::min<std::int64_t>(ib, k - i);
+    auto d = v2.sub(0, i, i, sb);
+    auto u = v2.sub(i, i, sb, sb);
+    auto tblk = t.sub(0, i, sb, sb);
+    auto c1 = a1.sub(i, 0, sb, nn);
+    auto c2top = a2.sub(0, 0, i, nn);
+    auto c2mid = a2.sub(i, 0, sb, nn);
+    MatrixView<T> w(work.data(), sb, nn, sb);
+    copy(ConstMatrixView<T>(c1), w);
+    if (i > 0)
+      blas::gemm(blas::Op::ConjTrans, blas::Op::NoTrans, T(1), d, ConstMatrixView<T>(c2top),
+                 T(1), w);
+    blas::trmm_acc(blas::Uplo::Upper, blas::Op::ConjTrans, blas::Diag::NonUnit, T(1), u,
+                   ConstMatrixView<T>(c2mid), w);
+    blas::trmm(blas::Side::Left, blas::Uplo::Upper,
+               trans == ApplyTrans::ConjTrans ? blas::Op::ConjTrans : blas::Op::NoTrans,
+               blas::Diag::NonUnit, T(1), tblk, w);
+    blas::add(T(-1), ConstMatrixView<T>(w), c1);
+    if (i > 0)
+      blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, T(-1), d, ConstMatrixView<T>(w), T(1),
+                 c2top);
+    blas::trmm_acc(blas::Uplo::Upper, blas::Op::NoTrans, blas::Diag::NonUnit, T(-1), u,
+                   ConstMatrixView<T>(w), c2mid);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Convenience overloads accepting mutable views for read-only arguments
+// (template deduction does not consider the MatrixView -> ConstMatrixView
+// conversion).
+template <typename T>
+void unmqr(ApplyTrans trans, int ib, MatrixView<T> v, MatrixView<T> t, MatrixView<T> c) {
+  unmqr(trans, ib, ConstMatrixView<T>(v), ConstMatrixView<T>(t), c);
+}
+template <typename T>
+void tsmqr(ApplyTrans trans, int ib, MatrixView<T> v2, MatrixView<T> t, MatrixView<T> a1,
+           MatrixView<T> a2) {
+  tsmqr(trans, ib, ConstMatrixView<T>(v2), ConstMatrixView<T>(t), a1, a2);
+}
+template <typename T>
+void ttmqr(ApplyTrans trans, int ib, MatrixView<T> v2, MatrixView<T> t, MatrixView<T> a1,
+           MatrixView<T> a2) {
+  ttmqr(trans, ib, ConstMatrixView<T>(v2), ConstMatrixView<T>(t), a1, a2);
+}
+
+}  // namespace tiledqr::kernels

@@ -1,0 +1,53 @@
+// Deterministic random matrix generation for tests, examples and benches.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "matrix/matrix.hpp"
+#include "matrix/scalar.hpp"
+
+namespace tiledqr {
+
+namespace detail {
+template <typename T>
+T random_scalar(std::mt19937_64& rng) {
+  std::uniform_real_distribution<RealType<T>> dist(RealType<T>(-1), RealType<T>(1));
+  if constexpr (is_complex_v<T>) {
+    auto re = dist(rng);
+    auto im = dist(rng);
+    return T(re, im);
+  } else {
+    return dist(rng);
+  }
+}
+}  // namespace detail
+
+/// Dense m x n matrix with iid entries uniform in [-1, 1] (per component).
+template <typename T>
+[[nodiscard]] Matrix<T> random_matrix(std::int64_t m, std::int64_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Matrix<T> a(m, n);
+  for (std::int64_t j = 0; j < n; ++j)
+    for (std::int64_t i = 0; i < m; ++i) a(i, j) = detail::random_scalar<T>(rng);
+  return a;
+}
+
+/// Fills an existing view with random entries.
+template <typename T>
+void randomize(MatrixView<T> a, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  for (std::int64_t j = 0; j < a.cols(); ++j)
+    for (std::int64_t i = 0; i < a.rows(); ++i) a(i, j) = detail::random_scalar<T>(rng);
+}
+
+/// Random upper-triangular matrix (used by kernel tests).
+template <typename T>
+[[nodiscard]] Matrix<T> random_upper_triangular(std::int64_t n, std::uint64_t seed) {
+  Matrix<T> a = random_matrix<T>(n, n, seed);
+  for (std::int64_t j = 0; j < n; ++j)
+    for (std::int64_t i = j + 1; i < n; ++i) a(i, j) = T(0);
+  return a;
+}
+
+}  // namespace tiledqr

@@ -1,0 +1,18 @@
+#include <complex>
+
+#include "matrix/matrix.hpp"
+#include "matrix/tile_matrix.hpp"
+
+namespace tiledqr {
+
+template class Matrix<float>;
+template class Matrix<double>;
+template class Matrix<std::complex<float>>;
+template class Matrix<std::complex<double>>;
+
+template class TileMatrix<float>;
+template class TileMatrix<double>;
+template class TileMatrix<std::complex<float>>;
+template class TileMatrix<std::complex<double>>;
+
+}  // namespace tiledqr

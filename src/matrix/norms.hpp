@@ -1,0 +1,72 @@
+// Matrix norms and comparison helpers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "matrix/matrix_view.hpp"
+#include "matrix/scalar.hpp"
+
+namespace tiledqr {
+
+/// Frobenius norm.
+template <typename T>
+[[nodiscard]] RealType<T> frobenius_norm(ConstMatrixView<T> a) {
+  // Two-pass scaled accumulation to avoid overflow for large well-scaled data.
+  RealType<T> sum = 0;
+  for (std::int64_t j = 0; j < a.cols(); ++j)
+    for (std::int64_t i = 0; i < a.rows(); ++i) sum += ScalarTraits<T>::abs_sq(a(i, j));
+  return std::sqrt(sum);
+}
+
+/// Max-absolute-entry norm.
+template <typename T>
+[[nodiscard]] RealType<T> max_norm(ConstMatrixView<T> a) {
+  RealType<T> mx = 0;
+  for (std::int64_t j = 0; j < a.cols(); ++j)
+    for (std::int64_t i = 0; i < a.rows(); ++i)
+      mx = std::max(mx, RealType<T>(std::sqrt(ScalarTraits<T>::abs_sq(a(i, j)))));
+  return mx;
+}
+
+/// Frobenius norm of (a - b); shapes must match.
+template <typename T>
+[[nodiscard]] RealType<T> difference_norm(ConstMatrixView<T> a, ConstMatrixView<T> b) {
+  TILEDQR_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "difference_norm: shape mismatch");
+  RealType<T> sum = 0;
+  for (std::int64_t j = 0; j < a.cols(); ++j)
+    for (std::int64_t i = 0; i < a.rows(); ++i) {
+      T d = a(i, j) - b(i, j);
+      sum += ScalarTraits<T>::abs_sq(d);
+    }
+  return std::sqrt(sum);
+}
+
+/// Frobenius distance of a^H a (or a a^H) from the identity: || I - a^H a ||_F.
+template <typename T>
+[[nodiscard]] RealType<T> orthogonality_error(ConstMatrixView<T> q) {
+  // Computes || I - Q^H Q ||_F without forming Q^H Q densely when q is tall.
+  RealType<T> sum = 0;
+  for (std::int64_t j = 0; j < q.cols(); ++j) {
+    for (std::int64_t k = 0; k < q.cols(); ++k) {
+      T dot = T(0);
+      for (std::int64_t i = 0; i < q.rows(); ++i)
+        dot += conj_if_complex(q(i, j)) * q(i, k);
+      if (j == k) dot -= T(1);
+      sum += ScalarTraits<T>::abs_sq(dot);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+/// Largest absolute entry strictly below the main diagonal.
+template <typename T>
+[[nodiscard]] RealType<T> below_diagonal_max(ConstMatrixView<T> a) {
+  RealType<T> mx = 0;
+  for (std::int64_t j = 0; j < a.cols(); ++j)
+    for (std::int64_t i = j + 1; i < a.rows(); ++i)
+      mx = std::max(mx, RealType<T>(std::sqrt(ScalarTraits<T>::abs_sq(a(i, j)))));
+  return mx;
+}
+
+}  // namespace tiledqr

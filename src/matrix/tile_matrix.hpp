@@ -1,0 +1,97 @@
+// Tiled matrix storage (PLASMA-style layout).
+//
+// A TileMatrix stores an m x n logical matrix as a p x q grid of nb x nb
+// tiles, each tile contiguous in memory (column-major within the tile). When
+// m or n is not a multiple of nb, the matrix is zero-padded up to full tiles;
+// zero-padding rows/columns does not change the R factor of a QR
+// factorization nor the leading Q columns, so all kernels can assume full
+// square tiles — exactly the model of the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/matrix_view.hpp"
+
+namespace tiledqr {
+
+template <typename T>
+class TileMatrix {
+ public:
+  TileMatrix() = default;
+
+  /// Zero-initialized tiled matrix holding a logical m x n dense matrix.
+  TileMatrix(std::int64_t m, std::int64_t n, int nb)
+      : m_(m), n_(n), nb_(nb), mt_(int((m + nb - 1) / nb)), nt_(int((n + nb - 1) / nb)),
+        data_(size_t(mt_) * size_t(nt_) * size_t(nb) * size_t(nb)) {
+    TILEDQR_CHECK(m >= 1 && n >= 1, "tile matrix must be non-empty");
+    TILEDQR_CHECK(nb >= 1, "tile size must be positive");
+  }
+
+  /// Logical row/column counts.
+  [[nodiscard]] std::int64_t m() const noexcept { return m_; }
+  [[nodiscard]] std::int64_t n() const noexcept { return n_; }
+  /// Tile grid dimensions (the paper's p and q).
+  [[nodiscard]] int mt() const noexcept { return mt_; }
+  [[nodiscard]] int nt() const noexcept { return nt_; }
+  /// Tile size.
+  [[nodiscard]] int nb() const noexcept { return nb_; }
+
+  /// View of tile (i, j); always nb x nb.
+  [[nodiscard]] MatrixView<T> tile(int i, int j) noexcept {
+    TILEDQR_ASSERT(i >= 0 && i < mt_ && j >= 0 && j < nt_);
+    return MatrixView<T>(tile_data(i, j), nb_, nb_, nb_);
+  }
+  [[nodiscard]] ConstMatrixView<T> tile(int i, int j) const noexcept {
+    TILEDQR_ASSERT(i >= 0 && i < mt_ && j >= 0 && j < nt_);
+    return ConstMatrixView<T>(tile_data(i, j), nb_, nb_, nb_);
+  }
+
+  /// Element access through tile translation (slow; for tests and I/O).
+  [[nodiscard]] T at(std::int64_t i, std::int64_t j) const {
+    TILEDQR_CHECK(i >= 0 && i < m_ && j >= 0 && j < n_, "at: out of range");
+    return tile(int(i / nb_), int(j / nb_))(i % nb_, j % nb_);
+  }
+
+  /// Builds a tiled copy of a dense matrix (zero-padded to full tiles).
+  [[nodiscard]] static TileMatrix from_dense(ConstMatrixView<T> a, int nb) {
+    TileMatrix out(a.rows(), a.cols(), nb);
+    for (std::int64_t j = 0; j < a.cols(); ++j)
+      for (std::int64_t i = 0; i < a.rows(); ++i)
+        out.tile(int(i / nb), int(j / nb))(i % nb, j % nb) = a(i, j);
+    return out;
+  }
+
+  /// Converts back to a dense m x n matrix (dropping the padding).
+  [[nodiscard]] Matrix<T> to_dense() const {
+    Matrix<T> out(m_, n_);
+    for (std::int64_t j = 0; j < n_; ++j)
+      for (std::int64_t i = 0; i < m_; ++i) out(i, j) = at(i, j);
+    return out;
+  }
+
+  /// Sets every entry (including padding) to `value`.
+  void fill(T value) {
+    for (auto& x : data_) x = value;
+  }
+
+ private:
+  [[nodiscard]] T* tile_data(int i, int j) noexcept {
+    return data_.data() + (size_t(j) * size_t(mt_) + size_t(i)) * size_t(nb_) * size_t(nb_);
+  }
+  [[nodiscard]] const T* tile_data(int i, int j) const noexcept {
+    return data_.data() + (size_t(j) * size_t(mt_) + size_t(i)) * size_t(nb_) * size_t(nb_);
+  }
+
+  std::int64_t m_ = 0;
+  std::int64_t n_ = 0;
+  int nb_ = 0;
+  int mt_ = 0;
+  int nt_ = 0;
+  std::vector<T, AlignedAllocator<T>> data_;
+};
+
+}  // namespace tiledqr

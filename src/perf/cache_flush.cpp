@@ -1,0 +1,16 @@
+#include "perf/cache_flush.hpp"
+
+namespace tiledqr::perf {
+
+CacheFlusher::CacheFlusher(std::size_t bytes) : buffer_(bytes, 1) {}
+
+void CacheFlusher::flush() {
+  long acc = 0;
+  for (std::size_t i = 0; i < buffer_.size(); i += 64) {
+    acc += buffer_[i];
+    buffer_[i] = char(acc);
+  }
+  sink_ = sink_ + acc;
+}
+
+}  // namespace tiledqr::perf

@@ -1,0 +1,29 @@
+// Cache-control utilities for the kernel benchmarks.
+//
+// The paper distinguishes in-cache and out-of-cache kernel performance using
+// the No Flush and MultCallFlushLRU strategies of Whaley & Castaldo [17].
+// Offline we emulate MultCallFlushLRU by (a) rotating through enough operand
+// copies that successive calls touch cold data and (b) sweeping a buffer
+// larger than the last-level cache between measurements.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tiledqr::perf {
+
+/// Sweeps a large buffer to evict cached operand data.
+class CacheFlusher {
+ public:
+  /// `bytes` should exceed the last-level cache; default 64 MiB.
+  explicit CacheFlusher(std::size_t bytes = std::size_t(64) << 20);
+
+  /// Touches every cache line of the buffer (read-modify-write).
+  void flush();
+
+ private:
+  std::vector<char> buffer_;
+  volatile long sink_ = 0;
+};
+
+}  // namespace tiledqr::perf

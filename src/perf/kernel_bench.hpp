@@ -1,0 +1,38 @@
+// Kernel-level timing harness (regenerates Figures 4 and 5).
+//
+// Rates are nominal flops (Table 1 weights, x4 for complex) divided by wall
+// time, matching the paper's GFLOP/s axes. In-cache mode times repeated
+// calls on resident operands; out-of-cache mode rotates through operand sets
+// whose footprint exceeds the last-level cache (MultCallFlushLRU-style).
+#pragma once
+
+#include <array>
+
+#include "kernels/kernels.hpp"
+
+namespace tiledqr::perf {
+
+enum class CacheMode { InCache, OutOfCache };
+
+/// GFLOP/s per kernel, plus the paper's composite rates and a GEMM baseline.
+struct KernelRates {
+  /// Indexed by kernels::KernelKind.
+  std::array<double, 6> kernel{};
+  double geqrt_plus_ttqrt = 0.0;  ///< the TT pair doing TSQRT's job (6 units)
+  double unmqr_plus_ttmqr = 0.0;  ///< the TT pair doing TSMQR's job (12... 12 vs 12 units)
+  double gemm = 0.0;
+
+  [[nodiscard]] double of(kernels::KernelKind k) const { return kernel[size_t(k)]; }
+};
+
+/// Measures all six kernels + gemm for tile size nb and inner block ib.
+template <typename T>
+[[nodiscard]] KernelRates measure_kernel_rates(int nb, int ib, CacheMode mode, int reps);
+
+/// Median per-call seconds for each kernel kind (used to weight the DAG with
+/// measured times).
+template <typename T>
+[[nodiscard]] std::array<double, 6> measure_kernel_seconds(int nb, int ib, CacheMode mode,
+                                                           int reps);
+
+}  // namespace tiledqr::perf

@@ -1,0 +1,162 @@
+#include "runtime/executor.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace tiledqr::runtime {
+
+namespace {
+
+/// Priority-queue entry: higher key first, ties by ascending index.
+struct Prioritized {
+  long key;
+  std::int32_t task;
+  bool operator<(const Prioritized& o) const {
+    return key != o.key ? key < o.key : task > o.task;
+  }
+};
+
+using ReadyQueue = std::priority_queue<Prioritized>;
+
+std::vector<long> make_keys(const dag::TaskGraph& g, SchedulePriority priority) {
+  if (priority == SchedulePriority::CriticalPath) return downward_ranks(g);
+  // Emission order: earlier tasks get larger keys.
+  std::vector<long> keys(g.tasks.size());
+  for (size_t t = 0; t < g.tasks.size(); ++t) keys[t] = long(g.tasks.size()) - long(t);
+  return keys;
+}
+
+/// Shared scheduler state: a central priority queue. Tile tasks are tens of
+/// microseconds and up, so a mutex-protected queue is not a bottleneck at
+/// the thread counts we target (<= ~64).
+class Scheduler {
+ public:
+  Scheduler(const dag::TaskGraph& g, const std::function<void(std::int32_t)>& body,
+            std::vector<long> keys)
+      : g_(g), body_(body), keys_(std::move(keys)), npred_(g.tasks.size()),
+        remaining_(long(g.tasks.size())) {
+    for (size_t t = 0; t < g.tasks.size(); ++t) {
+      npred_[t].store(g.tasks[t].npred, std::memory_order_relaxed);
+      if (g.tasks[t].npred == 0) ready_.push({keys_[t], std::int32_t(t)});
+    }
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [&] { return stop_ || failed_ || !ready_.empty(); });
+      if (stop_ || failed_) return;
+      std::int32_t t = ready_.top().task;
+      ready_.pop();
+      lock.unlock();
+
+      bool ok = true;
+      try {
+        body_(t);
+      } catch (...) {
+        ok = false;
+        std::lock_guard<std::mutex> g2(mu_);
+        if (!error_) error_ = std::current_exception();
+        failed_ = true;
+      }
+
+      lock.lock();
+      if (ok) {
+        for (std::int32_t s : g_.tasks[size_t(t)].succ) {
+          if (npred_[size_t(s)].fetch_sub(1, std::memory_order_acq_rel) == 1)
+            ready_.push({keys_[size_t(s)], s});
+        }
+      }
+      if (--remaining_ == 0 || failed_) {
+        stop_ = true;
+        cv_.notify_all();
+        return;
+      }
+      cv_.notify_all();
+    }
+  }
+
+  void rethrow_if_failed() {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  const dag::TaskGraph& g_;
+  const std::function<void(std::int32_t)>& body_;
+  std::vector<long> keys_;
+  std::vector<std::atomic<std::int32_t>> npred_;
+  ReadyQueue ready_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  long remaining_;
+  bool stop_ = false;
+  bool failed_ = false;
+  std::exception_ptr error_;
+};
+
+void execute_sequential(const dag::TaskGraph& g, const std::function<void(std::int32_t)>& body,
+                        const std::vector<long>& keys) {
+  std::vector<std::int32_t> npred(g.tasks.size());
+  ReadyQueue ready;
+  for (size_t t = 0; t < g.tasks.size(); ++t) {
+    npred[t] = g.tasks[t].npred;
+    if (npred[t] == 0) ready.push({keys[t], std::int32_t(t)});
+  }
+  size_t done = 0;
+  while (!ready.empty()) {
+    std::int32_t t = ready.top().task;
+    ready.pop();
+    body(t);
+    ++done;
+    for (std::int32_t s : g.tasks[size_t(t)].succ)
+      if (--npred[size_t(s)] == 0) ready.push({keys[size_t(s)], s});
+  }
+  TILEDQR_CHECK(done == g.tasks.size(), "execute: dependency cycle (bug)");
+}
+
+}  // namespace
+
+std::vector<long> downward_ranks(const dag::TaskGraph& g) {
+  std::vector<long> rank(g.tasks.size(), 0);
+  // Tasks are stored in topological order: one reverse sweep suffices.
+  for (size_t t = g.tasks.size(); t-- > 0;) {
+    long best = 0;
+    for (std::int32_t s : g.tasks[t].succ) best = std::max(best, rank[size_t(s)]);
+    rank[t] = best + g.tasks[t].weight();
+  }
+  return rank;
+}
+
+void execute(const dag::TaskGraph& g, const std::function<void(std::int32_t)>& body,
+             int threads, SchedulePriority priority) {
+  TILEDQR_CHECK(threads >= 1, "execute: need at least one thread");
+  if (g.tasks.empty()) return;
+  auto keys = make_keys(g, priority);
+  if (threads == 1) {
+    execute_sequential(g, body, keys);
+    return;
+  }
+  Scheduler sched(g, body, std::move(keys));
+  std::vector<std::thread> pool;
+  pool.reserve(size_t(threads));
+  for (int w = 0; w < threads; ++w) pool.emplace_back([&sched] { sched.worker_loop(); });
+  for (auto& th : pool) th.join();
+  sched.rethrow_if_failed();
+}
+
+ExecutionStats execute_timed(const dag::TaskGraph& g,
+                             const std::function<void(std::int32_t)>& body, int threads) {
+  WallTimer timer;
+  execute(g, body, threads);
+  return ExecutionStats{timer.seconds(), long(g.tasks.size())};
+}
+
+}  // namespace tiledqr::runtime

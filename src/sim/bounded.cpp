@@ -1,0 +1,110 @@
+#include "sim/bounded.hpp"
+
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace tiledqr::sim {
+
+namespace {
+
+/// Ready-queue entry: larger key first, ties broken by ascending index.
+struct Prioritized {
+  long key;
+  std::int32_t task;
+  bool operator<(const Prioritized& o) const {
+    return key != o.key ? key < o.key : task > o.task;
+  }
+};
+
+std::vector<long> priority_keys(const dag::TaskGraph& g, SimPriority priority) {
+  std::vector<long> keys(g.tasks.size());
+  if (priority == SimPriority::CriticalPath) {
+    for (size_t t = g.tasks.size(); t-- > 0;) {
+      long best = 0;
+      for (std::int32_t s : g.tasks[t].succ) best = std::max(best, keys[size_t(s)]);
+      keys[t] = best + g.tasks[t].weight();
+    }
+  } else {
+    for (size_t t = 0; t < g.tasks.size(); ++t) keys[t] = long(g.tasks.size()) - long(t);
+  }
+  return keys;
+}
+
+template <typename Time, typename WeightFn>
+Time run_list_schedule(const dag::TaskGraph& g, int workers, const std::vector<long>& keys,
+                       WeightFn&& weight, BoundedResult* detail) {
+  TILEDQR_CHECK(workers >= 1, "simulate_bounded: need at least one worker");
+  const size_t n = g.tasks.size();
+  std::vector<std::int32_t> npred(n);
+  for (size_t t = 0; t < n; ++t) npred[t] = g.tasks[t].npred;
+
+  std::priority_queue<Prioritized> ready;
+  for (size_t t = 0; t < n; ++t)
+    if (npred[t] == 0) ready.push({keys[t], std::int32_t(t)});
+
+  // Running tasks: (finish_time, task).
+  using Event = std::pair<Time, std::int32_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> running;
+
+  Time now = 0;
+  Time makespan = 0;
+  int free_workers = workers;
+  std::vector<int> free_ids;
+  for (int w = workers - 1; w >= 0; --w) free_ids.push_back(w);
+  size_t done = 0;
+
+  while (done < n) {
+    while (free_workers > 0 && !ready.empty()) {
+      std::int32_t t = ready.top().task;
+      ready.pop();
+      Time fin = now + weight(size_t(t));
+      running.push({fin, t});
+      --free_workers;
+      if (detail) {
+        detail->start[size_t(t)] = long(now);
+        detail->worker[size_t(t)] = free_ids.back();
+        free_ids.pop_back();
+      }
+      makespan = std::max(makespan, fin);
+    }
+    TILEDQR_CHECK(!running.empty(), "simulate_bounded: deadlock (bug)");
+    now = running.top().first;
+    while (!running.empty() && running.top().first == now) {
+      std::int32_t t = running.top().second;
+      running.pop();
+      ++free_workers;
+      if (detail) free_ids.push_back(detail->worker[size_t(t)]);
+      ++done;
+      for (std::int32_t s : g.tasks[size_t(t)].succ)
+        if (--npred[size_t(s)] == 0) ready.push({keys[size_t(s)], s});
+    }
+  }
+  return makespan;
+}
+
+}  // namespace
+
+BoundedResult simulate_bounded(const dag::TaskGraph& g, int workers, SimPriority priority) {
+  BoundedResult r;
+  r.start.assign(g.tasks.size(), 0);
+  r.worker.assign(g.tasks.size(), -1);
+  auto keys = priority_keys(g, priority);
+  r.makespan = run_list_schedule<long>(
+      g, workers, keys, [&](size_t t) { return long(g.tasks[t].weight()); }, &r);
+  long total = g.total_weight();
+  r.utilization = r.makespan > 0 ? double(total) / (double(workers) * double(r.makespan)) : 1.0;
+  return r;
+}
+
+double simulate_bounded_weighted(const dag::TaskGraph& g, int workers,
+                                 const std::array<double, 6>& w) {
+  BoundedResult detail;
+  detail.start.assign(g.tasks.size(), 0);
+  detail.worker.assign(g.tasks.size(), -1);
+  auto keys = priority_keys(g, SimPriority::EmissionOrder);
+  return run_list_schedule<double>(
+      g, workers, keys, [&](size_t t) { return w[size_t(g.tasks[t].kind)]; }, nullptr);
+}
+
+}  // namespace tiledqr::sim

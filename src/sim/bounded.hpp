@@ -1,0 +1,37 @@
+// Bounded-processor list-scheduling simulation: how the DAG executes on P
+// workers (the unbounded critical path is the P -> infinity limit). Used by
+// the scaling ablation to compare simulated makespans against the roofline
+// bound max(T/P, cp).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+
+namespace tiledqr::sim {
+
+struct BoundedResult {
+  long makespan = 0;
+  double utilization = 0.0;          ///< total work / (P * makespan)
+  std::vector<long> start;           ///< start time per task
+  std::vector<int> worker;           ///< executing worker per task
+};
+
+/// Ready-task dispatch rule for the list scheduler (mirrors the runtime's
+/// SchedulePriority).
+enum class SimPriority {
+  EmissionOrder,  ///< smallest DAG index first (elimination-list order)
+  CriticalPath,   ///< longest weighted path to a sink first
+};
+
+/// Greedy list scheduler: whenever a worker is free and tasks are ready, the
+/// highest-priority ready task starts. Table 1 weights.
+[[nodiscard]] BoundedResult simulate_bounded(const dag::TaskGraph& g, int workers,
+                                             SimPriority priority = SimPriority::EmissionOrder);
+
+/// Same with arbitrary per-kind weights (e.g. measured kernel seconds).
+[[nodiscard]] double simulate_bounded_weighted(const dag::TaskGraph& g, int workers,
+                                               const std::array<double, 6>& kind_weight);
+
+}  // namespace tiledqr::sim

@@ -1,0 +1,59 @@
+#include "sim/critical_path.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "trees/generators.hpp"
+
+namespace tiledqr::sim {
+
+CpResult earliest_finish(const dag::TaskGraph& g) {
+  CpResult r;
+  r.finish.assign(g.tasks.size(), 0);
+  // Tasks are emitted in topological order, so one forward pass suffices.
+  for (size_t t = 0; t < g.tasks.size(); ++t) {
+    if (r.finish[t] == 0) r.finish[t] = g.tasks[t].weight();  // no predecessors seen yet
+    for (std::int32_t s : g.tasks[t].succ) {
+      long cand = r.finish[t] + g.tasks[size_t(s)].weight();
+      if (cand > r.finish[size_t(s)]) r.finish[size_t(s)] = cand;
+    }
+    r.critical_path = std::max(r.critical_path, r.finish[t]);
+  }
+  return r;
+}
+
+double critical_path_weighted(const dag::TaskGraph& g, const std::array<double, 6>& w) {
+  std::vector<double> finish(g.tasks.size(), 0.0);
+  double cp = 0.0;
+  auto weight = [&](size_t t) { return w[size_t(g.tasks[t].kind)]; };
+  for (size_t t = 0; t < g.tasks.size(); ++t) {
+    if (finish[t] == 0.0) finish[t] = weight(t);
+    for (std::int32_t s : g.tasks[t].succ)
+      finish[size_t(s)] = std::max(finish[size_t(s)], finish[t] + weight(size_t(s)));
+    cp = std::max(cp, finish[t]);
+  }
+  return cp;
+}
+
+std::vector<std::vector<long>> zero_time_table(const dag::TaskGraph& g, const CpResult& cp) {
+  std::vector<std::vector<long>> table(size_t(g.p), std::vector<long>(size_t(g.q), 0));
+  for (int i = 0; i < g.p; ++i)
+    for (int k = 0; k < g.q; ++k) {
+      auto id = g.zero_task_index(i, k);
+      if (id >= 0) table[size_t(i)][size_t(k)] = cp.finish[size_t(id)];
+    }
+  return table;
+}
+
+long critical_path_units(int p, int q, const trees::EliminationList& list) {
+  auto g = dag::build_task_graph(p, q, list);
+  return earliest_finish(g).critical_path;
+}
+
+long critical_path_units(int p, int q, const trees::TreeConfig& config) {
+  TILEDQR_CHECK(!trees::is_dynamic(config.kind),
+                "critical_path_units: use sim::simulate_dynamic for Asap/Grasap");
+  return critical_path_units(p, q, trees::make_static_elimination_list(p, q, config));
+}
+
+}  // namespace tiledqr::sim

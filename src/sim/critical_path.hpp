@@ -1,0 +1,38 @@
+// Critical-path analysis on the weighted task DAG (the paper's discrete
+// event simulator, built on SimGrid there; a deterministic longest-path
+// engine here). Times are in the paper's unit of nb^3/3 flops.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+
+namespace tiledqr::sim {
+
+/// Earliest start/finish times assuming unbounded processors.
+struct CpResult {
+  long critical_path = 0;      ///< makespan = longest weighted path
+  std::vector<long> finish;    ///< earliest finish per task
+};
+
+/// Computes earliest finish times with the Table 1 weights.
+[[nodiscard]] CpResult earliest_finish(const dag::TaskGraph& g);
+
+/// Same with arbitrary per-kind weights (e.g. measured kernel seconds);
+/// index by static_cast<int>(KernelKind).
+[[nodiscard]] double critical_path_weighted(const dag::TaskGraph& g,
+                                            const std::array<double, 6>& kind_weight);
+
+/// zero[i][k] = time at which tile (i,k) is zeroed out (finish of its
+/// TSQRT/TTQRT); 0 on/above the diagonal. Regenerates Table 3.
+[[nodiscard]] std::vector<std::vector<long>> zero_time_table(const dag::TaskGraph& g,
+                                                             const CpResult& cp);
+
+/// Convenience: critical path of an elimination list in Table 1 units.
+[[nodiscard]] long critical_path_units(int p, int q, const trees::EliminationList& list);
+
+/// Critical path of a static algorithm configuration.
+[[nodiscard]] long critical_path_units(int p, int q, const trees::TreeConfig& config);
+
+}  // namespace tiledqr::sim

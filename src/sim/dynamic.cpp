@@ -1,0 +1,218 @@
+#include "sim/dynamic.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "common/error.hpp"
+#include "kernels/kernels.hpp"
+#include "trees/generators.hpp"
+
+namespace tiledqr::sim {
+
+namespace {
+
+using kernels::KernelKind;
+using trees::Elimination;
+
+/// Online (event-driven) version of the DAG builder: the same region-level
+/// resource model, but task times are computed as eliminations are decided.
+class DynamicSimulator {
+ public:
+  DynamicSimulator(int p, int q, trees::EliminationList fixed, int trailing_asap)
+      : p_(p), q_(q), kc_(std::min(p, q)), res_(size_t(p) * size_t(q) * 4),
+        ready_(size_t(kc_)), pending_(size_t(kc_)), asap_(size_t(kc_), 0) {
+    TILEDQR_CHECK(p >= 1 && q >= 1, "simulate_dynamic: bad dimensions");
+    trailing_asap = std::clamp(trailing_asap, 0, kc_);
+    for (int k = kc_ - trailing_asap; k < kc_; ++k) asap_[size_t(k)] = 1;
+    for (const auto& e : fixed)
+      if (!asap_[size_t(e.col)]) pending_[size_t(e.col)].push_back({e, false});
+  }
+
+  DynamicResult run() {
+    DynamicResult out;
+    out.zero_time.assign(size_t(p_), std::vector<long>(size_t(q_), 0));
+    zero_time_ = &out.zero_time;
+    list_ = &out.list;
+
+    remaining_ = 0;
+    for (int k = 0; k < kc_; ++k) remaining_ += p_ - 1 - k;
+
+    for (int i = 0; i < p_; ++i) emit_geqrt_row(i, 0);
+
+    while (remaining_ > 0) {
+      TILEDQR_CHECK(!events_.empty(), "simulate_dynamic: stalled (bug)");
+      const long t = events_.top().time;
+      std::set<int> affected;
+      while (!events_.empty() && events_.top().time == t) {
+        Event e = events_.top();
+        events_.pop();
+        if (!zeroed(e.row, e.col)) {
+          ready_[size_t(e.col)].insert(e.row);
+          affected.insert(e.col);
+        }
+      }
+      for (int k : affected) decide(k, t);
+    }
+    out.critical_path = makespan_;
+    return out;
+  }
+
+ private:
+  struct Event {
+    long time;
+    int col;
+    int row;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time
+                            : (col != o.col ? col > o.col : row > o.row);
+    }
+  };
+
+  enum Region : int { kU = 0, kL = 1, kT = 2, kT2 = 3 };
+  struct Res {
+    long wavail = 0;  ///< time the last write completes
+    long ravail = 0;  ///< max completion among readers since that write
+  };
+
+  [[nodiscard]] Res& res(int i, int j, Region r) {
+    return res_[(size_t(i) * size_t(q_) + size_t(j)) * 4 + size_t(r)];
+  }
+
+  [[nodiscard]] bool zeroed(int i, int k) const {
+    return (*zero_time_)[size_t(i)][size_t(k)] > 0;
+  }
+
+  /// Emits one task: start = max(lower bound, resource availability).
+  long emit(KernelKind kind, int i, int piv, int k, int j, long lb) {
+    struct Access {
+      int i, j;
+      Region r;
+      bool write;
+    };
+    Access acc[8];
+    int na = 0;
+    auto rd = [&](int ii, int jj, Region r) { acc[na++] = {ii, jj, r, false}; };
+    auto wr = [&](int ii, int jj, Region r) { acc[na++] = {ii, jj, r, true}; };
+    switch (kind) {
+      case KernelKind::GEQRT:
+        wr(i, k, kU); wr(i, k, kL); wr(i, k, kT);
+        break;
+      case KernelKind::UNMQR:
+        rd(i, k, kL); rd(i, k, kT); wr(i, j, kU); wr(i, j, kL);
+        break;
+      case KernelKind::TTQRT:
+        wr(piv, k, kU); wr(i, k, kU); wr(i, k, kT2);
+        break;
+      case KernelKind::TTMQR:
+        rd(i, k, kU); rd(i, k, kT2);
+        wr(piv, j, kU); wr(piv, j, kL); wr(i, j, kU); wr(i, j, kL);
+        break;
+      default:
+        throw Error("simulate_dynamic: unexpected kernel kind");
+    }
+    long start = lb;
+    for (int a = 0; a < na; ++a) {
+      Res& r = res(acc[a].i, acc[a].j, acc[a].r);
+      start = std::max(start, acc[a].write ? std::max(r.wavail, r.ravail) : r.wavail);
+    }
+    const long fin = start + kernels::kernel_weight(kind);
+    for (int a = 0; a < na; ++a) {
+      Res& r = res(acc[a].i, acc[a].j, acc[a].r);
+      if (acc[a].write) {
+        r.wavail = fin;
+        r.ravail = 0;
+      } else {
+        r.ravail = std::max(r.ravail, fin);
+      }
+    }
+    makespan_ = std::max(makespan_, fin);
+    return fin;
+  }
+
+  /// GEQRT + trailing UNMQRs for row i in column k; schedules the readiness
+  /// event at the GEQRT's completion.
+  void emit_geqrt_row(int i, int k) {
+    long f = emit(KernelKind::GEQRT, i, -1, k, -1, 0);
+    for (int j = k + 1; j < q_; ++j) emit(KernelKind::UNMQR, i, -1, k, j, 0);
+    if (k < kc_) events_.push({f, k, i});
+  }
+
+  void fire(int row, int piv, int k, long t) {
+    long fq = emit(KernelKind::TTQRT, row, piv, k, -1, t);
+    (*zero_time_)[size_t(row)][size_t(k)] = fq;
+    list_->push_back({row, piv, k, false});
+    ready_[size_t(k)].erase(row);
+    ready_[size_t(k)].erase(piv);
+    events_.push({fq, k, piv});
+    --remaining_;
+    for (int j = k + 1; j < q_; ++j) emit(KernelKind::TTMQR, row, piv, k, j, fq);
+    if (k + 1 < kc_) emit_geqrt_row(row, k + 1);
+  }
+
+  void decide(int k, long t) {
+    auto& r = ready_[size_t(k)];
+    if (asap_[size_t(k)]) {
+      const int m = int(r.size());
+      const int z = m / 2;
+      if (z == 0) return;
+      std::vector<int> rows(r.begin(), r.end());  // ascending
+      for (int j = 0; j < z; ++j)
+        fire(rows[size_t(m - z + j)], rows[size_t(m - 2 * z + j)], k, t);
+    } else {
+      // Fixed pairings execute dataflow-style: an entry may fire as soon as
+      // both its rows are ready, but never ahead of an earlier unfired entry
+      // that shares a row with it (that is the WAR/WAW serialization the
+      // static DAG's emission order imposes on the U regions).
+      bool fired = true;
+      while (fired) {
+        fired = false;
+        std::set<int> blocked;
+        for (auto& [e, done] : pending_[size_t(k)]) {
+          if (done) continue;
+          if (!blocked.count(e.row) && !blocked.count(e.piv) && r.count(e.row) &&
+              r.count(e.piv)) {
+            done = true;
+            fire(e.row, e.piv, e.col, t);
+            fired = true;
+            break;  // ready set changed; rescan from the head
+          }
+          blocked.insert(e.row);
+          blocked.insert(e.piv);
+        }
+      }
+    }
+  }
+
+  int p_, q_, kc_;
+  std::vector<Res> res_;
+  std::vector<std::set<int>> ready_;
+  std::vector<std::vector<std::pair<Elimination, bool>>> pending_;
+  std::vector<char> asap_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<std::vector<long>>* zero_time_ = nullptr;
+  trees::EliminationList* list_ = nullptr;
+  long remaining_ = 0;
+  long makespan_ = 0;
+};
+
+}  // namespace
+
+DynamicResult simulate_asap(int p, int q) {
+  return DynamicSimulator(p, q, {}, std::min(p, q)).run();
+}
+
+DynamicResult simulate_grasap(int p, int q, int trailing_asap_cols) {
+  auto fixed = trees::greedy_tree(p, q);
+  return DynamicSimulator(p, q, std::move(fixed), trailing_asap_cols).run();
+}
+
+DynamicResult simulate_fixed(int p, int q, const trees::EliminationList& list) {
+  auto valid = trees::validate_elimination_list(p, q, list);
+  TILEDQR_CHECK(valid.ok, "simulate_fixed: invalid list: " + valid.message);
+  TILEDQR_CHECK(std::none_of(list.begin(), list.end(), [](const Elimination& e) { return e.ts; }),
+                "simulate_fixed: TS eliminations are not supported by the dynamic engine");
+  return DynamicSimulator(p, q, list, 0).run();
+}
+
+}  // namespace tiledqr::sim

@@ -1,0 +1,34 @@
+// Dynamic tiled algorithms (paper §3.2): Asap starts an elimination in a
+// column as soon as at least two rows are ready there, pairing the sorted
+// ready rows like Fibonacci/Greedy (top half pivots, bottom half victims).
+// Grasap(k) runs Greedy's static pairings in the first q-k columns and Asap
+// in the last k. Both require co-simulating the weighted tiled execution, so
+// they live in the simulator; the resulting elimination lists can then be
+// executed by the real runtime.
+#pragma once
+
+#include <vector>
+
+#include "trees/elimination.hpp"
+
+namespace tiledqr::sim {
+
+struct DynamicResult {
+  trees::EliminationList list;                 ///< realized elimination order
+  std::vector<std::vector<long>> zero_time;    ///< Table 4a-style zero times
+  long critical_path = 0;                      ///< makespan, Table 1 units
+};
+
+/// Fully dynamic Asap algorithm.
+[[nodiscard]] DynamicResult simulate_asap(int p, int q);
+
+/// Grasap(k): Greedy pairings for columns 0..q-k-1, Asap for the last k
+/// columns. Grasap(0) == Greedy, Grasap(q) == Asap.
+[[nodiscard]] DynamicResult simulate_grasap(int p, int q, int trailing_asap_cols);
+
+/// Executes an arbitrary fixed elimination list through the dynamic engine
+/// (fire-when-ready semantics). Used for cross-validation against the static
+/// DAG critical path.
+[[nodiscard]] DynamicResult simulate_fixed(int p, int q, const trees::EliminationList& list);
+
+}  // namespace tiledqr::sim

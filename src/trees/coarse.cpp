@@ -1,0 +1,166 @@
+#include "trees/coarse.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tiledqr::trees {
+
+namespace {
+
+std::vector<std::vector<int>> zero_steps(int p, int q) {
+  return std::vector<std::vector<int>>(size_t(p), std::vector<int>(size_t(q), 0));
+}
+
+/// Sorts a column's eliminations by step (stable on row order) and appends
+/// them column-major to the final list.
+void finalize(CoarseSchedule& s) {
+  std::stable_sort(s.list.begin(), s.list.end(), [](const Elimination& a, const Elimination& b) {
+    return a.col != b.col ? a.col < b.col : false;
+  });
+  for (const auto& r : s.step)
+    for (int v : r) s.makespan = std::max(s.makespan, v);
+}
+
+}  // namespace
+
+int fibonacci_x(int p) {
+  TILEDQR_CHECK(p >= 1, "fibonacci_x: p must be >= 1");
+  int x = 0;
+  while (x * (x + 1) / 2 < p - 1) ++x;
+  return x;
+}
+
+CoarseSchedule coarse_sameh_kuck(int p, int q) {
+  TILEDQR_CHECK(p >= 1 && q >= 1, "coarse_sameh_kuck: bad dimensions");
+  CoarseSchedule s{p, q, zero_steps(p, q), {}, 0};
+  const int kc = std::min(p, q);
+  // c(i,k) = max(row i ready, pivot row k ready, pivot free) + 1.
+  for (int k = 0; k < kc; ++k) {
+    for (int i = k + 1; i < p; ++i) {
+      int row_ready = k > 0 ? s.step[size_t(i)][size_t(k - 1)] : 0;
+      int piv_ready = k > 0 ? s.step[size_t(k)][size_t(k - 1)] : 0;
+      int piv_free = i > k + 1 ? s.step[size_t(i - 1)][size_t(k)] : 0;
+      s.step[size_t(i)][size_t(k)] = std::max({row_ready, piv_ready, piv_free}) + 1;
+      s.list.push_back({i, k, k, false});
+    }
+  }
+  finalize(s);
+  return s;
+}
+
+CoarseSchedule coarse_fibonacci(int p, int q) {
+  TILEDQR_CHECK(p >= 1 && q >= 1, "coarse_fibonacci: bad dimensions");
+  CoarseSchedule s{p, q, zero_steps(p, q), {}, 0};
+  const int x = fibonacci_x(p);
+  // Column 0 (paper's column 1, 1-based rows): coarse(i, 1) = x - y + 1 where
+  // y is least with i <= y(y+1)/2 + 1 (1-based i).
+  auto col1_step = [&](int i /*0-based row*/) {
+    int i1 = i + 1;  // 1-based
+    int y = 0;
+    while (i1 > y * (y + 1) / 2 + 1) ++y;
+    return x - y + 1;
+  };
+  const int kc = std::min(p, q);
+  for (int k = 0; k < kc; ++k) {
+    // Column k's scheme is column 0 shifted down by k rows, +2k time units.
+    for (int i = k + 1; i < p; ++i)
+      s.step[size_t(i)][size_t(k)] = col1_step(i - k) + 2 * k;
+    // Pair each group of z tiles zeroed at the same step with the z rows
+    // directly above the group.
+    for (int st = 1; st <= x + 2 * k; ++st) {
+      int lo = p, hi = -1;
+      for (int i = k + 1; i < p; ++i)
+        if (s.step[size_t(i)][size_t(k)] == st) {
+          lo = std::min(lo, i);
+          hi = std::max(hi, i);
+        }
+      if (hi < 0) continue;
+      int z = hi - lo + 1;
+      for (int i = lo; i <= hi; ++i) s.list.push_back({i, i - z, k, false});
+    }
+  }
+  finalize(s);
+  return s;
+}
+
+CoarseSchedule coarse_greedy(int p, int q) {
+  TILEDQR_CHECK(p >= 1 && q >= 1, "coarse_greedy: bad dimensions");
+  CoarseSchedule s{p, q, zero_steps(p, q), {}, 0};
+  const int kc = std::min(p, q);
+  // zeros[i]: number of leading zeroed columns of row i; done_step[i]: step at
+  // which that count was reached (the row is busy during that step).
+  std::vector<int> zeros(size_t(p), 0);
+  std::vector<int> done_step(size_t(p), 0);
+  long remaining = 0;
+  for (int k = 0; k < kc; ++k) remaining += p - 1 - k;
+
+  // Column-major list assembly: collect per-column, ordered by step.
+  std::vector<EliminationList> per_col(static_cast<size_t>(kc));
+  for (int step = 1; remaining > 0; ++step) {
+    TILEDQR_CHECK(step < 4 * (p + q) + 16, "coarse_greedy: no progress (bug)");
+    // Rows with exactly k zeros are only usable in column k, so columns are
+    // independent within a step.
+    for (int k = 0; k < kc; ++k) {
+      std::vector<int> ready;
+      for (int i = k; i < p; ++i)
+        if (zeros[size_t(i)] == k && done_step[size_t(i)] < step) ready.push_back(i);
+      int z = int(ready.size()) / 2;
+      if (z == 0) continue;
+      // Eliminate the bottom z ready rows with the z rows directly above
+      // them (in ready order); the topmost ready rows stay untouched.
+      int m = int(ready.size());
+      for (int j = 0; j < z; ++j) {
+        int victim = ready[size_t(m - z + j)];
+        int pivot = ready[size_t(m - 2 * z + j)];
+        s.step[size_t(victim)][size_t(k)] = step;
+        per_col[size_t(k)].push_back({victim, pivot, k, false});
+        zeros[size_t(victim)] = k + 1;
+        done_step[size_t(victim)] = step;
+        done_step[size_t(pivot)] = step;
+        --remaining;
+      }
+    }
+  }
+  for (auto& col : per_col)
+    for (const auto& e : col) s.list.push_back(e);
+  finalize(s);
+  return s;
+}
+
+CoarseSchedule coarse_binary(int p, int q) {
+  TILEDQR_CHECK(p >= 1 && q >= 1, "coarse_binary: bad dimensions");
+  CoarseSchedule s{p, q, zero_steps(p, q), {}, 0};
+  const int kc = std::min(p, q);
+  for (int k = 0; k < kc; ++k) {
+    // Level l pairs rows k + j*2^(l+1) (pivot) and k + j*2^(l+1) + 2^l.
+    int base = k > 0 ? s.step[size_t(k)][size_t(k - 1)] : 0;
+    // In the coarse model a row is ready one step after its previous-column
+    // elimination; binary levels proceed sequentially afterwards. We compute
+    // times via the generic recurrence instead of a closed form.
+    for (int l = 0; (1 << l) <= p - 1 - k; ++l) {
+      for (int j = 0;; ++j) {
+        int piv = k + j * (1 << (l + 1));
+        int victim = piv + (1 << l);
+        if (victim >= p) break;
+        int row_ready = k > 0 ? s.step[size_t(victim)][size_t(k - 1)] : 0;
+        int piv_ready = k > 0 ? s.step[size_t(piv)][size_t(k - 1)] : 0;
+        int piv_free = 0, row_free = 0;
+        // The pivot/victim may have been used at lower levels of this column.
+        for (const auto& e : s.list)
+          if (e.col == k) {
+            if (e.piv == piv || e.row == piv) piv_free = std::max(piv_free, s.step[size_t(e.row)][size_t(k)]);
+            if (e.piv == victim || e.row == victim)
+              row_free = std::max(row_free, s.step[size_t(e.row)][size_t(k)]);
+          }
+        s.step[size_t(victim)][size_t(k)] =
+            std::max({row_ready, piv_ready, piv_free, row_free, base}) + 1;
+        s.list.push_back({victim, piv, k, false});
+      }
+    }
+  }
+  finalize(s);
+  return s;
+}
+
+}  // namespace tiledqr::trees

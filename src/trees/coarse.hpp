@@ -1,0 +1,45 @@
+// The coarse-grain model (paper §3.1): one elimination across two rows costs
+// one time unit, regardless of row length. These schedules both reproduce
+// Table 2 and provide the elimination orderings (with row pairings) that the
+// tiled Fibonacci and Greedy algorithms inherit.
+#pragma once
+
+#include <vector>
+
+#include "trees/elimination.hpp"
+
+namespace tiledqr::trees {
+
+/// A coarse-grain schedule: per-tile elimination time-steps plus the ordered,
+/// paired elimination list.
+struct CoarseSchedule {
+  int p = 0;
+  int q = 0;
+  /// step[i][k] = coarse time-step at which tile (i,k) is zeroed (1-based
+  /// steps as in Table 2); 0 for tiles on/above the diagonal.
+  std::vector<std::vector<int>> step;
+  /// Ordered column-major elimination list consistent with `step`.
+  EliminationList list;
+  /// max step = coarse critical path.
+  int makespan = 0;
+};
+
+/// Least x such that x(x+1)/2 >= p - 1 (the paper's `x` for Fibonacci).
+[[nodiscard]] int fibonacci_x(int p);
+
+/// Sameh-Kuck (flat tree): all eliminations in column k use pivot row k.
+/// Coarse critical path: p + q - 2 (p > q), 2q - 3 (p == q).
+[[nodiscard]] CoarseSchedule coarse_sameh_kuck(int p, int q);
+
+/// Fibonacci scheme of order 1 (Modi & Clarke): closed-form time-steps;
+/// z simultaneous eliminations are paired with the z rows just above.
+[[nodiscard]] CoarseSchedule coarse_fibonacci(int p, int q);
+
+/// Greedy: at each step eliminate as many tiles as possible per column,
+/// bottom-up; optimal in the coarse model.
+[[nodiscard]] CoarseSchedule coarse_greedy(int p, int q);
+
+/// Binary (binomial) tree per column, for completeness.
+[[nodiscard]] CoarseSchedule coarse_binary(int p, int q);
+
+}  // namespace tiledqr::trees

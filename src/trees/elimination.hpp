@@ -1,0 +1,75 @@
+// Elimination lists: the formal description of a tiled QR algorithm
+// (paper §2.2). An algorithm is an ordered list of elim(i, piv(i,k), k)
+// operations, each implemented with either TT or TS kernels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tiledqr::trees {
+
+/// Kernel family used to implement an elimination (paper §2.1).
+enum class KernelFamily { TT, TS };
+
+/// One zeroing operation elim(i, piv, k): tile (row, col) is zeroed against
+/// pivot row `piv`. All indices 0-based. `ts` selects the TS kernel pair
+/// (TSQRT/TSMQR); otherwise the TT pair (TTQRT/TTMQR) is used.
+struct Elimination {
+  int row;
+  int piv;
+  int col;
+  bool ts = false;
+
+  friend bool operator==(const Elimination&, const Elimination&) = default;
+};
+
+using EliminationList = std::vector<Elimination>;
+
+/// The algorithms studied in the paper.
+enum class TreeKind {
+  FlatTree,    ///< Sameh-Kuck: pivot = panel row (PLASMA's original scheme)
+  BinaryTree,  ///< binomial reduction per column
+  Fibonacci,   ///< Modi-Clarke Fibonacci scheme of order 1
+  Greedy,      ///< Cosnard-Muller-Robert greedy coarse schedule
+  PlasmaTree,  ///< flat-tree domains of size BS merged by a binary tree
+  HadriTree,   ///< Hadri et al. [10,11]: like PlasmaTree but with domains
+               ///< anchored at the bottom (the TOP domain shrinks); the
+               ///< TS family is their Semi-Parallel algorithm, the TT
+               ///< family their Fully-Parallel one
+  Asap,        ///< dynamic: eliminate as soon as two rows are ready (§3.2)
+  Grasap,      ///< Greedy for the first q-k columns, Asap for the last k
+};
+
+/// Full algorithm selection.
+struct TreeConfig {
+  TreeKind kind = TreeKind::Greedy;
+  KernelFamily family = KernelFamily::TT;
+  int bs = 1;         ///< PlasmaTree domain size (1 = binary tree, p = flat tree)
+  int grasap_k = 1;   ///< Grasap: number of trailing columns run in Asap mode
+
+  /// Human-readable name, e.g. "Greedy", "PlasmaTree(TS,BS=5)".
+  [[nodiscard]] std::string name() const;
+};
+
+/// True for algorithms whose elimination list depends on the weighted tiled
+/// execution (Asap, Grasap): their lists are produced by the simulator.
+[[nodiscard]] bool is_dynamic(TreeKind kind) noexcept;
+
+/// Result of elimination-list validation.
+struct ValidationResult {
+  bool ok = true;
+  std::string message;
+};
+
+/// Checks the two validity conditions of §2.2 plus coverage: every
+/// sub-diagonal tile zeroed exactly once, rows ready before use, pivot not
+/// yet zeroed, and TS eliminations never target an already-triangularized
+/// tile.
+[[nodiscard]] ValidationResult validate_elimination_list(int p, int q,
+                                                         const EliminationList& list);
+
+/// Lemma 1: rewrites the list so that every elimination satisfies
+/// row > piv (no "reverse" eliminations), preserving the execution time.
+[[nodiscard]] EliminationList remove_reverse_eliminations(int p, int q, EliminationList list);
+
+}  // namespace tiledqr::trees

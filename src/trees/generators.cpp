@@ -1,0 +1,119 @@
+#include "trees/generators.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stringf.hpp"
+
+namespace tiledqr::trees {
+
+std::string TreeConfig::name() const {
+  const char* fam = family == KernelFamily::TS ? "TS" : "TT";
+  switch (kind) {
+    case TreeKind::FlatTree: return stringf("FlatTree(%s)", fam);
+    case TreeKind::BinaryTree: return "BinaryTree";
+    case TreeKind::Fibonacci: return "Fibonacci";
+    case TreeKind::Greedy: return "Greedy";
+    case TreeKind::PlasmaTree: return stringf("PlasmaTree(%s,BS=%d)", fam, bs);
+    case TreeKind::HadriTree:
+      return stringf("Hadri-%s(BS=%d)", family == KernelFamily::TS ? "SP" : "FP", bs);
+    case TreeKind::Asap: return "Asap";
+    case TreeKind::Grasap: return stringf("Grasap(%d)", grasap_k);
+  }
+  return "?";
+}
+
+bool is_dynamic(TreeKind kind) noexcept {
+  return kind == TreeKind::Asap || kind == TreeKind::Grasap;
+}
+
+EliminationList flat_tree(int p, int q, KernelFamily family) {
+  TILEDQR_CHECK(p >= 1 && q >= 1, "flat_tree: bad dimensions");
+  EliminationList list;
+  const bool ts = family == KernelFamily::TS;
+  for (int k = 0; k < std::min(p, q); ++k)
+    for (int i = k + 1; i < p; ++i) list.push_back({i, k, k, ts});
+  return list;
+}
+
+EliminationList binary_tree(int p, int q) {
+  TILEDQR_CHECK(p >= 1 && q >= 1, "binary_tree: bad dimensions");
+  EliminationList list;
+  for (int k = 0; k < std::min(p, q); ++k) {
+    for (int l = 0; (1 << l) <= p - 1 - k; ++l) {
+      for (int j = 0;; ++j) {
+        const int piv = k + j * (1 << (l + 1));
+        const int victim = piv + (1 << l);
+        if (victim >= p) break;
+        list.push_back({victim, piv, k, false});
+      }
+    }
+  }
+  return list;
+}
+
+EliminationList fibonacci_tree(int p, int q) { return coarse_fibonacci(p, q).list; }
+
+EliminationList greedy_tree(int p, int q) { return coarse_greedy(p, q).list; }
+
+EliminationList plasma_tree(int p, int q, int bs, KernelFamily family) {
+  TILEDQR_CHECK(p >= 1 && q >= 1, "plasma_tree: bad dimensions");
+  TILEDQR_CHECK(bs >= 1, "plasma_tree: domain size must be >= 1");
+  EliminationList list;
+  const bool ts = family == KernelFamily::TS;
+  for (int k = 0; k < std::min(p, q); ++k) {
+    // Domains of bs consecutive rows anchored at the panel row k.
+    std::vector<int> heads;
+    for (int h = k; h < p; h += bs) {
+      heads.push_back(h);
+      for (int i = h + 1; i < std::min(p, h + bs); ++i) list.push_back({i, h, k, ts});
+    }
+    // Binary-tree merge of the domain heads (TT kernels: triangle pairs).
+    for (int l = 0; (1 << l) < int(heads.size()); ++l) {
+      for (size_t j = 0; j + (size_t(1) << l) < heads.size(); j += size_t(1) << (l + 1)) {
+        list.push_back({heads[j + (size_t(1) << l)], heads[j], k, false});
+      }
+    }
+  }
+  return list;
+}
+
+EliminationList hadri_tree(int p, int q, int bs, KernelFamily family) {
+  TILEDQR_CHECK(p >= 1 && q >= 1, "hadri_tree: bad dimensions");
+  TILEDQR_CHECK(bs >= 1, "hadri_tree: domain size must be >= 1");
+  EliminationList list;
+  const bool ts = family == KernelFamily::TS;
+  for (int k = 0; k < std::min(p, q); ++k) {
+    // Fixed domain boundaries [d*bs, (d+1)*bs); the top one is truncated to
+    // start at the panel row.
+    std::vector<int> heads;
+    for (int d0 = 0; d0 < p; d0 += bs) {
+      const int lo = std::max(d0, k);
+      const int hi = std::min(p, d0 + bs);
+      if (lo >= hi) continue;
+      heads.push_back(lo);
+      for (int i = lo + 1; i < hi; ++i) list.push_back({i, lo, k, ts});
+    }
+    for (int l = 0; (1 << l) < int(heads.size()); ++l)
+      for (size_t j = 0; j + (size_t(1) << l) < heads.size(); j += size_t(1) << (l + 1))
+        list.push_back({heads[j + (size_t(1) << l)], heads[j], k, false});
+  }
+  return list;
+}
+
+EliminationList make_static_elimination_list(int p, int q, const TreeConfig& config) {
+  TILEDQR_CHECK(!is_dynamic(config.kind),
+                "make_static_elimination_list: Asap/Grasap are dynamic; use the simulator");
+  switch (config.kind) {
+    case TreeKind::FlatTree: return flat_tree(p, q, config.family);
+    case TreeKind::BinaryTree: return binary_tree(p, q);
+    case TreeKind::Fibonacci: return fibonacci_tree(p, q);
+    case TreeKind::Greedy: return greedy_tree(p, q);
+    case TreeKind::PlasmaTree: return plasma_tree(p, q, config.bs, config.family);
+    case TreeKind::HadriTree: return hadri_tree(p, q, config.bs, config.family);
+    default: break;
+  }
+  throw Error("make_static_elimination_list: unknown tree kind");
+}
+
+}  // namespace tiledqr::trees

@@ -1,0 +1,43 @@
+// Static elimination-list generators for the tiled algorithms (paper §3.2).
+// Asap and Grasap are dynamic and produced by the simulator (sim/dynamic.hpp).
+#pragma once
+
+#include "trees/coarse.hpp"
+#include "trees/elimination.hpp"
+
+namespace tiledqr::trees {
+
+/// FlatTree (= tiled Sameh-Kuck): pivot is the panel row for every
+/// elimination; TS or TT kernels.
+[[nodiscard]] EliminationList flat_tree(int p, int q, KernelFamily family);
+
+/// BinaryTree: binomial reduction in every column (TT kernels).
+[[nodiscard]] EliminationList binary_tree(int p, int q);
+
+/// Tiled Fibonacci: the coarse Fibonacci elimination list executed with TT
+/// kernels.
+[[nodiscard]] EliminationList fibonacci_tree(int p, int q);
+
+/// Tiled Greedy (Algorithm 4): the coarse Greedy elimination list executed
+/// with TT kernels.
+[[nodiscard]] EliminationList greedy_tree(int p, int q);
+
+/// PlasmaTree with domain size bs: within each domain of bs consecutive rows
+/// a flat tree reduces onto the domain head (TS or TT kernels); domain heads
+/// are merged by a binary tree (always TT kernels). Domains are anchored at
+/// the panel row, so the bottom domain shrinks as the factorization proceeds
+/// (PLASMA's convention).
+[[nodiscard]] EliminationList plasma_tree(int p, int q, int bs, KernelFamily family);
+
+/// The Semi-Parallel (TS) / Fully-Parallel (TT) tile CAQR of Hadri et al.
+/// [10, 11]: same flat-trees-merged-by-binary-tree structure as PlasmaTree,
+/// but domain boundaries are fixed multiples of bs from row 0, so the TOP
+/// domain shrinks as the factorization proceeds through the columns.
+[[nodiscard]] EliminationList hadri_tree(int p, int q, int bs, KernelFamily family);
+
+/// Dispatches on config.kind for the static algorithms; throws for dynamic
+/// kinds (Asap/Grasap) — use sim::simulate_dynamic for those.
+[[nodiscard]] EliminationList make_static_elimination_list(int p, int q,
+                                                           const TreeConfig& config);
+
+}  // namespace tiledqr::trees

@@ -1,0 +1,93 @@
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/stringf.hpp"
+#include "trees/elimination.hpp"
+
+namespace tiledqr::trees {
+
+ValidationResult validate_elimination_list(int p, int q, const EliminationList& list) {
+  auto fail = [](std::string msg) { return ValidationResult{false, std::move(msg)}; };
+  const int kc = std::min(p, q);
+
+  // Position of each tile's elimination.
+  std::vector<std::vector<long>> pos(size_t(p), std::vector<long>(size_t(kc), -1));
+  long t = 0;
+  for (const auto& e : list) {
+    if (e.col < 0 || e.col >= kc)
+      return fail(stringf("entry %ld: column %d out of range", t, e.col));
+    if (e.row <= e.col || e.row >= p)
+      return fail(stringf("entry %ld: row %d invalid for column %d", t, e.row, e.col));
+    if (e.piv < e.col || e.piv >= p || e.piv == e.row)
+      return fail(stringf("entry %ld: pivot %d invalid for column %d", t, e.piv, e.col));
+    if (pos[size_t(e.row)][size_t(e.col)] >= 0)
+      return fail(stringf("tile (%d,%d) eliminated twice", e.row, e.col));
+    pos[size_t(e.row)][size_t(e.col)] = t;
+    ++t;
+  }
+  for (int k = 0; k < kc; ++k)
+    for (int i = k + 1; i < p; ++i)
+      if (pos[size_t(i)][size_t(k)] < 0)
+        return fail(stringf("tile (%d,%d) never eliminated", i, k));
+
+  t = 0;
+  std::vector<std::vector<char>> triangular(size_t(p), std::vector<char>(size_t(kc), 0));
+  for (const auto& e : list) {
+    // Condition 1: both rows ready (all tiles to the left already zeroed).
+    for (int kk = 0; kk < e.col; ++kk) {
+      if (pos[size_t(e.row)][size_t(kk)] > t)
+        return fail(stringf("entry %ld: row %d not ready in column %d (tile (%d,%d) "
+                            "zeroed later)",
+                            t, e.row, e.col, e.row, kk));
+      if (pos[size_t(e.piv)][size_t(kk)] > t)
+        return fail(stringf("entry %ld: pivot row %d not ready in column %d", t, e.piv, e.col));
+    }
+    // Condition 2: the pivot must still be a potential annihilator.
+    if (e.piv > e.col && pos[size_t(e.piv)][size_t(e.col)] < t)
+      return fail(stringf("entry %ld: pivot tile (%d,%d) already zeroed", t, e.piv, e.col));
+    // TS eliminations must target a tile that is still a full square.
+    if (e.ts && triangular[size_t(e.row)][size_t(e.col)])
+      return fail(stringf("entry %ld: TS elimination of triangularized tile (%d,%d)", t, e.row,
+                          e.col));
+    triangular[size_t(e.piv)][size_t(e.col)] = 1;
+    if (!e.ts) triangular[size_t(e.row)][size_t(e.col)] = 1;
+    ++t;
+  }
+  return {true, {}};
+}
+
+EliminationList remove_reverse_eliminations(int p, int q, EliminationList list) {
+  const int kc = std::min(p, q);
+  for (int k = 0; k < kc; ++k) {
+    for (long guard = 0;; ++guard) {
+      TILEDQR_CHECK(guard <= long(p) * long(p) + 8, "remove_reverse_eliminations: no progress");
+      // Largest row index serving as the pivot of a reverse elimination.
+      int i0 = -1;
+      for (const auto& e : list)
+        if (e.col == k && e.row < e.piv) i0 = std::max(i0, e.piv);
+      if (i0 < 0) break;
+      // In list order: the eliminations using pivot i0 in column k, then the
+      // elimination of i0 itself. Exchange the roles of i0 and the first
+      // paired row i1 (paper Lemma 1).
+      int i1 = -1;
+      for (auto& e : list) {
+        if (e.col != k) continue;
+        if (e.piv == i0) {
+          if (i1 < 0) {
+            i1 = e.row;
+            e.row = i0;  // elim(i1, i0, k) -> elim(i0, i1, k)
+            e.piv = i1;
+          } else {
+            e.piv = i1;  // elim(ij, i0, k) -> elim(ij, i1, k)
+          }
+        } else if (e.row == i0 && i1 >= 0) {
+          e.row = i1;  // elim(i0, piv0, k) -> elim(i1, piv0, k)
+        }
+      }
+    }
+  }
+  return list;
+}
+
+}  // namespace tiledqr::trees

@@ -1,0 +1,90 @@
+// Tests for the bounded-processor list-scheduling simulator.
+#include <gtest/gtest.h>
+
+#include "sim/bounded.hpp"
+#include "sim/critical_path.hpp"
+#include "trees/generators.hpp"
+
+namespace tiledqr {
+namespace {
+
+TEST(Bounded, OneWorkerEqualsTotalWeight) {
+  auto g = dag::build_task_graph(10, 4, trees::greedy_tree(10, 4));
+  auto r = sim::simulate_bounded(g, 1);
+  EXPECT_EQ(r.makespan, g.total_weight());
+  EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+}
+
+TEST(Bounded, ManyWorkersReachCriticalPath) {
+  auto g = dag::build_task_graph(12, 5, trees::greedy_tree(12, 5));
+  long cp = sim::earliest_finish(g).critical_path;
+  auto r = sim::simulate_bounded(g, int(g.tasks.size()));
+  EXPECT_EQ(r.makespan, cp);
+}
+
+TEST(Bounded, MakespanMonotoneInWorkers) {
+  auto g = dag::build_task_graph(14, 6, trees::fibonacci_tree(14, 6));
+  long prev = -1;
+  for (int w : {1, 2, 3, 4, 8, 16, 64}) {
+    auto r = sim::simulate_bounded(g, w);
+    if (prev >= 0) {
+      EXPECT_LE(r.makespan, prev) << w;
+    }
+    prev = r.makespan;
+    // Graham bound for list scheduling: makespan <= T/P + cp.
+    long cp = sim::earliest_finish(g).critical_path;
+    EXPECT_LE(r.makespan, (g.total_weight() + w - 1) / w + cp) << w;
+    EXPECT_GE(r.makespan, std::max(cp, (g.total_weight() + w - 1) / w)) << w;
+  }
+}
+
+TEST(Bounded, StartTimesRespectDependencies) {
+  auto g = dag::build_task_graph(8, 3, trees::binary_tree(8, 3));
+  auto r = sim::simulate_bounded(g, 3);
+  for (size_t t = 0; t < g.tasks.size(); ++t)
+    for (auto s : g.tasks[t].succ)
+      EXPECT_GE(r.start[size_t(s)], r.start[t] + g.tasks[t].weight());
+}
+
+TEST(Bounded, WeightedVariantConsistent) {
+  auto g = dag::build_task_graph(9, 4, trees::greedy_tree(9, 4));
+  std::array<double, 6> w{4, 6, 6, 12, 2, 6};
+  EXPECT_DOUBLE_EQ(sim::simulate_bounded_weighted(g, 4, w),
+                   double(sim::simulate_bounded(g, 4).makespan));
+}
+
+TEST(Bounded, CriticalPathPriorityIsValidSchedule) {
+  auto g = dag::build_task_graph(14, 6, trees::greedy_tree(14, 6));
+  long cp = sim::earliest_finish(g).critical_path;
+  for (int w : {1, 2, 4, 8, 24}) {
+    auto r = sim::simulate_bounded(g, w, sim::SimPriority::CriticalPath);
+    EXPECT_GE(r.makespan, std::max(cp, (g.total_weight() + w - 1) / w)) << w;
+    EXPECT_LE(r.makespan, (g.total_weight() + w - 1) / w + cp) << w;
+    for (size_t t = 0; t < g.tasks.size(); ++t)
+      for (auto s : g.tasks[t].succ)
+        ASSERT_GE(r.start[size_t(s)], r.start[t] + g.tasks[t].weight());
+  }
+  // Both priorities converge to the critical path with enough workers.
+  EXPECT_EQ(sim::simulate_bounded(g, int(g.tasks.size()), sim::SimPriority::CriticalPath)
+                .makespan,
+            cp);
+}
+
+TEST(Bounded, CriticalPathPriorityHelpsInCpBoundRegime) {
+  // On a tall grid with a mid-size worker pool, prioritizing the critical
+  // path should not hurt (and usually helps) vs emission order.
+  auto g = dag::build_task_graph(32, 4, trees::greedy_tree(32, 4));
+  for (int w : {4, 8}) {
+    auto emission = sim::simulate_bounded(g, w, sim::SimPriority::EmissionOrder);
+    auto critical = sim::simulate_bounded(g, w, sim::SimPriority::CriticalPath);
+    EXPECT_LE(critical.makespan, emission.makespan + emission.makespan / 10) << w;
+  }
+}
+
+TEST(Bounded, InvalidWorkerCountThrows) {
+  auto g = dag::build_task_graph(4, 2, trees::greedy_tree(4, 2));
+  EXPECT_THROW((void)sim::simulate_bounded(g, 0), Error);
+}
+
+}  // namespace
+}  // namespace tiledqr

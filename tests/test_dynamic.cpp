@@ -1,0 +1,166 @@
+// Tests for the dynamic algorithms (Asap, Grasap): the exact Table 4
+// oracles, the non-optimality findings of §3.2, and consistency between the
+// dynamic engine and the static DAG analysis.
+#include <gtest/gtest.h>
+
+#include "paper_oracles.hpp"
+#include "sim/critical_path.hpp"
+#include "sim/dynamic.hpp"
+#include "trees/generators.hpp"
+
+namespace tiledqr {
+namespace {
+
+TEST(Table4a, Greedy15x3Exact) {
+  auto g = dag::build_task_graph(15, 3, trees::greedy_tree(15, 3));
+  auto cp = sim::earliest_finish(g);
+  EXPECT_EQ(sim::zero_time_table(g, cp), oracles::table4_greedy_15x3());
+}
+
+TEST(Table4a, Asap15x3Exact) {
+  EXPECT_EQ(sim::simulate_asap(15, 3).zero_time, oracles::table4_asap_15x3());
+}
+
+TEST(Table4a, Grasap1Beats15x3Greedy) {
+  // Paper: Grasap(1) finishes at 62 while Greedy needs 64. (Our simulator's
+  // tie-breaking zeroes one tile, (7,3), at 52 instead of the paper's 56;
+  // all other cells and the critical path match.)
+  auto grasap = sim::simulate_grasap(15, 3, 1);
+  EXPECT_EQ(grasap.critical_path, 62);
+  long greedy_cp = sim::critical_path_units(15, 3, trees::greedy_tree(15, 3));
+  EXPECT_EQ(greedy_cp, 64);
+  EXPECT_LT(grasap.critical_path, greedy_cp);
+  // Columns 0 and 1 run Greedy pairings and must match Greedy exactly.
+  auto greedy_table = oracles::table4_greedy_15x3();
+  for (int i = 0; i < 15; ++i)
+    for (int k = 0; k < 2; ++k)
+      EXPECT_EQ(grasap.zero_time[size_t(i)][size_t(k)], greedy_table[size_t(i)][size_t(k)])
+          << i << "," << k;
+}
+
+TEST(Table4a, FifteenByTwoZeroTimesRegression) {
+  // The 15 x 2 case of §3.2 ("for a 15 x 2 matrix, Asap is better than
+  // Greedy"). The paper prints no table for it; these are our simulator's
+  // values, consistent with the narration's checkable part: tiles
+  // (13..15, 2) are zeroed at time 22 under Asap, and Asap finishes at 40
+  // vs Greedy's 42.
+  auto greedy_expected = oracles::expand(
+      15, 2,
+      {{12}, {10, 42}, {10, 40}, {8, 36}, {8, 34}, {8, 34}, {8, 30}, {6, 28}, {6, 28},
+       {6, 28}, {6, 28}, {6, 22}, {6, 22}, {6, 22}});
+  auto g = dag::build_task_graph(15, 2, trees::greedy_tree(15, 2));
+  auto cp = sim::earliest_finish(g);
+  EXPECT_EQ(sim::zero_time_table(g, cp), greedy_expected);
+  auto asap_expected = oracles::expand(
+      15, 2,
+      {{12}, {10, 40}, {10, 36}, {8, 34}, {8, 32}, {8, 30}, {8, 28}, {6, 28}, {6, 26},
+       {6, 24}, {6, 24}, {6, 22}, {6, 22}, {6, 22}});
+  auto asap = sim::simulate_asap(15, 2);
+  EXPECT_EQ(asap.zero_time, asap_expected);
+  EXPECT_EQ(asap.zero_time[12][1], 22);  // tiles (13..15, 2) zeroed at 22
+  EXPECT_EQ(asap.zero_time[14][1], 22);
+}
+
+TEST(Table4a, AsapBeatsGreedyOn15x2) {
+  // §3.2: for a 15 x 2 matrix Asap is better than Greedy...
+  long asap = sim::simulate_asap(15, 2).critical_path;
+  long greedy = sim::critical_path_units(15, 2, trees::greedy_tree(15, 2));
+  EXPECT_LT(asap, greedy);
+  // ... and for 15 x 3 Greedy is better than Asap: neither is optimal.
+  long asap3 = sim::simulate_asap(15, 3).critical_path;
+  long greedy3 = sim::critical_path_units(15, 3, trees::greedy_tree(15, 3));
+  EXPECT_GT(asap3, greedy3);
+}
+
+struct Table4bRow {
+  int p, q;
+  long greedy;
+  long asap;
+  bool asap_exact;  // false where our tie-breaking beats the published value
+};
+
+class Table4b : public ::testing::TestWithParam<Table4bRow> {};
+
+TEST_P(Table4b, GreedyAndAsapCriticalPaths) {
+  auto row = GetParam();
+  EXPECT_EQ(sim::critical_path_units(row.p, row.q, trees::greedy_tree(row.p, row.q)),
+            row.greedy);
+  long asap = sim::simulate_asap(row.p, row.q).critical_path;
+  if (row.asap_exact)
+    EXPECT_EQ(asap, row.asap);
+  else
+    EXPECT_LE(asap, row.asap);  // our pairing tie-break does no worse
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperValues, Table4b,
+    ::testing::Values(Table4bRow{16, 16, 310, 310, true}, Table4bRow{32, 16, 360, 402, true},
+                      Table4bRow{32, 32, 650, 656, true}, Table4bRow{64, 16, 374, 588, true},
+                      Table4bRow{64, 32, 726, 844, true}, Table4bRow{64, 64, 1342, 1354, true},
+                      Table4bRow{128, 16, 396, 966, true},
+                      Table4bRow{128, 32, 748, 1222, true},
+                      // Paper reports 1748; our simulator's tie-breaking
+                      // finds 1734 with the same rules.
+                      Table4bRow{128, 64, 1452, 1748, false},
+                      Table4bRow{128, 128, 2732, 2756, true}),
+    [](const auto& inst) {
+      return "p" + std::to_string(inst.param.p) + "_q" + std::to_string(inst.param.q);
+    });
+
+TEST(Dynamic, GrasapEndpointsMatchGreedyAndAsap) {
+  const int p = 12, q = 5;
+  // Grasap(0) runs Greedy pairings everywhere.
+  auto g0 = sim::simulate_grasap(p, q, 0);
+  EXPECT_EQ(g0.critical_path, sim::critical_path_units(p, q, trees::greedy_tree(p, q)));
+  // Grasap(q) is Asap.
+  auto gq = sim::simulate_grasap(p, q, q);
+  auto asap = sim::simulate_asap(p, q);
+  EXPECT_EQ(gq.critical_path, asap.critical_path);
+  EXPECT_EQ(gq.zero_time, asap.zero_time);
+}
+
+TEST(Dynamic, ProducedListsAreValid) {
+  for (auto [p, q] : std::vector<std::pair<int, int>>{{5, 2}, {15, 3}, {20, 8}, {9, 9}}) {
+    auto asap = sim::simulate_asap(p, q);
+    auto v = trees::validate_elimination_list(p, q, asap.list);
+    EXPECT_TRUE(v.ok) << p << "x" << q << ": " << v.message;
+    auto grasap = sim::simulate_grasap(p, q, std::min(2, q));
+    v = trees::validate_elimination_list(p, q, grasap.list);
+    EXPECT_TRUE(v.ok) << p << "x" << q << ": " << v.message;
+  }
+}
+
+TEST(Dynamic, RealizedAsapListReplaysToSameCriticalPath) {
+  // Feeding the realized Asap list back through the static DAG must give
+  // the same critical path (the dynamic engine is an online DAG builder).
+  for (auto [p, q] : std::vector<std::pair<int, int>>{{15, 2}, {15, 3}, {20, 6}}) {
+    auto asap = sim::simulate_asap(p, q);
+    EXPECT_EQ(sim::critical_path_units(p, q, asap.list), asap.critical_path) << p << "x" << q;
+  }
+}
+
+TEST(Dynamic, SimulateFixedMatchesStaticAnalysis) {
+  for (auto [p, q] : std::vector<std::pair<int, int>>{{8, 3}, {15, 6}, {24, 8}}) {
+    auto list = trees::greedy_tree(p, q);
+    auto fixed = sim::simulate_fixed(p, q, list);
+    EXPECT_EQ(fixed.critical_path, sim::critical_path_units(p, q, list)) << p << "x" << q;
+    auto list2 = trees::binary_tree(p, q);
+    auto fixed2 = sim::simulate_fixed(p, q, list2);
+    EXPECT_EQ(fixed2.critical_path, sim::critical_path_units(p, q, list2)) << p << "x" << q;
+  }
+}
+
+TEST(Dynamic, AsapZeroTimesAreMonotoneAcrossColumns) {
+  auto asap = sim::simulate_asap(18, 7);
+  for (int i = 1; i < 18; ++i)
+    for (int k = 1; k < std::min(i, 7); ++k)
+      EXPECT_LT(asap.zero_time[size_t(i)][size_t(k - 1)], asap.zero_time[size_t(i)][size_t(k)]);
+}
+
+TEST(Dynamic, RejectsTsListsInFixedMode) {
+  auto ts = trees::flat_tree(6, 2, trees::KernelFamily::TS);
+  EXPECT_THROW((void)sim::simulate_fixed(6, 2, ts), Error);
+}
+
+}  // namespace
+}  // namespace tiledqr

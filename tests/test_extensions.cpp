@@ -1,0 +1,159 @@
+// Tests for the extensions beyond the paper's core: the Hadri et al.
+// Semi/Fully-Parallel trees (the comparison baseline of §4) and the parallel
+// apply_q path.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "core/tiled_qr.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/norms.hpp"
+#include "sim/critical_path.hpp"
+#include "trees/generators.hpp"
+
+namespace tiledqr {
+namespace {
+
+using core::Options;
+using core::TiledQr;
+using kernels::ApplyTrans;
+using trees::KernelFamily;
+using trees::TreeConfig;
+using trees::TreeKind;
+
+TEST(HadriTree, ValidAcrossShapesAndFamilies) {
+  for (auto [p, q] : std::vector<std::pair<int, int>>{{3, 2}, {8, 3}, {15, 6}, {16, 16}}) {
+    for (int bs : {1, 2, 5, p}) {
+      for (auto fam : {KernelFamily::TT, KernelFamily::TS}) {
+        auto list = trees::hadri_tree(p, q, bs, fam);
+        auto v = trees::validate_elimination_list(p, q, list);
+        EXPECT_TRUE(v.ok) << p << "x" << q << " bs=" << bs << ": " << v.message;
+      }
+    }
+  }
+}
+
+TEST(HadriTree, DegenerateDomainSizes) {
+  // BS = 1 degenerates to a binary tree; BS >= p to a flat tree — for both
+  // anchoring conventions (there is only one domain / only singletons).
+  EXPECT_EQ(trees::hadri_tree(8, 3, 1, KernelFamily::TT), trees::binary_tree(8, 3));
+  EXPECT_EQ(trees::hadri_tree(8, 3, 8, KernelFamily::TT),
+            trees::flat_tree(8, 3, KernelFamily::TT));
+}
+
+TEST(HadriTree, DiffersFromPlasmaAnchoring) {
+  // For k > 0, PLASMA's first domain starts at row k and spans bs rows;
+  // Hadri's first domain is the truncated [k, ceil-boundary) one. The lists
+  // differ as soon as k is not a multiple of bs.
+  auto plasma = trees::plasma_tree(10, 3, 4, KernelFamily::TT);
+  auto hadri = trees::hadri_tree(10, 3, 4, KernelFamily::TT);
+  EXPECT_NE(plasma, hadri);
+}
+
+TEST(HadriTree, PlasmaIsAtLeastAsGoodAtBestBs) {
+  // §4: "the PLASMA algorithms performed identically or better" — at the
+  // best domain size, PlasmaTree's critical path is never worse here.
+  for (auto [p, q] : std::vector<std::pair<int, int>>{{15, 6}, {40, 10}, {24, 8}}) {
+    long plasma_best = core::best_plasma_bs(p, q, KernelFamily::TT).critical_path;
+    long hadri_best = -1;
+    for (int bs = 1; bs <= p; ++bs) {
+      long cp = sim::critical_path_units(p, q, trees::hadri_tree(p, q, bs, KernelFamily::TT));
+      if (hadri_best < 0 || cp < hadri_best) hadri_best = cp;
+    }
+    EXPECT_LE(plasma_best, hadri_best) << p << "x" << q;
+  }
+}
+
+TEST(HadriTree, FactorizationIsNumericallyCorrect) {
+  for (auto fam : {KernelFamily::TT, KernelFamily::TS}) {
+    Options opt;
+    opt.tree = TreeConfig{TreeKind::HadriTree, fam, 3, 0};
+    opt.nb = 8;
+    opt.ib = 4;
+    opt.threads = 2;
+    auto a = random_matrix<double>(48, 16, 61);
+    auto qr = TiledQr<double>::factorize(a.view(), opt);
+    auto q = qr.q_thin();
+    auto r = qr.r_factor();
+    Matrix<double> prod(48, 16);
+    blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, 1.0, q.view(), r.view(), 0.0, prod.view());
+    EXPECT_LE(difference_norm<double>(a.view(), prod.view()) / frobenius_norm<double>(a.view()),
+              1e-12);
+  }
+}
+
+TEST(HadriTree, NameAndDispatch) {
+  EXPECT_EQ((TreeConfig{TreeKind::HadriTree, KernelFamily::TS, 4, 0}.name()), "Hadri-SP(BS=4)");
+  EXPECT_EQ((TreeConfig{TreeKind::HadriTree, KernelFamily::TT, 4, 0}.name()), "Hadri-FP(BS=4)");
+  EXPECT_EQ(trees::make_static_elimination_list(9, 4,
+                                                TreeConfig{TreeKind::HadriTree,
+                                                           KernelFamily::TT, 2, 0}),
+            trees::hadri_tree(9, 4, 2, KernelFamily::TT));
+}
+
+// ---- parallel apply_q ------------------------------------------------------
+
+template <typename T>
+void check_parallel_apply(TreeKind kind, KernelFamily fam) {
+  Options opt;
+  opt.tree = TreeConfig{kind, fam, 2, 1};
+  opt.nb = 8;
+  opt.ib = 4;
+  opt.threads = 4;
+  const int m = 56, n = 24;
+  auto a = random_matrix<T>(m, n, 71);
+  auto qr = TiledQr<T>::factorize(a.view(), opt);
+  auto c0 = random_matrix<T>(m, 20, 73);
+  for (auto trans : {ApplyTrans::ConjTrans, ApplyTrans::NoTrans}) {
+    auto cs = TileMatrix<T>::from_dense(c0.view(), 8);
+    auto cp = TileMatrix<T>::from_dense(c0.view(), 8);
+    qr.apply_q(trans, cs);      // sequential replay
+    qr.apply_q(trans, cp, 4);   // DAG-parallel replay
+    auto ds = cs.to_dense();
+    auto dp = cp.to_dense();
+    // Bitwise identical: the per-tile kernel sequences coincide.
+    EXPECT_EQ(double(difference_norm<T>(ds.view(), dp.view())), 0.0);
+  }
+}
+
+TEST(ParallelApplyQ, MatchesSequentialGreedyTT) {
+  check_parallel_apply<double>(TreeKind::Greedy, KernelFamily::TT);
+}
+TEST(ParallelApplyQ, MatchesSequentialFlatTS) {
+  check_parallel_apply<double>(TreeKind::FlatTree, KernelFamily::TS);
+}
+TEST(ParallelApplyQ, MatchesSequentialComplex) {
+  check_parallel_apply<std::complex<double>>(TreeKind::Fibonacci, KernelFamily::TT);
+}
+TEST(ParallelApplyQ, MatchesSequentialPlasmaMixed) {
+  check_parallel_apply<double>(TreeKind::PlasmaTree, KernelFamily::TS);
+}
+
+TEST(ParallelApplyQ, RoundTripThroughThreadedPath) {
+  Options opt;
+  opt.nb = 8;
+  opt.ib = 4;
+  opt.threads = 4;
+  auto a = random_matrix<double>(40, 16, 79);
+  auto qr = TiledQr<double>::factorize(a.view(), opt);
+  auto c0 = random_matrix<double>(40, 8, 81);
+  auto c = TileMatrix<double>::from_dense(c0.view(), 8);
+  qr.apply_q(ApplyTrans::NoTrans, c, 4);
+  qr.apply_q(ApplyTrans::ConjTrans, c, 4);
+  auto back = c.to_dense();
+  EXPECT_LE(difference_norm<double>(back.view(), c0.view()), 1e-11);
+}
+
+TEST(ParallelApplyQ, QThinUsesThreadsAndStaysOrthonormal) {
+  Options opt;
+  opt.nb = 8;
+  opt.ib = 4;
+  opt.threads = 8;
+  auto a = random_matrix<double>(64, 24, 83);
+  auto qr = TiledQr<double>::factorize(a.view(), opt);
+  auto q = qr.q_thin();
+  EXPECT_LE(orthogonality_error<double>(q.view()), 1e-12);
+}
+
+}  // namespace
+}  // namespace tiledqr

@@ -1,0 +1,117 @@
+// Additional kernel-level tests: rectangular operands, wide updates, and the
+// TStore block-factor container.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "core/tiled_qr.hpp"
+#include "kernels/kernels.hpp"
+#include "kernels/reference_qr.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/norms.hpp"
+
+namespace tiledqr {
+namespace {
+
+using kernels::ApplyTrans;
+
+TEST(KernelsExtra, GeqrtTallTile) {
+  // m > n tiles (not used by the square-tile driver but part of the kernel
+  // contract).
+  const int m = 13, n = 7, ib = 3;
+  auto a0 = random_matrix<double>(m, n, 1);
+  Matrix<double> a(m, n), t(ib, n);
+  copy(a0.view(), a.view());
+  kernels::geqrt(ib, a.view(), t.view());
+  Matrix<double> c(m, n);
+  copy(a0.view(), c.view());
+  kernels::unmqr(ApplyTrans::ConjTrans, ib, a.view(), t.view(), c.view());
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i)
+      EXPECT_NEAR(std::abs(c(i, j) - (i <= j ? a(i, j) : 0.0)), 0.0, 1e-12);
+}
+
+TEST(KernelsExtra, GeqrtWideTile) {
+  const int m = 5, n = 9, ib = 2;
+  auto a0 = random_matrix<double>(m, n, 2);
+  Matrix<double> a(m, n), t(ib, n);
+  copy(a0.view(), a.view());
+  kernels::geqrt(ib, a.view(), t.view());
+  auto ref = kernels::reference_qr<double>(a0.view());
+  for (int i = 0; i < m; ++i)
+    EXPECT_NEAR(std::abs(a(i, i)), std::abs(ref.vr(i, i)), 1e-12);
+}
+
+TEST(KernelsExtra, TsqrtRectangularBottomTile) {
+  // a2 with fewer rows than columns of a1 (a ragged bottom tile in a
+  // rectangular-tiling generalization).
+  const int n = 8, m2 = 5, ib = 4;
+  auto a1o = random_upper_triangular<double>(n, 3);
+  auto a2o = random_matrix<double>(m2, n, 4);
+  Matrix<double> a1(n, n), a2(m2, n), t(ib, n);
+  copy(a1o.view(), a1.view());
+  copy(a2o.view(), a2.view());
+  kernels::tsqrt(ib, a1.view(), a2.view(), t.view());
+  // Verify through Q^H [A1; A2] = [R; 0].
+  Matrix<double> c1(n, n), c2(m2, n);
+  copy(a1o.view(), c1.view());
+  copy(a2o.view(), c2.view());
+  kernels::tsmqr(ApplyTrans::ConjTrans, ib, a2.view(), t.view(), c1.view(), c2.view());
+  EXPECT_LE(frobenius_norm<double>(c2.view()), 1e-12);
+  EXPECT_LE(difference_norm<double>(c1.view(), a1.view()), 1e-12);
+  // Against the reference QR of the stack.
+  Matrix<double> st(n + m2, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) st(i, j) = a1o(i, j);
+    for (int i = 0; i < m2; ++i) st(n + i, j) = a2o(i, j);
+  }
+  auto ref = kernels::reference_qr<double>(st.view());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(std::abs(a1(i, i)), std::abs(ref.vr(i, i)), 1e-12);
+}
+
+TEST(KernelsExtra, UpdateKernelsOnWidePanels) {
+  // C with many more columns than the tile width (apply_q streams whole tile
+  // rows of an arbitrary right-hand side through the update kernels).
+  const int nb = 8, ib = 4, nn = 21;
+  auto a = random_matrix<double>(nb, nb, 5);
+  Matrix<double> t(ib, nb);
+  kernels::geqrt(ib, a.view(), t.view());
+  auto c0 = random_matrix<double>(nb, nn, 6);
+  Matrix<double> c(nb, nn);
+  copy(c0.view(), c.view());
+  kernels::unmqr(ApplyTrans::NoTrans, ib, a.view(), t.view(), c.view());
+  kernels::unmqr(ApplyTrans::ConjTrans, ib, a.view(), t.view(), c.view());
+  EXPECT_LE(difference_norm<double>(c.view(), c0.view()), 1e-11);
+}
+
+TEST(KernelsExtra, ComplexPhaseRDiagonalIsReal) {
+  // larfg produces real beta, so the R diagonal of a complex QR is real.
+  using Z = std::complex<double>;
+  const int nb = 12, ib = 4;
+  auto a = random_matrix<Z>(nb, nb, 7);
+  Matrix<Z> t(ib, nb);
+  kernels::geqrt(ib, a.view(), t.view());
+  for (int i = 0; i < nb; ++i) EXPECT_NEAR(a(i, i).imag(), 0.0, 1e-13) << i;
+}
+
+TEST(KernelsExtra, TStoreViewsAreDisjoint) {
+  core::TStore<double> ts(3, 2, 4, 8);
+  ts.at(0, 0)(0, 0) = 1.0;
+  ts.at(2, 1)(3, 7) = 2.0;
+  EXPECT_EQ(ts.at(0, 0)(0, 0), 1.0);
+  EXPECT_EQ(ts.at(2, 1)(3, 7), 2.0);
+  EXPECT_EQ(ts.at(1, 0)(0, 0), 0.0);
+  EXPECT_EQ(ts.at(0, 1)(0, 0), 0.0);
+}
+
+TEST(KernelsExtra, TtqrtSingleColumnTiles) {
+  // nb = 1 tiles degenerate to scalar Givens-like eliminations.
+  Matrix<double> a1(1, 1), a2(1, 1), t(1, 1);
+  a1(0, 0) = 3.0;
+  a2(0, 0) = 4.0;
+  kernels::ttqrt(1, a1.view(), a2.view(), t.view());
+  EXPECT_NEAR(std::abs(a1(0, 0)), 5.0, 1e-14);  // hypot(3,4)
+}
+
+}  // namespace
+}  // namespace tiledqr

@@ -1,0 +1,108 @@
+// Tests for the dense and tiled matrix containers.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "matrix/generate.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/norms.hpp"
+#include "matrix/tile_matrix.hpp"
+
+namespace tiledqr {
+namespace {
+
+using Scalars = ::testing::Types<float, double, std::complex<float>, std::complex<double>>;
+
+template <typename T>
+class MatrixTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(MatrixTyped, Scalars);
+
+TYPED_TEST(MatrixTyped, ZeroInitialized) {
+  Matrix<TypeParam> a(3, 4);
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(a(i, j), TypeParam(0));
+}
+
+TYPED_TEST(MatrixTyped, IdentityAndViews) {
+  auto eye = Matrix<TypeParam>::identity(5);
+  EXPECT_EQ(eye(2, 2), TypeParam(1));
+  EXPECT_EQ(eye(2, 3), TypeParam(0));
+  auto sub = eye.sub(1, 1, 3, 3);
+  EXPECT_EQ(sub(0, 0), TypeParam(1));
+  EXPECT_EQ(sub.rows(), 3);
+  EXPECT_EQ(sub.ld(), 5);
+}
+
+TYPED_TEST(MatrixTyped, CopyView) {
+  auto a = random_matrix<TypeParam>(6, 5, 3);
+  Matrix<TypeParam> b(6, 5);
+  copy(a.view(), b.view());
+  EXPECT_EQ(difference_norm<TypeParam>(a.view(), b.view()), RealType<TypeParam>(0));
+}
+
+TYPED_TEST(MatrixTyped, TileRoundTripExactSize) {
+  auto a = random_matrix<TypeParam>(12, 8, 5);
+  auto t = TileMatrix<TypeParam>::from_dense(a.view(), 4);
+  EXPECT_EQ(t.mt(), 3);
+  EXPECT_EQ(t.nt(), 2);
+  auto back = t.to_dense();
+  EXPECT_EQ(difference_norm<TypeParam>(a.view(), back.view()), RealType<TypeParam>(0));
+}
+
+TYPED_TEST(MatrixTyped, TileRoundTripRaggedSizePadsWithZeros) {
+  auto a = random_matrix<TypeParam>(13, 7, 6);
+  auto t = TileMatrix<TypeParam>::from_dense(a.view(), 5);
+  EXPECT_EQ(t.mt(), 3);
+  EXPECT_EQ(t.nt(), 2);
+  auto back = t.to_dense();
+  EXPECT_EQ(difference_norm<TypeParam>(a.view(), back.view()), RealType<TypeParam>(0));
+  // The padded region must be zero.
+  EXPECT_EQ(t.tile(2, 1)(4, 4), TypeParam(0));
+}
+
+TYPED_TEST(MatrixTyped, TileViewsAliasStorage) {
+  TileMatrix<TypeParam> t(8, 8, 4);
+  t.tile(1, 1)(2, 3) = TypeParam(7);
+  EXPECT_EQ(t.at(6, 7), TypeParam(7));
+}
+
+TEST(Norms, FrobeniusKnownValue) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 3;
+  a(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(frobenius_norm<double>(a.view()), 5.0);
+}
+
+TEST(Norms, OrthogonalityErrorOfIdentityIsZero) {
+  auto eye = Matrix<double>::identity(6);
+  EXPECT_DOUBLE_EQ(orthogonality_error<double>(eye.view()), 0.0);
+}
+
+TEST(Norms, BelowDiagonalMax) {
+  Matrix<double> a(3, 3);
+  a(2, 0) = -2.5;
+  a(0, 2) = 9.0;  // above diagonal: ignored
+  EXPECT_DOUBLE_EQ(below_diagonal_max<double>(a.view()), 2.5);
+}
+
+TEST(Generate, Deterministic) {
+  auto a = random_matrix<double>(4, 4, 42);
+  auto b = random_matrix<double>(4, 4, 42);
+  EXPECT_EQ(difference_norm<double>(a.view(), b.view()), 0.0);
+  auto c = random_matrix<double>(4, 4, 43);
+  EXPECT_GT(difference_norm<double>(a.view(), c.view()), 0.0);
+}
+
+TEST(Generate, UpperTriangular) {
+  auto r = random_upper_triangular<double>(5, 1);
+  EXPECT_EQ(below_diagonal_max<double>(r.view()), 0.0);
+  EXPECT_NE(r(0, 0), 0.0);
+}
+
+TEST(MatrixChecks, InvalidDimensionsThrow) {
+  EXPECT_THROW(TileMatrix<double>(0, 5, 4), Error);
+  EXPECT_THROW(TileMatrix<double>(5, 5, 0), Error);
+}
+
+}  // namespace
+}  // namespace tiledqr

@@ -1,0 +1,169 @@
+// Cross-cutting property tests over (p, q) sweeps: invariants that must hold
+// for every algorithm of the zoo simultaneously.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/plan.hpp"
+#include "sim/critical_path.hpp"
+#include "sim/dynamic.hpp"
+#include "trees/generators.hpp"
+
+namespace tiledqr {
+namespace {
+
+using trees::EliminationList;
+using trees::KernelFamily;
+
+struct Sweep {
+  int p, q;
+};
+
+class PropertySweep : public ::testing::TestWithParam<Sweep> {
+ protected:
+  /// Every static algorithm under test (TT-kernel lists only where needed).
+  static std::vector<std::pair<std::string, EliminationList>> tt_lists(int p, int q) {
+    std::vector<std::pair<std::string, EliminationList>> lists;
+    lists.emplace_back("flat", trees::flat_tree(p, q, KernelFamily::TT));
+    lists.emplace_back("binary", trees::binary_tree(p, q));
+    lists.emplace_back("fibonacci", trees::fibonacci_tree(p, q));
+    lists.emplace_back("greedy", trees::greedy_tree(p, q));
+    for (int bs : {2, 5, (p + 1) / 2})
+      if (bs >= 1)
+        lists.emplace_back("plasma" + std::to_string(bs),
+                           trees::plasma_tree(p, q, bs, KernelFamily::TT));
+    return lists;
+  }
+};
+
+TEST_P(PropertySweep, DynamicFixedEngineAgreesWithStaticAnalysis) {
+  auto [p, q] = GetParam();
+  for (const auto& [name, list] : tt_lists(p, q)) {
+    auto dyn = sim::simulate_fixed(p, q, list);
+    EXPECT_EQ(dyn.critical_path, sim::critical_path_units(p, q, list))
+        << name << " " << p << "x" << q;
+  }
+}
+
+TEST_P(PropertySweep, ZeroTimesStrictlyIncreaseAlongRows) {
+  auto [p, q] = GetParam();
+  for (const auto& [name, list] : tt_lists(p, q)) {
+    auto g = dag::build_task_graph(p, q, list);
+    auto cp = sim::earliest_finish(g);
+    auto z = sim::zero_time_table(g, cp);
+    for (int i = 1; i < p; ++i)
+      for (int k = 1; k < std::min(i, q); ++k)
+        EXPECT_LT(z[size_t(i)][size_t(k - 1)], z[size_t(i)][size_t(k)])
+            << name << " tile (" << i << "," << k << ")";
+  }
+}
+
+TEST_P(PropertySweep, EdgesAlwaysPointForward) {
+  auto [p, q] = GetParam();
+  for (const auto& [name, list] : tt_lists(p, q)) {
+    auto g = dag::build_task_graph(p, q, list);
+    for (size_t t = 0; t < g.tasks.size(); ++t)
+      for (auto s : g.tasks[t].succ) ASSERT_GT(size_t(s), t) << name;
+  }
+}
+
+TEST_P(PropertySweep, GeneratorsAreDeterministic) {
+  auto [p, q] = GetParam();
+  EXPECT_EQ(trees::greedy_tree(p, q), trees::greedy_tree(p, q));
+  EXPECT_EQ(trees::fibonacci_tree(p, q), trees::fibonacci_tree(p, q));
+  auto a1 = sim::simulate_asap(p, q);
+  auto a2 = sim::simulate_asap(p, q);
+  EXPECT_EQ(a1.list, a2.list);
+  EXPECT_EQ(a1.critical_path, a2.critical_path);
+}
+
+TEST_P(PropertySweep, RemoveReverseEliminationsIsIdempotentOnGenerators) {
+  auto [p, q] = GetParam();
+  for (const auto& [name, list] : tt_lists(p, q)) {
+    auto same = trees::remove_reverse_eliminations(p, q, list);
+    EXPECT_EQ(same, list) << name;  // generators never produce reverse elims
+  }
+}
+
+TEST_P(PropertySweep, GreedyCriticalPathIsBestAmongStaticTrees) {
+  // Not a theorem (Asap can beat Greedy), but it holds against every static
+  // tree in the zoo across this sweep -- the paper's Table 5 claim.
+  auto [p, q] = GetParam();
+  long greedy = sim::critical_path_units(p, q, trees::greedy_tree(p, q));
+  for (const auto& [name, list] : tt_lists(p, q))
+    EXPECT_LE(greedy, sim::critical_path_units(p, q, list)) << name;
+}
+
+TEST_P(PropertySweep, CoarseSchedulesAreConsistentWithLists) {
+  auto [p, q] = GetParam();
+  for (auto* sched : {&trees::coarse_sameh_kuck, &trees::coarse_fibonacci,
+                      &trees::coarse_greedy, &trees::coarse_binary}) {
+    auto s = (*sched)(p, q);
+    auto v = trees::validate_elimination_list(p, q, s.list);
+    EXPECT_TRUE(v.ok) << v.message;
+    // step table covers exactly the sub-diagonal tiles.
+    for (int i = 0; i < p; ++i)
+      for (int k = 0; k < q; ++k) {
+        bool below = i > k && k < std::min(p, q);
+        EXPECT_EQ(s.step[size_t(i)][size_t(k)] > 0, below) << i << "," << k;
+      }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PropertySweep,
+                         ::testing::Values(Sweep{2, 2}, Sweep{4, 2}, Sweep{7, 3}, Sweep{8, 8},
+                                           Sweep{13, 5}, Sweep{15, 6}, Sweep{21, 4},
+                                           Sweep{24, 24}, Sweep{31, 9}, Sweep{40, 13}),
+                         [](const auto& inst) {
+                           return "p" + std::to_string(inst.param.p) + "_q" +
+                                  std::to_string(inst.param.q);
+                         });
+
+TEST(CoarseGreedy, SingleColumnIsBinomialLog) {
+  // With one column the greedy coarse schedule halves the rows per step.
+  for (int p : {2, 3, 5, 8, 9, 16, 33, 100})
+    EXPECT_EQ(trees::coarse_greedy(p, 1).makespan, int(std::ceil(std::log2(double(p))))) << p;
+}
+
+TEST(DynamicVsStatic, AsapNeverBeatsGreedyByMuchOnTallGrids) {
+  // Sanity for the paper's Table 4b narrative: on tall grids Greedy clearly
+  // wins; near-square they are within a few percent.
+  for (auto [p, q] : std::vector<std::pair<int, int>>{{32, 16}, {64, 16}}) {
+    long greedy = sim::critical_path_units(p, q, trees::greedy_tree(p, q));
+    long asap = sim::simulate_asap(p, q).critical_path;
+    EXPECT_GT(asap, greedy) << p << "x" << q;
+  }
+  long g = sim::critical_path_units(16, 16, trees::greedy_tree(16, 16));
+  long a = sim::simulate_asap(16, 16).critical_path;
+  EXPECT_LE(std::abs(a - g), g / 10);
+}
+
+TEST(BestBs, MatchesExhaustiveScanDefinition) {
+  const int p = 17, q = 5;
+  auto best = core::best_plasma_bs(p, q, KernelFamily::TT);
+  long expect = -1;
+  for (int bs = 1; bs <= p; ++bs) {
+    long cp = sim::critical_path_units(
+        p, q, trees::plasma_tree(p, q, bs, KernelFamily::TT));
+    if (expect < 0 || cp < expect) expect = cp;
+  }
+  EXPECT_EQ(best.critical_path, expect);
+  EXPECT_EQ(sim::critical_path_units(p, q,
+                                     trees::plasma_tree(p, q, best.bs, KernelFamily::TT)),
+            expect);
+}
+
+TEST(Plan, GrasapPlanIsValidAndExecutable) {
+  using trees::TreeConfig;
+  using trees::TreeKind;
+  for (int k : {0, 1, 2, 5}) {
+    TreeConfig c{TreeKind::Grasap, KernelFamily::TT, 1, k};
+    auto plan = core::make_plan(12, 5, c);
+    auto v = trees::validate_elimination_list(12, 5, plan.list);
+    EXPECT_TRUE(v.ok) << "k=" << k << ": " << v.message;
+    EXPECT_EQ(plan.graph.total_weight(), 6L * 12 * 25 - 2L * 125);
+  }
+}
+
+}  // namespace
+}  // namespace tiledqr

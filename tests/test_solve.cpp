@@ -1,0 +1,156 @@
+// Tests for the solver layer: apply_q round trips, least squares against the
+// reference solver, and square-system solves.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "core/tiled_qr.hpp"
+#include "kernels/reference_qr.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/norms.hpp"
+
+namespace tiledqr {
+namespace {
+
+using core::Options;
+using core::TiledQr;
+using kernels::ApplyTrans;
+using trees::KernelFamily;
+using trees::TreeConfig;
+using trees::TreeKind;
+
+Options small_opts(TreeKind kind = TreeKind::Greedy, KernelFamily fam = KernelFamily::TT) {
+  Options opt;
+  opt.tree = TreeConfig{kind, fam, 2, 1};
+  opt.nb = 8;
+  opt.ib = 4;
+  opt.threads = 2;
+  return opt;
+}
+
+using Scalars = ::testing::Types<double, std::complex<double>>;
+
+template <typename T>
+class SolveTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(SolveTyped, Scalars);
+
+TYPED_TEST(SolveTyped, ApplyQRoundTrip) {
+  using T = TypeParam;
+  const int m = 40, n = 24;
+  auto a = random_matrix<T>(m, n, 3);
+  auto qr = TiledQr<T>::factorize(a.view(), small_opts());
+  auto c0 = random_matrix<T>(m, 2 * 8, 5);
+  auto c = TileMatrix<T>::from_dense(c0.view(), 8);
+  qr.apply_q(ApplyTrans::NoTrans, c);
+  qr.apply_q(ApplyTrans::ConjTrans, c);
+  auto back = c.to_dense();
+  EXPECT_LE(double(difference_norm<T>(back.view(), c0.view())), 1e-11);
+}
+
+TYPED_TEST(SolveTyped, QtAOnTilesEqualsR) {
+  using T = TypeParam;
+  const int m = 32, n = 16;
+  auto a = random_matrix<T>(m, n, 7);
+  auto qr = TiledQr<T>::factorize(a.view(), small_opts());
+  auto c = TileMatrix<T>::from_dense(a.view(), 8);
+  qr.apply_q(ApplyTrans::ConjTrans, c);
+  auto qta = c.to_dense();
+  auto r = qr.r_factor();
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) {
+      T want = (i <= j && i < n) ? r(i, j) : T(0);
+      EXPECT_LE(std::abs(qta(i, j) - want), 1e-11) << i << "," << j;
+    }
+}
+
+TYPED_TEST(SolveTyped, LeastSquaresMatchesReference) {
+  using T = TypeParam;
+  const int m = 45, n = 17;  // ragged on purpose
+  auto a = random_matrix<T>(m, n, 11);
+  auto b = random_matrix<T>(m, 3, 13);
+  auto qr = TiledQr<T>::factorize(a.view(), small_opts());
+  auto x = qr.solve_least_squares(b.view());
+  auto xref = kernels::reference_least_squares<T>(a.view(), b.view());
+  EXPECT_LE(double(difference_norm<T>(x.view(), xref.view())), 1e-10);
+}
+
+TYPED_TEST(SolveTyped, LeastSquaresResidualOrthogonalToRange) {
+  using T = TypeParam;
+  const int m = 64, n = 20;
+  auto a = random_matrix<T>(m, n, 17);
+  auto b = random_matrix<T>(m, 1, 19);
+  auto qr = TiledQr<T>::factorize(a.view(), small_opts(TreeKind::Fibonacci));
+  auto x = qr.solve_least_squares(b.view());
+  Matrix<T> r(m, 1);
+  copy(b.view(), r.view());
+  blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, T(1), a.view(), x.view(), T(-1), r.view());
+  Matrix<T> atr(n, 1);
+  blas::gemm(blas::Op::ConjTrans, blas::Op::NoTrans, T(1), a.view(), r.view(), T(0), atr.view());
+  EXPECT_LE(double(frobenius_norm<T>(atr.view())), 1e-10);
+}
+
+TYPED_TEST(SolveTyped, SquareSolve) {
+  using T = TypeParam;
+  const int n = 32;
+  auto a = random_matrix<T>(n, n, 23);
+  for (int i = 0; i < n; ++i) a(i, i) += T(8);  // well-conditioned
+  auto xtrue = random_matrix<T>(n, 2, 29);
+  Matrix<T> b(n, 2);
+  blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, T(1), a.view(), xtrue.view(), T(0), b.view());
+  auto qr = TiledQr<T>::factorize(a.view(), small_opts());
+  auto x = qr.solve(b.view());
+  EXPECT_LE(double(difference_norm<T>(x.view(), xtrue.view()) / frobenius_norm<T>(xtrue.view())),
+            1e-10);
+}
+
+TYPED_TEST(SolveTyped, ExactlySolvableOverdeterminedSystem) {
+  using T = TypeParam;
+  // b in range(A): residual must be ~0 and x recovers the generator.
+  const int m = 48, n = 12;
+  auto a = random_matrix<T>(m, n, 31);
+  auto xtrue = random_matrix<T>(n, 1, 37);
+  Matrix<T> b(m, 1);
+  blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, T(1), a.view(), xtrue.view(), T(0), b.view());
+  auto qr = TiledQr<T>::factorize(a.view(), small_opts(TreeKind::PlasmaTree));
+  auto x = qr.solve_least_squares(b.view());
+  EXPECT_LE(double(difference_norm<T>(x.view(), xtrue.view())), 1e-9);
+}
+
+TEST(Solve, TsKernelsGiveSameSolution) {
+  const int m = 40, n = 16;
+  auto a = random_matrix<double>(m, n, 41);
+  auto b = random_matrix<double>(m, 1, 43);
+  auto qtt = TiledQr<double>::factorize(a.view(), small_opts(TreeKind::Greedy));
+  auto qts = TiledQr<double>::factorize(a.view(), small_opts(TreeKind::FlatTree,
+                                                             KernelFamily::TS));
+  auto x1 = qtt.solve_least_squares(b.view());
+  auto x2 = qts.solve_least_squares(b.view());
+  EXPECT_LE(difference_norm<double>(x1.view(), x2.view()), 1e-10);
+}
+
+TEST(Solve, ShapeChecksThrow) {
+  auto a = random_matrix<double>(24, 8, 47);
+  auto qr = TiledQr<double>::factorize(a.view(), small_opts());
+  auto bad = random_matrix<double>(23, 1, 49);
+  EXPECT_THROW((void)qr.solve_least_squares(bad.view()), Error);
+  EXPECT_THROW((void)qr.solve(bad.view()), Error);  // not square
+  TileMatrix<double> wrong_tiling(24, 8, 6);
+  EXPECT_THROW(qr.apply_q(ApplyTrans::NoTrans, wrong_tiling), Error);
+}
+
+TEST(Solve, QThinFirstColumnsSpanA) {
+  // Projection of A onto range(Q) equals A.
+  const int m = 36, n = 12;
+  auto a = random_matrix<double>(m, n, 53);
+  auto qr = TiledQr<double>::factorize(a.view(), small_opts(TreeKind::Asap));
+  auto q = qr.q_thin();
+  Matrix<double> qta(n, n);
+  blas::gemm(blas::Op::ConjTrans, blas::Op::NoTrans, 1.0, q.view(), a.view(), 0.0, qta.view());
+  Matrix<double> proj(m, n);
+  blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, 1.0, q.view(), qta.view(), 0.0, proj.view());
+  EXPECT_LE(difference_norm<double>(proj.view(), a.view()) / frobenius_norm<double>(a.view()),
+            1e-11);
+}
+
+}  // namespace
+}  // namespace tiledqr

@@ -1,0 +1,194 @@
+// Tests for the elimination-list generators and the coarse-grain model,
+// including the exact Table 2 oracles and Lemma 1.
+#include <gtest/gtest.h>
+
+#include "paper_oracles.hpp"
+#include "common/error.hpp"
+#include "trees/generators.hpp"
+
+namespace tiledqr {
+namespace {
+
+using trees::EliminationList;
+using trees::KernelFamily;
+using trees::TreeConfig;
+using trees::TreeKind;
+
+oracles::Table to_table(const std::vector<std::vector<int>>& v) {
+  oracles::Table t(v.size());
+  for (size_t i = 0; i < v.size(); ++i) t[i].assign(v[i].begin(), v[i].end());
+  return t;
+}
+
+TEST(CoarseModel, Table2SamehKuckExact) {
+  EXPECT_EQ(to_table(trees::coarse_sameh_kuck(15, 6).step), oracles::table2_sameh_kuck());
+}
+
+TEST(CoarseModel, Table2FibonacciExact) {
+  EXPECT_EQ(to_table(trees::coarse_fibonacci(15, 6).step), oracles::table2_fibonacci());
+}
+
+TEST(CoarseModel, Table2GreedyExact) {
+  EXPECT_EQ(to_table(trees::coarse_greedy(15, 6).step), oracles::table2_greedy());
+}
+
+TEST(CoarseModel, SamehKuckCriticalPathFormula) {
+  // p + q - 2 for p > q; 2q - 3 for p == q (paper §3.1).
+  for (auto [p, q] : std::vector<std::pair<int, int>>{{5, 2}, {15, 6}, {40, 10}, {33, 32}})
+    EXPECT_EQ(trees::coarse_sameh_kuck(p, q).makespan, p + q - 2) << p << "," << q;
+  for (int n : {2, 3, 8, 16}) EXPECT_EQ(trees::coarse_sameh_kuck(n, n).makespan, 2 * n - 3) << n;
+}
+
+TEST(CoarseModel, FibonacciCriticalPathFormula) {
+  // x + 2q - 2 for p > q with x the least integer with x(x+1)/2 >= p-1.
+  for (auto [p, q] : std::vector<std::pair<int, int>>{{15, 6}, {40, 10}, {28, 5}, {100, 30}}) {
+    int x = trees::fibonacci_x(p);
+    EXPECT_EQ(trees::coarse_fibonacci(p, q).makespan, x + 2 * q - 2) << p << "," << q;
+  }
+}
+
+TEST(CoarseModel, FibonacciXDefinition) {
+  EXPECT_EQ(trees::fibonacci_x(2), 1);
+  EXPECT_EQ(trees::fibonacci_x(15), 5);   // 5*6/2 = 15 >= 14
+  EXPECT_EQ(trees::fibonacci_x(16), 5);   // 15 >= 15
+  EXPECT_EQ(trees::fibonacci_x(17), 6);
+  for (int p = 2; p < 400; ++p) {
+    int x = trees::fibonacci_x(p);
+    EXPECT_GE(x * (x + 1) / 2, p - 1);
+    EXPECT_LT((x - 1) * x / 2, p - 1);
+  }
+}
+
+TEST(CoarseModel, GreedyIsOptimalNeverSlowerThanOthers) {
+  for (auto [p, q] : std::vector<std::pair<int, int>>{{8, 3}, {15, 6}, {40, 10}, {64, 16}}) {
+    int g = trees::coarse_greedy(p, q).makespan;
+    EXPECT_LE(g, trees::coarse_fibonacci(p, q).makespan);
+    EXPECT_LE(g, trees::coarse_sameh_kuck(p, q).makespan);
+    EXPECT_LE(g, trees::coarse_binary(p, q).makespan);
+  }
+}
+
+// ---- Generator validity over (p, q) sweeps -----------------------------------
+
+struct GenCase {
+  int p, q;
+};
+class GeneratorValidity : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorValidity, AllStaticGeneratorsProduceValidLists) {
+  auto [p, q] = GetParam();
+  std::vector<std::pair<std::string, EliminationList>> lists;
+  lists.emplace_back("flat-tt", trees::flat_tree(p, q, KernelFamily::TT));
+  lists.emplace_back("flat-ts", trees::flat_tree(p, q, KernelFamily::TS));
+  lists.emplace_back("binary", trees::binary_tree(p, q));
+  lists.emplace_back("fibonacci", trees::fibonacci_tree(p, q));
+  lists.emplace_back("greedy", trees::greedy_tree(p, q));
+  for (int bs : {1, 2, 3, 5, p}) {
+    lists.emplace_back("plasma-tt-" + std::to_string(bs),
+                       trees::plasma_tree(p, q, bs, KernelFamily::TT));
+    lists.emplace_back("plasma-ts-" + std::to_string(bs),
+                       trees::plasma_tree(p, q, bs, KernelFamily::TS));
+  }
+  for (const auto& [name, list] : lists) {
+    auto v = trees::validate_elimination_list(p, q, list);
+    EXPECT_TRUE(v.ok) << name << " (" << p << "x" << q << "): " << v.message;
+    // Exactly one elimination per sub-diagonal tile.
+    size_t expected = 0;
+    for (int k = 0; k < std::min(p, q); ++k) expected += size_t(p - 1 - k);
+    EXPECT_EQ(list.size(), expected) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GeneratorValidity,
+                         ::testing::Values(GenCase{1, 1}, GenCase{2, 1}, GenCase{2, 2},
+                                           GenCase{3, 2}, GenCase{5, 5}, GenCase{8, 3},
+                                           GenCase{15, 6}, GenCase{16, 16}, GenCase{23, 7},
+                                           GenCase{40, 13}, GenCase{64, 9}),
+                         [](const auto& inst) {
+                           return "p" + std::to_string(inst.param.p) + "_q" +
+                                  std::to_string(inst.param.q);
+                         });
+
+TEST(Validation, CatchesDoubleElimination) {
+  EliminationList bad{{1, 0, 0, false}, {1, 0, 0, false}};
+  EXPECT_FALSE(trees::validate_elimination_list(3, 1, bad).ok);
+}
+
+TEST(Validation, CatchesMissingElimination) {
+  EliminationList bad{{1, 0, 0, false}};
+  auto v = trees::validate_elimination_list(3, 1, bad);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.message.find("never eliminated"), std::string::npos);
+}
+
+TEST(Validation, CatchesZeroedPivot) {
+  // Row 1 is zeroed first, then used as a pivot: invalid.
+  EliminationList bad{{1, 0, 0, false}, {2, 1, 0, false}};
+  EXPECT_FALSE(trees::validate_elimination_list(3, 1, bad).ok);
+}
+
+TEST(Validation, CatchesNotReadyRow) {
+  // elim(2, 1, 1) before row 2 is zeroed in column 0.
+  EliminationList bad{{1, 0, 0, false}, {2, 1, 1, false}, {2, 0, 0, false}, {2, 1, 1, false}};
+  EXPECT_FALSE(trees::validate_elimination_list(3, 2, bad).ok);
+}
+
+TEST(Validation, CatchesTsOnTriangularTile) {
+  // Row 2 is first a TT victim's pivot?? No: make row 2 a pivot (GEQRT) then
+  // TS-eliminate it: TSQRT on triangularized tile is invalid.
+  EliminationList bad{{3, 2, 0, false}, {2, 0, 0, true}, {1, 0, 0, false}};
+  auto v = trees::validate_elimination_list(4, 1, bad);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.message.find("TS elimination"), std::string::npos);
+}
+
+TEST(Validation, AcceptsReverseEliminations) {
+  // Reverse eliminations (row < piv) are legal for generic algorithms.
+  EliminationList rev{{1, 2, 0, false}, {2, 0, 0, false}};
+  EXPECT_TRUE(trees::validate_elimination_list(3, 1, rev).ok)
+      << trees::validate_elimination_list(3, 1, rev).message;
+}
+
+TEST(Lemma1, RemovesReverseEliminationsAndStaysValid) {
+  EliminationList rev{{1, 2, 0, false}, {3, 2, 0, false}, {2, 0, 0, false}};
+  ASSERT_TRUE(trees::validate_elimination_list(4, 1, rev).ok);
+  auto fwd = trees::remove_reverse_eliminations(4, 1, rev);
+  for (const auto& e : fwd) EXPECT_GT(e.row, e.piv);
+  auto v = trees::validate_elimination_list(4, 1, fwd);
+  EXPECT_TRUE(v.ok) << v.message;
+}
+
+TEST(Lemma1, NoOpOnForwardLists) {
+  auto list = trees::greedy_tree(10, 4);
+  auto same = trees::remove_reverse_eliminations(10, 4, list);
+  EXPECT_EQ(list, same);
+}
+
+TEST(TreeConfig, Names) {
+  EXPECT_EQ(TreeConfig{}.name(), "Greedy");
+  EXPECT_EQ((TreeConfig{TreeKind::FlatTree, KernelFamily::TS, 1, 0}.name()), "FlatTree(TS)");
+  EXPECT_EQ((TreeConfig{TreeKind::PlasmaTree, KernelFamily::TT, 7, 0}.name()),
+            "PlasmaTree(TT,BS=7)");
+  EXPECT_EQ((TreeConfig{TreeKind::Grasap, KernelFamily::TT, 1, 3}.name()), "Grasap(3)");
+  EXPECT_TRUE(trees::is_dynamic(TreeKind::Asap));
+  EXPECT_FALSE(trees::is_dynamic(TreeKind::Greedy));
+}
+
+TEST(Generators, PlasmaTreeDegenerateCases) {
+  // BS = 1 is a pure binary tree; BS >= p is a pure flat tree.
+  EXPECT_EQ(trees::plasma_tree(8, 3, 1, KernelFamily::TT), trees::binary_tree(8, 3));
+  EXPECT_EQ(trees::plasma_tree(8, 3, 8, KernelFamily::TT),
+            trees::flat_tree(8, 3, KernelFamily::TT));
+  EXPECT_EQ(trees::plasma_tree(8, 3, 20, KernelFamily::TS),
+            trees::flat_tree(8, 3, KernelFamily::TS));
+}
+
+TEST(Generators, DispatcherMatchesDirectCalls) {
+  TreeConfig c{TreeKind::Fibonacci, KernelFamily::TT, 1, 0};
+  EXPECT_EQ(trees::make_static_elimination_list(12, 5, c), trees::fibonacci_tree(12, 5));
+  c.kind = TreeKind::Asap;
+  EXPECT_THROW(trees::make_static_elimination_list(12, 5, c), Error);
+}
+
+}  // namespace
+}  // namespace tiledqr
