@@ -1,0 +1,252 @@
+// Serving throughput: the regime the persistent runtime exists for.
+//
+// Three execution strategies over the same work:
+//   spawn-per-call   — the seed behavior: re-plan the DAG and spawn/join a
+//                      fresh std::thread pool for every factorization
+//   pool-sequential  — persistent pool + plan cache, one factorization at a
+//                      time (submit, wait, repeat)
+//   pool-batch       — QrSession::factorize_batch: all DAGs in flight at
+//                      once, interleaved on the shared pool
+//
+// Workloads: a batch of small QRs (default 64 x 512x512, nb = 128 — tiny
+// 4x4-tile DAGs where scheduling overhead dominates) and one large QR
+// (default 2048x2048; TILEDQR_LARGE_N=4096 for the paper-scale point).
+//
+// Emits a table and, unless TILEDQR_BENCH_JSON is empty, a JSON blob with
+// the raw numbers (fact/sec, speedups, plan-cache hit rate) so CI and later
+// PRs have a perf trajectory to compare against.
+//
+// Env knobs: TILEDQR_SERVE_COUNT, TILEDQR_SERVE_N, TILEDQR_SERVE_NB,
+// TILEDQR_LARGE_N, TILEDQR_THREADS, TILEDQR_REPS, TILEDQR_QUICK,
+// TILEDQR_BENCH_JSON (output path, default BENCH_serving.json).
+#include <fstream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "core/qr_session.hpp"
+#include "matrix/generate.hpp"
+#include "runtime/thread_pool.hpp"
+
+using namespace tiledqr;
+
+namespace {
+
+struct ModeResult {
+  double seconds = 0.0;
+  double per_sec = 0.0;
+};
+
+/// Pre-tiled inputs; every mode starts from a fresh copy of the same tiles,
+/// so layout conversion cost is identical (and outside the timer).
+struct Workload {
+  std::vector<TileMatrix<double>> tiles;
+  core::Options opt;
+};
+
+Workload make_workload(int count, std::int64_t n, int nb, int ib) {
+  Workload w;
+  w.opt.nb = nb;
+  w.opt.ib = std::min(ib, nb);
+  w.tiles.reserve(size_t(count));
+  for (int i = 0; i < count; ++i) {
+    auto dense = random_matrix<double>(n, n, 0xBEEF + unsigned(i));
+    w.tiles.push_back(TileMatrix<double>::from_dense(dense.view(), nb));
+  }
+  return w;
+}
+
+/// Seed behavior: plan from scratch and spawn/join threads for every call.
+ModeResult run_spawn_per_call(const Workload& w, int threads, int reps) {
+  ModeResult out;
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    for (const auto& t0 : w.tiles) {
+      TileMatrix<double> a = t0;
+      auto plan = core::make_plan(a.mt(), a.nt(), w.opt.tree);
+      core::TStore<double> ts(a.mt(), a.nt(), w.opt.ib, a.nb());
+      core::TStore<double> t2s(a.mt(), a.nt(), w.opt.ib, a.nb());
+      runtime::execute_spawn(
+          plan.graph,
+          [&](std::int32_t idx) {
+            core::run_task_kernels(plan.graph.tasks[size_t(idx)], a, ts, t2s, w.opt.ib);
+          },
+          threads);
+    }
+    double sec = timer.seconds();
+    if (best < 0.0 || sec < best) best = sec;
+  }
+  out.seconds = best;
+  out.per_sec = double(w.tiles.size()) / best;
+  return out;
+}
+
+/// Persistent pool + plan cache, one factorization at a time.
+ModeResult run_pool_sequential(core::QrSession& session, const Workload& w, int reps) {
+  ModeResult out;
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    for (const auto& t0 : w.tiles) {
+      auto qr = session.submit(TileMatrix<double>(t0), w.opt).get();
+      (void)qr;
+    }
+    double sec = timer.seconds();
+    if (best < 0.0 || sec < best) best = sec;
+  }
+  out.seconds = best;
+  out.per_sec = double(w.tiles.size()) / best;
+  return out;
+}
+
+/// Persistent pool + plan cache, all DAGs in flight at once.
+ModeResult run_pool_batch(core::QrSession& session, const Workload& w, int reps) {
+  ModeResult out;
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    std::vector<std::future<core::TiledQr<double>>> futures;
+    futures.reserve(w.tiles.size());
+    for (const auto& t0 : w.tiles) futures.push_back(session.submit(TileMatrix<double>(t0), w.opt));
+    for (auto& f : futures) (void)f.get();
+    double sec = timer.seconds();
+    if (best < 0.0 || sec < best) best = sec;
+  }
+  out.seconds = best;
+  out.per_sec = double(w.tiles.size()) / best;
+  return out;
+}
+
+void add_mode_row(TextTable& t, const char* mode, const ModeResult& r, const ModeResult& base) {
+  t.add_row({mode, stringf("%.4f", r.seconds), stringf("%.2f", r.per_sec),
+             stringf("%.2fx", base.seconds / r.seconds)});
+}
+
+/// Pure scheduling overhead (paper fig. 2-3 style): drive the small-QR DAG
+/// with empty task bodies, so the only cost is planning + dispatch. This is
+/// the quantity the persistent pool + plan cache exist to shrink, and it is
+/// hardware-independent enough to compare across hosts.
+struct OverheadResult {
+  double spawn_us_per_graph = 0.0;
+  double pool_us_per_graph = 0.0;
+};
+
+OverheadResult run_overhead(int p, int q, int threads, int calls) {
+  OverheadResult out;
+  auto noop = [](std::int32_t) {};
+  const trees::TreeConfig tree{};
+  {
+    WallTimer timer;
+    for (int c = 0; c < calls; ++c) {
+      auto plan = core::make_plan(p, q, tree);  // seed: re-plan every call
+      runtime::execute_spawn(plan.graph, noop, threads);
+    }
+    out.spawn_us_per_graph = timer.seconds() * 1e6 / calls;
+  }
+  {
+    core::PlanCache cache;
+    runtime::ThreadPool pool(threads);
+    WallTimer timer;
+    for (int c = 0; c < calls; ++c) {
+      auto plan = cache.get(p, q, tree);
+      pool.run(plan->graph, noop);
+    }
+    out.pool_us_per_graph = timer.seconds() * 1e6 / calls;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::Knobs knobs;
+  const int threads = knobs.threads > 0 ? knobs.threads : default_thread_count();
+  const int count = int(env_long("TILEDQR_SERVE_COUNT", knobs.quick ? 16 : 64));
+  const std::int64_t small_n = env_long("TILEDQR_SERVE_N", knobs.quick ? 256 : 512);
+  const int small_nb = int(env_long("TILEDQR_SERVE_NB", 128));
+  const std::int64_t large_n = env_long("TILEDQR_LARGE_N", knobs.quick ? 1024 : 2048);
+
+  std::printf("=== Serving throughput: spawn-per-call vs persistent pool ===\n");
+  std::printf("threads=%d small=%dx %lldx%lld (nb=%d) large=%lldx%lld (nb=%d) reps=%d\n\n",
+              threads, count, (long long)small_n, (long long)small_n, small_nb,
+              (long long)large_n, (long long)large_n, small_nb, knobs.reps);
+
+  // ---- batch of small QRs --------------------------------------------- --
+  auto small = make_workload(count, small_n, small_nb, knobs.ib);
+  auto spawn_small = run_spawn_per_call(small, threads, knobs.reps);
+  core::QrSession session(core::QrSession::Config{threads});
+  auto seq_small = run_pool_sequential(session, small, knobs.reps);
+  auto batch_small = run_pool_batch(session, small, knobs.reps);
+  auto cache_stats = session.plan_cache_stats();
+  auto pool_stats = session.pool_stats();
+
+  TextTable ts(stringf("%d x %lldx%lld QRs (nb=%d, %d threads)", count, (long long)small_n,
+                       (long long)small_n, small_nb, threads));
+  ts.set_header({"mode", "seconds", "fact/s", "speedup"});
+  add_mode_row(ts, "spawn-per-call", spawn_small, spawn_small);
+  add_mode_row(ts, "pool-sequential", seq_small, spawn_small);
+  add_mode_row(ts, "pool-batch", batch_small, spawn_small);
+  bench::emit(ts, "serving_small", knobs);
+  std::printf("plan cache: %ld hits / %ld misses (hit rate %.3f), %zu entries\n",
+              cache_stats.hits, cache_stats.misses, cache_stats.hit_rate(), cache_stats.entries);
+  std::printf("pool: %ld graphs, %ld tasks executed, %ld stolen\n\n", pool_stats.graphs_completed,
+              pool_stats.tasks_executed, pool_stats.tasks_stolen);
+
+  // ---- pure scheduling overhead ----------------------------------------- --
+  const int tile_p = int((small_n + small_nb - 1) / small_nb);
+  const int overhead_calls = knobs.quick ? 100 : 400;
+  auto overhead = run_overhead(tile_p, tile_p, threads, overhead_calls);
+  std::printf("scheduling overhead on the %dx%d-tile DAG (empty bodies, %d calls):\n", tile_p,
+              tile_p, overhead_calls);
+  std::printf("  spawn-per-call + re-plan : %9.1f us/graph\n", overhead.spawn_us_per_graph);
+  std::printf("  persistent pool + cache  : %9.1f us/graph  (%.1fx less overhead)\n\n",
+              overhead.pool_us_per_graph,
+              overhead.spawn_us_per_graph / overhead.pool_us_per_graph);
+
+  // ---- one large QR ---------------------------------------------------- --
+  auto large = make_workload(1, large_n, small_nb, knobs.ib);
+  auto spawn_large = run_spawn_per_call(large, threads, knobs.reps);
+  core::QrSession large_session(core::QrSession::Config{threads});
+  auto pool_large = run_pool_sequential(large_session, large, knobs.reps);
+
+  TextTable tl(stringf("one %lldx%lld QR (nb=%d, %d threads)", (long long)large_n,
+                       (long long)large_n, small_nb, threads));
+  tl.set_header({"mode", "seconds", "fact/s", "speedup"});
+  add_mode_row(tl, "spawn-per-call", spawn_large, spawn_large);
+  add_mode_row(tl, "pool", pool_large, spawn_large);
+  bench::emit(tl, "serving_large", knobs);
+
+  // ---- JSON record ----------------------------------------------------- --
+  auto json_path = env_string("TILEDQR_BENCH_JSON").value_or("BENCH_serving.json");
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    json << "{\n"
+         << "  \"bench\": \"serving_throughput\",\n"
+         << stringf("  \"host\": {\"hardware_threads\": %u, \"bench_threads\": %d},\n",
+                    std::thread::hardware_concurrency(), threads)
+         << stringf("  \"small\": {\"count\": %d, \"n\": %lld, \"nb\": %d,\n", count,
+                    (long long)small_n, small_nb)
+         << stringf("    \"spawn_per_call\": {\"seconds\": %.6f, \"per_sec\": %.3f},\n",
+                    spawn_small.seconds, spawn_small.per_sec)
+         << stringf("    \"pool_sequential\": {\"seconds\": %.6f, \"per_sec\": %.3f},\n",
+                    seq_small.seconds, seq_small.per_sec)
+         << stringf("    \"pool_batch\": {\"seconds\": %.6f, \"per_sec\": %.3f},\n",
+                    batch_small.seconds, batch_small.per_sec)
+         << stringf("    \"speedup_pool_batch_vs_spawn\": %.3f,\n",
+                    spawn_small.seconds / batch_small.seconds)
+         << stringf("    \"plan_cache\": {\"hits\": %ld, \"misses\": %ld, \"hit_rate\": %.4f}},\n",
+                    cache_stats.hits, cache_stats.misses, cache_stats.hit_rate())
+         << stringf("  \"scheduling_overhead_us_per_graph\": {\"spawn_per_call\": %.1f, "
+                    "\"persistent_pool\": %.1f, \"ratio\": %.2f},\n",
+                    overhead.spawn_us_per_graph, overhead.pool_us_per_graph,
+                    overhead.spawn_us_per_graph / overhead.pool_us_per_graph)
+         << stringf("  \"large\": {\"n\": %lld, \"nb\": %d,\n", (long long)large_n, small_nb)
+         << stringf("    \"spawn_per_call\": {\"seconds\": %.6f},\n", spawn_large.seconds)
+         << stringf("    \"pool\": {\"seconds\": %.6f},\n", pool_large.seconds)
+         << stringf("    \"speedup_pool_vs_spawn\": %.3f}\n", spawn_large.seconds / pool_large.seconds)
+         << "}\n";
+    std::printf("(json written to %s)\n", json_path.c_str());
+  }
+  return 0;
+}

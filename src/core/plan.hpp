@@ -18,8 +18,9 @@ struct Plan {
 /// Builds the full plan for a p x q tile grid.
 [[nodiscard]] Plan make_plan(int p, int q, const trees::TreeConfig& config);
 
-/// Critical path only (cheaper than make_plan for sweeps is not needed;
-/// provided for readability at call sites).
+/// Critical path only. Builds the full plan internally (it is not cheaper
+/// than make_plan); provided for readability at call sites that sweep many
+/// configurations and only need the critical-path length.
 [[nodiscard]] long plan_critical_path(int p, int q, const trees::TreeConfig& config);
 
 /// Searches PlasmaTree domain sizes 1..p and returns the best (BS, critical

@@ -1,0 +1,57 @@
+#include "core/plan_cache.hpp"
+
+namespace tiledqr::core {
+
+size_t PlanCache::KeyHash::operator()(const Key& k) const noexcept {
+  // FNV-1a over the key fields; cheap and well-mixed for small int tuples.
+  size_t h = 14695981039346656037ull;
+  auto mix = [&h](size_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(size_t(k.p));
+  mix(size_t(k.q));
+  mix(size_t(k.config.kind));
+  mix(size_t(k.config.family));
+  mix(size_t(k.config.bs));
+  mix(size_t(k.config.grasap_k));
+  return h;
+}
+
+std::shared_ptr<const Plan> PlanCache::get(int p, int q, const trees::TreeConfig& config) {
+  const Key key{p, q, config};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Plan outside the lock: planning a big grid must not block hits on other
+  // shapes. Concurrent misses of the same key each plan; first insert wins.
+  auto plan = std::make_shared<const Plan>(make_plan(p, q, config));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = map_.try_emplace(key, std::move(plan));
+  ++misses_;
+  return it->second;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_, map_.size()};
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+PlanCache& PlanCache::default_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace tiledqr::core

@@ -1,0 +1,64 @@
+// PlanCache: memoized planning for the serving regime.
+//
+// A Plan (elimination list + task DAG + critical path) depends only on the
+// tile grid shape and the algorithm selection — never on matrix values — and
+// planning is deterministic even for the "dynamic" trees (Asap/Grasap),
+// whose lists come from the deterministic weighted simulator. Repeated
+// factorizations of the same shape can therefore share one immutable Plan:
+// the cache turns per-call elimination-list generation + DAG construction
+// into a hash lookup, which is what makes many small repeated QRs cheap
+// (scheduling overhead, not flops, dominates there — paper §2.3 / ROADMAP).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/plan.hpp"
+
+namespace tiledqr::core {
+
+/// Thread-safe memoizing cache of Plans keyed on (p, q, TreeConfig).
+/// Returned plans are shared and immutable; entries live until clear().
+class PlanCache {
+ public:
+  struct Stats {
+    long hits = 0;
+    long misses = 0;
+    size_t entries = 0;
+
+    [[nodiscard]] double hit_rate() const noexcept {
+      long total = hits + misses;
+      return total == 0 ? 0.0 : double(hits) / double(total);
+    }
+  };
+
+  /// Returns the cached plan for the shape, planning on first use. Safe to
+  /// call concurrently; on a concurrent miss of the same key one plan wins
+  /// and the others are discarded (planning is outside the lock).
+  [[nodiscard]] std::shared_ptr<const Plan> get(int p, int q, const trees::TreeConfig& config);
+
+  [[nodiscard]] Stats stats() const;
+  void clear();
+
+  /// Process-wide cache consulted by TiledQr<T>::factorize.
+  static PlanCache& default_cache();
+
+ private:
+  struct Key {
+    int p;
+    int q;
+    trees::TreeConfig config;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const noexcept;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const Plan>, KeyHash> map_;
+  long hits_ = 0;
+  long misses_ = 0;
+};
+
+}  // namespace tiledqr::core

@@ -1,0 +1,135 @@
+// QrSession: the batched / asynchronous serving front end.
+//
+// A session owns a persistent worker pool and a plan cache and amortizes
+// both across many factorizations — the "heavy traffic of repeated, often
+// small, QRs" regime where spawn-per-call scheduling overhead dominates
+// flops. Independent factorizations become independent DAG submissions on
+// the shared pool, so a batch of small QRs interleaves: while one matrix
+// drains its critical path, workers steal ready tasks from the others.
+//
+//   core::QrSession session;                       // pool + plan cache
+//   auto fut = session.submit<double>(a.view(), opt);
+//   ...                                            // overlap with other work
+//   core::TiledQr<double> qr = fut.get();          // rethrows task errors
+//
+//   auto qrs = session.factorize_batch<double>(views, opt);  // 64 small QRs
+//
+// Results are bitwise identical to TiledQr<T>::factorize on the same input:
+// the same plan, the same kernels, and tasks that write disjoint regions.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/plan_cache.hpp"
+#include "core/tiled_qr.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace tiledqr::core {
+
+class QrSession {
+ public:
+  struct Config {
+    /// Worker count of the session pool; 0 = TILEDQR_THREADS or hardware
+    /// concurrency (the library-wide default rule).
+    int threads = 0;
+  };
+
+  QrSession() : pool_(0) {}
+  explicit QrSession(Config config) : pool_(config.threads) {}
+
+  QrSession(const QrSession&) = delete;
+  QrSession& operator=(const QrSession&) = delete;
+
+  /// Asynchronous factorization of a dense matrix (copied into tiled
+  /// layout on the calling thread). The future resolves once every kernel
+  /// has run; task exceptions surface through future::get().
+  template <typename T>
+  [[nodiscard]] std::future<TiledQr<T>> submit(ConstMatrixView<T> a, const Options& opt) {
+    return submit(TileMatrix<T>::from_dense(a, opt.nb), opt);
+  }
+
+  /// Asynchronous factorization of a tiled matrix (consumed).
+  /// `opt.threads > 0` caps how many pool workers this one factorization may
+  /// occupy; 0 lets it spread over the whole pool.
+  template <typename T>
+  [[nodiscard]] std::future<TiledQr<T>> submit(TileMatrix<T> a, Options opt) {
+    struct Pending {
+      TiledQr<T> qr;
+      std::promise<TiledQr<T>> promise;
+    };
+    const int worker_cap = opt.threads;
+    if (opt.threads <= 0) opt.threads = pool_.size();
+    auto state = std::make_shared<Pending>();
+    std::future<TiledQr<T>> future = state->promise.get_future();
+    try {
+      state->qr = TiledQr<T>::prepare(std::move(a), opt, cache_);
+    } catch (...) {
+      state->promise.set_exception(std::current_exception());
+      return future;
+    }
+    const dag::TaskGraph& graph = state->qr.plan_->graph;
+    const int ib = state->qr.opt_.ib;
+    pool_.submit(
+        graph,
+        [raw = state.get(), ib](std::int32_t idx) {
+          TiledQr<T>& qr = raw->qr;
+          run_task_kernels(qr.plan_->graph.tasks[size_t(idx)], qr.a_, qr.t_, qr.t2_, ib);
+        },
+        [state](std::exception_ptr error) {
+          if (error)
+            state->promise.set_exception(error);
+          else
+            state->promise.set_value(std::move(state->qr));
+        },
+        runtime::SchedulePriority::CriticalPath, worker_cap, state);
+    return future;
+  }
+
+  /// Factorizes a batch of independent matrices concurrently on the shared
+  /// pool (one DAG per matrix, interleaved) and waits for all of them.
+  /// Results are in input order; the first task exception is rethrown after
+  /// every submission has drained.
+  template <typename T>
+  [[nodiscard]] std::vector<TiledQr<T>> factorize_batch(std::span<const ConstMatrixView<T>> mats,
+                                                        const Options& opt) {
+    std::vector<std::future<TiledQr<T>>> futures;
+    futures.reserve(mats.size());
+    for (const auto& m : mats) futures.push_back(submit(m, opt));
+    std::vector<TiledQr<T>> out;
+    out.reserve(futures.size());
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+      try {
+        out.push_back(f.get());
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return out;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<TiledQr<T>> factorize_batch(
+      const std::vector<ConstMatrixView<T>>& mats, const Options& opt) {
+    return factorize_batch(std::span<const ConstMatrixView<T>>(mats), opt);
+  }
+
+  [[nodiscard]] runtime::ThreadPool& pool() noexcept { return pool_; }
+  [[nodiscard]] PlanCache& plan_cache() noexcept { return cache_; }
+  [[nodiscard]] PlanCache::Stats plan_cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] runtime::ThreadPool::Stats pool_stats() const noexcept { return pool_.stats(); }
+
+ private:
+  // Declaration order matters: the pool's destructor drains in-flight
+  // submissions, which still reference cached plans — so the cache must
+  // outlive the pool (destroyed after it).
+  PlanCache cache_;
+  runtime::ThreadPool pool_;
+};
+
+}  // namespace tiledqr::core

@@ -15,9 +15,12 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "blas/blas.hpp"
 #include "common/env.hpp"
 #include "core/plan.hpp"
+#include "core/plan_cache.hpp"
 #include "kernels/kernels.hpp"
 #include "matrix/tile_matrix.hpp"
 #include "runtime/executor.hpp"
@@ -105,23 +108,19 @@ class TiledQr {
     return factorize(TileMatrix<T>::from_dense(a, opt.nb), opt);
   }
 
-  /// Factorizes a tiled matrix in place (consumed).
+  /// Factorizes a tiled matrix in place (consumed). Plans come from the
+  /// process-wide PlanCache: repeated shapes skip elimination-list
+  /// generation and DAG construction entirely.
   [[nodiscard]] static TiledQr factorize(TileMatrix<T> a, Options opt) {
-    TiledQr qr;
-    if (opt.threads <= 0) opt.threads = default_thread_count();
-    qr.opt_ = opt;
-    qr.a_ = std::move(a);
-    qr.plan_ = make_plan(qr.a_.mt(), qr.a_.nt(), opt.tree);
-    qr.t_ = TStore<T>(qr.a_.mt(), qr.a_.nt(), opt.ib, qr.a_.nb());
-    qr.t2_ = TStore<T>(qr.a_.mt(), qr.a_.nt(), opt.ib, qr.a_.nb());
-    execute_graph(qr.plan_.graph, qr.a_, qr.t_, qr.t2_, opt.ib, opt.threads);
+    TiledQr qr = prepare(std::move(a), opt);
+    execute_graph(qr.plan_->graph, qr.a_, qr.t_, qr.t2_, qr.opt_.ib, qr.opt_.threads);
     return qr;
   }
 
   /// The factored tiles: R in the upper triangle of the top q tile rows,
   /// reflector data elsewhere.
   [[nodiscard]] const TileMatrix<T>& factors() const noexcept { return a_; }
-  [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const Plan& plan() const noexcept { return *plan_; }
   [[nodiscard]] const Options& options() const noexcept { return opt_; }
 
   /// The n x n (m >= n) or m x n upper-triangular/trapezoidal R factor.
@@ -146,7 +145,7 @@ class TiledQr {
     }
     // Transformation log in application order.
     std::vector<const dag::Task*> ops;
-    for (const auto& task : plan_.graph.tasks)
+    for (const auto& task : plan_->graph.tasks)
       if (task.kind == kernels::KernelKind::GEQRT || task.kind == kernels::KernelKind::TSQRT ||
           task.kind == kernels::KernelKind::TTQRT)
         ops.push_back(&task);
@@ -228,7 +227,7 @@ class TiledQr {
           break;  // update kernels are not part of the log
       }
     };
-    const auto& tasks = plan_.graph.tasks;
+    const auto& tasks = plan_->graph.tasks;
     if (trans == ApplyTrans::ConjTrans) {
       for (const auto& task : tasks) apply_one(task);
     } else {
@@ -270,9 +269,30 @@ class TiledQr {
   }
 
  private:
+  friend class QrSession;
+
+  /// Only prepare() and QrSession build TiledQr objects: a default-
+  /// constructed one would have a null plan_, so the constructor is not
+  /// part of the public API.
+  TiledQr() = default;
+
+  /// Allocates storage and fetches the (possibly cached) plan without
+  /// executing; factorize() and QrSession's async path both start here.
+  [[nodiscard]] static TiledQr prepare(TileMatrix<T> a, Options opt,
+                                       PlanCache& cache = PlanCache::default_cache()) {
+    TiledQr qr;
+    if (opt.threads <= 0) opt.threads = default_thread_count();
+    qr.opt_ = opt;
+    qr.a_ = std::move(a);
+    qr.plan_ = cache.get(qr.a_.mt(), qr.a_.nt(), opt.tree);
+    qr.t_ = TStore<T>(qr.a_.mt(), qr.a_.nt(), opt.ib, qr.a_.nb());
+    qr.t2_ = TStore<T>(qr.a_.mt(), qr.a_.nt(), opt.ib, qr.a_.nb());
+    return qr;
+  }
+
   Options opt_;
   TileMatrix<T> a_;
-  Plan plan_;
+  std::shared_ptr<const Plan> plan_;
   TStore<T> t_;
   TStore<T> t2_;
 };

@@ -24,12 +24,12 @@ class TileMatrix {
   TileMatrix() = default;
 
   /// Zero-initialized tiled matrix holding a logical m x n dense matrix.
+  /// (The divisions must not run before the nb check: nb == 0 would be a
+  /// SIGFPE in the member initializers, not a catchable Error.)
   TileMatrix(std::int64_t m, std::int64_t n, int nb)
-      : m_(m), n_(n), nb_(nb), mt_(int((m + nb - 1) / nb)), nt_(int((n + nb - 1) / nb)),
-        data_(size_t(mt_) * size_t(nt_) * size_t(nb) * size_t(nb)) {
-    TILEDQR_CHECK(m >= 1 && n >= 1, "tile matrix must be non-empty");
-    TILEDQR_CHECK(nb >= 1, "tile size must be positive");
-  }
+      : m_(m), n_(n), nb_(checked_nb(m, n, nb)), mt_(int((m + nb_ - 1) / nb_)),
+        nt_(int((n + nb_ - 1) / nb_)),
+        data_(size_t(mt_) * size_t(nt_) * size_t(nb_) * size_t(nb_)) {}
 
   /// Logical row/column counts.
   [[nodiscard]] std::int64_t m() const noexcept { return m_; }
@@ -79,6 +79,12 @@ class TileMatrix {
   }
 
  private:
+  [[nodiscard]] static int checked_nb(std::int64_t m, std::int64_t n, int nb) {
+    TILEDQR_CHECK(m >= 1 && n >= 1, "tile matrix must be non-empty");
+    TILEDQR_CHECK(nb >= 1, "tile size must be positive");
+    return nb;
+  }
+
   [[nodiscard]] T* tile_data(int i, int j) noexcept {
     return data_.data() + (size_t(j) * size_t(mt_) + size_t(i)) * size_t(nb_) * size_t(nb_);
   }

@@ -10,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace tiledqr::runtime {
 
@@ -25,14 +26,6 @@ struct Prioritized {
 };
 
 using ReadyQueue = std::priority_queue<Prioritized>;
-
-std::vector<long> make_keys(const dag::TaskGraph& g, SchedulePriority priority) {
-  if (priority == SchedulePriority::CriticalPath) return downward_ranks(g);
-  // Emission order: earlier tasks get larger keys.
-  std::vector<long> keys(g.tasks.size());
-  for (size_t t = 0; t < g.tasks.size(); ++t) keys[t] = long(g.tasks.size()) - long(t);
-  return keys;
-}
 
 /// Shared scheduler state: a central priority queue. Tile tasks are tens of
 /// microseconds and up, so a mutex-protected queue is not a bottleneck at
@@ -135,11 +128,38 @@ std::vector<long> downward_ranks(const dag::TaskGraph& g) {
   return rank;
 }
 
+std::vector<long> make_priority_keys(const dag::TaskGraph& g, SchedulePriority priority) {
+  if (priority == SchedulePriority::CriticalPath) return downward_ranks(g);
+  // Emission order: earlier tasks get larger keys.
+  std::vector<long> keys(g.tasks.size());
+  for (size_t t = 0; t < g.tasks.size(); ++t) keys[t] = long(g.tasks.size()) - long(t);
+  return keys;
+}
+
 void execute(const dag::TaskGraph& g, const std::function<void(std::int32_t)>& body,
              int threads, SchedulePriority priority) {
   TILEDQR_CHECK(threads >= 1, "execute: need at least one thread");
   if (g.tasks.empty()) return;
-  auto keys = make_keys(g, priority);
+  if (threads == 1) {
+    execute_sequential(g, body, make_priority_keys(g, priority));
+    return;
+  }
+  ThreadPool& pool = ThreadPool::default_pool();
+  if (threads > pool.size()) {
+    // The caller asked for more concurrency than the persistent pool has
+    // (e.g. a scaling ablation sweeping past the core count). Honor the
+    // exact thread count by oversubscribing, like the pre-pool executor.
+    execute_spawn(g, body, threads, priority);
+    return;
+  }
+  pool.run(g, body, priority, threads);
+}
+
+void execute_spawn(const dag::TaskGraph& g, const std::function<void(std::int32_t)>& body,
+                   int threads, SchedulePriority priority) {
+  TILEDQR_CHECK(threads >= 1, "execute_spawn: need at least one thread");
+  if (g.tasks.empty()) return;
+  auto keys = make_priority_keys(g, priority);
   if (threads == 1) {
     execute_sequential(g, body, keys);
     return;

@@ -1,0 +1,308 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace tiledqr::runtime {
+
+namespace {
+// Which pool (and worker slot) the current thread belongs to; lets run()
+// detect re-entrant use from a task body and help instead of deadlocking.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local int tl_worker = -1;
+}  // namespace
+
+/// One in-flight DAG. Tasks retire exactly once each — executed normally, or
+/// cancelled (skipped) once a task body has thrown — so `remaining` always
+/// drains to zero and completion fires even on failure.
+struct ThreadPool::Submission {
+  Submission(const dag::TaskGraph& g, std::function<void(std::int32_t)> b,
+             std::function<void(std::exception_ptr)> done_cb, std::vector<long> k,
+             std::shared_ptr<const void> keep)
+      : graph(&g), body(std::move(b)), on_complete(std::move(done_cb)), keys(std::move(k)),
+        keepalive(std::move(keep)), npred(g.tasks.size()), remaining(long(g.tasks.size())) {
+    for (size_t t = 0; t < g.tasks.size(); ++t)
+      npred[t].store(g.tasks[t].npred, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool worker_in_set(int w, int pool_size) const noexcept {
+    if (worker_count >= pool_size) return true;
+    int rel = w - first_worker;
+    if (rel < 0) rel += pool_size;
+    return rel < worker_count;
+  }
+
+  const dag::TaskGraph* graph;
+  std::function<void(std::int32_t)> body;
+  std::function<void(std::exception_ptr)> on_complete;
+  std::vector<long> keys;
+  std::shared_ptr<const void> keepalive;
+  std::vector<std::atomic<std::int32_t>> npred;
+  std::atomic<long> remaining;
+  std::atomic<bool> failed{false};
+  std::atomic<bool> done{false};
+  std::mutex err_mu;
+  std::exception_ptr error;
+  int first_worker = 0;
+  int worker_count = 0;
+};
+
+struct ThreadPool::Item {
+  std::shared_ptr<Submission> sub;
+  std::int32_t task;
+};
+
+struct ThreadPool::Worker {
+  std::mutex mu;
+  std::deque<Item> ready;
+};
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = default_thread_count();
+  workers_.reserve(size_t(threads));
+  for (int w = 0; w < threads; ++w) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(size_t(threads));
+  for (int w = 0; w < threads; ++w) threads_.emplace_back([this, w] { worker_main(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    // Drain: finish everything already submitted before stopping.
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    sleep_cv_.wait(lock, [&] { return active_submissions_.load(std::memory_order_acquire) == 0; });
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    stop_.store(true, std::memory_order_seq_cst);
+  }
+  sleep_cv_.notify_all();
+  for (auto& th : threads_) th.join();
+}
+
+ThreadPool::Stats ThreadPool::stats() const noexcept {
+  Stats s;
+  s.graphs_completed = graphs_completed_.load(std::memory_order_relaxed);
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  return s;
+}
+
+ThreadPool& ThreadPool::default_pool() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+void ThreadPool::signal_work() {
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    // Touch the mutex so the wakeup cannot slip between a sleeper's predicate
+    // check and its wait.
+    { std::lock_guard<std::mutex> lock(sleep_mu_); }
+    sleep_cv_.notify_all();
+  }
+}
+
+std::shared_ptr<ThreadPool::Submission> ThreadPool::submit_impl(
+    const dag::TaskGraph& g, std::function<void(std::int32_t)> body,
+    std::function<void(std::exception_ptr)> on_complete, SchedulePriority priority,
+    int max_workers, std::shared_ptr<const void> keepalive) {
+  TILEDQR_CHECK(!g.tasks.empty(), "ThreadPool::submit: empty graph handled by caller");
+  auto sub = std::make_shared<Submission>(g, std::move(body), std::move(on_complete),
+                                          make_priority_keys(g, priority), std::move(keepalive));
+  const int pool_size = size();
+  sub->worker_count = max_workers <= 0 ? pool_size : std::min(max_workers, pool_size);
+  sub->first_worker = int(next_start_.fetch_add(1, std::memory_order_relaxed) % unsigned(pool_size));
+  active_submissions_.fetch_add(1, std::memory_order_acq_rel);
+
+  // Initial ready set in descending critical-path priority, dealt round-robin
+  // across the submission's worker set.
+  std::vector<std::int32_t> sources;
+  for (size_t t = 0; t < g.tasks.size(); ++t)
+    if (g.tasks[t].npred == 0) sources.push_back(std::int32_t(t));
+  std::sort(sources.begin(), sources.end(), [&](std::int32_t a, std::int32_t b) {
+    return sub->keys[size_t(a)] != sub->keys[size_t(b)]
+               ? sub->keys[size_t(a)] > sub->keys[size_t(b)]
+               : a < b;
+  });
+  std::vector<std::vector<std::int32_t>> dealt(size_t(sub->worker_count));
+  for (size_t i = 0; i < sources.size(); ++i)
+    dealt[i % size_t(sub->worker_count)].push_back(sources[i]);
+  for (int d = 0; d < sub->worker_count; ++d) {
+    if (dealt[size_t(d)].empty()) continue;
+    Worker& w = *workers_[size_t((sub->first_worker + d) % pool_size)];
+    std::lock_guard<std::mutex> lock(w.mu);
+    // Owners pop from the back: push in ascending priority so the most
+    // urgent task comes off first.
+    for (auto it = dealt[size_t(d)].rbegin(); it != dealt[size_t(d)].rend(); ++it)
+      w.ready.push_back(Item{sub, *it});
+  }
+  signal_work();
+  return sub;
+}
+
+void ThreadPool::submit(const dag::TaskGraph& g, std::function<void(std::int32_t)> body,
+                        std::function<void(std::exception_ptr)> on_complete,
+                        SchedulePriority priority, int max_workers,
+                        std::shared_ptr<const void> keepalive) {
+  if (g.tasks.empty()) {
+    if (on_complete) on_complete(nullptr);
+    return;
+  }
+  submit_impl(g, std::move(body), std::move(on_complete), priority, max_workers,
+              std::move(keepalive));
+}
+
+std::future<void> ThreadPool::submit(const dag::TaskGraph& g,
+                                     std::function<void(std::int32_t)> body,
+                                     SchedulePriority priority, int max_workers,
+                                     std::shared_ptr<const void> keepalive) {
+  auto promise = std::make_shared<std::promise<void>>();
+  std::future<void> future = promise->get_future();
+  submit(
+      g, std::move(body),
+      [promise](std::exception_ptr e) {
+        if (e)
+          promise->set_exception(e);
+        else
+          promise->set_value();
+      },
+      priority, max_workers, std::move(keepalive));
+  return future;
+}
+
+void ThreadPool::run(const dag::TaskGraph& g, const std::function<void(std::int32_t)>& body,
+                     SchedulePriority priority, int max_workers) {
+  if (g.tasks.empty()) return;
+  if (tl_pool == this) {
+    // Re-entrant call from a task body: the calling worker helps execute
+    // until this submission retires (blocking would deadlock the pool).
+    // When no admissible work exists it parks on the epoch/cv machinery
+    // like any worker (completion bumps the epoch via signal_work).
+    auto sub = submit_impl(g, body, nullptr, priority, max_workers, nullptr);
+    while (!sub->done.load(std::memory_order_acquire)) {
+      const long epoch = epoch_.load(std::memory_order_seq_cst);
+      if (try_run_one(tl_worker)) continue;
+      if (sub->done.load(std::memory_order_acquire)) break;
+      std::unique_lock<std::mutex> lock(sleep_mu_);
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      sleep_cv_.wait(lock, [&] {
+        return sub->done.load(std::memory_order_acquire) ||
+               epoch_.load(std::memory_order_seq_cst) != epoch;
+      });
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+    std::lock_guard<std::mutex> lock(sub->err_mu);
+    if (sub->error) std::rethrow_exception(sub->error);
+    return;
+  }
+  std::promise<void> promise;
+  std::future<void> future = promise.get_future();
+  submit(
+      g, body,
+      [&promise](std::exception_ptr e) {
+        if (e)
+          promise.set_exception(e);
+        else
+          promise.set_value();
+      },
+      priority, max_workers, nullptr);
+  future.get();
+}
+
+void ThreadPool::worker_main(int wid) {
+  tl_pool = this;
+  tl_worker = wid;
+  for (;;) {
+    const long epoch = epoch_.load(std::memory_order_seq_cst);
+    if (try_run_one(wid)) continue;
+    if (stop_.load(std::memory_order_seq_cst)) return;
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    sleep_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_seq_cst) ||
+             epoch_.load(std::memory_order_seq_cst) != epoch;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+bool ThreadPool::try_run_one(int wid) {
+  Worker& self = *workers_[size_t(wid)];
+  {
+    std::unique_lock<std::mutex> lock(self.mu);
+    if (!self.ready.empty()) {
+      Item item = std::move(self.ready.back());
+      self.ready.pop_back();
+      lock.unlock();
+      run_item(wid, std::move(item));
+      return true;
+    }
+  }
+  // Steal: scan victims round-robin; take the oldest item whose submission
+  // admits this worker (capped submissions confine items to their set).
+  const int pool_size = size();
+  for (int d = 1; d < pool_size; ++d) {
+    Worker& victim = *workers_[size_t((wid + d) % pool_size)];
+    std::unique_lock<std::mutex> lock(victim.mu);
+    for (auto it = victim.ready.begin(); it != victim.ready.end(); ++it) {
+      if (!it->sub->worker_in_set(wid, pool_size)) continue;
+      Item item = std::move(*it);
+      victim.ready.erase(it);
+      lock.unlock();
+      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+      run_item(wid, std::move(item));
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::run_item(int wid, Item item) {
+  Submission& sub = *item.sub;
+  if (!sub.failed.load(std::memory_order_acquire)) {
+    try {
+      sub.body(item.task);
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(sub.err_mu);
+        if (!sub.error) sub.error = std::current_exception();
+      }
+      sub.failed.store(true, std::memory_order_release);
+    }
+  }
+  // Propagate readiness even for cancelled tasks so the graph drains and
+  // completion still fires after a failure.
+  std::vector<std::int32_t> ready;
+  for (std::int32_t s : sub.graph->tasks[size_t(item.task)].succ)
+    if (sub.npred[size_t(s)].fetch_sub(1, std::memory_order_acq_rel) == 1) ready.push_back(s);
+  if (!ready.empty()) {
+    std::sort(ready.begin(), ready.end(), [&](std::int32_t a, std::int32_t b) {
+      return sub.keys[size_t(a)] != sub.keys[size_t(b)] ? sub.keys[size_t(a)] < sub.keys[size_t(b)]
+                                                        : a > b;
+    });
+    Worker& self = *workers_[size_t(wid)];
+    {
+      std::lock_guard<std::mutex> lock(self.mu);
+      for (std::int32_t s : ready) self.ready.push_back(Item{item.sub, s});
+    }
+    signal_work();
+  }
+  if (sub.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::exception_ptr error;
+    {
+      std::lock_guard<std::mutex> lock(sub.err_mu);
+      error = sub.error;
+    }
+    graphs_completed_.fetch_add(1, std::memory_order_relaxed);
+    if (sub.on_complete) sub.on_complete(error);
+    sub.keepalive.reset();
+    sub.done.store(true, std::memory_order_release);
+    active_submissions_.fetch_sub(1, std::memory_order_acq_rel);
+    signal_work();  // wake help-loops and a draining destructor
+  }
+}
+
+}  // namespace tiledqr::runtime

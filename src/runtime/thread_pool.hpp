@@ -1,0 +1,126 @@
+// Persistent worker pool for the serving regime.
+//
+// The spawn-per-call executor (runtime::execute_spawn) pays a thread
+// create/join round trip on every factorization — invisible for one big QR,
+// dominant for the "many repeated small factorizations" workload the ROADMAP
+// targets. ThreadPool keeps the workers alive across factorizations:
+//
+//   * one ready deque per worker, guarded by a small per-worker mutex;
+//     owners pop LIFO (locality), idle workers steal FIFO from victims;
+//   * the initial ready set of a DAG is dealt round-robin across workers in
+//     descending critical-path priority (the paper's scheduling rule), so
+//     every worker starts on the most urgent task it holds;
+//   * several DAGs can be in flight at once (the batched serving API
+//     interleaves them); each submission can be capped to a subset of
+//     workers so `execute(g, body, threads)` keeps its exact-concurrency
+//     semantics for the scaling ablations.
+//
+// Tasks only write their declared outputs, so results are bitwise identical
+// to the sequential replay for any worker count, steal order, or pool reuse
+// pattern.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/executor.hpp"
+
+namespace tiledqr::runtime {
+
+class ThreadPool {
+ public:
+  /// Counters since construction (monotone; read with stats()).
+  struct Stats {
+    long graphs_completed = 0;  ///< DAG submissions fully retired
+    long tasks_executed = 0;    ///< task bodies actually run
+    long tasks_stolen = 0;      ///< tasks taken from another worker's deque
+  };
+
+  /// `threads == 0` resolves to default_thread_count() (TILEDQR_THREADS or
+  /// hardware concurrency), the same rule the rest of the library uses.
+  explicit ThreadPool(int threads = 0);
+
+  /// Drains outstanding submissions, then stops and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] int size() const noexcept { return int(workers_.size()); }
+
+  /// Asynchronous DAG submission. `on_complete` runs on the worker that
+  /// retires the last task, with the first task exception (or nullptr on
+  /// success). `g` and everything `body` touches must stay alive until then;
+  /// `keepalive` is held by the submission for exactly that purpose and
+  /// released after `on_complete` returns. `max_workers <= 0` means all
+  /// workers; otherwise the submission is confined to that many workers.
+  void submit(const dag::TaskGraph& g, std::function<void(std::int32_t)> body,
+              std::function<void(std::exception_ptr)> on_complete,
+              SchedulePriority priority = SchedulePriority::CriticalPath, int max_workers = 0,
+              std::shared_ptr<const void> keepalive = nullptr);
+
+  /// Future-returning flavor of submit().
+  [[nodiscard]] std::future<void> submit(const dag::TaskGraph& g,
+                                         std::function<void(std::int32_t)> body,
+                                         SchedulePriority priority = SchedulePriority::CriticalPath,
+                                         int max_workers = 0,
+                                         std::shared_ptr<const void> keepalive = nullptr);
+
+  /// Blocking convenience: submit and wait; rethrows the first task
+  /// exception. Safe to call from inside a task body running on this pool —
+  /// the calling worker helps execute instead of deadlocking.
+  void run(const dag::TaskGraph& g, const std::function<void(std::int32_t)>& body,
+           SchedulePriority priority = SchedulePriority::CriticalPath, int max_workers = 0);
+
+  [[nodiscard]] Stats stats() const noexcept;
+
+  /// Process-wide shared pool, lazily created with default_thread_count()
+  /// workers; what runtime::execute() submits to.
+  static ThreadPool& default_pool();
+
+ private:
+  struct Submission;
+  struct Item;
+  struct Worker;
+
+  std::shared_ptr<Submission> submit_impl(const dag::TaskGraph& g,
+                                          std::function<void(std::int32_t)> body,
+                                          std::function<void(std::exception_ptr)> on_complete,
+                                          SchedulePriority priority, int max_workers,
+                                          std::shared_ptr<const void> keepalive);
+  void worker_main(int wid);
+  bool try_run_one(int wid);
+  void run_item(int wid, Item item);
+  void signal_work();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Sleep/wake machinery: epoch_ bumps on every push; idle workers sleep on
+  // sleep_cv_ until the epoch moves past the value they last scanned at.
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<long> epoch_{0};
+  std::atomic<int> sleepers_{0};
+  std::atomic<bool> stop_{false};
+
+  std::atomic<long> active_submissions_{0};
+  /// Rotates the worker-set anchor (unsigned: wraps harmlessly in
+  /// long-lived serving processes).
+  std::atomic<unsigned> next_start_{0};
+
+  // Stats (relaxed counters).
+  std::atomic<long> graphs_completed_{0};
+  std::atomic<long> tasks_executed_{0};
+  std::atomic<long> tasks_stolen_{0};
+};
+
+}  // namespace tiledqr::runtime

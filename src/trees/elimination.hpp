@@ -49,6 +49,9 @@ struct TreeConfig {
 
   /// Human-readable name, e.g. "Greedy", "PlasmaTree(TS,BS=5)".
   [[nodiscard]] std::string name() const;
+
+  /// Structural equality; the plan cache keys on (p, q, TreeConfig).
+  friend bool operator==(const TreeConfig&, const TreeConfig&) = default;
 };
 
 /// True for algorithms whose elimination list depends on the weighted tiled

@@ -1,0 +1,155 @@
+// Tests for the QrSession serving front end: async submit, batched
+// factorization, bitwise agreement with the synchronous API, plan-cache
+// amortization across a batch, and error surfacing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/qr_session.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/norms.hpp"
+
+namespace tiledqr {
+namespace {
+
+using core::Options;
+using core::QrSession;
+using core::TiledQr;
+
+Options small_opt() {
+  Options opt;
+  opt.nb = 32;
+  opt.ib = 16;
+  return opt;
+}
+
+template <typename T>
+void expect_bitwise_equal(const TiledQr<T>& a, const TiledQr<T>& b) {
+  auto da = a.factors().to_dense();
+  auto db = b.factors().to_dense();
+  ASSERT_EQ(da.rows(), db.rows());
+  ASSERT_EQ(da.cols(), db.cols());
+  for (std::int64_t j = 0; j < da.cols(); ++j)
+    for (std::int64_t i = 0; i < da.rows(); ++i)
+      ASSERT_EQ(da(i, j), db(i, j)) << "(" << i << "," << j << ")";
+}
+
+TEST(QrSession, SubmitMatchesSynchronousFactorize) {
+  QrSession session(QrSession::Config{4});
+  auto opt = small_opt();
+  auto a = random_matrix<double>(8 * 32, 4 * 32, 11);
+
+  auto future = session.submit(ConstMatrixView<double>(a.view()), opt);
+  auto async_qr = future.get();
+
+  auto sync_opt = opt;
+  sync_opt.threads = 1;
+  auto sync_qr = TiledQr<double>::factorize(a.view(), sync_opt);
+  expect_bitwise_equal(async_qr, sync_qr);
+
+  // The async result is a fully usable TiledQr.
+  auto q = async_qr.q_thin();
+  EXPECT_LE(double(orthogonality_error<double>(q.view())), 1e-11);
+}
+
+TEST(QrSession, ManyOutstandingFuturesResolve) {
+  QrSession session(QrSession::Config{4});
+  auto opt = small_opt();
+  constexpr int kJobs = 24;
+  std::vector<Matrix<double>> inputs;
+  std::vector<std::future<TiledQr<double>>> futures;
+  for (int i = 0; i < kJobs; ++i)
+    inputs.push_back(random_matrix<double>(6 * 32, 3 * 32, 100 + i));
+  for (int i = 0; i < kJobs; ++i)
+    futures.push_back(session.submit(ConstMatrixView<double>(inputs[size_t(i)].view()), opt));
+  for (int i = 0; i < kJobs; ++i) {
+    auto qr = futures[size_t(i)].get();
+    auto sync_opt = opt;
+    sync_opt.threads = 1;
+    auto expect = TiledQr<double>::factorize(inputs[size_t(i)].view(), sync_opt);
+    expect_bitwise_equal(qr, expect);
+  }
+}
+
+TEST(QrSession, BatchMatchesSerialAndPreservesOrder) {
+  QrSession session(QrSession::Config{4});
+  auto opt = small_opt();
+  constexpr int kBatch = 16;
+  std::vector<Matrix<double>> inputs;
+  for (int i = 0; i < kBatch; ++i)
+    inputs.push_back(random_matrix<double>(5 * 32, 2 * 32, 1000 + i));
+  std::vector<ConstMatrixView<double>> views;
+  for (auto& m : inputs) views.push_back(ConstMatrixView<double>(m.view()));
+
+  auto results = session.factorize_batch(views, opt);
+  ASSERT_EQ(results.size(), size_t(kBatch));
+  for (int i = 0; i < kBatch; ++i) {
+    auto sync_opt = opt;
+    sync_opt.threads = 1;
+    auto expect = TiledQr<double>::factorize(inputs[size_t(i)].view(), sync_opt);
+    expect_bitwise_equal(results[size_t(i)], expect);
+  }
+}
+
+TEST(QrSession, BatchAmortizesPlanningAcrossRepeatedShapes) {
+  QrSession session(QrSession::Config{2});
+  auto opt = small_opt();
+  constexpr int kBatch = 12;
+  std::vector<Matrix<double>> inputs;
+  for (int i = 0; i < kBatch; ++i)
+    inputs.push_back(random_matrix<double>(4 * 32, 2 * 32, 2000 + i));
+  std::vector<ConstMatrixView<double>> views;
+  for (auto& m : inputs) views.push_back(ConstMatrixView<double>(m.view()));
+  (void)session.factorize_batch(views, opt);
+
+  auto stats = session.plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, kBatch - 1);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.hit_rate(), 0.9);
+}
+
+TEST(QrSession, MixedShapesInOneSession) {
+  QrSession session(QrSession::Config{4});
+  auto opt = small_opt();
+  auto tall = random_matrix<double>(9 * 32, 2 * 32, 1);
+  auto square = random_matrix<double>(4 * 32, 4 * 32, 2);
+  auto f1 = session.submit(ConstMatrixView<double>(tall.view()), opt);
+  auto f2 = session.submit(ConstMatrixView<double>(square.view()), opt);
+  auto qr_tall = f1.get();
+  auto qr_square = f2.get();
+  EXPECT_LE(double(orthogonality_error<double>(qr_tall.q_thin().view())), 1e-11);
+  // Solve with the square factorization to exercise apply_q on the result.
+  auto b = random_matrix<double>(4 * 32, 2, 3);
+  auto x = qr_square.solve(b.view());
+  Matrix<double> ax(b.rows(), b.cols());
+  blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, 1.0, square.view(), x.view(), 0.0, ax.view());
+  EXPECT_LE(double(difference_norm<double>(ax.view(), b.view()) /
+                   frobenius_norm<double>(b.view())),
+            1e-9);
+  EXPECT_EQ(session.plan_cache_stats().entries, 2u);
+}
+
+TEST(QrSession, InvalidOptionsThrowOnSubmit) {
+  QrSession session(QrSession::Config{2});
+  auto a = random_matrix<double>(64, 32, 4);
+  Options opt;
+  opt.nb = 0;  // invalid tile size: tiling the input must fail loudly
+  EXPECT_THROW((void)session.submit(ConstMatrixView<double>(a.view()), opt), Error);
+}
+
+TEST(QrSession, SessionOutlivesNothingItHandsOut) {
+  // Futures resolved before the session dies; results stay valid after.
+  std::vector<TiledQr<double>> keep;
+  auto a = random_matrix<double>(4 * 32, 2 * 32, 5);
+  {
+    QrSession session(QrSession::Config{2});
+    auto opt = small_opt();
+    keep.push_back(session.submit(ConstMatrixView<double>(a.view()), opt).get());
+  }
+  // The TiledQr owns (shared) plan + tiles; usable after the session is gone.
+  EXPECT_LE(double(orthogonality_error<double>(keep[0].q_thin().view())), 1e-11);
+}
+
+}  // namespace
+}  // namespace tiledqr

@@ -1,0 +1,222 @@
+// Tests for the persistent worker pool: reuse across DAGs, work stealing,
+// worker-set capping, bitwise determinism of factorizations across thread
+// counts, re-entrant run(), and exception propagation through every
+// execution path (sequential, spawn-per-call baseline, persistent pool).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "core/tiled_qr.hpp"
+#include "matrix/generate.hpp"
+#include "runtime/thread_pool.hpp"
+#include "trees/generators.hpp"
+
+namespace tiledqr {
+namespace {
+
+using runtime::SchedulePriority;
+using runtime::ThreadPool;
+
+dag::TaskGraph qr_graph(int p, int q) {
+  return dag::build_task_graph(p, q, trees::greedy_tree(p, q));
+}
+
+/// A single source fanning out to `width` sinks — the widest possible DAG;
+/// stresses the initial distribution and stealing.
+dag::TaskGraph fanout_graph(int width) {
+  dag::TaskGraph g;
+  g.p = width;
+  g.q = 1;
+  g.tasks.push_back(dag::Task{kernels::KernelKind::GEQRT, 0, -1, 0, -1, 0, {}});
+  for (int i = 0; i < width; ++i) {
+    g.tasks.push_back(dag::Task{kernels::KernelKind::UNMQR, i, -1, 0, 0, 1, {}});
+    g.tasks[0].succ.push_back(std::int32_t(i + 1));
+  }
+  return g;
+}
+
+TEST(ThreadPool, ReusedAcrossManyGraphs) {
+  ThreadPool pool(4);
+  auto g = qr_graph(8, 4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<long> sum{0};
+    pool.run(g, [&](std::int32_t t) { sum.fetch_add(t); });
+    EXPECT_EQ(sum.load(), long(g.tasks.size()) * long(g.tasks.size() - 1) / 2) << round;
+  }
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.graphs_completed, 20);
+  EXPECT_EQ(stats.tasks_executed, 20 * long(g.tasks.size()));
+}
+
+TEST(ThreadPool, WideFanOutRunsEveryTaskOnce) {
+  ThreadPool pool(8);
+  auto g = fanout_graph(500);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::atomic<int>> count(g.tasks.size());
+    for (auto& c : count) c.store(0);
+    pool.run(g, [&](std::int32_t t) { count[size_t(t)].fetch_add(1); });
+    for (size_t t = 0; t < g.tasks.size(); ++t) EXPECT_EQ(count[t].load(), 1) << t;
+  }
+}
+
+TEST(ThreadPool, RespectsDependencies) {
+  ThreadPool pool(8);
+  auto g = qr_graph(12, 6);
+  std::vector<std::atomic<bool>> done(g.tasks.size());
+  for (auto& d : done) d.store(false);
+  std::atomic<bool> violation{false};
+  pool.run(g, [&](std::int32_t t) {
+    for (auto s : g.tasks[size_t(t)].succ)
+      if (done[size_t(s)].load()) violation.store(true);
+    done[size_t(t)].store(true);
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(ThreadPool, CappedSubmissionConfinedToWorkerSubset) {
+  ThreadPool pool(6);
+  auto g = fanout_graph(300);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  pool.run(
+      g,
+      [&](std::int32_t) {
+        std::lock_guard<std::mutex> lock(mu);
+        ids.insert(std::this_thread::get_id());
+      },
+      SchedulePriority::CriticalPath, /*max_workers=*/2);
+  EXPECT_LE(ids.size(), 2u);
+}
+
+TEST(ThreadPool, ConcurrentSubmissionsInterleave) {
+  ThreadPool pool(4);
+  auto g = qr_graph(6, 3);
+  constexpr int kGraphs = 16;
+  std::vector<std::future<void>> futures;
+  std::vector<std::unique_ptr<std::atomic<long>>> sums;
+  for (int i = 0; i < kGraphs; ++i) sums.push_back(std::make_unique<std::atomic<long>>(0));
+  for (int i = 0; i < kGraphs; ++i) {
+    auto* sum = sums[size_t(i)].get();
+    futures.push_back(pool.submit(g, [sum](std::int32_t t) { sum->fetch_add(t); }));
+  }
+  for (auto& f : futures) f.get();
+  const long expect = long(g.tasks.size()) * long(g.tasks.size() - 1) / 2;
+  for (int i = 0; i < kGraphs; ++i) EXPECT_EQ(sums[size_t(i)]->load(), expect) << i;
+}
+
+TEST(ThreadPool, SubmitFromMultipleExternalThreads) {
+  ThreadPool pool(4);
+  auto g = qr_graph(8, 4);
+  const long expect = long(g.tasks.size()) * long(g.tasks.size() - 1) / 2;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      for (int round = 0; round < 5; ++round) {
+        std::atomic<long> sum{0};
+        pool.run(g, [&](std::int32_t t) { sum.fetch_add(t); });
+        if (sum.load() != expect) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ThreadPool, ReentrantRunFromTaskBodyHelps) {
+  ThreadPool pool(2);
+  auto outer = qr_graph(4, 2);
+  auto inner = fanout_graph(20);
+  std::atomic<long> inner_runs{0};
+  pool.run(outer, [&](std::int32_t t) {
+    if (t == 0) {
+      // Nested DAG from inside a worker: the worker must help execute
+      // instead of deadlocking the (small) pool.
+      pool.run(inner, [&](std::int32_t) { inner_runs.fetch_add(1); });
+    }
+  });
+  EXPECT_EQ(inner_runs.load(), long(inner.tasks.size()));
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughEveryPath) {
+  auto g = qr_graph(10, 4);
+  auto failing = [](std::int32_t t) {
+    if (t == 7) throw Error("injected failure");
+  };
+  // Legacy sequential path.
+  EXPECT_THROW(runtime::execute(g, failing, 1), Error);
+  // Legacy spawn-per-call path.
+  EXPECT_THROW(runtime::execute_spawn(g, failing, 4), Error);
+  // Persistent pool, blocking run().
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run(g, failing), Error);
+  // Persistent pool, async future.
+  auto future = pool.submit(g, failing);
+  EXPECT_THROW(future.get(), Error);
+  // The pool survives failures and keeps executing.
+  std::atomic<long> count{0};
+  pool.run(g, [&](std::int32_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), long(g.tasks.size()));
+}
+
+TEST(ThreadPool, FactorizationBitwiseIdenticalAcrossThreadCounts) {
+  // The satellite stress test: the same matrix factored on 1/2/8 workers
+  // (sequential, pool-capped, pool-wide) must give bit-for-bit equal tiles.
+  core::Options opt;
+  opt.nb = 32;
+  opt.ib = 16;
+  auto a = random_matrix<double>(13 * 32, 5 * 32, 1234);
+
+  opt.threads = 1;
+  auto ref = core::TiledQr<double>::factorize(a.view(), opt);
+  auto ref_dense = ref.factors().to_dense();
+  for (int threads : {2, 8}) {
+    opt.threads = threads;
+    for (int round = 0; round < 3; ++round) {
+      auto qr = core::TiledQr<double>::factorize(a.view(), opt);
+      auto dense = qr.factors().to_dense();
+      ASSERT_EQ(dense.rows(), ref_dense.rows());
+      ASSERT_EQ(dense.cols(), ref_dense.cols());
+      for (std::int64_t j = 0; j < dense.cols(); ++j)
+        for (std::int64_t i = 0; i < dense.rows(); ++i)
+          ASSERT_EQ(dense(i, j), ref_dense(i, j))
+              << "mismatch at (" << i << "," << j << ") threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, DefaultPoolBacksExecute) {
+  // execute(threads > 1) goes through the shared default pool (as long as
+  // the request fits the pool; above it, the spawn path honors the exact
+  // thread count). Repeated in-pool calls must not spawn-per-call:
+  // graphs_completed grows and the pool persists.
+  auto& pool = ThreadPool::default_pool();
+  auto g = qr_graph(6, 3);
+  const int threads = pool.size();
+  auto before = pool.stats().graphs_completed;
+  for (int i = 0; i < 3; ++i) {
+    std::atomic<long> count{0};
+    runtime::execute(g, [&](std::int32_t) { count.fetch_add(1); }, std::max(threads, 2));
+    EXPECT_EQ(count.load(), long(g.tasks.size()));
+  }
+  if (threads >= 2)
+    EXPECT_GE(pool.stats().graphs_completed, before + 3);
+  else  // single-worker default pool (1-CPU host): requests above it spawn
+    EXPECT_EQ(pool.stats().graphs_completed, before);
+}
+
+TEST(ThreadPool, EmptyGraphCompletesImmediately) {
+  ThreadPool pool(2);
+  dag::TaskGraph g;
+  int calls = 0;
+  pool.run(g, [&](std::int32_t) { ++calls; });
+  auto future = pool.submit(g, [&](std::int32_t) { ++calls; });
+  future.get();
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace tiledqr
