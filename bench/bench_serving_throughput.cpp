@@ -1,12 +1,19 @@
 // Serving throughput: the regime the persistent runtime exists for.
 //
-// Three execution strategies over the same work:
+// Four execution strategies over the same work:
 //   spawn-per-call   — the seed behavior: re-plan the DAG and spawn/join a
 //                      fresh std::thread pool for every factorization
 //   pool-sequential  — persistent pool + plan cache, one factorization at a
 //                      time (submit, wait, repeat)
-//   pool-batch       — QrSession::factorize_batch: all DAGs in flight at
-//                      once, interleaved on the shared pool
+//   pool-batch       — per-matrix submissions: all DAGs in flight at once,
+//                      interleaved on the shared pool
+//   pool-fused       — QrSession::factorize_batch: the whole batch fused
+//                      into ONE DAG submission (cached fused plan + cached
+//                      scheduling ranks, per-subgraph completion sentinels)
+//
+// A dedicated overhead section isolates the per-submission scheduling cost
+// of fused vs per-matrix batches with empty task bodies, and the fused
+// results are checked bitwise against the sequential per-matrix replay.
 //
 // Workloads: a batch of small QRs (default 64 x 512x512, nb = 128 — tiny
 // 4x4-tile DAGs where scheduling overhead dominates) and one large QR
@@ -118,6 +125,49 @@ ModeResult run_pool_batch(core::QrSession& session, const Workload& w, int reps)
   return out;
 }
 
+/// The whole batch fused into one DAG submission.
+ModeResult run_pool_fused(core::QrSession& session, const Workload& w, int reps) {
+  ModeResult out;
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    std::vector<TileMatrix<double>> copies(w.tiles.begin(), w.tiles.end());
+    auto qrs = session.factorize_batch(std::move(copies), w.opt);
+    (void)qrs;
+    double sec = timer.seconds();
+    if (best < 0.0 || sec < best) best = sec;
+  }
+  out.seconds = best;
+  out.per_sec = double(w.tiles.size()) / best;
+  return out;
+}
+
+/// Fused results must be bitwise identical to the sequential per-matrix
+/// execute_spawn replay (the acceptance bar for DAG fusion).
+bool verify_fused_bitwise(core::QrSession& session, const Workload& w, int check_count) {
+  std::vector<TileMatrix<double>> copies(w.tiles.begin(), w.tiles.end());
+  auto qrs = session.factorize_batch(std::move(copies), w.opt);
+  const int limit = std::min<int>(check_count, int(qrs.size()));
+  for (int i = 0; i < limit; ++i) {
+    TileMatrix<double> a = w.tiles[size_t(i)];
+    auto plan = core::make_plan(a.mt(), a.nt(), w.opt.tree);
+    core::TStore<double> ts(a.mt(), a.nt(), w.opt.ib, a.nb());
+    core::TStore<double> t2s(a.mt(), a.nt(), w.opt.ib, a.nb());
+    runtime::execute_spawn(
+        plan.graph,
+        [&](std::int32_t idx) {
+          core::run_task_kernels(plan.graph.tasks[size_t(idx)], a, ts, t2s, w.opt.ib);
+        },
+        1);
+    auto want = a.to_dense();
+    auto got = qrs[size_t(i)].factors().to_dense();
+    for (std::int64_t j = 0; j < want.cols(); ++j)
+      for (std::int64_t r = 0; r < want.rows(); ++r)
+        if (got(r, j) != want(r, j)) return false;
+  }
+  return true;
+}
+
 void add_mode_row(TextTable& t, const char* mode, const ModeResult& r, const ModeResult& base) {
   t.add_row({mode, stringf("%.4f", r.seconds), stringf("%.2f", r.per_sec),
              stringf("%.2fx", base.seconds / r.seconds)});
@@ -157,6 +207,51 @@ OverheadResult run_overhead(int p, int q, int threads, int calls) {
   return out;
 }
 
+/// Per-submission scheduling overhead of a fused batch vs per-matrix DAGs:
+/// the same K empty-body graphs dispatched as K submissions (cached plan +
+/// cached ranks each) or as one cached fused submission. Both numbers are
+/// us per graph, so fused < per-matrix means fusion saves real scheduler
+/// work at that batch size.
+struct FusedOverheadResult {
+  int batch = 0;
+  double per_matrix_us_per_graph = 0.0;
+  double fused_us_per_graph = 0.0;
+};
+
+FusedOverheadResult run_fused_overhead(int p, int q, int threads, int batch, int calls) {
+  FusedOverheadResult out;
+  out.batch = batch;
+  auto noop = [](std::int32_t) {};
+  const trees::TreeConfig tree{};
+  core::PlanCache cache;
+  runtime::ThreadPool pool(threads);
+  auto plan = cache.get(p, q, tree);
+  auto fused = cache.get_fused(p, q, tree, batch);  // both warmed outside the timers
+  {
+    WallTimer timer;
+    std::vector<std::future<void>> futures;
+    futures.reserve(size_t(batch));
+    for (int c = 0; c < calls; ++c) {
+      futures.clear();
+      for (int b = 0; b < batch; ++b)
+        futures.push_back(pool.submit(plan->graph, noop, runtime::SchedulePriority::CriticalPath,
+                                      0, nullptr, &plan->ranks));
+      for (auto& f : futures) f.get();
+    }
+    out.per_matrix_us_per_graph = timer.seconds() * 1e6 / double(calls) / double(batch);
+  }
+  {
+    WallTimer timer;
+    for (int c = 0; c < calls; ++c) {
+      auto f = pool.submit(fused->graph, noop, runtime::SchedulePriority::CriticalPath, 0,
+                           nullptr, &fused->ranks);
+      f.get();
+    }
+    out.fused_us_per_graph = timer.seconds() * 1e6 / double(calls) / double(batch);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -178,8 +273,12 @@ int main() {
   core::QrSession session(core::QrSession::Config{threads});
   auto seq_small = run_pool_sequential(session, small, knobs.reps);
   auto batch_small = run_pool_batch(session, small, knobs.reps);
+  auto fused_small = run_pool_fused(session, small, knobs.reps);
+  // Snapshot stats before the correctness pass so they reflect only the
+  // benchmarked modes.
   auto cache_stats = session.plan_cache_stats();
   auto pool_stats = session.pool_stats();
+  const bool fused_bitwise = verify_fused_bitwise(session, small, knobs.quick ? 2 : 4);
 
   TextTable ts(stringf("%d x %lldx%lld QRs (nb=%d, %d threads)", count, (long long)small_n,
                        (long long)small_n, small_nb, threads));
@@ -187,9 +286,14 @@ int main() {
   add_mode_row(ts, "spawn-per-call", spawn_small, spawn_small);
   add_mode_row(ts, "pool-sequential", seq_small, spawn_small);
   add_mode_row(ts, "pool-batch", batch_small, spawn_small);
+  add_mode_row(ts, "pool-fused", fused_small, spawn_small);
   bench::emit(ts, "serving_small", knobs);
-  std::printf("plan cache: %ld hits / %ld misses (hit rate %.3f), %zu entries\n",
-              cache_stats.hits, cache_stats.misses, cache_stats.hit_rate(), cache_stats.entries);
+  std::printf("fused batch bitwise identical to sequential replay: %s\n",
+              fused_bitwise ? "yes" : "NO (BUG)");
+  std::printf("plan cache: %ld hits / %ld misses (hit rate %.3f), %zu entries; "
+              "fused: %ld hits / %ld misses, %zu entries\n",
+              cache_stats.hits, cache_stats.misses, cache_stats.hit_rate(), cache_stats.entries,
+              cache_stats.fused_hits, cache_stats.fused_misses, cache_stats.fused_entries);
   std::printf("pool: %ld graphs, %ld tasks executed, %ld stolen\n\n", pool_stats.graphs_completed,
               pool_stats.tasks_executed, pool_stats.tasks_stolen);
 
@@ -203,6 +307,20 @@ int main() {
   std::printf("  persistent pool + cache  : %9.1f us/graph  (%.1fx less overhead)\n\n",
               overhead.pool_us_per_graph,
               overhead.spawn_us_per_graph / overhead.pool_us_per_graph);
+
+  // ---- fused vs per-matrix submission overhead -------------------------- --
+  std::vector<FusedOverheadResult> fused_overheads;
+  std::printf("fused vs per-matrix submission overhead (same %dx%d-tile DAG, empty bodies):\n",
+              tile_p, tile_p);
+  for (int batch : {4, 16, 64}) {
+    auto fo = run_fused_overhead(tile_p, tile_p, threads, batch,
+                                 std::max(8, overhead_calls / batch));
+    fused_overheads.push_back(fo);
+    std::printf("  batch %2d: per-matrix %8.1f us/graph, fused %8.1f us/graph  (%.2fx)\n",
+                fo.batch, fo.per_matrix_us_per_graph, fo.fused_us_per_graph,
+                fo.per_matrix_us_per_graph / fo.fused_us_per_graph);
+  }
+  std::printf("\n");
 
   // ---- one large QR ---------------------------------------------------- --
   auto large = make_workload(1, large_n, small_nb, knobs.ib);
@@ -233,14 +351,32 @@ int main() {
                     seq_small.seconds, seq_small.per_sec)
          << stringf("    \"pool_batch\": {\"seconds\": %.6f, \"per_sec\": %.3f},\n",
                     batch_small.seconds, batch_small.per_sec)
+         << stringf("    \"pool_fused\": {\"seconds\": %.6f, \"per_sec\": %.3f},\n",
+                    fused_small.seconds, fused_small.per_sec)
          << stringf("    \"speedup_pool_batch_vs_spawn\": %.3f,\n",
                     spawn_small.seconds / batch_small.seconds)
-         << stringf("    \"plan_cache\": {\"hits\": %ld, \"misses\": %ld, \"hit_rate\": %.4f}},\n",
-                    cache_stats.hits, cache_stats.misses, cache_stats.hit_rate())
+         << stringf("    \"speedup_pool_fused_vs_spawn\": %.3f,\n",
+                    spawn_small.seconds / fused_small.seconds)
+         << stringf("    \"fused_bitwise_identical\": %s,\n", fused_bitwise ? "true" : "false")
+         << stringf("    \"plan_cache\": {\"hits\": %ld, \"misses\": %ld, \"hit_rate\": %.4f, "
+                    "\"fused_hits\": %ld, \"fused_misses\": %ld}},\n",
+                    cache_stats.hits, cache_stats.misses, cache_stats.hit_rate(),
+                    cache_stats.fused_hits, cache_stats.fused_misses)
          << stringf("  \"scheduling_overhead_us_per_graph\": {\"spawn_per_call\": %.1f, "
                     "\"persistent_pool\": %.1f, \"ratio\": %.2f},\n",
                     overhead.spawn_us_per_graph, overhead.pool_us_per_graph,
-                    overhead.spawn_us_per_graph / overhead.pool_us_per_graph)
+                    overhead.spawn_us_per_graph / overhead.pool_us_per_graph);
+    json << "  \"fused_overhead_us_per_graph\": [";
+    for (size_t i = 0; i < fused_overheads.size(); ++i) {
+      const auto& fo = fused_overheads[i];
+      json << stringf("%s{\"batch\": %d, \"per_matrix\": %.1f, \"fused\": %.1f, "
+                      "\"ratio\": %.2f}",
+                      i ? ", " : "", fo.batch, fo.per_matrix_us_per_graph,
+                      fo.fused_us_per_graph,
+                      fo.per_matrix_us_per_graph / fo.fused_us_per_graph);
+    }
+    json << "],\n";
+    json
          << stringf("  \"large\": {\"n\": %lld, \"nb\": %d,\n", (long long)large_n, small_nb)
          << stringf("    \"spawn_per_call\": {\"seconds\": %.6f},\n", spawn_large.seconds)
          << stringf("    \"pool\": {\"seconds\": %.6f},\n", pool_large.seconds)

@@ -1,5 +1,6 @@
 #include "core/plan.hpp"
 
+#include "runtime/executor.hpp"
 #include "sim/critical_path.hpp"
 #include "sim/dynamic.hpp"
 #include "trees/generators.hpp"
@@ -18,7 +19,24 @@ Plan make_plan(int p, int q, const trees::TreeConfig& config) {
   }
   plan.graph = dag::build_task_graph(p, q, plan.list);
   plan.critical_path = sim::earliest_finish(plan.graph).critical_path;
+  plan.ranks = runtime::downward_ranks(plan.graph);
   return plan;
+}
+
+FusedPlan make_fused_plan(std::span<const std::shared_ptr<const Plan>> plans) {
+  FusedPlan fused;
+  size_t total = 0;
+  for (const auto& p : plans) total += p->graph.tasks.size();
+  fused.graph.tasks.reserve(total);
+  fused.ranks.reserve(total);
+  fused.parts.reserve(plans.size());
+  for (const auto& p : plans) {
+    const auto begin = fused.graph.append_offset(p->graph);
+    fused.parts.push_back(
+        FusedPlan::Part{begin, begin + std::int32_t(p->graph.tasks.size())});
+    fused.ranks.insert(fused.ranks.end(), p->ranks.begin(), p->ranks.end());
+  }
+  return fused;
 }
 
 long plan_critical_path(int p, int q, const trees::TreeConfig& config) {

@@ -4,6 +4,11 @@
 // (Asap, Grasap), whose lists come from the simulator.
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
 #include "dag/task_graph.hpp"
 #include "trees/elimination.hpp"
 
@@ -13,10 +18,52 @@ struct Plan {
   trees::EliminationList list;
   dag::TaskGraph graph;
   long critical_path = 0;  ///< Table 1 units (n_b^3/3 flops)
+  /// Cached downward ranks (longest weighted path to a sink) of every task —
+  /// the CriticalPath scheduling keys. Computed once at planning time so
+  /// repeated submissions of a cached plan skip the rank sweep entirely.
+  std::vector<long> ranks;
+};
+
+/// A batch of independent plans fused into one scheduling graph: the disjoint
+/// union of the per-matrix DAGs, submitted to the pool as a single object so
+/// a batch pays one submission (one deal of the initial ready set, one wake,
+/// one completion walk) instead of one per matrix, and the scheduler overlaps
+/// the tail of one factorization with the heads of the others.
+///
+/// `graph` holds every component's tasks with successor indices offset;
+/// `parts[i]` is the half-open task-index range of source plan i; `ranks` is
+/// the concatenation of the per-plan rank vectors (downward ranks never
+/// cross components, so the concatenation *is* the fused graph's rank
+/// vector).
+struct FusedPlan {
+  dag::TaskGraph graph;
+  struct Part {
+    std::int32_t begin = 0;
+    std::int32_t end = 0;
+  };
+  std::vector<Part> parts;
+  std::vector<long> ranks;
+
+  /// Index of the part containing `task` (binary search over `parts`).
+  [[nodiscard]] int part_of(std::int32_t task) const noexcept {
+    int lo = 0, hi = int(parts.size()) - 1;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (task < parts[size_t(mid)].end)
+        hi = mid;
+      else
+        lo = mid + 1;
+    }
+    return lo;
+  }
 };
 
 /// Builds the full plan for a p x q tile grid.
 [[nodiscard]] Plan make_plan(int p, int q, const trees::TreeConfig& config);
+
+/// Fuses a batch of plans (in order) into one FusedPlan. The plans are
+/// typically shared cache entries; heterogeneous shapes are fine.
+[[nodiscard]] FusedPlan make_fused_plan(std::span<const std::shared_ptr<const Plan>> plans);
 
 /// Critical path only. Builds the full plan internally (it is not cheaper
 /// than make_plan); provided for readability at call sites that sweep many

@@ -1,6 +1,34 @@
 #include "core/plan_cache.hpp"
 
+#include <vector>
+
+#include "common/error.hpp"
+
 namespace tiledqr::core {
+
+namespace {
+
+size_t graph_bytes(const dag::TaskGraph& g) {
+  size_t b = g.tasks.capacity() * sizeof(dag::Task);
+  for (const auto& t : g.tasks) b += t.succ.capacity() * sizeof(std::int32_t);
+  b += g.zero_task.capacity() * sizeof(std::int32_t);
+  return b;
+}
+
+/// Estimated heap footprint of a cached plan; an accounting figure for the
+/// byte budget, not an exact malloc tally.
+size_t plan_bytes(const Plan& plan) {
+  return sizeof(Plan) + plan.list.capacity() * sizeof(plan.list[0]) + graph_bytes(plan.graph) +
+         plan.ranks.capacity() * sizeof(long);
+}
+
+size_t fused_plan_bytes(const FusedPlan& fused) {
+  return sizeof(FusedPlan) + graph_bytes(fused.graph) +
+         fused.parts.capacity() * sizeof(FusedPlan::Part) +
+         fused.ranks.capacity() * sizeof(long);
+}
+
+}  // namespace
 
 size_t PlanCache::KeyHash::operator()(const Key& k) const noexcept {
   // FNV-1a over the key fields; cheap and well-mixed for small int tuples.
@@ -15,38 +43,129 @@ size_t PlanCache::KeyHash::operator()(const Key& k) const noexcept {
   mix(size_t(k.config.family));
   mix(size_t(k.config.bs));
   mix(size_t(k.config.grasap_k));
+  mix(size_t(k.fused_count));
   return h;
 }
 
+void PlanCache::touch_locked(Entry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lru);
+}
+
+PlanCache::Map::iterator PlanCache::insert_locked(const Key& key, Entry entry) {
+  auto [it, inserted] = map_.try_emplace(key, std::move(entry));
+  if (inserted) {
+    lru_.push_front(key);
+    it->second.lru = lru_.begin();
+    bytes_ += it->second.bytes;
+    ++(key.fused_count == 0 ? base_entries_ : fused_entries_);
+    evict_over_budget_locked(&key);
+  }
+  return it;
+}
+
+void PlanCache::evict_over_budget_locked(const Key* keep) {
+  if (budget_ == 0) return;
+  while (bytes_ > budget_ && !lru_.empty()) {
+    const Key& victim = lru_.back();
+    if (keep && victim == *keep) break;  // never evict the entry just added
+    auto it = map_.find(victim);
+    bytes_ -= it->second.bytes;
+    --(victim.fused_count == 0 ? base_entries_ : fused_entries_);
+    map_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
 std::shared_ptr<const Plan> PlanCache::get(int p, int q, const trees::TreeConfig& config) {
-  const Key key{p, q, config};
+  return get_impl(p, q, config, /*count_stats=*/true);
+}
+
+std::shared_ptr<const Plan> PlanCache::get_impl(int p, int q, const trees::TreeConfig& config,
+                                                bool count_stats) {
+  const Key key{p, q, config, 0};
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
-      ++hits_;
-      return it->second;
+      if (count_stats) ++hits_;
+      touch_locked(it->second);
+      return it->second.plan;
     }
   }
   // Plan outside the lock: planning a big grid must not block hits on other
   // shapes. Concurrent misses of the same key each plan; first insert wins.
   auto plan = std::make_shared<const Plan>(make_plan(p, q, config));
+  Entry entry;
+  entry.bytes = plan_bytes(*plan);
+  entry.plan = std::move(plan);
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = map_.try_emplace(key, std::move(plan));
-  ++misses_;
-  return it->second;
+  if (count_stats) ++misses_;
+  return insert_locked(key, std::move(entry))->second.plan;
+}
+
+std::shared_ptr<const FusedPlan> PlanCache::get_fused(int p, int q,
+                                                      const trees::TreeConfig& config,
+                                                      int count) {
+  TILEDQR_CHECK(count >= 1, "PlanCache::get_fused: count must be >= 1");
+  const Key key{p, q, config, count};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++fused_hits_;
+      touch_locked(it->second);
+      return it->second.fused;
+    }
+  }
+  auto base = get_impl(p, q, config, /*count_stats=*/false);
+  std::vector<std::shared_ptr<const Plan>> parts(size_t(count), base);
+  auto fused = std::make_shared<const FusedPlan>(make_fused_plan(parts));
+  Entry entry;
+  entry.bytes = fused_plan_bytes(*fused);
+  entry.fused = std::move(fused);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++fused_misses_;
+  return insert_locked(key, std::move(entry))->second.fused;
+}
+
+void PlanCache::set_byte_budget(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = bytes;
+  evict_over_budget_locked(nullptr);
+}
+
+size_t PlanCache::byte_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_;
 }
 
 PlanCache::Stats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return Stats{hits_, misses_, map_.size()};
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.fused_hits = fused_hits_;
+  s.fused_misses = fused_misses_;
+  s.evictions = evictions_;
+  s.bytes = bytes_;
+  s.entries = base_entries_;
+  s.fused_entries = fused_entries_;
+  return s;
 }
 
 void PlanCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  base_entries_ = 0;
+  fused_entries_ = 0;
   hits_ = 0;
   misses_ = 0;
+  fused_hits_ = 0;
+  fused_misses_ = 0;
+  evictions_ = 0;
 }
 
 PlanCache& PlanCache::default_cache() {

@@ -3,9 +3,9 @@
 // A session owns a persistent worker pool and a plan cache and amortizes
 // both across many factorizations — the "heavy traffic of repeated, often
 // small, QRs" regime where spawn-per-call scheduling overhead dominates
-// flops. Independent factorizations become independent DAG submissions on
-// the shared pool, so a batch of small QRs interleaves: while one matrix
-// drains its critical path, workers steal ready tasks from the others.
+// flops. Independent factorizations become DAG submissions on the shared
+// pool; a *batch* is fused into one submission (see below) so the scheduler
+// overlaps the tail of one factorization with the heads of the next.
 //
 //   core::QrSession session;                       // pool + plan cache
 //   auto fut = session.submit<double>(a.view(), opt);
@@ -14,10 +14,26 @@
 //
 //   auto qrs = session.factorize_batch<double>(views, opt);  // 64 small QRs
 //
+//   auto x = session.solve_least_squares_async<double>(a.view(), b.view(), opt);
+//   ...                                            // factorize → Qᵀb → trsm,
+//   Matrix<double> sol = x.get();                  // all on the session pool
+//
+// Batch fusion: factorize_batch concatenates the per-matrix DAGs into one
+// FusedPlan (cached per (shape, count) for homogeneous batches) and submits
+// it once — one deal of the initial ready set, one scheduling-key vector
+// (the concatenation of each plan's cached ranks, no rank sweep), one
+// completion walk. Per-matrix completion is detected by per-subgraph
+// sentinel counters: the last retiring task of each component fulfils that
+// matrix's promise, so early matrices resolve while the rest of the batch
+// is still running.
+//
 // Results are bitwise identical to TiledQr<T>::factorize on the same input:
 // the same plan, the same kernels, and tasks that write disjoint regions.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <deque>
 #include <future>
 #include <memory>
 #include <span>
@@ -85,20 +101,379 @@ class QrSession {
           else
             state->promise.set_value(std::move(state->qr));
         },
-        runtime::SchedulePriority::CriticalPath, worker_cap, state);
+        runtime::SchedulePriority::CriticalPath, worker_cap, state, &state->qr.plan_->ranks);
     return future;
   }
 
-  /// Factorizes a batch of independent matrices concurrently on the shared
-  /// pool (one DAG per matrix, interleaved) and waits for all of them.
-  /// Results are in input order; the first task exception is rethrown after
-  /// every submission has drained.
+  /// Asynchronous batched factorization: fuses the batch into ONE pool
+  /// submission (see the header comment) and returns one future per input,
+  /// in input order. Futures resolve independently as their component of the
+  /// fused DAG drains. Inputs that fail to tile or plan resolve their future
+  /// with the exception without poisoning the rest; a kernel failure at run
+  /// time cancels the remainder of the fused submission, so completed
+  /// matrices keep their values and unfinished ones observe the error.
+  /// `opt.threads > 0` keeps its per-matrix meaning: the fused submission is
+  /// capped to opt.threads x batch-size workers (clamped to the pool), the
+  /// aggregate concurrency the same batch got as per-matrix submissions.
+  template <typename T>
+  [[nodiscard]] std::vector<std::future<TiledQr<T>>> submit_batch(
+      std::span<const ConstMatrixView<T>> mats, const Options& opt) {
+    return submit_batch_impl<T>(
+        mats.size(),
+        [&mats, nb = opt.nb](size_t i) { return TileMatrix<T>::from_dense(mats[i], nb); }, opt);
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<std::future<TiledQr<T>>> submit_batch(
+      const std::vector<ConstMatrixView<T>>& mats, const Options& opt) {
+    return submit_batch(std::span<const ConstMatrixView<T>>(mats), opt);
+  }
+
+  /// Pre-tiled flavor of submit_batch (inputs consumed) — the zero-copy path
+  /// for servers that keep request matrices in tiled layout.
+  template <typename T>
+  [[nodiscard]] std::vector<std::future<TiledQr<T>>> submit_batch(
+      std::vector<TileMatrix<T>> mats, const Options& opt) {
+    return submit_batch_impl<T>(
+        mats.size(), [&mats](size_t i) { return std::move(mats[i]); }, opt);
+  }
+
+  /// Blocking batched factorization (one fused DAG; see submit_batch).
+  /// Results are in input order; the first exception is rethrown after every
+  /// component has drained.
   template <typename T>
   [[nodiscard]] std::vector<TiledQr<T>> factorize_batch(std::span<const ConstMatrixView<T>> mats,
                                                         const Options& opt) {
+    return collect_batch(submit_batch(mats, opt));
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<TiledQr<T>> factorize_batch(
+      const std::vector<ConstMatrixView<T>>& mats, const Options& opt) {
+    return factorize_batch(std::span<const ConstMatrixView<T>>(mats), opt);
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<TiledQr<T>> factorize_batch(std::vector<TileMatrix<T>> mats,
+                                                        const Options& opt) {
+    return collect_batch(submit_batch(std::move(mats), opt));
+  }
+
+  /// Applies op(Q) of a finished factorization to tiled C, asynchronously on
+  /// the session pool (no spawn path, no blocking). `qr` is borrowed and
+  /// must stay alive until the future resolves; C is consumed and handed
+  /// back through the future. Results are bitwise identical to
+  /// qr.apply_q(trans, c, ...) on the same input.
+  template <typename T>
+  [[nodiscard]] std::future<TileMatrix<T>> apply_q_async(const TiledQr<T>& qr, ApplyTrans trans,
+                                                         TileMatrix<T> c) {
+    struct Apply {
+      dag::TaskGraph graph;
+      TileMatrix<T> c;
+      std::promise<TileMatrix<T>> promise;
+    };
+    auto state = std::make_shared<Apply>();
+    std::future<TileMatrix<T>> future = state->promise.get_future();
+    try {
+      TILEDQR_CHECK(c.mt() == qr.a_.mt() && c.nb() == qr.a_.nb(),
+                    "apply_q_async: row tiling of C must match the factorization");
+      state->c = std::move(c);
+      state->graph = qr.build_apply_graph(trans, state->c.nt());
+    } catch (...) {
+      state->promise.set_exception(std::current_exception());
+      return future;
+    }
+    pool_.submit(
+        state->graph,
+        [raw = state.get(), &qr, trans](std::int32_t id) {
+          qr.run_apply_task(raw->graph.tasks[size_t(id)], trans, raw->c);
+        },
+        [state](std::exception_ptr error) {
+          if (error)
+            state->promise.set_exception(error);
+          else
+            state->promise.set_value(std::move(state->c));
+        },
+        runtime::SchedulePriority::CriticalPath, 0, state);
+    return future;
+  }
+
+  /// The factorization is borrowed until the future resolves — a temporary
+  /// would dangle under the in-flight tasks, so rvalues are rejected.
+  template <typename T>
+  std::future<TileMatrix<T>> apply_q_async(TiledQr<T>&&, ApplyTrans, TileMatrix<T>) = delete;
+
+  /// Least squares against a finished factorization: computes Qᵀb on the
+  /// pool, then the triangular solve on the worker that retires the apply
+  /// DAG. `qr` is borrowed and must stay alive until the future resolves.
+  template <typename T>
+  [[nodiscard]] std::future<Matrix<T>> solve_least_squares_async(const TiledQr<T>& qr,
+                                                                 ConstMatrixView<T> b) {
+    struct Solve {
+      dag::TaskGraph graph;
+      TileMatrix<T> c;
+      std::promise<Matrix<T>> promise;
+    };
+    auto state = std::make_shared<Solve>();
+    std::future<Matrix<T>> future = state->promise.get_future();
+    try {
+      TILEDQR_CHECK(qr.a_.m() >= qr.a_.n(), "solve_least_squares_async: requires m >= n");
+      TILEDQR_CHECK(b.rows() == qr.a_.m(), "solve_least_squares_async: rhs row mismatch");
+      if (b.cols() == 0) {
+        state->promise.set_value(Matrix<T>(qr.a_.n(), 0));
+        return future;
+      }
+      state->c = TileMatrix<T>::from_dense(b, qr.a_.nb());
+      state->graph = qr.build_apply_graph(ApplyTrans::ConjTrans, state->c.nt());
+    } catch (...) {
+      state->promise.set_exception(std::current_exception());
+      return future;
+    }
+    pool_.submit(
+        state->graph,
+        [raw = state.get(), &qr](std::int32_t id) {
+          qr.run_apply_task(raw->graph.tasks[size_t(id)], ApplyTrans::ConjTrans, raw->c);
+        },
+        [state, &qr](std::exception_ptr error) {
+          if (error) {
+            state->promise.set_exception(error);
+            return;
+          }
+          try {
+            state->promise.set_value(qr.finish_least_squares(state->c));
+          } catch (...) {
+            state->promise.set_exception(std::current_exception());
+          }
+        },
+        runtime::SchedulePriority::CriticalPath, 0, state);
+    return future;
+  }
+
+  template <typename T>
+  std::future<Matrix<T>> solve_least_squares_async(TiledQr<T>&&, ConstMatrixView<T>) = delete;
+
+  /// The full least-squares pipeline, end-to-end on the session pool:
+  /// factorize A, apply Qᵀ to b, triangular-solve R x = (Qᵀb)[0:n] — three
+  /// chained stages with no spawn-path fallback and no intermediate blocking
+  /// (each stage is submitted by the worker that retires the previous one).
+  /// `opt.threads > 0` caps the pool workers the pipeline may occupy.
+  template <typename T>
+  [[nodiscard]] std::future<Matrix<T>> solve_least_squares_async(ConstMatrixView<T> a,
+                                                                 ConstMatrixView<T> b,
+                                                                 Options opt) {
+    struct Pipeline {
+      TiledQr<T> qr;
+      TileMatrix<T> c;  ///< b tiles; becomes Qᵀb once the apply stage drains
+      dag::TaskGraph apply_graph;
+      std::promise<Matrix<T>> promise;
+    };
+    const int worker_cap = opt.threads;
+    if (opt.threads <= 0) opt.threads = pool_.size();
+    auto state = std::make_shared<Pipeline>();
+    std::future<Matrix<T>> future = state->promise.get_future();
+    try {
+      TILEDQR_CHECK(a.rows() >= a.cols(), "solve_least_squares_async: requires m >= n");
+      TILEDQR_CHECK(b.rows() == a.rows(), "solve_least_squares_async: rhs row mismatch");
+      state->qr = TiledQr<T>::prepare(TileMatrix<T>::from_dense(a, opt.nb), opt, cache_);
+      if (b.cols() > 0) state->c = TileMatrix<T>::from_dense(b, opt.nb);
+    } catch (...) {
+      state->promise.set_exception(std::current_exception());
+      return future;
+    }
+    runtime::ThreadPool* pool = &pool_;
+    pool_.submit(
+        state->qr.plan_->graph,
+        [raw = state.get(), ib = opt.ib](std::int32_t idx) {
+          TiledQr<T>& qr = raw->qr;
+          run_task_kernels(qr.plan_->graph.tasks[size_t(idx)], qr.a_, qr.t_, qr.t2_, ib);
+        },
+        [state, pool, worker_cap](std::exception_ptr error) {
+          if (error) {
+            state->promise.set_exception(error);
+            return;
+          }
+          try {
+            if (state->c.n() == 0) {  // zero-column rhs: answer is n x 0
+              state->promise.set_value(Matrix<T>(state->qr.a_.n(), 0));
+              return;
+            }
+            state->apply_graph =
+                state->qr.build_apply_graph(ApplyTrans::ConjTrans, state->c.nt());
+          } catch (...) {
+            state->promise.set_exception(std::current_exception());
+            return;
+          }
+          pool->submit(
+              state->apply_graph,
+              [raw = state.get()](std::int32_t id) {
+                raw->qr.run_apply_task(raw->apply_graph.tasks[size_t(id)],
+                                       ApplyTrans::ConjTrans, raw->c);
+              },
+              [state](std::exception_ptr apply_error) {
+                if (apply_error) {
+                  state->promise.set_exception(apply_error);
+                  return;
+                }
+                try {
+                  state->promise.set_value(state->qr.finish_least_squares(state->c));
+                } catch (...) {
+                  state->promise.set_exception(std::current_exception());
+                }
+              },
+              runtime::SchedulePriority::CriticalPath, worker_cap, state);
+        },
+        runtime::SchedulePriority::CriticalPath, worker_cap, state, &state->qr.plan_->ranks);
+    return future;
+  }
+
+  [[nodiscard]] runtime::ThreadPool& pool() noexcept { return pool_; }
+  [[nodiscard]] PlanCache& plan_cache() noexcept { return cache_; }
+  [[nodiscard]] PlanCache::Stats plan_cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] runtime::ThreadPool::Stats pool_stats() const noexcept { return pool_.stats(); }
+
+ private:
+  /// One matrix of a fused batch: its prepared factorization, its promise,
+  /// and the per-subgraph sentinel counter that detects component completion
+  /// inside the fused submission.
+  template <typename T>
+  struct BatchPart {
+    explicit BatchPart(TiledQr<T> q) : qr(std::move(q)) {}
+    TiledQr<T> qr;
+    std::promise<TiledQr<T>> promise;
+    std::atomic<std::int32_t> remaining{0};
+  };
+
+  /// Shared state of one fused batch submission (held alive by the pool's
+  /// keepalive until the completion callback has run).
+  template <typename T>
+  struct BatchState {
+    std::deque<BatchPart<T>> parts;           // successfully prepared inputs
+    FusedPlan owned;                          // heterogeneous batches
+    std::shared_ptr<const FusedPlan> cached;  // homogeneous batches
+    const FusedPlan* fused = nullptr;
+    int ib = 0;
+  };
+
+  /// Shared prepare loop of the submit_batch flavors: `make_tiles(i)` yields
+  /// the i-th input's TileMatrix (converting or moving). An input whose
+  /// tiling/planning throws gets a pre-failed future; the rest proceed.
+  template <typename T, typename MakeTiles>
+  [[nodiscard]] std::vector<std::future<TiledQr<T>>> submit_batch_impl(size_t count,
+                                                                       MakeTiles&& make_tiles,
+                                                                       Options opt) {
+    const int worker_cap = opt.threads;
+    if (opt.threads <= 0) opt.threads = pool_.size();
     std::vector<std::future<TiledQr<T>>> futures;
-    futures.reserve(mats.size());
-    for (const auto& m : mats) futures.push_back(submit(m, opt));
+    futures.reserve(count);
+    auto batch = std::make_shared<BatchState<T>>();
+    batch->ib = opt.ib;
+    for (size_t i = 0; i < count; ++i) {
+      try {
+        batch->parts.emplace_back(TiledQr<T>::prepare(make_tiles(i), opt, cache_));
+        futures.push_back(batch->parts.back().promise.get_future());
+      } catch (...) {
+        std::promise<TiledQr<T>> failed;
+        futures.push_back(failed.get_future());
+        failed.set_exception(std::current_exception());
+      }
+    }
+    launch_batch(std::move(batch), worker_cap, opt.tree);
+    return futures;
+  }
+
+  /// Fuses the prepared parts into one pool submission. The per-part
+  /// promises are fulfilled by per-subgraph sentinel counters as each
+  /// component drains; the single completion callback only mops up after a
+  /// cancelled (failed) submission.
+  template <typename T>
+  void launch_batch(std::shared_ptr<BatchState<T>> batch, int worker_cap,
+                    const trees::TreeConfig& tree) {
+    if (batch->parts.empty()) return;
+
+    if (batch->parts.size() == 1) {
+      // Nothing to fuse: submit the lone component directly (and skip
+      // caching a redundant single-part fusion).
+      BatchPart<T>& part = batch->parts.front();
+      pool_.submit(
+          part.qr.plan_->graph,
+          [raw = batch.get()](std::int32_t idx) {
+            TiledQr<T>& qr = raw->parts.front().qr;
+            run_task_kernels(qr.plan_->graph.tasks[size_t(idx)], qr.a_, qr.t_, qr.t2_, raw->ib);
+          },
+          [batch](std::exception_ptr error) {
+            BatchPart<T>& p = batch->parts.front();
+            if (error)
+              p.promise.set_exception(error);
+            else
+              p.promise.set_value(std::move(p.qr));
+          },
+          runtime::SchedulePriority::CriticalPath, worker_cap, batch, &part.qr.plan_->ranks);
+      return;
+    }
+
+    // One fused graph for the whole batch. Homogeneous batches (the common
+    // serving shape) reuse a cached fusion; mixed shapes fuse ad hoc.
+    const Plan* front_plan = batch->parts.front().qr.plan_.get();
+    bool homogeneous = true;
+    for (const auto& part : batch->parts)
+      if (part.qr.plan_.get() != front_plan) {
+        homogeneous = false;
+        break;
+      }
+    if (homogeneous) {
+      batch->cached = cache_.get_fused(front_plan->graph.p, front_plan->graph.q, tree,
+                                       int(batch->parts.size()));
+      batch->fused = batch->cached.get();
+    } else {
+      std::vector<std::shared_ptr<const Plan>> plans;
+      plans.reserve(batch->parts.size());
+      for (const auto& part : batch->parts) plans.push_back(part.qr.plan_);
+      batch->owned = make_fused_plan(plans);
+      batch->fused = &batch->owned;
+    }
+    for (size_t i = 0; i < batch->parts.size(); ++i) {
+      const FusedPlan::Part& range = batch->fused->parts[i];
+      batch->parts[i].remaining.store(range.end - range.begin, std::memory_order_relaxed);
+    }
+
+    // A per-submission cap applies to the whole fused graph, so scale the
+    // caller's per-matrix cap by the batch size to preserve the aggregate
+    // concurrency per-matrix submissions had (0 stays "whole pool").
+    if (worker_cap > 0)
+      worker_cap = int(std::min<long>(long(pool_.size()),
+                                      long(worker_cap) * long(batch->parts.size())));
+
+    pool_.submit(
+        batch->fused->graph,
+        [raw = batch.get()](std::int32_t idx) {
+          const FusedPlan& fused = *raw->fused;
+          BatchPart<T>& part = raw->parts[size_t(fused.part_of(idx))];
+          TiledQr<T>& qr = part.qr;
+          run_task_kernels(fused.graph.tasks[size_t(idx)], qr.a_, qr.t_, qr.t2_, raw->ib);
+          // Per-subgraph sentinel: the last retiring task of this component
+          // fulfils its matrix's promise (acq_rel pairs with the other
+          // workers' decrements, so their tile writes are visible before the
+          // TiledQr is moved out).
+          if (part.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            part.promise.set_value(std::move(part.qr));
+        },
+        [batch](std::exception_ptr error) {
+          // Only reachable with unfinished parts when a task threw (the pool
+          // then cancels the rest of the submission).
+          for (auto& part : batch->parts)
+            if (part.remaining.load(std::memory_order_acquire) != 0)
+              part.promise.set_exception(
+                  error ? error
+                        : std::make_exception_ptr(Error("factorize_batch: cancelled")));
+        },
+        runtime::SchedulePriority::CriticalPath, worker_cap, batch, &batch->fused->ranks);
+  }
+
+  /// Drains a submit_batch future set, preserving order; rethrows the first
+  /// exception after everything has resolved.
+  template <typename T>
+  [[nodiscard]] static std::vector<TiledQr<T>> collect_batch(
+      std::vector<std::future<TiledQr<T>>> futures) {
     std::vector<TiledQr<T>> out;
     out.reserve(futures.size());
     std::exception_ptr first_error;
@@ -113,18 +488,6 @@ class QrSession {
     return out;
   }
 
-  template <typename T>
-  [[nodiscard]] std::vector<TiledQr<T>> factorize_batch(
-      const std::vector<ConstMatrixView<T>>& mats, const Options& opt) {
-    return factorize_batch(std::span<const ConstMatrixView<T>>(mats), opt);
-  }
-
-  [[nodiscard]] runtime::ThreadPool& pool() noexcept { return pool_; }
-  [[nodiscard]] PlanCache& plan_cache() noexcept { return cache_; }
-  [[nodiscard]] PlanCache::Stats plan_cache_stats() const { return cache_.stats(); }
-  [[nodiscard]] runtime::ThreadPool::Stats pool_stats() const noexcept { return pool_.stats(); }
-
- private:
   // Declaration order matters: the pool's destructor drains in-flight
   // submissions, which still reference cached plans — so the cache must
   // outlive the pool (destroyed after it).

@@ -92,12 +92,14 @@ void run_task_kernels(const dag::Task& t, TileMatrix<T>& a, TStore<T>& ts, TStor
 }
 
 /// Executes a planned task graph over tile storage on `threads` workers.
+/// `keys`, when non-null, are precomputed scheduling keys (a cached plan's
+/// `ranks`), saving the per-call rank sweep.
 template <typename T>
 void execute_graph(const dag::TaskGraph& g, TileMatrix<T>& a, TStore<T>& ts, TStore<T>& t2s,
-                   int ib, int threads) {
+                   int ib, int threads, const std::vector<long>* keys = nullptr) {
   runtime::execute(
       g, [&](std::int32_t idx) { run_task_kernels(g.tasks[size_t(idx)], a, ts, t2s, ib); },
-      threads);
+      threads, runtime::SchedulePriority::CriticalPath, keys);
 }
 
 template <typename T>
@@ -113,7 +115,8 @@ class TiledQr {
   /// generation and DAG construction entirely.
   [[nodiscard]] static TiledQr factorize(TileMatrix<T> a, Options opt) {
     TiledQr qr = prepare(std::move(a), opt);
-    execute_graph(qr.plan_->graph, qr.a_, qr.t_, qr.t2_, qr.opt_.ib, qr.opt_.threads);
+    execute_graph(qr.plan_->graph, qr.a_, qr.t_, qr.t2_, qr.opt_.ib, qr.opt_.threads,
+                  &qr.plan_->ranks);
     return qr;
   }
 
@@ -132,6 +135,66 @@ class TiledQr {
     return r;
   }
 
+  /// Builds the op(Q)-application DAG for a conformal tiled matrix with
+  /// `c_nt` tile columns: one task per (transformation-log op, C tile
+  /// column), dependencies via last-writer tracking on C's tiles. The graph
+  /// only references this factorization's log, so it can be submitted to any
+  /// executor (QrSession submits it asynchronously to its own pool).
+  [[nodiscard]] dag::TaskGraph build_apply_graph(ApplyTrans trans, int c_nt) const {
+    // Transformation log in application order.
+    std::vector<const dag::Task*> ops;
+    for (const auto& task : plan_->graph.tasks)
+      if (task.kind == kernels::KernelKind::GEQRT || task.kind == kernels::KernelKind::TSQRT ||
+          task.kind == kernels::KernelKind::TTQRT)
+        ops.push_back(&task);
+    if (trans == ApplyTrans::NoTrans) std::reverse(ops.begin(), ops.end());
+
+    dag::TaskGraph g;
+    g.p = a_.mt();
+    g.q = c_nt;
+    std::vector<std::int32_t> last(size_t(a_.mt()) * size_t(c_nt), -1);
+    auto touch = [&](int row, int jc, std::int32_t id) {
+      auto& slot = last[size_t(row) * size_t(c_nt) + size_t(jc)];
+      if (slot >= 0) {
+        g.tasks[size_t(slot)].succ.push_back(id);
+        ++g.tasks[size_t(id)].npred;
+      }
+      slot = id;
+    };
+    for (const auto* op : ops) {
+      for (int jc = 0; jc < c_nt; ++jc) {
+        auto id = std::int32_t(g.tasks.size());
+        kernels::KernelKind kind =
+            op->kind == kernels::KernelKind::GEQRT   ? kernels::KernelKind::UNMQR
+            : op->kind == kernels::KernelKind::TSQRT ? kernels::KernelKind::TSMQR
+                                                     : kernels::KernelKind::TTMQR;
+        g.tasks.push_back(dag::Task{kind, op->i, op->piv, op->k, jc, 0, {}});
+        if (op->piv >= 0) touch(op->piv, jc, id);
+        touch(op->i, jc, id);
+      }
+    }
+    return g;
+  }
+
+  /// Runs one task of an apply graph built by build_apply_graph against C.
+  void run_apply_task(const dag::Task& task, ApplyTrans trans, TileMatrix<T>& c) const {
+    const int ib = opt_.ib;
+    switch (task.kind) {
+      case kernels::KernelKind::UNMQR:
+        kernels::unmqr(trans, ib, a_.tile(task.i, task.k), t_.at(task.i, task.k),
+                       c.tile(task.i, task.j));
+        break;
+      case kernels::KernelKind::TSMQR:
+        kernels::tsmqr(trans, ib, a_.tile(task.i, task.k), t_.at(task.i, task.k),
+                       c.tile(task.piv, task.j), c.tile(task.i, task.j));
+        break;
+      default:
+        kernels::ttmqr(trans, ib, a_.tile(task.i, task.k), t2_.at(task.i, task.k),
+                       c.tile(task.piv, task.j), c.tile(task.i, task.j));
+        break;
+    }
+  }
+
   /// Applies op(Q) to a tiled matrix with the same row tiling, building an
   /// application DAG over C's tiles and running it on `threads` workers
   /// (LAPACK xUNMQR's role, parallelized like the factorization itself).
@@ -143,61 +206,9 @@ class TiledQr {
       apply_q(trans, c);
       return;
     }
-    // Transformation log in application order.
-    std::vector<const dag::Task*> ops;
-    for (const auto& task : plan_->graph.tasks)
-      if (task.kind == kernels::KernelKind::GEQRT || task.kind == kernels::KernelKind::TSQRT ||
-          task.kind == kernels::KernelKind::TTQRT)
-        ops.push_back(&task);
-    if (trans == ApplyTrans::NoTrans) std::reverse(ops.begin(), ops.end());
-
-    // One task per (op, C tile column); dependencies via last-writer
-    // tracking on C's tiles.
-    dag::TaskGraph g;
-    g.p = c.mt();
-    g.q = c.nt();
-    std::vector<std::int32_t> last(size_t(c.mt()) * size_t(c.nt()), -1);
-    auto touch = [&](int row, int jc, std::int32_t id) {
-      auto& slot = last[size_t(row) * size_t(c.nt()) + size_t(jc)];
-      if (slot >= 0) {
-        g.tasks[size_t(slot)].succ.push_back(id);
-        ++g.tasks[size_t(id)].npred;
-      }
-      slot = id;
-    };
-    for (const auto* op : ops) {
-      for (int jc = 0; jc < c.nt(); ++jc) {
-        auto id = std::int32_t(g.tasks.size());
-        kernels::KernelKind kind =
-            op->kind == kernels::KernelKind::GEQRT   ? kernels::KernelKind::UNMQR
-            : op->kind == kernels::KernelKind::TSQRT ? kernels::KernelKind::TSMQR
-                                                     : kernels::KernelKind::TTMQR;
-        g.tasks.push_back(dag::Task{kind, op->i, op->piv, op->k, jc, 0, {}});
-        if (op->piv >= 0) touch(op->piv, jc, id);
-        touch(op->i, jc, id);
-      }
-    }
-    const int ib = opt_.ib;
+    dag::TaskGraph g = build_apply_graph(trans, c.nt());
     runtime::execute(
-        g,
-        [&](std::int32_t id) {
-          const auto& task = g.tasks[size_t(id)];
-          switch (task.kind) {
-            case kernels::KernelKind::UNMQR:
-              kernels::unmqr(trans, ib, a_.tile(task.i, task.k), t_.at(task.i, task.k),
-                             c.tile(task.i, task.j));
-              break;
-            case kernels::KernelKind::TSMQR:
-              kernels::tsmqr(trans, ib, a_.tile(task.i, task.k), t_.at(task.i, task.k),
-                             c.tile(task.piv, task.j), c.tile(task.i, task.j));
-              break;
-            default:
-              kernels::ttmqr(trans, ib, a_.tile(task.i, task.k), t2_.at(task.i, task.k),
-                             c.tile(task.piv, task.j), c.tile(task.i, task.j));
-              break;
-          }
-        },
-        threads);
+        g, [&](std::int32_t id) { run_apply_task(g.tasks[size_t(id)], trans, c); }, threads);
   }
 
   /// Applies op(Q) to a tiled matrix with the same row tiling (any number of
@@ -245,20 +256,30 @@ class TiledQr {
     return c.to_dense();
   }
 
-  /// Least squares: min_x || A x - b ||_2 for tall A (m >= n); b is m x nrhs.
-  [[nodiscard]] Matrix<T> solve_least_squares(ConstMatrixView<T> b) const {
-    TILEDQR_CHECK(a_.m() >= a_.n(), "solve_least_squares: requires m >= n");
-    TILEDQR_CHECK(b.rows() == a_.m(), "solve_least_squares: rhs row mismatch");
-    auto c = TileMatrix<T>::from_dense(b, a_.nb());
-    apply_q(ApplyTrans::ConjTrans, c, opt_.threads);
-    Matrix<T> qtb = c.to_dense();
+  /// The triangular-solve tail of least squares: given the tiled Qᵀb,
+  /// extracts the top n rows and solves R x = (Qᵀb)[0:n, :]. Split out so
+  /// QrSession's async pipeline can run it on a pool worker after the
+  /// apply-Qᵀ DAG drains.
+  [[nodiscard]] Matrix<T> finish_least_squares(const TileMatrix<T>& qtb_tiles) const {
+    Matrix<T> qtb = qtb_tiles.to_dense();
     const std::int64_t n = a_.n();
-    Matrix<T> x(n, b.cols());
-    copy(ConstMatrixView<T>(qtb.sub(0, 0, n, b.cols())), x.view());
+    Matrix<T> x(n, qtb.cols());
+    copy(ConstMatrixView<T>(qtb.sub(0, 0, n, qtb.cols())), x.view());
     Matrix<T> r = r_factor();
     blas::trsm(blas::Side::Left, blas::Uplo::Upper, blas::Op::NoTrans, blas::Diag::NonUnit,
                T(1), r.sub(0, 0, n, n), x.view());
     return x;
+  }
+
+  /// Least squares: min_x || A x - b ||_2 for tall A (m >= n); b is m x nrhs.
+  /// nrhs == 0 is a valid degenerate system (the answer is n x 0).
+  [[nodiscard]] Matrix<T> solve_least_squares(ConstMatrixView<T> b) const {
+    TILEDQR_CHECK(a_.m() >= a_.n(), "solve_least_squares: requires m >= n");
+    TILEDQR_CHECK(b.rows() == a_.m(), "solve_least_squares: rhs row mismatch");
+    if (b.cols() == 0) return Matrix<T>(a_.n(), 0);
+    auto c = TileMatrix<T>::from_dense(b, a_.nb());
+    apply_q(ApplyTrans::ConjTrans, c, opt_.threads);
+    return finish_least_squares(c);
   }
 
   /// Solves the square system A x = b via QR (unconditionally stable, paper

@@ -58,6 +58,19 @@ class DependencyTracker {
 
 }  // namespace
 
+std::int32_t TaskGraph::append_offset(const TaskGraph& other) {
+  const auto offset = std::int32_t(tasks.size());
+  tasks.reserve(tasks.size() + other.tasks.size());
+  for (const Task& t : other.tasks) {
+    tasks.push_back(t);
+    for (std::int32_t& s : tasks.back().succ) s += offset;
+  }
+  p = std::max(p, other.p);
+  q = std::max(q, other.q);
+  zero_task.clear();
+  return offset;
+}
+
 TaskGraph build_task_graph(int p, int q, const trees::EliminationList& list) {
   auto valid = trees::validate_elimination_list(p, q, list);
   TILEDQR_CHECK(valid.ok, "build_task_graph: invalid elimination list: " + valid.message);

@@ -137,11 +137,17 @@ std::vector<long> make_priority_keys(const dag::TaskGraph& g, SchedulePriority p
 }
 
 void execute(const dag::TaskGraph& g, const std::function<void(std::int32_t)>& body,
-             int threads, SchedulePriority priority) {
+             int threads, SchedulePriority priority, const std::vector<long>* keys) {
   TILEDQR_CHECK(threads >= 1, "execute: need at least one thread");
   if (g.tasks.empty()) return;
   if (threads == 1) {
-    execute_sequential(g, body, make_priority_keys(g, priority));
+    // Branch instead of a conditional expression: `keys ? *keys : ...` would
+    // materialize a copy of the borrowed vector, re-paying the per-call cost
+    // the cached ranks exist to remove.
+    if (keys)
+      execute_sequential(g, body, *keys);
+    else
+      execute_sequential(g, body, make_priority_keys(g, priority));
     return;
   }
   ThreadPool& pool = ThreadPool::default_pool();
@@ -149,22 +155,27 @@ void execute(const dag::TaskGraph& g, const std::function<void(std::int32_t)>& b
     // The caller asked for more concurrency than the persistent pool has
     // (e.g. a scaling ablation sweeping past the core count). Honor the
     // exact thread count by oversubscribing, like the pre-pool executor.
-    execute_spawn(g, body, threads, priority);
+    execute_spawn(g, body, threads, priority, keys);
     return;
   }
-  pool.run(g, body, priority, threads);
+  pool.run(g, body, priority, threads, keys);
 }
 
 void execute_spawn(const dag::TaskGraph& g, const std::function<void(std::int32_t)>& body,
-                   int threads, SchedulePriority priority) {
+                   int threads, SchedulePriority priority, const std::vector<long>* keys) {
   TILEDQR_CHECK(threads >= 1, "execute_spawn: need at least one thread");
   if (g.tasks.empty()) return;
-  auto keys = make_priority_keys(g, priority);
   if (threads == 1) {
-    execute_sequential(g, body, keys);
+    // Borrowed keys are used in place (no per-call copy; see execute()).
+    if (keys)
+      execute_sequential(g, body, *keys);
+    else
+      execute_sequential(g, body, make_priority_keys(g, priority));
     return;
   }
-  Scheduler sched(g, body, std::move(keys));
+  // The spawn path's Scheduler owns its keys (it outlives this frame only
+  // via its worker threads), so borrowed keys are copied here.
+  Scheduler sched(g, body, keys ? *keys : make_priority_keys(g, priority));
   std::vector<std::thread> pool;
   pool.reserve(size_t(threads));
   for (int w = 0; w < threads; ++w) pool.emplace_back([&sched] { sched.worker_loop(); });

@@ -32,14 +32,21 @@ enum class SchedulePriority {
 /// rethrown on the calling thread after the DAG drains. Because tasks only
 /// read their declared inputs, results are bitwise identical for any thread
 /// count and priority rule.
+///
+/// `keys`, when non-null, supplies precomputed scheduling keys (one per
+/// task, higher runs first) and must outlive the call; the priority rule is
+/// then not consulted. Cached plans pass their `ranks` here so repeated
+/// submissions skip the rank sweep.
 void execute(const dag::TaskGraph& g, const std::function<void(std::int32_t)>& body,
-             int threads, SchedulePriority priority = SchedulePriority::CriticalPath);
+             int threads, SchedulePriority priority = SchedulePriority::CriticalPath,
+             const std::vector<long>* keys = nullptr);
 
 /// The pre-pool execution path: spawns `threads` fresh std::threads around a
 /// central priority queue and joins them before returning. Kept as the
 /// spawn-per-call baseline for the serving benchmarks; prefer execute().
 void execute_spawn(const dag::TaskGraph& g, const std::function<void(std::int32_t)>& body,
-                   int threads, SchedulePriority priority = SchedulePriority::CriticalPath);
+                   int threads, SchedulePriority priority = SchedulePriority::CriticalPath,
+                   const std::vector<long>* keys = nullptr);
 
 /// Scheduling keys for a priority rule: CriticalPath uses downward_ranks(),
 /// EmissionOrder gives earlier tasks larger keys. Higher key = run first.

@@ -19,10 +19,15 @@ thread_local int tl_worker = -1;
 /// cancelled (skipped) once a task body has thrown — so `remaining` always
 /// drains to zero and completion fires even on failure.
 struct ThreadPool::Submission {
+  /// `borrowed_keys`, when non-null, is used directly (the caller keeps it
+  /// alive like the graph itself — cached plans hand in their rank vector);
+  /// otherwise `owned` is computed per submission and referenced instead.
   Submission(const dag::TaskGraph& g, std::function<void(std::int32_t)> b,
-             std::function<void(std::exception_ptr)> done_cb, std::vector<long> k,
-             std::shared_ptr<const void> keep)
-      : graph(&g), body(std::move(b)), on_complete(std::move(done_cb)), keys(std::move(k)),
+             std::function<void(std::exception_ptr)> done_cb, const std::vector<long>* borrowed_keys,
+             std::vector<long> owned, std::shared_ptr<const void> keep)
+      : graph(&g), body(std::move(b)), on_complete(std::move(done_cb)),
+        keys_owned(std::move(owned)),
+        keys(borrowed_keys ? borrowed_keys->data() : keys_owned.data()),
         keepalive(std::move(keep)), npred(g.tasks.size()), remaining(long(g.tasks.size())) {
     for (size_t t = 0; t < g.tasks.size(); ++t)
       npred[t].store(g.tasks[t].npred, std::memory_order_relaxed);
@@ -38,7 +43,8 @@ struct ThreadPool::Submission {
   const dag::TaskGraph* graph;
   std::function<void(std::int32_t)> body;
   std::function<void(std::exception_ptr)> on_complete;
-  std::vector<long> keys;
+  std::vector<long> keys_owned;
+  const long* keys;  ///< one scheduling key per task (borrowed or keys_owned)
   std::shared_ptr<const void> keepalive;
   std::vector<std::atomic<std::int32_t>> npred;
   std::atomic<long> remaining;
@@ -107,10 +113,13 @@ void ThreadPool::signal_work() {
 std::shared_ptr<ThreadPool::Submission> ThreadPool::submit_impl(
     const dag::TaskGraph& g, std::function<void(std::int32_t)> body,
     std::function<void(std::exception_ptr)> on_complete, SchedulePriority priority,
-    int max_workers, std::shared_ptr<const void> keepalive) {
+    int max_workers, std::shared_ptr<const void> keepalive, const std::vector<long>* keys) {
   TILEDQR_CHECK(!g.tasks.empty(), "ThreadPool::submit: empty graph handled by caller");
-  auto sub = std::make_shared<Submission>(g, std::move(body), std::move(on_complete),
-                                          make_priority_keys(g, priority), std::move(keepalive));
+  TILEDQR_CHECK(!keys || keys->size() == g.tasks.size(),
+                "ThreadPool::submit: keys must have one entry per task");
+  auto sub = std::make_shared<Submission>(
+      g, std::move(body), std::move(on_complete), keys,
+      keys ? std::vector<long>() : make_priority_keys(g, priority), std::move(keepalive));
   const int pool_size = size();
   sub->worker_count = max_workers <= 0 ? pool_size : std::min(max_workers, pool_size);
   sub->first_worker = int(next_start_.fetch_add(1, std::memory_order_relaxed) % unsigned(pool_size));
@@ -145,19 +154,20 @@ std::shared_ptr<ThreadPool::Submission> ThreadPool::submit_impl(
 void ThreadPool::submit(const dag::TaskGraph& g, std::function<void(std::int32_t)> body,
                         std::function<void(std::exception_ptr)> on_complete,
                         SchedulePriority priority, int max_workers,
-                        std::shared_ptr<const void> keepalive) {
+                        std::shared_ptr<const void> keepalive, const std::vector<long>* keys) {
   if (g.tasks.empty()) {
     if (on_complete) on_complete(nullptr);
     return;
   }
   submit_impl(g, std::move(body), std::move(on_complete), priority, max_workers,
-              std::move(keepalive));
+              std::move(keepalive), keys);
 }
 
 std::future<void> ThreadPool::submit(const dag::TaskGraph& g,
                                      std::function<void(std::int32_t)> body,
                                      SchedulePriority priority, int max_workers,
-                                     std::shared_ptr<const void> keepalive) {
+                                     std::shared_ptr<const void> keepalive,
+                                     const std::vector<long>* keys) {
   auto promise = std::make_shared<std::promise<void>>();
   std::future<void> future = promise->get_future();
   submit(
@@ -168,19 +178,19 @@ std::future<void> ThreadPool::submit(const dag::TaskGraph& g,
         else
           promise->set_value();
       },
-      priority, max_workers, std::move(keepalive));
+      priority, max_workers, std::move(keepalive), keys);
   return future;
 }
 
 void ThreadPool::run(const dag::TaskGraph& g, const std::function<void(std::int32_t)>& body,
-                     SchedulePriority priority, int max_workers) {
+                     SchedulePriority priority, int max_workers, const std::vector<long>* keys) {
   if (g.tasks.empty()) return;
   if (tl_pool == this) {
     // Re-entrant call from a task body: the calling worker helps execute
     // until this submission retires (blocking would deadlock the pool).
     // When no admissible work exists it parks on the epoch/cv machinery
     // like any worker (completion bumps the epoch via signal_work).
-    auto sub = submit_impl(g, body, nullptr, priority, max_workers, nullptr);
+    auto sub = submit_impl(g, body, nullptr, priority, max_workers, nullptr, keys);
     while (!sub->done.load(std::memory_order_acquire)) {
       const long epoch = epoch_.load(std::memory_order_seq_cst);
       if (try_run_one(tl_worker)) continue;
@@ -207,7 +217,7 @@ void ThreadPool::run(const dag::TaskGraph& g, const std::function<void(std::int3
         else
           promise.set_value();
       },
-      priority, max_workers, nullptr);
+      priority, max_workers, nullptr, keys);
   future.get();
 }
 

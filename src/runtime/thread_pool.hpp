@@ -62,23 +62,30 @@ class ThreadPool {
   /// `keepalive` is held by the submission for exactly that purpose and
   /// released after `on_complete` returns. `max_workers <= 0` means all
   /// workers; otherwise the submission is confined to that many workers.
+  /// `keys`, when non-null, supplies precomputed scheduling keys (one per
+  /// task, higher runs first) borrowed for the submission's lifetime — the
+  /// same contract as `g` — and the priority rule is not consulted; cached
+  /// plans pass their rank vector here to skip the per-submission rank sweep.
   void submit(const dag::TaskGraph& g, std::function<void(std::int32_t)> body,
               std::function<void(std::exception_ptr)> on_complete,
               SchedulePriority priority = SchedulePriority::CriticalPath, int max_workers = 0,
-              std::shared_ptr<const void> keepalive = nullptr);
+              std::shared_ptr<const void> keepalive = nullptr,
+              const std::vector<long>* keys = nullptr);
 
   /// Future-returning flavor of submit().
   [[nodiscard]] std::future<void> submit(const dag::TaskGraph& g,
                                          std::function<void(std::int32_t)> body,
                                          SchedulePriority priority = SchedulePriority::CriticalPath,
                                          int max_workers = 0,
-                                         std::shared_ptr<const void> keepalive = nullptr);
+                                         std::shared_ptr<const void> keepalive = nullptr,
+                                         const std::vector<long>* keys = nullptr);
 
   /// Blocking convenience: submit and wait; rethrows the first task
   /// exception. Safe to call from inside a task body running on this pool —
   /// the calling worker helps execute instead of deadlocking.
   void run(const dag::TaskGraph& g, const std::function<void(std::int32_t)>& body,
-           SchedulePriority priority = SchedulePriority::CriticalPath, int max_workers = 0);
+           SchedulePriority priority = SchedulePriority::CriticalPath, int max_workers = 0,
+           const std::vector<long>* keys = nullptr);
 
   [[nodiscard]] Stats stats() const noexcept;
 
@@ -95,7 +102,8 @@ class ThreadPool {
                                           std::function<void(std::int32_t)> body,
                                           std::function<void(std::exception_ptr)> on_complete,
                                           SchedulePriority priority, int max_workers,
-                                          std::shared_ptr<const void> keepalive);
+                                          std::shared_ptr<const void> keepalive,
+                                          const std::vector<long>* keys);
   void worker_main(int wid);
   bool try_run_one(int wid);
   void run_item(int wid, Item item);

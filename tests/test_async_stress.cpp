@@ -1,0 +1,204 @@
+// Deterministic concurrency stress for the async serving API: several
+// client threads hammer ONE QrSession, interleaving submit, fused
+// factorize_batch, apply_q_async round trips, and the full
+// solve_least_squares_async pipeline. Every client checks its own results
+// against a fixed-seed reference, so any cross-talk between in-flight
+// submissions shows up as a value mismatch (and any data race shows up in
+// the CI TSan job, which runs the `fast` ctest label with
+// -fsanitize=thread).
+//
+// TILEDQR_STRESS=1 (the ctest `stress` label) multiplies the round count.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.hpp"
+#include "core/qr_session.hpp"
+#include "kernels/reference_qr.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/norms.hpp"
+
+namespace tiledqr {
+namespace {
+
+using core::Options;
+using core::QrSession;
+using core::TiledQr;
+using kernels::ApplyTrans;
+
+Options stress_opt() {
+  Options opt;
+  opt.nb = 16;
+  opt.ib = 8;
+  return opt;
+}
+
+int stress_rounds() { return env_flag("TILEDQR_STRESS") ? 12 : 2; }
+
+/// Collects client-side failures; gtest assertions are not thread-safe
+/// enough to fire from workers, so clients record and the main thread
+/// asserts.
+class FailureLog {
+ public:
+  void add(std::string what) {
+    std::lock_guard<std::mutex> lock(mu_);
+    failures_.push_back(std::move(what));
+  }
+  [[nodiscard]] std::vector<std::string> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return failures_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> failures_;
+};
+
+bool bitwise_equal(const Matrix<double>& a, const Matrix<double>& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::int64_t j = 0; j < a.cols(); ++j)
+    for (std::int64_t i = 0; i < a.rows(); ++i)
+      if (a(i, j) != b(i, j)) return false;
+  return true;
+}
+
+TEST(AsyncStress, InterleavedClientsOnOneSession) {
+  QrSession session(QrSession::Config{4});
+  auto opt = stress_opt();
+  const int rounds = stress_rounds();
+  const std::int64_t m = 3 * 16, n = 2 * 16;
+  FailureLog log;
+
+  // Client 0: single async submits, checked bitwise against the synchronous
+  // single-thread factorization.
+  std::thread submitter([&] {
+    for (int r = 0; r < rounds; ++r) {
+      std::vector<Matrix<double>> inputs;
+      std::vector<std::future<TiledQr<double>>> futures;
+      for (int i = 0; i < 4; ++i)
+        inputs.push_back(random_matrix<double>(m, n, 1000 + unsigned(r) * 10 + unsigned(i)));
+      for (auto& a : inputs)
+        futures.push_back(session.submit(ConstMatrixView<double>(a.view()), opt));
+      for (int i = 0; i < 4; ++i) {
+        auto got = futures[size_t(i)].get().factors().to_dense();
+        auto sync_opt = opt;
+        sync_opt.threads = 1;
+        auto want =
+            TiledQr<double>::factorize(inputs[size_t(i)].view(), sync_opt).factors().to_dense();
+        if (!bitwise_equal(got, want))
+          log.add("submit mismatch round " + std::to_string(r) + " i " + std::to_string(i));
+      }
+    }
+  });
+
+  // Client 1: fused batches, checked bitwise the same way.
+  std::thread batcher([&] {
+    for (int r = 0; r < rounds; ++r) {
+      std::vector<Matrix<double>> inputs;
+      for (int i = 0; i < 4; ++i)
+        inputs.push_back(random_matrix<double>(m, n, 2000 + unsigned(r) * 10 + unsigned(i)));
+      std::vector<ConstMatrixView<double>> views;
+      for (auto& a : inputs) views.push_back(ConstMatrixView<double>(a.view()));
+      std::vector<TiledQr<double>> results;
+      try {
+        results = session.factorize_batch(views, opt);
+      } catch (const std::exception& e) {
+        log.add(std::string("batch threw: ") + e.what());
+        continue;
+      }
+      for (int i = 0; i < 4; ++i) {
+        auto sync_opt = opt;
+        sync_opt.threads = 1;
+        auto want =
+            TiledQr<double>::factorize(inputs[size_t(i)].view(), sync_opt).factors().to_dense();
+        if (!bitwise_equal(results[size_t(i)].factors().to_dense(), want))
+          log.add("batch mismatch round " + std::to_string(r) + " i " + std::to_string(i));
+      }
+    }
+  });
+
+  // Client 2: the full async least-squares pipeline, checked bitwise against
+  // the synchronous sequential solve (same kernels, same order per tile).
+  std::thread solver([&] {
+    for (int r = 0; r < rounds; ++r) {
+      auto a = random_matrix<double>(m, n, 3000 + unsigned(r));
+      auto b = random_matrix<double>(m, 2, 3500 + unsigned(r));
+      Matrix<double> got;
+      try {
+        got = session.solve_least_squares_async(ConstMatrixView<double>(a.view()),
+                                                 ConstMatrixView<double>(b.view()), opt).get();
+      } catch (const std::exception& e) {
+        log.add(std::string("pipeline threw: ") + e.what());
+        continue;
+      }
+      auto sync_opt = opt;
+      sync_opt.threads = 1;
+      auto want = TiledQr<double>::factorize(a.view(), sync_opt).solve_least_squares(b.view());
+      if (!bitwise_equal(got, want)) log.add("pipeline mismatch round " + std::to_string(r));
+    }
+  });
+
+  // Client 3: apply_q_async round trips (Q then Q^T restores the input).
+  std::thread applier([&] {
+    for (int r = 0; r < rounds; ++r) {
+      auto a = random_matrix<double>(m, n, 4000 + unsigned(r));
+      auto qr = session.submit(ConstMatrixView<double>(a.view()), opt).get();
+      auto c0 = random_matrix<double>(m, 16, 4500 + unsigned(r));
+      auto c = TileMatrix<double>::from_dense(c0.view(), opt.nb);
+      try {
+        c = session.apply_q_async(qr, ApplyTrans::NoTrans, std::move(c)).get();
+        c = session.apply_q_async(qr, ApplyTrans::ConjTrans, std::move(c)).get();
+      } catch (const std::exception& e) {
+        log.add(std::string("apply threw: ") + e.what());
+        continue;
+      }
+      auto back = c.to_dense();
+      if (double(difference_norm<double>(back.view(), c0.view())) > 1e-10)
+        log.add("apply round trip off round " + std::to_string(r));
+    }
+  });
+
+  submitter.join();
+  batcher.join();
+  solver.join();
+  applier.join();
+  for (const auto& f : log.take()) ADD_FAILURE() << f;
+}
+
+TEST(AsyncStress, PipelineMatchesReferenceSolution) {
+  // One quiet sanity pass: the async pipeline agrees with the dense
+  // reference least-squares solver at numerical tolerance.
+  QrSession session(QrSession::Config{2});
+  auto opt = stress_opt();
+  const std::int64_t m = 45, n = 17;  // ragged on purpose
+  auto a = random_matrix<double>(m, n, 11);
+  auto b = random_matrix<double>(m, 3, 13);
+  auto x = session.solve_least_squares_async(ConstMatrixView<double>(a.view()),
+                                                 ConstMatrixView<double>(b.view()), opt).get();
+  auto xref = kernels::reference_least_squares<double>(a.view(), b.view());
+  EXPECT_LE(double(difference_norm<double>(x.view(), xref.view())), 1e-10);
+}
+
+TEST(AsyncStress, PipelinesSurviveSessionChurn) {
+  // Sessions created and destroyed with pipelines in flight: the pool
+  // destructor must drain chained stages (factorize → apply → solve), so
+  // every future resolves even though the session dies right away.
+  auto opt = stress_opt();
+  for (int r = 0; r < 3; ++r) {
+    auto a = random_matrix<double>(64, 32, 100 + unsigned(r));
+    auto b = random_matrix<double>(64, 1, 200 + unsigned(r));
+    std::future<Matrix<double>> x;
+    {
+      QrSession session(QrSession::Config{2});
+      x = session.solve_least_squares_async(ConstMatrixView<double>(a.view()),
+                                                 ConstMatrixView<double>(b.view()), opt);
+    }  // ~QrSession drains the in-flight pipeline
+    EXPECT_EQ(x.get().rows(), 32);
+  }
+}
+
+}  // namespace
+}  // namespace tiledqr

@@ -103,6 +103,87 @@ TEST(PlanCache, ConcurrentGetsConvergeToOnePlanPerShape) {
   EXPECT_EQ(cache.stats().entries, 3u);
 }
 
+TEST(PlanCache, ByteBudgetEvictsLeastRecentlyUsed) {
+  PlanCache cache;
+  TreeConfig greedy{};
+  TreeConfig flat{TreeKind::FlatTree, KernelFamily::TT, 1, 0};
+  (void)cache.get(8, 4, greedy);   // A
+  (void)cache.get(10, 4, flat);    // B
+  auto both = cache.stats();
+  ASSERT_EQ(both.entries, 2u);
+  ASSERT_GT(both.bytes, 0u);
+  (void)cache.get(8, 4, greedy);  // touch A: B becomes least recently used
+
+  cache.set_byte_budget(both.bytes - 1);  // forces exactly one eviction
+  auto after = cache.stats();
+  EXPECT_EQ(after.entries, 1u);
+  EXPECT_EQ(after.evictions, 1);
+  EXPECT_LT(after.bytes, both.bytes);
+
+  // A (recently touched) survived; B (LRU) was the victim.
+  long hits_before = after.hits;
+  (void)cache.get(8, 4, greedy);
+  EXPECT_EQ(cache.stats().hits, hits_before + 1);
+  long misses_before = cache.stats().misses;
+  (void)cache.get(10, 4, flat);
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+}
+
+TEST(PlanCache, EvictionKeepsTheNewestEntryEvenWhenOverBudget) {
+  PlanCache cache(/*byte_budget=*/1);  // absurdly small: everything oversized
+  TreeConfig greedy{};
+  auto a = cache.get(8, 4, greedy);
+  EXPECT_EQ(cache.stats().entries, 1u);  // newest entry never self-evicts
+  auto b = cache.get(8, 4, greedy);
+  EXPECT_EQ(a.get(), b.get());  // and it still serves hits
+  EXPECT_EQ(cache.stats().hits, 1);
+  // A different shape replaces it (the old entry is now LRU and over budget).
+  (void)cache.get(6, 3, greedy);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 1);
+  // Evicted plans stay alive for existing holders (shared immutability).
+  EXPECT_EQ(a->graph.p, 8);
+}
+
+TEST(PlanCache, FusedPlansAreCachedAndBudgeted) {
+  PlanCache cache;
+  TreeConfig greedy{};
+  auto fused = cache.get_fused(5, 2, greedy, 4);
+  ASSERT_EQ(fused->parts.size(), 4u);
+  auto base = cache.get(5, 2, greedy);
+  EXPECT_EQ(fused->graph.tasks.size(), 4 * base->graph.tasks.size());
+  EXPECT_EQ(fused->ranks.size(), fused->graph.tasks.size());
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.fused_misses, 1);
+  EXPECT_EQ(stats.fused_entries, 1u);
+  EXPECT_EQ(stats.entries, 1u);  // the base plan it was built from
+  auto again = cache.get_fused(5, 2, greedy, 4);
+  EXPECT_EQ(again.get(), fused.get());
+  EXPECT_EQ(cache.stats().fused_hits, 1);
+  // A different count is a different fused entry.
+  (void)cache.get_fused(5, 2, greedy, 7);
+  EXPECT_EQ(cache.stats().fused_entries, 2u);
+  // Budgeting covers fused entries too.
+  cache.set_byte_budget(1);
+  EXPECT_LE(cache.stats().fused_entries + cache.stats().entries, 1u);
+  cache.clear();
+  auto cleared = cache.stats();
+  EXPECT_EQ(cleared.fused_hits, 0);
+  EXPECT_EQ(cleared.fused_misses, 0);
+  EXPECT_EQ(cleared.bytes, 0u);
+  EXPECT_EQ(cleared.evictions, 0);
+}
+
+TEST(PlanCache, UnboundedByDefault) {
+  PlanCache cache;
+  EXPECT_EQ(cache.byte_budget(), 0u);
+  TreeConfig greedy{};
+  for (int p = 2; p < 12; ++p) (void)cache.get(p, 2, greedy);
+  EXPECT_EQ(cache.stats().entries, 10u);
+  EXPECT_EQ(cache.stats().evictions, 0);
+}
+
 TEST(PlanCache, FactorizeUsesDefaultCache) {
   auto& cache = PlanCache::default_cache();
   cache.clear();

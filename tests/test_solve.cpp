@@ -4,6 +4,7 @@
 
 #include <complex>
 
+#include "core/qr_session.hpp"
 #include "core/tiled_qr.hpp"
 #include "kernels/reference_qr.hpp"
 #include "matrix/generate.hpp"
@@ -136,6 +137,107 @@ TEST(Solve, ShapeChecksThrow) {
   EXPECT_THROW((void)qr.solve(bad.view()), Error);  // not square
   TileMatrix<double> wrong_tiling(24, 8, 6);
   EXPECT_THROW(qr.apply_q(ApplyTrans::NoTrans, wrong_tiling), Error);
+}
+
+TEST(Solve, NbLargerThanM) {
+  // Tile size exceeding the matrix: a single padded tile (1x1 grid through
+  // the padding path). apply_q and least squares must behave like LAPACK.
+  const int m = 40, n = 24;
+  auto a = random_matrix<double>(m, n, 61);
+  auto b = random_matrix<double>(m, 2, 67);
+  auto opt = small_opts();
+  opt.nb = 64;  // > m
+  opt.ib = 8;
+  auto qr = TiledQr<double>::factorize(a.view(), opt);
+  EXPECT_EQ(qr.factors().mt(), 1);
+  EXPECT_EQ(qr.factors().nt(), 1);
+  auto x = qr.solve_least_squares(b.view());
+  auto xref = kernels::reference_least_squares<double>(a.view(), b.view());
+  EXPECT_LE(double(difference_norm<double>(x.view(), xref.view())), 1e-10);
+  EXPECT_LE(double(orthogonality_error<double>(qr.q_thin().view())), 1e-11);
+}
+
+TEST(Solve, OneByOneTileGrid) {
+  // Matrix exactly one full tile: the degenerate DAG (single GEQRT).
+  const int n = 8;
+  auto a = random_matrix<double>(n, n, 71);
+  for (int i = 0; i < n; ++i) a(i, i) += 4.0;
+  auto xtrue = random_matrix<double>(n, 1, 73);
+  Matrix<double> b(n, 1);
+  blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, 1.0, a.view(), xtrue.view(), 0.0, b.view());
+  auto qr = TiledQr<double>::factorize(a.view(), small_opts());
+  auto x = qr.solve(b.view());
+  EXPECT_LE(double(difference_norm<double>(x.view(), xtrue.view()) /
+                   frobenius_norm<double>(xtrue.view())),
+            1e-10);
+  auto c0 = random_matrix<double>(n, 3, 79);
+  auto c = TileMatrix<double>::from_dense(c0.view(), 8);
+  qr.apply_q(ApplyTrans::ConjTrans, c);
+  qr.apply_q(ApplyTrans::NoTrans, c);
+  EXPECT_LE(double(difference_norm<double>(c.to_dense().view(), c0.view())), 1e-11);
+}
+
+TEST(Solve, ZeroColumnRhsIsAValidDegenerateSystem) {
+  const int m = 40, n = 24;
+  auto a = random_matrix<double>(m, n, 83);
+  auto qr = TiledQr<double>::factorize(a.view(), small_opts());
+  Matrix<double> b(m, 0);
+  auto x = qr.solve_least_squares(b.view());
+  EXPECT_EQ(x.rows(), n);
+  EXPECT_EQ(x.cols(), 0);
+  // The async pipeline handles the same degenerate rhs (both flavors).
+  core::QrSession session(core::QrSession::Config{2});
+  auto x2 = session.solve_least_squares_async(qr, ConstMatrixView<double>(b.view())).get();
+  EXPECT_EQ(x2.rows(), n);
+  EXPECT_EQ(x2.cols(), 0);
+  auto x3 = session
+                .solve_least_squares_async(ConstMatrixView<double>(a.view()),
+                                           ConstMatrixView<double>(b.view()), small_opts())
+                .get();
+  EXPECT_EQ(x3.rows(), n);
+  EXPECT_EQ(x3.cols(), 0);
+}
+
+TEST(Solve, MismatchedRowTilingErrorPaths) {
+  auto a = random_matrix<double>(24, 8, 89);
+  auto qr = TiledQr<double>::factorize(a.view(), small_opts());
+  // Same nb, wrong row count (different mt).
+  TileMatrix<double> short_c(16, 8, 8);
+  EXPECT_THROW(qr.apply_q(ApplyTrans::NoTrans, short_c), Error);
+  EXPECT_THROW(qr.apply_q(ApplyTrans::NoTrans, short_c, /*threads=*/2), Error);
+  // Same rows, wrong tile size.
+  TileMatrix<double> wrong_nb(24, 8, 6);
+  EXPECT_THROW(qr.apply_q(ApplyTrans::ConjTrans, wrong_nb), Error);
+  // The async entry points surface the same errors through their futures.
+  core::QrSession session(core::QrSession::Config{2});
+  EXPECT_THROW((void)session.apply_q_async(qr, ApplyTrans::NoTrans, TileMatrix<double>(16, 8, 8))
+                   .get(),
+               Error);
+  auto short_b = random_matrix<double>(23, 1, 97);
+  EXPECT_THROW(
+      (void)session.solve_least_squares_async(qr, ConstMatrixView<double>(short_b.view())).get(),
+      Error);
+  EXPECT_THROW((void)session
+                   .solve_least_squares_async(ConstMatrixView<double>(a.view()),
+                                              ConstMatrixView<double>(short_b.view()),
+                                              small_opts())
+                   .get(),
+               Error);
+}
+
+TEST(Solve, WideMatrixLeastSquaresRejected) {
+  // m < n is outside the tall least-squares contract everywhere, including
+  // the async pipeline.
+  auto wide = random_matrix<double>(8, 24, 101);
+  auto b = random_matrix<double>(8, 1, 103);
+  auto qr = TiledQr<double>::factorize(wide.view(), small_opts());
+  EXPECT_THROW((void)qr.solve_least_squares(b.view()), Error);
+  core::QrSession session(core::QrSession::Config{2});
+  EXPECT_THROW((void)session
+                   .solve_least_squares_async(ConstMatrixView<double>(wide.view()),
+                                              ConstMatrixView<double>(b.view()), small_opts())
+                   .get(),
+               Error);
 }
 
 TEST(Solve, QThinFirstColumnsSpanA) {
