@@ -1,6 +1,10 @@
 // Serving: handle a stream of independent least-squares problems with one
 // long-lived QrSession — the pool and plan cache amortize across requests,
-// which is the intended production pattern for high request rates.
+// which is the intended production pattern for high request rates. The
+// elimination tree is NOT hand-picked: the session's tree autotuner selects
+// the paper-optimal algorithm for (tile-grid shape, pool size), and
+// TILEDQR_TREE=auto|flat|binary|fibonacci|greedy|plasma can bypass it for
+// A/B runs.
 //
 //   ./serving [requests] [m] [n] [nb]
 #include <cstdio>
@@ -30,6 +34,19 @@ int main(int argc, char** argv) {
   core::Options opt;
   opt.nb = nb;
   opt.ib = std::min(32, nb);
+
+  // Auto mode: ask the tuner for the paper-optimal tree for this request
+  // shape on this pool and pin it into the pipeline options. decide_tree
+  // honors the TILEDQR_TREE override (and says so in the decision),
+  // memoizes the decision in the session's TuningTable, and leaves the
+  // chosen plan warm in the plan cache.
+  const int grid_p = int((m + nb - 1) / nb);
+  const int grid_q = int((n + nb - 1) / nb);
+  auto decision = session.decide_tree(grid_p, grid_q);
+  opt.tree = decision.config;
+  std::printf("autotuner picked %s for the %d x %d tile grid on %d workers%s\n",
+              opt.tree.name().c_str(), grid_p, grid_q, session.pool().size(),
+              decision.forced ? " (forced via TILEDQR_TREE)" : "");
 
   // Incoming work: a batch of design matrices (one per request). In a real
   // server these would arrive over the wire; submission is cheap enough to
@@ -76,11 +93,14 @@ int main(int argc, char** argv) {
 
   auto cache = session.plan_cache_stats();
   auto pool = session.pool_stats();
+  auto tuning = session.tuning_stats();
   std::printf("served %d requests in %.3f s (%.1f req/s)\n", requests, seconds,
               requests / seconds);
   std::printf("worst normal-equation residual: %.3e\n", worst_residual);
   std::printf("plan cache: %ld hits / %ld misses (hit rate %.3f)\n", cache.hits, cache.misses,
               cache.hit_rate());
+  std::printf("tuning table: %ld hits / %ld misses, %zu entries\n", tuning.hits, tuning.misses,
+              tuning.entries);
   std::printf("pool: %ld tasks executed, %ld stolen, %ld graphs\n", pool.tasks_executed,
               pool.tasks_stolen, pool.graphs_completed);
   return worst_residual < 1e-8 ? 0 : 1;

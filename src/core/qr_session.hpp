@@ -18,6 +18,10 @@
 //   ...                                            // factorize → Qᵀb → trsm,
 //   Matrix<double> sol = x.get();                  // all on the session pool
 //
+//   auto qr2 = session.factorize_auto<double>(a.view());  // no TreeConfig:
+//   ...                       // the tree autotuner picks the paper-optimal
+//   ...                       // algorithm for (shape, pool size)
+//
 // Batch fusion: factorize_batch concatenates the per-matrix DAGs into one
 // FusedPlan (cached per (shape, count) for homogeneous batches) and submits
 // it once — one deal of the initial ready set, one scheduling-key vector
@@ -43,6 +47,7 @@
 #include "core/plan_cache.hpp"
 #include "core/tiled_qr.hpp"
 #include "runtime/thread_pool.hpp"
+#include "tuner/tuner.hpp"
 
 namespace tiledqr::core {
 
@@ -52,10 +57,21 @@ class QrSession {
     /// Worker count of the session pool; 0 = TILEDQR_THREADS or hardware
     /// concurrency (the library-wide default rule).
     int threads = 0;
+    /// Auto-mode tuning knobs (weight profile, stage-2 refinement, table
+    /// persistence path); see tuner::TunerConfig.
+    tuner::TunerConfig tuner{};
+  };
+
+  /// Auto-mode options: like Options but without a TreeConfig — the tuner
+  /// supplies the algorithm, that is the point.
+  struct AutoOptions {
+    int nb = 128;     ///< tile size (dense inputs; pre-tiled inputs keep theirs)
+    int ib = 32;      ///< inner blocking of the kernels
+    int threads = 0;  ///< per-request worker cap; 0 = whole pool
   };
 
   QrSession() : pool_(0) {}
-  explicit QrSession(Config config) : pool_(config.threads) {}
+  explicit QrSession(Config config) : tuner_(std::move(config.tuner)), pool_(config.threads) {}
 
   QrSession(const QrSession&) = delete;
   QrSession& operator=(const QrSession&) = delete;
@@ -326,6 +342,66 @@ class QrSession {
     return future;
   }
 
+  // ------------------------------------------------------------- auto mode --
+  // The tuner-driven entry points: the caller supplies no TreeConfig; the
+  // session picks the paper-optimal tree for (tile-grid shape, pool size)
+  // via its Tuner (model ranking + optional on-pool refinement, memoized in
+  // a TuningTable, TILEDQR_TREE env override honored). Results are bitwise
+  // identical to submitting the chosen config explicitly — auto mode only
+  // decides, the execution path is the same submit().
+
+  /// Asynchronous auto-tuned factorization of a dense matrix.
+  template <typename T>
+  [[nodiscard]] std::future<TiledQr<T>> submit_auto(ConstMatrixView<T> a,
+                                                    const AutoOptions& opt = {}) {
+    return submit_auto(TileMatrix<T>::from_dense(a, opt.nb), opt);
+  }
+
+  /// Asynchronous auto-tuned factorization of a tiled matrix (consumed);
+  /// `opt.nb` is ignored in favor of the input's own tiling. The tuner sees
+  /// the workers this request may actually occupy (`opt.threads` capped to
+  /// the pool), so capped requests get the tree that is best at *their*
+  /// concurrency, not the whole pool's.
+  template <typename T>
+  [[nodiscard]] std::future<TiledQr<T>> submit_auto(TileMatrix<T> a, const AutoOptions& opt = {}) {
+    Options full;
+    full.tree = choose_tree(a.mt(), a.nt(), opt.threads);
+    full.nb = a.nb();
+    full.ib = opt.ib;
+    full.threads = opt.threads;
+    return submit(std::move(a), full);
+  }
+
+  /// Blocking auto-tuned factorization.
+  template <typename T>
+  [[nodiscard]] TiledQr<T> factorize_auto(ConstMatrixView<T> a, const AutoOptions& opt = {}) {
+    return submit_auto(a, opt).get();
+  }
+
+  template <typename T>
+  [[nodiscard]] TiledQr<T> factorize_auto(TileMatrix<T> a, const AutoOptions& opt = {}) {
+    return submit_auto(std::move(a), opt).get();
+  }
+
+  /// The full tuning decision for a p x q tile grid on this session's pool
+  /// (env override > tuning table > model + refinement): the chosen config
+  /// plus how it was reached (forced / refined / model makespan).
+  /// `worker_cap > 0` tunes for a request confined to that many workers
+  /// (the AutoOptions::threads semantics); 0 tunes for the whole pool.
+  [[nodiscard]] tuner::TunedDecision decide_tree(int p, int q, int worker_cap = 0) {
+    int workers = worker_cap > 0 ? std::min(worker_cap, pool_.size()) : pool_.size();
+    return tuner_.decide(p, q, workers, cache_, &pool_);
+  }
+
+  /// Just the chosen TreeConfig — useful to pin the auto decision into an
+  /// explicit Options (e.g. for the async pipelines).
+  [[nodiscard]] trees::TreeConfig choose_tree(int p, int q, int worker_cap = 0) {
+    return decide_tree(p, q, worker_cap).config;
+  }
+
+  [[nodiscard]] tuner::Tuner& tree_tuner() noexcept { return tuner_; }
+  [[nodiscard]] tuner::TuningTable::Stats tuning_stats() const { return tuner_.stats(); }
+
   [[nodiscard]] runtime::ThreadPool& pool() noexcept { return pool_; }
   [[nodiscard]] PlanCache& plan_cache() noexcept { return cache_; }
   [[nodiscard]] PlanCache::Stats plan_cache_stats() const { return cache_.stats(); }
@@ -490,8 +566,10 @@ class QrSession {
 
   // Declaration order matters: the pool's destructor drains in-flight
   // submissions, which still reference cached plans — so the cache must
-  // outlive the pool (destroyed after it).
+  // outlive the pool (destroyed after it). The tuner sits between them: its
+  // refinement runs on the pool, so it too must outlive the pool.
   PlanCache cache_;
+  tuner::Tuner tuner_;
   runtime::ThreadPool pool_;
 };
 

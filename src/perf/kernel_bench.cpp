@@ -4,6 +4,7 @@
 #include <complex>
 #include <vector>
 
+#include "common/stringf.hpp"
 #include "common/timer.hpp"
 #include "matrix/generate.hpp"
 #include "perf/cache_flush.hpp"
@@ -133,6 +134,53 @@ KernelRates measure_kernel_rates(int nb, int ib, CacheMode mode, int reps) {
   rates.gemm = blas::gemm_flops(nb, nb, nb, cplx) / gemm_sec * 1e-9;
   return rates;
 }
+
+WeightProfile table1_profile() {
+  WeightProfile p;
+  p.id = "table1";
+  for (int k = 0; k < kernels::kNumKernelKinds; ++k)
+    p.weight[size_t(k)] = double(kernels::kernel_weight(KernelKind(k)));
+  return p;
+}
+
+WeightProfile sc11_profile() {
+  // §5 kernel study, distilled to one knob: the TS kernels run at the
+  // reference rate, every other kernel at 70% of it (the TT kernels and the
+  // panel kernels work on triangles / skinny blocks and lose granularity).
+  constexpr double kNonTsRate = 0.7;
+  WeightProfile p = table1_profile();
+  p.id = "sc11";
+  for (int k = 0; k < kernels::kNumKernelKinds; ++k) {
+    auto kind = KernelKind(k);
+    if (kind != KernelKind::TSQRT && kind != KernelKind::TSMQR)
+      p.weight[size_t(k)] /= kNonTsRate;
+  }
+  return p;
+}
+
+namespace {
+
+template <typename T>
+const char* scalar_tag() {
+  if constexpr (is_complex_v<T>) return sizeof(T) == 8 ? "c64" : "c128";
+  else return sizeof(T) == 4 ? "f32" : "f64";
+}
+
+}  // namespace
+
+template <typename T>
+WeightProfile measured_profile(int nb, int ib, CacheMode mode, int reps) {
+  WeightProfile p;
+  p.id = stringf("measured-%s(nb=%d,ib=%d,%s)", scalar_tag<T>(), nb, ib,
+                 mode == CacheMode::InCache ? "in" : "out");
+  p.weight = measure_kernel_seconds<T>(nb, ib, mode, reps);
+  return p;
+}
+
+template WeightProfile measured_profile<float>(int, int, CacheMode, int);
+template WeightProfile measured_profile<double>(int, int, CacheMode, int);
+template WeightProfile measured_profile<std::complex<float>>(int, int, CacheMode, int);
+template WeightProfile measured_profile<std::complex<double>>(int, int, CacheMode, int);
 
 template std::array<double, 6> measure_kernel_seconds<float>(int, int, CacheMode, int);
 template std::array<double, 6> measure_kernel_seconds<double>(int, int, CacheMode, int);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <string>
 
 #include "kernels/kernels.hpp"
 
@@ -34,5 +35,37 @@ template <typename T>
 template <typename T>
 [[nodiscard]] std::array<double, 6> measure_kernel_seconds(int nb, int ib, CacheMode mode,
                                                            int reps);
+
+/// A named per-kernel-kind weight vector for ranking candidate elimination
+/// trees with the bounded-processor simulator (the tree autotuner's stage-1
+/// model). `id` is a stable string that keys tuning-table entries, so
+/// decisions made under one profile are never served under another.
+struct WeightProfile {
+  std::string id;
+  std::array<double, 6> weight{};  ///< time units per kernel call, by KernelKind
+};
+
+/// The paper's Table-1 flop-count weights (GEQRT 4, UNMQR 6, TSQRT 6,
+/// TSMQR 12, TTQRT 2, TTMQR 6). Treats every kernel as equally efficient,
+/// which favors TT trees — useful as the "pure flops" baseline.
+[[nodiscard]] WeightProfile table1_profile();
+
+/// Table-1 weights corrected by the kernel efficiencies of the paper's §5
+/// study: the TS kernels (TSQRT/TSMQR) run at full rate thanks to their
+/// GEMM-like granularity, everything else at ~70% of it. This is the profile
+/// that reproduces the paper's crossover — TS-family flat/plasma trees win
+/// on squarish grids, Greedy/Fibonacci win on tall ones — and is the
+/// autotuner's default.
+[[nodiscard]] WeightProfile sc11_profile();
+
+/// This machine's measured kernel seconds as a profile (median per-call
+/// wall time via measure_kernel_seconds); the id records scalar type, tile
+/// sizes, and cache mode — NOT the host. Two machines produce the same id
+/// with different weights, so tuning tables built under a measured profile
+/// are per-host artifacts: don't ship them across a heterogeneous fleet
+/// (the built-in table1/sc11 profiles are host-independent and safe to
+/// share).
+template <typename T>
+[[nodiscard]] WeightProfile measured_profile(int nb, int ib, CacheMode mode, int reps);
 
 }  // namespace tiledqr::perf

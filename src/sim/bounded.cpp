@@ -9,37 +9,46 @@ namespace tiledqr::sim {
 namespace {
 
 /// Ready-queue entry: larger key first, ties broken by ascending index.
+template <typename Time>
 struct Prioritized {
-  long key;
+  Time key;
   std::int32_t task;
   bool operator<(const Prioritized& o) const {
     return key != o.key ? key < o.key : task > o.task;
   }
 };
 
-std::vector<long> priority_keys(const dag::TaskGraph& g, SimPriority priority) {
-  std::vector<long> keys(g.tasks.size());
+template <typename Time, typename WeightFn>
+std::vector<Time> priority_keys(const dag::TaskGraph& g, SimPriority priority,
+                                const WeightFn& weight) {
+  std::vector<Time> keys(g.tasks.size());
   if (priority == SimPriority::CriticalPath) {
     for (size_t t = g.tasks.size(); t-- > 0;) {
-      long best = 0;
+      Time best = 0;
       for (std::int32_t s : g.tasks[t].succ) best = std::max(best, keys[size_t(s)]);
-      keys[t] = best + g.tasks[t].weight();
+      keys[t] = best + weight(t);
     }
   } else {
-    for (size_t t = 0; t < g.tasks.size(); ++t) keys[t] = long(g.tasks.size()) - long(t);
+    for (size_t t = 0; t < g.tasks.size(); ++t)
+      keys[t] = Time(long(g.tasks.size()) - long(t));
   }
   return keys;
 }
 
 template <typename Time, typename WeightFn>
-Time run_list_schedule(const dag::TaskGraph& g, int workers, const std::vector<long>& keys,
-                       WeightFn&& weight, BoundedResult* detail) {
+BasicBoundedResult<Time> run_list_schedule(const dag::TaskGraph& g, int workers,
+                                           SimPriority priority, const WeightFn& weight) {
   TILEDQR_CHECK(workers >= 1, "simulate_bounded: need at least one worker");
   const size_t n = g.tasks.size();
+  BasicBoundedResult<Time> r;
+  r.start.assign(n, Time(0));
+  r.worker.assign(n, -1);
+
+  const auto keys = priority_keys<Time>(g, priority, weight);
   std::vector<std::int32_t> npred(n);
   for (size_t t = 0; t < n; ++t) npred[t] = g.tasks[t].npred;
 
-  std::priority_queue<Prioritized> ready;
+  std::priority_queue<Prioritized<Time>> ready;
   for (size_t t = 0; t < n; ++t)
     if (npred[t] == 0) ready.push({keys[t], std::int32_t(t)});
 
@@ -48,11 +57,11 @@ Time run_list_schedule(const dag::TaskGraph& g, int workers, const std::vector<l
   std::priority_queue<Event, std::vector<Event>, std::greater<>> running;
 
   Time now = 0;
-  Time makespan = 0;
   int free_workers = workers;
   std::vector<int> free_ids;
   for (int w = workers - 1; w >= 0; --w) free_ids.push_back(w);
   size_t done = 0;
+  Time total = 0;
 
   while (done < n) {
     while (free_workers > 0 && !ready.empty()) {
@@ -61,12 +70,10 @@ Time run_list_schedule(const dag::TaskGraph& g, int workers, const std::vector<l
       Time fin = now + weight(size_t(t));
       running.push({fin, t});
       --free_workers;
-      if (detail) {
-        detail->start[size_t(t)] = long(now);
-        detail->worker[size_t(t)] = free_ids.back();
-        free_ids.pop_back();
-      }
-      makespan = std::max(makespan, fin);
+      r.start[size_t(t)] = now;
+      r.worker[size_t(t)] = free_ids.back();
+      free_ids.pop_back();
+      r.makespan = std::max(r.makespan, fin);
     }
     TILEDQR_CHECK(!running.empty(), "simulate_bounded: deadlock (bug)");
     now = running.top().first;
@@ -74,37 +81,30 @@ Time run_list_schedule(const dag::TaskGraph& g, int workers, const std::vector<l
       std::int32_t t = running.top().second;
       running.pop();
       ++free_workers;
-      if (detail) free_ids.push_back(detail->worker[size_t(t)]);
+      free_ids.push_back(r.worker[size_t(t)]);
       ++done;
+      total += weight(size_t(t));
       for (std::int32_t s : g.tasks[size_t(t)].succ)
         if (--npred[size_t(s)] == 0) ready.push({keys[size_t(s)], s});
     }
   }
-  return makespan;
+  r.utilization =
+      r.makespan > 0 ? double(total) / (double(workers) * double(r.makespan)) : 1.0;
+  return r;
 }
 
 }  // namespace
 
 BoundedResult simulate_bounded(const dag::TaskGraph& g, int workers, SimPriority priority) {
-  BoundedResult r;
-  r.start.assign(g.tasks.size(), 0);
-  r.worker.assign(g.tasks.size(), -1);
-  auto keys = priority_keys(g, priority);
-  r.makespan = run_list_schedule<long>(
-      g, workers, keys, [&](size_t t) { return long(g.tasks[t].weight()); }, &r);
-  long total = g.total_weight();
-  r.utilization = r.makespan > 0 ? double(total) / (double(workers) * double(r.makespan)) : 1.0;
-  return r;
+  return run_list_schedule<long>(g, workers, priority,
+                                 [&](size_t t) { return long(g.tasks[t].weight()); });
 }
 
-double simulate_bounded_weighted(const dag::TaskGraph& g, int workers,
-                                 const std::array<double, 6>& w) {
-  BoundedResult detail;
-  detail.start.assign(g.tasks.size(), 0);
-  detail.worker.assign(g.tasks.size(), -1);
-  auto keys = priority_keys(g, SimPriority::EmissionOrder);
-  return run_list_schedule<double>(
-      g, workers, keys, [&](size_t t) { return w[size_t(g.tasks[t].kind)]; }, nullptr);
+WeightedBoundedResult simulate_bounded_weighted(const dag::TaskGraph& g, int workers,
+                                                const std::array<double, 6>& w,
+                                                SimPriority priority) {
+  return run_list_schedule<double>(g, workers, priority,
+                                   [&](size_t t) { return w[size_t(g.tasks[t].kind)]; });
 }
 
 }  // namespace tiledqr::sim

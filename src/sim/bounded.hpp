@@ -1,7 +1,8 @@
 // Bounded-processor list-scheduling simulation: how the DAG executes on P
 // workers (the unbounded critical path is the P -> infinity limit). Used by
 // the scaling ablation to compare simulated makespans against the roofline
-// bound max(T/P, cp).
+// bound max(T/P, cp), and by the tree autotuner to rank candidate algorithms
+// under a per-kind weight profile before touching real hardware.
 #pragma once
 
 #include <array>
@@ -11,12 +12,18 @@
 
 namespace tiledqr::sim {
 
-struct BoundedResult {
-  long makespan = 0;
+/// Full schedule produced by the list scheduler; `Time` is `long` for the
+/// Table-1 unit weights and `double` for measured per-kind seconds.
+template <typename Time>
+struct BasicBoundedResult {
+  Time makespan = 0;
   double utilization = 0.0;          ///< total work / (P * makespan)
-  std::vector<long> start;           ///< start time per task
+  std::vector<Time> start;           ///< start time per task
   std::vector<int> worker;           ///< executing worker per task
 };
+
+using BoundedResult = BasicBoundedResult<long>;
+using WeightedBoundedResult = BasicBoundedResult<double>;
 
 /// Ready-task dispatch rule for the list scheduler (mirrors the runtime's
 /// SchedulePriority).
@@ -30,8 +37,11 @@ enum class SimPriority {
 [[nodiscard]] BoundedResult simulate_bounded(const dag::TaskGraph& g, int workers,
                                              SimPriority priority = SimPriority::EmissionOrder);
 
-/// Same with arbitrary per-kind weights (e.g. measured kernel seconds).
-[[nodiscard]] double simulate_bounded_weighted(const dag::TaskGraph& g, int workers,
-                                               const std::array<double, 6>& kind_weight);
+/// Same with arbitrary per-kind weights (e.g. measured kernel seconds);
+/// index by static_cast<int>(KernelKind). With SimPriority::CriticalPath the
+/// scheduling keys are the *weighted* downward ranks.
+[[nodiscard]] WeightedBoundedResult simulate_bounded_weighted(
+    const dag::TaskGraph& g, int workers, const std::array<double, 6>& kind_weight,
+    SimPriority priority = SimPriority::EmissionOrder);
 
 }  // namespace tiledqr::sim

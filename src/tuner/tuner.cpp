@@ -1,0 +1,211 @@
+#include "tuner/tuner.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/tiled_qr.hpp"
+#include "matrix/generate.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/bounded.hpp"
+
+namespace tiledqr::tuner {
+
+namespace {
+
+using trees::KernelFamily;
+using trees::TreeConfig;
+using trees::TreeKind;
+
+}  // namespace
+
+TileMatrix<double> stage2_matrix(int p, int q, int nb) {
+  auto dense = random_matrix<double>(std::int64_t(p) * nb, std::int64_t(q) * nb, 0x7A13);
+  return TileMatrix<double>::from_dense(dense.view(), nb);
+}
+
+double measure_tree_seconds(const TreeConfig& config, const TileMatrix<double>& base, int ib,
+                            core::PlanCache& cache, runtime::ThreadPool& pool, int workers,
+                            int reps) {
+  const int p = base.mt();
+  const int q = base.nt();
+  const int nb = base.nb();
+  auto plan = cache.get(p, q, config);
+  ib = std::min(ib, nb);
+
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < std::max(1, reps); ++r) {
+    TileMatrix<double> a = base;
+    core::TStore<double> t(p, q, ib, nb);
+    core::TStore<double> t2(p, q, ib, nb);
+    WallTimer timer;
+    pool.run(
+        plan->graph,
+        [&](std::int32_t idx) {
+          core::run_task_kernels(plan->graph.tasks[size_t(idx)], a, t, t2, ib);
+        },
+        runtime::SchedulePriority::CriticalPath, workers, &plan->ranks);
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+std::optional<TreeConfig> forced_tree_from_env(int p, int q) {
+  auto raw = env_string("TILEDQR_TREE");
+  if (!raw) return std::nullopt;
+  std::string v = *raw;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return char(std::tolower(c)); });
+
+  // Optional "-ts"/"-tt" family suffix; the bare names use PLASMA's
+  // conventional family (TS for flat/plasma, TT elsewhere).
+  std::optional<KernelFamily> family;
+  if (v.size() > 3 && (v.ends_with("-ts") || v.ends_with("-tt"))) {
+    family = v.ends_with("-ts") ? KernelFamily::TS : KernelFamily::TT;
+    v.resize(v.size() - 3);
+  }
+
+  TreeConfig c;
+  if (v == "flat") {
+    c.kind = TreeKind::FlatTree;
+    c.family = family.value_or(KernelFamily::TS);
+  } else if (v == "binary") {
+    c.kind = TreeKind::BinaryTree;
+    c.family = family.value_or(KernelFamily::TT);
+  } else if (v == "fibonacci") {
+    c.kind = TreeKind::Fibonacci;
+    c.family = family.value_or(KernelFamily::TT);
+  } else if (v == "greedy") {
+    c.kind = TreeKind::Greedy;
+    c.family = family.value_or(KernelFamily::TT);
+  } else if (v == "plasma") {
+    c.kind = TreeKind::PlasmaTree;
+    c.family = family.value_or(KernelFamily::TS);
+    c.bs = core::best_plasma_bs(p, q, c.family).bs;
+  } else {
+    return std::nullopt;  // "auto" and anything unrecognized: tuner decides
+  }
+  return c;
+}
+
+Tuner::Tuner(TunerConfig config) : config_(std::move(config)) {
+  if (!config_.table_path.empty()) table_ = TuningTable::load_or_empty(config_.table_path);
+}
+
+Tuner::~Tuner() {
+  if (config_.table_path.empty()) return;
+  try {
+    table_.save(config_.table_path);
+  } catch (...) {
+    // Destruction is best-effort; an unwritable path must not terminate.
+  }
+}
+
+void Tuner::save() const {
+  TILEDQR_CHECK(!config_.table_path.empty(), "Tuner::save: no table_path configured");
+  table_.save(config_.table_path);
+}
+
+std::vector<TreeConfig> candidate_configs(int p, int q) {
+  TILEDQR_CHECK(p >= 1 && q >= 1, "candidate_configs: bad tile-grid shape");
+  std::vector<TreeConfig> configs;
+  configs.push_back({TreeKind::Greedy, KernelFamily::TT, 1, 1});
+  configs.push_back({TreeKind::Fibonacci, KernelFamily::TT, 1, 1});
+  configs.push_back({TreeKind::BinaryTree, KernelFamily::TT, 1, 1});
+  configs.push_back({TreeKind::FlatTree, KernelFamily::TT, 1, 1});
+  configs.push_back({TreeKind::FlatTree, KernelFamily::TS, 1, 1});
+  for (KernelFamily family : {KernelFamily::TT, KernelFamily::TS}) {
+    int bs = core::best_plasma_bs(p, q, family).bs;
+    // bs == 1 degenerates to BinaryTree and bs == p to FlatTree(family);
+    // keep them anyway — the DAGs are distinct cache entries but the model
+    // ranks them identically, and dropping them would special-case the sweep.
+    configs.push_back({TreeKind::PlasmaTree, family, bs, 1});
+  }
+  return configs;
+}
+
+std::vector<Candidate> Tuner::rank_candidates(int p, int q, int workers,
+                                              core::PlanCache& cache) const {
+  TILEDQR_CHECK(workers >= 1, "Tuner: need at least one worker");
+  std::vector<TreeConfig> configs = candidate_configs(p, q);
+
+  std::vector<Candidate> ranked;
+  ranked.reserve(configs.size());
+  for (const TreeConfig& c : configs) {
+    auto plan = cache.get(p, q, c);
+    auto sim = sim::simulate_bounded_weighted(plan->graph, workers, config_.profile.weight,
+                                              sim::SimPriority::CriticalPath);
+    ranked.push_back(Candidate{c, sim.makespan, -1.0});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(), [](const Candidate& a, const Candidate& b) {
+    return a.model_makespan < b.model_makespan;
+  });
+  return ranked;
+}
+
+std::optional<TreeConfig> Tuner::forced_tree_cached(int p, int q) {
+  auto raw = env_string("TILEDQR_TREE");
+  if (!raw) return std::nullopt;
+  std::lock_guard lock(forced_mu_);
+  if (forced_env_ != *raw) {
+    forced_memo_.clear();
+    forced_env_ = *raw;
+  }
+  const long key = (long(p) << 24) ^ long(q);
+  auto it = forced_memo_.find(key);
+  if (it == forced_memo_.end())
+    it = forced_memo_.emplace(key, forced_tree_from_env(p, q)).first;
+  return it->second;
+}
+
+TunedDecision Tuner::decide(int p, int q, int workers, core::PlanCache& cache,
+                            runtime::ThreadPool* pool) {
+  // Env override: bypasses table, model, and refinement entirely (A/B
+  // escape hatch). No simulation and a memoized parse (forced_tree_cached),
+  // so the forced path does no per-request work.
+  if (auto forced = forced_tree_cached(p, q)) {
+    TunedDecision d;
+    d.config = *forced;
+    d.forced = true;
+    return d;
+  }
+
+  if (auto hit = table_.lookup(p, q, workers, config_.profile.id)) return *hit;
+
+  // Stage 1: model ranking.
+  std::vector<Candidate> ranked = rank_candidates(p, q, workers, cache);
+  TunedDecision d;
+  d.config = ranked.front().config;
+  d.model_makespan = ranked.front().model_makespan;
+
+  // Stage 2: time the top-k candidates on the real pool, keep the winner.
+  if (config_.refine_top_k > 0 && pool != nullptr) {
+    const size_t k = std::min(size_t(config_.refine_top_k), ranked.size());
+    // One timing matrix for the whole candidate field.
+    const TileMatrix<double> base = stage2_matrix(p, q, config_.refine_nb);
+    double best_sec = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < k; ++i) {
+      // Measure at the concurrency the decision is keyed on, not the whole
+      // pool — a tree that wins 16-way can lose 2-way.
+      ranked[i].measured_seconds = measure_tree_seconds(
+          ranked[i].config, base, config_.refine_ib, cache, *pool, workers,
+          config_.refine_reps);
+      if (ranked[i].measured_seconds < best_sec) {
+        best_sec = ranked[i].measured_seconds;
+        d.config = ranked[i].config;
+        d.model_makespan = ranked[i].model_makespan;
+        d.measured_seconds = ranked[i].measured_seconds;
+      }
+    }
+    d.refined = true;
+  }
+
+  // The table arbitrates concurrent misses: whoever records first wins and
+  // everyone returns the stored decision.
+  return table_.record(p, q, workers, config_.profile.id, d);
+}
+
+}  // namespace tiledqr::tuner

@@ -1,0 +1,162 @@
+// Tree autotuner: model- and measurement-driven algorithm selection.
+//
+// The paper's central result is that the best elimination tree depends on
+// the tile-grid shape and the core count: Greedy is asymptotically optimal
+// for tall grids, Fibonacci is within a small additive term, and
+// FlatTree/PlasmaTree with the TS kernels win on squarish shapes because the
+// TS kernels run at higher rates (§5). The Tuner turns that taxonomy into an
+// automatic decision so serving traffic never hand-picks a TreeConfig:
+//
+//   Stage 1 (model): enumerate the candidate trees — FlatTree (TT and TS),
+//   BinaryTree, Fibonacci, Greedy, and PlasmaTree in both families with the
+//   domain size from the paper's exhaustive BS sweep (best_plasma_bs) — and
+//   rank them by the makespan of the bounded-processor list scheduler
+//   (sim::simulate_bounded_weighted) on the actual worker count, under a
+//   per-kernel weight profile (Table-1 units, the paper-calibrated sc11
+//   profile, or this machine's measured kernel seconds).
+//
+//   Stage 2 (optional refinement): factorize a real matrix of that shape
+//   with each of the top-k model candidates on the serving ThreadPool and
+//   keep the measured winner — the model proposes, the hardware disposes.
+//
+// Decisions land in a TuningTable keyed on (p, q, workers, profile id) that
+// serializes to JSON, so tuning survives process restarts. The environment
+// override TILEDQR_TREE=auto|flat|binary|fibonacci|greedy|plasma bypasses
+// the whole machinery for A/B runs.
+//
+// Candidate plans are fetched through the caller's PlanCache, so the plan of
+// the winning config is already cached when the factorization itself runs.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/plan_cache.hpp"
+#include "matrix/tile_matrix.hpp"
+#include "perf/kernel_bench.hpp"
+#include "tuner/tuning_table.hpp"
+
+namespace tiledqr::runtime {
+class ThreadPool;
+}
+
+namespace tiledqr::tuner {
+
+struct TunerConfig {
+  /// Stage-1 weight profile; the paper-calibrated sc11 profile by default
+  /// (Table-1 flops corrected by the §5 kernel efficiencies). Swap in
+  /// perf::table1_profile() for pure flop counting or
+  /// perf::measured_profile<T>() for this machine's kernel seconds.
+  perf::WeightProfile profile = perf::sc11_profile();
+
+  /// Stage 2: empirically time this many top model candidates on the real
+  /// pool and keep the measured winner. 0 = model-only (the default; stage 2
+  /// costs refine_reps real factorizations per candidate per new shape).
+  int refine_top_k = 0;
+  int refine_reps = 2;  ///< best-of reps per refined candidate
+  int refine_nb = 64;   ///< tile size of the stage-2 timing problems
+  int refine_ib = 32;
+
+  /// JSON persistence: decisions load from this file at construction (when
+  /// it exists) and save back on destruction / save(). "" = in-memory only.
+  std::string table_path;
+};
+
+/// One ranked stage-1 candidate.
+struct Candidate {
+  trees::TreeConfig config{};
+  double model_makespan = 0.0;     ///< weighted bounded-sim makespan
+  double measured_seconds = -1.0;  ///< stage-2 wall seconds; < 0 = not timed
+};
+
+/// The stage-1 candidate enumeration for a p x q grid: FlatTree TT/TS,
+/// BinaryTree, Fibonacci, Greedy, and PlasmaTree TT/TS with the domain size
+/// from the paper's exhaustive BS sweep. Shared by Tuner::rank_candidates
+/// and bench_autotune so the bench's fixed field cannot drift from what the
+/// tuner actually considers.
+[[nodiscard]] std::vector<trees::TreeConfig> candidate_configs(int p, int q);
+
+/// Wall seconds (best of `reps`) to factorize a copy of `base` with
+/// `config` on the pool — the tuner's stage-2 measurement protocol, exposed
+/// so benches comparing fixed trees use exactly the same loop (plan through
+/// `cache`, CriticalPath keys from the cached ranks). Callers timing several
+/// configs of one shape pass the same `base` so every candidate factorizes
+/// the same matrix and the O(p q nb^2) generation cost is paid once.
+/// `workers > 0` confines the run to that many pool workers — decisions
+/// keyed on a worker cap must be measured at that concurrency; 0 uses the
+/// whole pool.
+[[nodiscard]] double measure_tree_seconds(const trees::TreeConfig& config,
+                                          const TileMatrix<double>& base, int ib,
+                                          core::PlanCache& cache, runtime::ThreadPool& pool,
+                                          int workers, int reps);
+
+/// The deterministic p x q-tile stage-2 timing matrix (fixed seed, so every
+/// candidate of a shape measures against identical data).
+[[nodiscard]] TileMatrix<double> stage2_matrix(int p, int q, int nb);
+
+/// Parses TILEDQR_TREE: "flat", "binary", "fibonacci", "greedy", "plasma"
+/// force that algorithm for every shape ("flat"/"plasma" use the TS family —
+/// PLASMA's convention — and "plasma" picks BS via best_plasma_bs; the
+/// "-tt"/"-ts" suffix, e.g. "flat-tt", forces the family). "auto", unset,
+/// or unrecognized values return nullopt (the tuner decides).
+[[nodiscard]] std::optional<trees::TreeConfig> forced_tree_from_env(int p, int q);
+
+class Tuner {
+ public:
+  explicit Tuner(TunerConfig config = {});
+
+  /// Best-effort save to table_path (errors swallowed — destruction must not
+  /// throw; call save() for a loud version).
+  ~Tuner();
+
+  Tuner(const Tuner&) = delete;
+  Tuner& operator=(const Tuner&) = delete;
+
+  /// The full decision for a p x q tile grid on `workers` workers:
+  /// TILEDQR_TREE override first, then the tuning table, then the stage-1
+  /// model ranking (+ stage-2 refinement on `pool` when configured).
+  /// Thread-safe; concurrent misses on the same key tune redundantly but
+  /// all return the same decision — the table keeps the first recorded
+  /// winner and record() hands it back to the losers.
+  [[nodiscard]] TunedDecision decide(int p, int q, int workers, core::PlanCache& cache,
+                                     runtime::ThreadPool* pool = nullptr);
+
+  /// Convenience: just the chosen TreeConfig.
+  [[nodiscard]] trees::TreeConfig choose(int p, int q, int workers, core::PlanCache& cache,
+                                         runtime::ThreadPool* pool = nullptr) {
+    return decide(p, q, workers, cache, pool).config;
+  }
+
+  /// The stage-1 candidate set, ranked best (smallest model makespan) first.
+  /// Exposed for benches and tests; plans go through `cache`.
+  [[nodiscard]] std::vector<Candidate> rank_candidates(int p, int q, int workers,
+                                                       core::PlanCache& cache) const;
+
+  [[nodiscard]] const TunerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] TuningTable& table() noexcept { return table_; }
+  [[nodiscard]] const TuningTable& table() const noexcept { return table_; }
+  [[nodiscard]] TuningTable::Stats stats() const { return table_.stats(); }
+
+  /// Writes the table to config().table_path; throws tiledqr::Error on I/O
+  /// failure or if no path is configured.
+  void save() const;
+
+ private:
+  [[nodiscard]] std::optional<trees::TreeConfig> forced_tree_cached(int p, int q);
+
+  TunerConfig config_;
+  TuningTable table_;
+
+  // Forced-path memo: TILEDQR_TREE=plasma runs the exhaustive BS sweep, and
+  // forced decisions bypass the TuningTable — without this cache every
+  // decide() of a serving process in A/B mode would pay the sweep again.
+  // Invalidated when the raw env value changes (tests flip it mid-process).
+  std::mutex forced_mu_;
+  std::string forced_env_;
+  std::unordered_map<long, std::optional<trees::TreeConfig>> forced_memo_;
+};
+
+}  // namespace tiledqr::tuner

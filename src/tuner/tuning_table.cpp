@@ -1,0 +1,478 @@
+#include "tuner/tuning_table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/stringf.hpp"
+
+namespace tiledqr::tuner {
+
+const char* tree_kind_name(trees::TreeKind kind) noexcept {
+  switch (kind) {
+    case trees::TreeKind::FlatTree: return "FlatTree";
+    case trees::TreeKind::BinaryTree: return "BinaryTree";
+    case trees::TreeKind::Fibonacci: return "Fibonacci";
+    case trees::TreeKind::Greedy: return "Greedy";
+    case trees::TreeKind::PlasmaTree: return "PlasmaTree";
+    case trees::TreeKind::HadriTree: return "HadriTree";
+    case trees::TreeKind::Asap: return "Asap";
+    case trees::TreeKind::Grasap: return "Grasap";
+  }
+  return "?";
+}
+
+std::optional<trees::TreeKind> parse_tree_kind(std::string_view name) noexcept {
+  using trees::TreeKind;
+  for (TreeKind k : {TreeKind::FlatTree, TreeKind::BinaryTree, TreeKind::Fibonacci,
+                     TreeKind::Greedy, TreeKind::PlasmaTree, TreeKind::HadriTree, TreeKind::Asap,
+                     TreeKind::Grasap})
+    if (name == tree_kind_name(k)) return k;
+  return std::nullopt;
+}
+
+// ------------------------------------------------------------------ JSON --
+// A deliberately small JSON reader: objects, arrays, strings (escapes
+// \" \\ \/ \n \t \r and Latin-1 \u00XX), numbers, booleans, null — exactly
+// what to_json() emits, parsed strictly so a corrupt table fails loudly.
+namespace {
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue, std::less<>>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object } type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::shared_ptr<JsonArray> array;
+  std::shared_ptr<JsonObject> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    TILEDQR_CHECK(pos_ == text_.size(), "tuning table JSON: trailing garbage");
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw Error(stringf("tuning table JSON: %s at offset %zu", what.c_str(), pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(stringf("expected '%c'", c));
+    ++pos_;
+  }
+
+  bool consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    // Depth guard: to_json never nests past 3, so a deep file is garbage —
+    // fail with Error instead of overflowing the stack on recursion.
+    if (++depth_ > 32) fail("nesting too deep");
+    JsonValue v = parse_value_impl();
+    --depth_;
+    return v;
+  }
+
+  JsonValue parse_value_impl() {
+    skip_ws();
+    JsonValue v;
+    switch (peek()) {
+      case '{': {
+        v.type = JsonValue::Type::Object;
+        v.object = std::make_shared<JsonObject>();
+        ++pos_;
+        skip_ws();
+        if (peek() == '}') { ++pos_; return v; }
+        while (true) {
+          skip_ws();
+          std::string key = parse_string();
+          skip_ws();
+          expect(':');
+          (*v.object)[key] = parse_value();
+          skip_ws();
+          if (peek() == ',') { ++pos_; continue; }
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        v.type = JsonValue::Type::Array;
+        v.array = std::make_shared<JsonArray>();
+        ++pos_;
+        skip_ws();
+        if (peek() == ']') { ++pos_; return v; }
+        while (true) {
+          v.array->push_back(parse_value());
+          skip_ws();
+          if (peek() == ',') { ++pos_; continue; }
+          expect(']');
+          return v;
+        }
+      }
+      case '"':
+        v.type = JsonValue::Type::String;
+        v.string = parse_string();
+        return v;
+      case 't':
+        if (!consume("true")) fail("bad literal");
+        v.type = JsonValue::Type::Bool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!consume("false")) fail("bad literal");
+        v.type = JsonValue::Type::Bool;
+        return v;
+      case 'n':
+        if (!consume("null")) fail("bad literal");
+        return v;
+      default:
+        v.type = JsonValue::Type::Number;
+        v.number = parse_number();
+        return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'u': {
+            // Only the Latin-1 range the writer emits (\u00XX) is accepted.
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            if (code > 0xFF) fail("unsupported \\u escape (non-Latin-1)");
+            out.push_back(char(code));
+            break;
+          }
+          default: fail("unsupported escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  double parse_number() {
+    size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) fail("bad number");
+    std::string token(text_.substr(start, pos_ - start));
+    try {
+      size_t used = 0;
+      double value = std::stod(token, &used);
+      // stod parses a prefix; "1.2.3" or "7e" must fail loudly, not load as
+      // a truncated value.
+      if (used != token.size()) fail("bad number");
+      return value;
+    } catch (const Error&) {
+      throw;
+    } catch (...) {
+      fail("bad number");
+    }
+  }
+};
+
+/// JSON string escaping for the writer (profile ids are plain ASCII, but the
+/// format should survive anything).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        // Raw control characters are illegal inside JSON strings; \u-escape
+        // them so external tools (jq, CI artifact consumers) accept the file.
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += stringf("\\u%04x", unsigned(static_cast<unsigned char>(c)));
+        else
+          out.push_back(c);
+    }
+  }
+  return out;
+}
+
+const JsonObject& as_object(const JsonValue& v, const char* what) {
+  TILEDQR_CHECK(v.type == JsonValue::Type::Object && v.object,
+                stringf("tuning table JSON: %s must be an object", what));
+  return *v.object;
+}
+
+const JsonValue& field(const JsonObject& o, const char* name) {
+  auto it = o.find(name);
+  TILEDQR_CHECK(it != o.end(), stringf("tuning table JSON: missing field \"%s\"", name));
+  return it->second;
+}
+
+double number_field(const JsonObject& o, const char* name) {
+  const JsonValue& v = field(o, name);
+  TILEDQR_CHECK(v.type == JsonValue::Type::Number,
+                stringf("tuning table JSON: field \"%s\" must be a number", name));
+  return v.number;
+}
+
+long long_field(const JsonObject& o, const char* name) {
+  double d = number_field(o, name);
+  long l = long(std::llround(d));
+  TILEDQR_CHECK(double(l) == d, stringf("tuning table JSON: field \"%s\" must be integral", name));
+  return l;
+}
+
+std::string string_field(const JsonObject& o, const char* name) {
+  const JsonValue& v = field(o, name);
+  TILEDQR_CHECK(v.type == JsonValue::Type::String,
+                stringf("tuning table JSON: field \"%s\" must be a string", name));
+  return v.string;
+}
+
+bool bool_field(const JsonObject& o, const char* name) {
+  const JsonValue& v = field(o, name);
+  TILEDQR_CHECK(v.type == JsonValue::Type::Bool,
+                stringf("tuning table JSON: field \"%s\" must be a boolean", name));
+  return v.boolean;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- TuningTable --
+
+size_t TuningTable::KeyHash::operator()(const Key& k) const noexcept {
+  size_t h = std::hash<std::string>()(k.profile);
+  auto mix = [&h](size_t v) { h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2); };
+  mix(size_t(k.p));
+  mix(size_t(k.q));
+  mix(size_t(k.workers));
+  return h;
+}
+
+TuningTable::TuningTable(TuningTable&& other) noexcept {
+  std::lock_guard lock(other.mu_);
+  map_ = std::move(other.map_);
+  hits_ = other.hits_;
+  misses_ = other.misses_;
+  refinements_ = other.refinements_;
+}
+
+TuningTable& TuningTable::operator=(TuningTable&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  map_ = std::move(other.map_);
+  hits_ = other.hits_;
+  misses_ = other.misses_;
+  refinements_ = other.refinements_;
+  return *this;
+}
+
+std::optional<TunedDecision> TuningTable::lookup(int p, int q, int workers,
+                                                 const std::string& profile) {
+  std::lock_guard lock(mu_);
+  auto it = map_.find(Key{p, q, workers, profile});
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+TunedDecision TuningTable::record(int p, int q, int workers, const std::string& profile,
+                                  const TunedDecision& decision) {
+  std::lock_guard lock(mu_);
+  // Insert-if-absent: concurrent tuners racing on the same key converge on
+  // the first recorded decision (stage-2 timing noise could otherwise make
+  // them disagree), and the refinement counter matches live entries.
+  auto [it, inserted] = map_.try_emplace(Key{p, q, workers, profile}, decision);
+  if (inserted && decision.refined) ++refinements_;
+  return it->second;
+}
+
+TuningTable::Stats TuningTable::stats() const {
+  std::lock_guard lock(mu_);
+  return Stats{hits_, misses_, refinements_, map_.size()};
+}
+
+void TuningTable::clear() {
+  std::lock_guard lock(mu_);
+  map_.clear();
+  hits_ = misses_ = refinements_ = 0;
+}
+
+std::string TuningTable::to_json() const {
+  std::lock_guard lock(mu_);
+  // Deterministic output: sort entries by key so the file diffs cleanly.
+  std::vector<std::pair<const Key*, const TunedDecision*>> sorted;
+  sorted.reserve(map_.size());
+  for (const auto& [key, decision] : map_) sorted.emplace_back(&key, &decision);
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.first->p, a.first->q, a.first->workers, a.first->profile) <
+           std::tie(b.first->p, b.first->q, b.first->workers, b.first->profile);
+  });
+
+  std::ostringstream out;
+  out << "{\n  \"version\": 1,\n";
+  out << stringf("  \"stats\": {\"hits\": %ld, \"misses\": %ld, \"refinements\": %ld},\n", hits_,
+                 misses_, refinements_);
+  out << "  \"entries\": [";
+  bool first = true;
+  for (const auto& [key, d] : sorted) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << stringf(
+        "    {\"p\": %d, \"q\": %d, \"workers\": %d, \"profile\": \"%s\", "
+        "\"kind\": \"%s\", \"family\": \"%s\", \"bs\": %d, \"grasap_k\": %d, "
+        "\"model_makespan\": %.17g, \"measured_seconds\": %.17g, \"refined\": %s}",
+        key->p, key->q, key->workers, json_escape(key->profile).c_str(),
+        tree_kind_name(d->config.kind),
+        d->config.family == trees::KernelFamily::TS ? "TS" : "TT", d->config.bs,
+        d->config.grasap_k, d->model_makespan, d->measured_seconds,
+        d->refined ? "true" : "false");
+  }
+  out << (first ? "]\n}\n" : "\n  ]\n}\n");
+  return out.str();
+}
+
+TuningTable TuningTable::from_json(std::string_view json) {
+  JsonParser parser(json);
+  JsonValue doc = parser.parse_document();
+  const JsonObject& root = as_object(doc, "document");
+  TILEDQR_CHECK(long_field(root, "version") == 1, "tuning table JSON: unsupported version");
+
+  TuningTable table;
+  const JsonObject& stats = as_object(field(root, "stats"), "\"stats\"");
+  table.hits_ = long_field(stats, "hits");
+  table.misses_ = long_field(stats, "misses");
+  table.refinements_ = long_field(stats, "refinements");
+
+  const JsonValue& entries = field(root, "entries");
+  TILEDQR_CHECK(entries.type == JsonValue::Type::Array,
+                "tuning table JSON: \"entries\" must be an array");
+  for (const JsonValue& ev : *entries.array) {
+    const JsonObject& e = as_object(ev, "entry");
+    Key key;
+    key.p = int(long_field(e, "p"));
+    key.q = int(long_field(e, "q"));
+    key.workers = int(long_field(e, "workers"));
+    key.profile = string_field(e, "profile");
+    // Range sanity at load time: a corrupt entry must fail here, not later
+    // inside tree generation when the first matching request arrives.
+    TILEDQR_CHECK(key.p >= 1 && key.q >= 1 && key.workers >= 1,
+                  "tuning table JSON: p, q, workers must be >= 1");
+
+    TunedDecision d;
+    std::string kind = string_field(e, "kind");
+    auto parsed = parse_tree_kind(kind);
+    TILEDQR_CHECK(parsed.has_value(),
+                  stringf("tuning table JSON: unknown tree kind \"%s\"", kind.c_str()));
+    d.config.kind = *parsed;
+    std::string family = string_field(e, "family");
+    TILEDQR_CHECK(family == "TS" || family == "TT",
+                  stringf("tuning table JSON: unknown kernel family \"%s\"", family.c_str()));
+    d.config.family = family == "TS" ? trees::KernelFamily::TS : trees::KernelFamily::TT;
+    d.config.bs = int(long_field(e, "bs"));
+    d.config.grasap_k = int(long_field(e, "grasap_k"));
+    TILEDQR_CHECK(d.config.bs >= 1 && d.config.grasap_k >= 0,
+                  "tuning table JSON: bs must be >= 1 and grasap_k >= 0");
+    d.model_makespan = number_field(e, "model_makespan");
+    d.measured_seconds = number_field(e, "measured_seconds");
+    d.refined = bool_field(e, "refined");
+    table.map_[key] = d;
+  }
+  return table;
+}
+
+void TuningTable::save(const std::string& path) const {
+  // Write-then-rename so a crash mid-save can never leave a truncated table
+  // behind — load_or_empty throws on a file that exists but fails to parse,
+  // so an in-place write interrupted at the wrong moment would wedge every
+  // later startup until an operator deletes the file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    TILEDQR_CHECK(out.good(), stringf("tuning table: cannot open %s for writing", tmp.c_str()));
+    out << to_json();
+    out.flush();
+    TILEDQR_CHECK(out.good(), stringf("tuning table: write to %s failed", tmp.c_str()));
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  TILEDQR_CHECK(!ec, stringf("tuning table: rename %s -> %s failed: %s", tmp.c_str(),
+                             path.c_str(), ec.message().c_str()));
+}
+
+TuningTable TuningTable::load(const std::string& path) {
+  std::ifstream in(path);
+  TILEDQR_CHECK(in.good(), stringf("tuning table: cannot open %s", path.c_str()));
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_json(buf.str());
+}
+
+TuningTable TuningTable::load_or_empty(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return TuningTable{};
+  return load(path);
+}
+
+}  // namespace tiledqr::tuner

@@ -49,8 +49,68 @@ TEST(Bounded, StartTimesRespectDependencies) {
 TEST(Bounded, WeightedVariantConsistent) {
   auto g = dag::build_task_graph(9, 4, trees::greedy_tree(9, 4));
   std::array<double, 6> w{4, 6, 6, 12, 2, 6};
-  EXPECT_DOUBLE_EQ(sim::simulate_bounded_weighted(g, 4, w),
-                   double(sim::simulate_bounded(g, 4).makespan));
+  auto weighted = sim::simulate_bounded_weighted(g, 4, w);
+  auto unit = sim::simulate_bounded(g, 4);
+  EXPECT_DOUBLE_EQ(weighted.makespan, double(unit.makespan));
+  EXPECT_DOUBLE_EQ(weighted.utilization, unit.utilization);
+  ASSERT_EQ(weighted.start.size(), g.tasks.size());
+  ASSERT_EQ(weighted.worker.size(), g.tasks.size());
+  for (size_t t = 0; t < g.tasks.size(); ++t) {
+    EXPECT_DOUBLE_EQ(weighted.start[t], double(unit.start[t]));
+    EXPECT_EQ(weighted.worker[t], unit.worker[t]);
+  }
+}
+
+TEST(Bounded, WeightedScheduleRespectsDependencies) {
+  auto g = dag::build_task_graph(10, 3, trees::fibonacci_tree(10, 3));
+  std::array<double, 6> w{0.4, 0.6, 0.6, 1.2, 0.2, 0.6};
+  for (auto prio : {sim::SimPriority::EmissionOrder, sim::SimPriority::CriticalPath}) {
+    auto r = sim::simulate_bounded_weighted(g, 3, w, prio);
+    for (size_t t = 0; t < g.tasks.size(); ++t)
+      for (auto s : g.tasks[t].succ)
+        EXPECT_GE(r.start[size_t(s)], r.start[t] + w[size_t(g.tasks[t].kind)] - 1e-12);
+  }
+}
+
+/// A hand-built DAG with a known makespan gap between the two priorities:
+/// eight independent GEQRT tasks (weight 4) emitted first, then a five-task
+/// GEQRT chain. On two workers, emission order drains the independents
+/// before touching the chain (8*4/2 = 16, then the serial chain, 16 + 20 =
+/// 36); critical-path priority starts the chain immediately and overlaps the
+/// independents with it (chain done at 20; the eight independents fill the
+/// other worker's slots: five alongside the chain, then both workers on the
+/// last three, makespan 28).
+TEST(Bounded, PriorityOrderingOnKnownDag) {
+  dag::TaskGraph g;
+  g.p = 13;
+  g.q = 1;
+  auto add_task = [&](std::int32_t npred) {
+    dag::Task t{kernels::KernelKind::GEQRT, std::int32_t(g.tasks.size()), -1, 0, -1, npred, {}};
+    g.tasks.push_back(std::move(t));
+    return std::int32_t(g.tasks.size()) - 1;
+  };
+  for (int i = 0; i < 8; ++i) add_task(0);
+  std::int32_t prev = add_task(0);
+  for (int i = 1; i < 5; ++i) {
+    std::int32_t next = add_task(1);
+    g.tasks[size_t(prev)].succ.push_back(next);
+    prev = next;
+  }
+
+  auto emission = sim::simulate_bounded(g, 2, sim::SimPriority::EmissionOrder);
+  auto critical = sim::simulate_bounded(g, 2, sim::SimPriority::CriticalPath);
+  EXPECT_EQ(emission.makespan, 36);
+  EXPECT_EQ(critical.makespan, 28);
+  EXPECT_LT(critical.makespan, emission.makespan);
+
+  // The weighted simulator agrees once the per-task time is halved (Table-1
+  // GEQRT weight is 4; the weighted variant takes seconds per call).
+  std::array<double, 6> w{};
+  w[size_t(kernels::KernelKind::GEQRT)] = 2.0;
+  EXPECT_DOUBLE_EQ(
+      sim::simulate_bounded_weighted(g, 2, w, sim::SimPriority::EmissionOrder).makespan, 18.0);
+  EXPECT_DOUBLE_EQ(
+      sim::simulate_bounded_weighted(g, 2, w, sim::SimPriority::CriticalPath).makespan, 14.0);
 }
 
 TEST(Bounded, CriticalPathPriorityIsValidSchedule) {

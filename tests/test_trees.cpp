@@ -2,8 +2,11 @@
 // including the exact Table 2 oracles and Lemma 1.
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "paper_oracles.hpp"
 #include "common/error.hpp"
+#include "core/plan.hpp"
 #include "trees/generators.hpp"
 
 namespace tiledqr {
@@ -181,6 +184,53 @@ TEST(Generators, PlasmaTreeDegenerateCases) {
             trees::flat_tree(8, 3, KernelFamily::TT));
   EXPECT_EQ(trees::plasma_tree(8, 3, 20, KernelFamily::TS),
             trees::flat_tree(8, 3, KernelFamily::TS));
+}
+
+/// best_plasma_bs across degenerate shapes: the returned (BS, cp) pair must
+/// equal the exhaustive sweep's minimum, and the structural identities at
+/// the sweep's endpoints (BS=1 = binary tree, BS=p = flat tree) must hold.
+TEST(Generators, BestPlasmaBsDegenerateShapes) {
+  for (auto [p, q] : {std::pair{12, 1},   // single column (q = 1)
+                      std::pair{1, 1},    // single tile
+                      std::pair{6, 6},    // square (p = q)
+                      std::pair{64, 2},   // very tall (p >> q)
+                      std::pair{2, 2}}) {
+    for (KernelFamily family : {KernelFamily::TT, KernelFamily::TS}) {
+      auto best = core::best_plasma_bs(p, q, family);
+      ASSERT_GE(best.bs, 1) << p << "x" << q;
+      ASSERT_LE(best.bs, p) << p << "x" << q;
+      long sweep_min = -1;
+      for (int bs = 1; bs <= p; ++bs) {
+        trees::TreeConfig c{TreeKind::PlasmaTree, family, bs, 0};
+        long cp = core::plan_critical_path(p, q, c);
+        if (sweep_min < 0 || cp < sweep_min) sweep_min = cp;
+      }
+      EXPECT_EQ(best.critical_path, sweep_min) << p << "x" << q;
+      // The reported critical path really is the chosen BS's critical path.
+      EXPECT_EQ(best.critical_path,
+                core::plan_critical_path(
+                    p, q, trees::TreeConfig{TreeKind::PlasmaTree, family, best.bs, 0}))
+          << p << "x" << q;
+    }
+  }
+}
+
+TEST(Generators, BestPlasmaBsEndpointsMatchStructuralIdentities) {
+  // BS endpoints coincide with BinaryTree / FlatTree, so the best composite
+  // can never lose to either endpoint.
+  for (auto [p, q] : {std::pair{10, 1}, std::pair{7, 7}, std::pair{32, 2}}) {
+    for (KernelFamily family : {KernelFamily::TT, KernelFamily::TS}) {
+      auto best = core::best_plasma_bs(p, q, family);
+      long flat = core::plan_critical_path(
+          p, q, trees::TreeConfig{TreeKind::FlatTree, family, 1, 0});
+      EXPECT_LE(best.critical_path, flat) << p << "x" << q;
+      if (family == KernelFamily::TT) {
+        long binary = core::plan_critical_path(
+            p, q, trees::TreeConfig{TreeKind::BinaryTree, family, 1, 0});
+        EXPECT_LE(best.critical_path, binary) << p << "x" << q;
+      }
+    }
+  }
 }
 
 TEST(Generators, DispatcherMatchesDirectCalls) {

@@ -1,0 +1,360 @@
+// Tests for the tree autotuner: the TuningTable's JSON round-trip, the
+// stage-1 model's agreement with the paper's Section 5 findings (Greedy /
+// Fibonacci on tall grids, TS-family flat/plasma trees on square ones), the
+// TILEDQR_TREE override, stage-2 refinement, and the QrSession auto mode's
+// bitwise equivalence with explicit submission.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "core/qr_session.hpp"
+#include "matrix/generate.hpp"
+#include "tuner/tuner.hpp"
+
+namespace tiledqr {
+namespace {
+
+using trees::KernelFamily;
+using trees::TreeConfig;
+using trees::TreeKind;
+using tuner::TunedDecision;
+using tuner::Tuner;
+using tuner::TunerConfig;
+using tuner::TuningTable;
+
+/// RAII environment-variable override (tests run single-threaded).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value())
+      ::setenv(name_, saved_->c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TunedDecision sample_decision(TreeKind kind, KernelFamily family, int bs, double makespan,
+                              double seconds, bool refined) {
+  TunedDecision d;
+  d.config = TreeConfig{kind, family, bs, 1};
+  d.model_makespan = makespan;
+  d.measured_seconds = seconds;
+  d.refined = refined;
+  return d;
+}
+
+TEST(TuningTable, LookupCountsHitsAndMisses) {
+  TuningTable table;
+  EXPECT_FALSE(table.lookup(8, 4, 2, "sc11").has_value());
+  auto d = sample_decision(TreeKind::Greedy, KernelFamily::TT, 1, 100.0, -1.0, false);
+  table.record(8, 4, 2, "sc11", d);
+  auto hit = table.lookup(8, 4, 2, "sc11");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, d);
+  // Same shape under a different profile or worker count is a distinct key.
+  EXPECT_FALSE(table.lookup(8, 4, 2, "table1").has_value());
+  EXPECT_FALSE(table.lookup(8, 4, 3, "sc11").has_value());
+  auto stats = table.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 3);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(TuningTable, JsonRoundTripWithStatsIntact) {
+  TuningTable table;
+  (void)table.lookup(8, 4, 2, "sc11");  // a miss, to have nonzero stats
+  table.record(8, 4, 2, "sc11",
+               sample_decision(TreeKind::Greedy, KernelFamily::TT, 1, 123.25, -1.0, false));
+  table.record(6, 6, 4, "sc11",
+               sample_decision(TreeKind::FlatTree, KernelFamily::TS, 1, 88.5, 0.0125, true));
+  table.record(20, 5, 8, "measured-f64(nb=64,ib=32,in)",
+               sample_decision(TreeKind::PlasmaTree, KernelFamily::TS, 5, 41.0, -1.0, false));
+  (void)table.lookup(8, 4, 2, "sc11");  // a hit
+
+  auto before = table.stats();
+  EXPECT_EQ(before.hits, 1);
+  EXPECT_EQ(before.misses, 1);
+  EXPECT_EQ(before.refinements, 1);
+  EXPECT_EQ(before.entries, 3u);
+
+  TuningTable loaded = TuningTable::from_json(table.to_json());
+  auto after = loaded.stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.refinements, before.refinements);
+  EXPECT_EQ(after.entries, before.entries);
+
+  for (auto [p, q, w, profile] :
+       {std::tuple{8, 4, 2, "sc11"}, std::tuple{6, 6, 4, "sc11"},
+        std::tuple{20, 5, 8, "measured-f64(nb=64,ib=32,in)"}}) {
+    auto original = table.lookup(p, q, w, profile);
+    auto restored = loaded.lookup(p, q, w, profile);
+    ASSERT_TRUE(original.has_value() && restored.has_value()) << p << "x" << q;
+    EXPECT_EQ(*original, *restored) << p << "x" << q;
+  }
+}
+
+TEST(TuningTable, SaveLoadFile) {
+  std::string path = testing::TempDir() + "tiledqr_tuning_table_test.json";
+  TuningTable table;
+  table.record(10, 2, 4, "table1",
+               sample_decision(TreeKind::Fibonacci, KernelFamily::TT, 1, 64.0, -1.0, false));
+  table.save(path);
+  TuningTable loaded = TuningTable::load(path);
+  auto hit = loaded.lookup(10, 2, 4, "table1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->config.kind, TreeKind::Fibonacci);
+  std::remove(path.c_str());
+  // Missing file: load_or_empty yields a fresh table, load throws.
+  EXPECT_EQ(TuningTable::load_or_empty(path).stats().entries, 0u);
+  EXPECT_THROW((void)TuningTable::load(path), Error);
+}
+
+TEST(TuningTable, EscapesRoundTripInProfileIds) {
+  TuningTable table;
+  std::string hostile = "quote\" slash\\ nl\n tab\t ctrl\x01 done";
+  table.record(3, 2, 1, hostile,
+               sample_decision(TreeKind::Greedy, KernelFamily::TT, 1, 10.0, -1.0, false));
+  std::string json = table.to_json();
+  // Raw control characters are illegal in JSON strings — the writer must
+  // \u-escape them so external tools accept the file.
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  TuningTable loaded = TuningTable::from_json(json);
+  EXPECT_TRUE(loaded.lookup(3, 2, 1, hostile).has_value());
+}
+
+TEST(TuningTable, RecordKeepsFirstDecision) {
+  TuningTable table;
+  auto first = sample_decision(TreeKind::Greedy, KernelFamily::TT, 1, 10.0, 0.5, true);
+  auto second = sample_decision(TreeKind::FlatTree, KernelFamily::TS, 1, 20.0, 0.4, true);
+  EXPECT_EQ(table.record(4, 4, 2, "sc11", first), first);
+  // Later records for the same key are ignored and get the stored entry back.
+  EXPECT_EQ(table.record(4, 4, 2, "sc11", second), first);
+  auto stats = table.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.refinements, 1);  // the dropped record must not count
+}
+
+TEST(TuningTable, MalformedJsonThrows) {
+  EXPECT_THROW((void)TuningTable::from_json("{"), Error);
+  EXPECT_THROW((void)TuningTable::from_json("[]"), Error);
+  // Deep nesting must throw, not overflow the parser's stack.
+  EXPECT_THROW((void)TuningTable::from_json(std::string(100000, '[')), Error);
+  EXPECT_THROW((void)TuningTable::from_json("{\"version\": 2, \"stats\": {\"hits\": 0, "
+                                            "\"misses\": 0, \"refinements\": 0}, "
+                                            "\"entries\": []}"),
+               Error);
+  EXPECT_THROW(
+      (void)TuningTable::from_json(
+          "{\"version\": 1, \"stats\": {\"hits\": 0, \"misses\": 0, \"refinements\": 0}, "
+          "\"entries\": [{\"p\": 2, \"q\": 2, \"workers\": 1, \"profile\": \"x\", "
+          "\"kind\": \"NoSuchTree\", \"family\": \"TT\", \"bs\": 1, \"grasap_k\": 1, "
+          "\"model_makespan\": 0, \"measured_seconds\": -1, \"refined\": false}]}"),
+      Error);
+  // A malformed number must fail loudly, not load as a truncated value.
+  EXPECT_THROW((void)TuningTable::from_json("{\"version\": 1.2.3, \"stats\": {\"hits\": 0, "
+                                            "\"misses\": 0, \"refinements\": 0}, "
+                                            "\"entries\": []}"),
+               Error);
+  // Out-of-range values fail at load, not at request time.
+  EXPECT_THROW(
+      (void)TuningTable::from_json(
+          "{\"version\": 1, \"stats\": {\"hits\": 0, \"misses\": 0, \"refinements\": 0}, "
+          "\"entries\": [{\"p\": 2, \"q\": 2, \"workers\": 1, \"profile\": \"x\", "
+          "\"kind\": \"PlasmaTree\", \"family\": \"TS\", \"bs\": 0, \"grasap_k\": 1, "
+          "\"model_makespan\": 0, \"measured_seconds\": -1, \"refined\": false}]}"),
+      Error);
+}
+
+TEST(Tuner, ModelPicksGreedyOrFibonacciForTallShapes) {
+  Tuner tuner;  // sc11 profile, model-only
+  core::PlanCache cache;
+  for (auto [p, q, workers] : {std::tuple{16, 4, 16}, std::tuple{32, 4, 16},
+                               std::tuple{32, 4, 48}, std::tuple{64, 4, 48}}) {
+    ASSERT_GE(p, 4 * q);
+    auto d = tuner.decide(p, q, workers, cache);
+    EXPECT_TRUE(d.config.kind == TreeKind::Greedy || d.config.kind == TreeKind::Fibonacci)
+        << p << "x" << q << " on " << workers << " -> " << d.config.name();
+    EXPECT_FALSE(d.refined);
+    EXPECT_GT(d.model_makespan, 0.0);
+  }
+}
+
+TEST(Tuner, ModelPicksTsFlatOrPlasmaForSquareShapes) {
+  Tuner tuner;
+  core::PlanCache cache;
+  for (auto [p, workers] : {std::pair{8, 8}, std::pair{16, 16}, std::pair{30, 48}}) {
+    auto d = tuner.decide(p, p, workers, cache);
+    EXPECT_TRUE(d.config.kind == TreeKind::FlatTree || d.config.kind == TreeKind::PlasmaTree)
+        << p << "x" << p << " on " << workers << " -> " << d.config.name();
+    EXPECT_EQ(d.config.family, KernelFamily::TS)
+        << p << "x" << p << " on " << workers << " -> " << d.config.name();
+  }
+}
+
+TEST(Tuner, RankingIsSortedAndCoversCandidateSet) {
+  Tuner tuner;
+  core::PlanCache cache;
+  auto ranked = tuner.rank_candidates(12, 4, 8, cache);
+  ASSERT_EQ(ranked.size(), 7u);  // Greedy, Fib, Binary, Flat x2, Plasma x2
+  for (size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_LE(ranked[i - 1].model_makespan, ranked[i].model_makespan);
+  // Candidate plans went through the shared cache.
+  EXPECT_GE(cache.stats().entries, ranked.size() - 1);  // plasma may collide with flat/binary
+}
+
+TEST(Tuner, SecondDecisionIsATableHit) {
+  Tuner tuner;
+  core::PlanCache cache;
+  auto first = tuner.decide(12, 3, 4, cache);
+  auto second = tuner.decide(12, 3, 4, cache);
+  EXPECT_EQ(first, second);
+  auto stats = tuner.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(Tuner, EnvOverrideForcesTree) {
+  core::PlanCache cache;
+  {
+    ScopedEnv env("TILEDQR_TREE", "binary");
+    Tuner tuner;
+    auto d = tuner.decide(16, 4, 8, cache);
+    EXPECT_EQ(d.config.kind, TreeKind::BinaryTree);
+    // Overrides bypass the table entirely.
+    EXPECT_EQ(tuner.stats().entries, 0u);
+  }
+  {
+    ScopedEnv env("TILEDQR_TREE", "plasma");
+    Tuner tuner;
+    auto d = tuner.decide(16, 4, 8, cache);
+    EXPECT_EQ(d.config.kind, TreeKind::PlasmaTree);
+    EXPECT_EQ(d.config.family, KernelFamily::TS);
+    EXPECT_EQ(d.config.bs, core::best_plasma_bs(16, 4, KernelFamily::TS).bs);
+  }
+  {
+    ScopedEnv env("TILEDQR_TREE", "flat-tt");
+    Tuner tuner;
+    auto d = tuner.decide(16, 4, 8, cache);
+    EXPECT_EQ(d.config.kind, TreeKind::FlatTree);
+    EXPECT_EQ(d.config.family, KernelFamily::TT);
+  }
+  {
+    // "auto" (and unknown values) fall through to the model.
+    ScopedEnv env("TILEDQR_TREE", "auto");
+    Tuner tuner;
+    auto d = tuner.decide(32, 4, 48, cache);
+    EXPECT_TRUE(d.config.kind == TreeKind::Greedy || d.config.kind == TreeKind::Fibonacci);
+    EXPECT_EQ(tuner.stats().misses, 1);
+  }
+}
+
+TEST(Tuner, RefinementTimesTopCandidatesOnPool) {
+  TunerConfig config;
+  config.refine_top_k = 2;
+  config.refine_reps = 1;
+  config.refine_nb = 16;  // tiny tiles: stage 2 must stay test-cheap
+  config.refine_ib = 8;
+  Tuner tuner(std::move(config));
+  core::PlanCache cache;
+  runtime::ThreadPool pool(2);
+  auto d = tuner.decide(6, 3, 2, cache, &pool);
+  EXPECT_TRUE(d.refined);
+  EXPECT_GT(d.measured_seconds, 0.0);
+  EXPECT_EQ(tuner.stats().refinements, 1);
+  // The refined decision is memoized like any other.
+  auto again = tuner.decide(6, 3, 2, cache, &pool);
+  EXPECT_EQ(d, again);
+  EXPECT_EQ(tuner.stats().hits, 1);
+}
+
+TEST(Tuner, TablePersistsAcrossTunerLifetimes) {
+  std::string path = testing::TempDir() + "tiledqr_tuner_persist_test.json";
+  std::remove(path.c_str());
+  TunerConfig config;
+  config.table_path = path;
+  core::PlanCache cache;
+  TunedDecision first;
+  {
+    Tuner tuner(config);
+    first = tuner.decide(24, 4, 8, cache);
+    EXPECT_EQ(tuner.stats().misses, 1);
+  }  // destructor saves
+  {
+    Tuner tuner(config);  // constructor loads
+    auto d = tuner.decide(24, 4, 8, cache);
+    EXPECT_EQ(d, first);
+    auto stats = tuner.stats();
+    EXPECT_EQ(stats.hits, 1);   // served from the loaded table...
+    EXPECT_EQ(stats.misses, 1);  // ...whose persisted miss counter survived
+  }
+  std::remove(path.c_str());
+}
+
+TEST(QrSessionAuto, FactorizesWithoutTreeConfigAndMatchesExplicitBitwise) {
+  core::QrSession session(core::QrSession::Config{.threads = 3});
+  const int nb = 16;
+  core::QrSession::AutoOptions auto_opt;
+  auto_opt.nb = nb;
+  auto_opt.ib = 8;
+
+  for (auto [m, n] : {std::pair<std::int64_t, std::int64_t>{96, 32},
+                      std::pair<std::int64_t, std::int64_t>{64, 64}}) {
+    auto a = random_matrix<double>(m, n, 0xA0 + unsigned(m));
+    auto auto_qr = session.factorize_auto<double>(a.view(), auto_opt);
+
+    // The tree the tuner chose for this shape, resubmitted explicitly.
+    core::Options explicit_opt;
+    explicit_opt.tree = session.choose_tree(int((m + nb - 1) / nb), int((n + nb - 1) / nb));
+    explicit_opt.nb = nb;
+    explicit_opt.ib = 8;
+    EXPECT_EQ(auto_qr.options().tree, explicit_opt.tree);
+    auto explicit_qr = session.submit(ConstMatrixView<double>(a.view()), explicit_opt).get();
+
+    auto lhs = auto_qr.factors().to_dense();
+    auto rhs = explicit_qr.factors().to_dense();
+    ASSERT_EQ(lhs.rows(), rhs.rows());
+    ASSERT_EQ(lhs.cols(), rhs.cols());
+    for (std::int64_t i = 0; i < lhs.rows(); ++i)
+      for (std::int64_t j = 0; j < lhs.cols(); ++j)
+        ASSERT_EQ(lhs(i, j), rhs(i, j)) << m << "x" << n << " @ " << i << "," << j;
+  }
+  // One decision per shape: the second factorization of a shape hits the
+  // tuning table (choose_tree above also hit it).
+  auto stats = session.tuning_stats();
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_GE(stats.hits, 2);
+}
+
+TEST(QrSessionAuto, PreTiledInputKeepsItsTiling) {
+  core::QrSession session(core::QrSession::Config{.threads = 2});
+  auto dense = random_matrix<double>(60, 20, 77);
+  auto tiles = TileMatrix<double>::from_dense(dense.view(), 10);
+  core::QrSession::AutoOptions opt;
+  opt.nb = 128;  // must be ignored for pre-tiled inputs
+  opt.ib = 8;
+  auto qr = session.factorize_auto(std::move(tiles), opt);
+  EXPECT_EQ(qr.factors().nb(), 10);
+  // Sanity: residual-free R diagonal (factorization actually ran).
+  auto r = qr.r_factor();
+  EXPECT_NE(r(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace tiledqr
