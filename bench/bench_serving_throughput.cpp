@@ -53,6 +53,9 @@ struct Workload {
 
 Workload make_workload(int count, std::int64_t n, int nb, int ib) {
   Workload w;
+  // Pin the tree explicitly: the session batch paths autotune a disengaged
+  // tree, and this bench compares execution strategies, not algorithms.
+  w.opt.tree = trees::TreeConfig{};
   w.opt.nb = nb;
   w.opt.ib = std::min(ib, nb);
   w.tiles.reserve(size_t(count));
@@ -71,7 +74,7 @@ ModeResult run_spawn_per_call(const Workload& w, int threads, int reps) {
     WallTimer timer;
     for (const auto& t0 : w.tiles) {
       TileMatrix<double> a = t0;
-      auto plan = core::make_plan(a.mt(), a.nt(), w.opt.tree);
+      auto plan = core::make_plan(a.mt(), a.nt(), *w.opt.tree);
       core::TStore<double> ts(a.mt(), a.nt(), w.opt.ib, a.nb());
       core::TStore<double> t2s(a.mt(), a.nt(), w.opt.ib, a.nb());
       runtime::execute_spawn(
@@ -150,7 +153,7 @@ bool verify_fused_bitwise(core::QrSession& session, const Workload& w, int check
   const int limit = std::min<int>(check_count, int(qrs.size()));
   for (int i = 0; i < limit; ++i) {
     TileMatrix<double> a = w.tiles[size_t(i)];
-    auto plan = core::make_plan(a.mt(), a.nt(), w.opt.tree);
+    auto plan = core::make_plan(a.mt(), a.nt(), *w.opt.tree);
     core::TStore<double> ts(a.mt(), a.nt(), w.opt.ib, a.nb());
     core::TStore<double> t2s(a.mt(), a.nt(), w.opt.ib, a.nb());
     runtime::execute_spawn(

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
     for (std::int64_t k = 0; k < n; ++k)
       coeff_err = std::max(coeff_err, std::abs(x(k, 0) - truth[size_t(k)]));
     std::printf("  %-14s critical path %5ld units, max coefficient error %.3e\n",
-                opt.tree.name().c_str(), qr.plan().critical_path, coeff_err);
+                opt.tree->name().c_str(), qr.plan().critical_path, coeff_err);
     if (coeff_err > 1e-2) {
       std::printf("FAILED\n");
       return 1;

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
 
   // 3. Factorize.
   auto qr = core::TiledQr<double>::factorize(a.view(), opt);
-  std::printf("algorithm          : %s\n", opt.tree.name().c_str());
+  std::printf("algorithm          : %s\n", opt.tree->name().c_str());
   std::printf("tile grid          : %d x %d tiles\n", qr.factors().mt(), qr.factors().nt());
   std::printf("tasks in DAG       : %zu\n", qr.plan().graph.tasks.size());
   std::printf("critical path      : %ld units of nb^3/3 flops\n", qr.plan().critical_path);

@@ -1,10 +1,13 @@
-// Serving: handle a stream of independent least-squares problems with one
-// long-lived QrSession — the pool and plan cache amortize across requests,
-// which is the intended production pattern for high request rates. The
-// elimination tree is NOT hand-picked: the session's tree autotuner selects
-// the paper-optimal algorithm for (tile-grid shape, pool size), and
-// TILEDQR_TREE=auto|flat|binary|fibonacci|greedy|plasma can bypass it for
-// A/B runs.
+// Serving: handle an open-ended stream of least-squares requests with one
+// long-lived QrSession — the pool, plan cache, and tree autotuner amortize
+// across requests, which is the intended production pattern for high request
+// rates. Requests are NOT batched by the caller: each one is pushed into a
+// FactorStream the moment it "arrives", returns its future immediately, and
+// coalesces with whatever else is in flight (streaming fusion), so the
+// scheduler never drains to one matrix's critical-path tail between
+// requests. Shapes are mixed on purpose: every pushed shape is routed
+// through the tree autotuner (TILEDQR_TREE=auto|flat|binary|fibonacci|
+// greedy|plasma can bypass it for A/B runs).
 //
 //   ./serving [requests] [m] [n] [nb]
 #include <cstdio>
@@ -25,67 +28,64 @@ int main(int argc, char** argv) {
   const std::int64_t n = argc > 3 ? std::atoll(argv[3]) : 256;
   const int nb = argc > 4 ? std::atoi(argv[4]) : 128;
 
-  std::printf("tiledqr serving demo: %d least-squares requests, each %lld x %lld (nb = %d)\n",
+  std::printf("tiledqr serving demo: an open-ended stream of %d least-squares requests "
+              "around %lld x %lld (nb = %d)\n",
               requests, (long long)m, (long long)n, nb);
 
-  // One session for the lifetime of the "server": a persistent worker pool
-  // plus a plan cache shared by every request.
+  // One session for the lifetime of the "server": a persistent worker pool,
+  // a plan cache, and a tree autotuner shared by every request.
   core::QrSession session;
-  core::Options opt;
-  opt.nb = nb;
-  opt.ib = std::min(32, nb);
+  core::QrSession::StreamOptions sopt;
+  sopt.nb = nb;
+  sopt.ib = std::min(32, nb);
+  // sopt.tree is left disengaged: each pushed shape goes through the
+  // session's autotuner (memoized per shape in the TuningTable).
 
-  // Auto mode: ask the tuner for the paper-optimal tree for this request
-  // shape on this pool and pin it into the pipeline options. decide_tree
-  // honors the TILEDQR_TREE override (and says so in the decision),
-  // memoizes the decision in the session's TuningTable, and leaves the
-  // chosen plan warm in the plan cache.
-  const int grid_p = int((m + nb - 1) / nb);
-  const int grid_q = int((n + nb - 1) / nb);
-  auto decision = session.decide_tree(grid_p, grid_q);
-  opt.tree = decision.config;
-  std::printf("autotuner picked %s for the %d x %d tile grid on %d workers%s\n",
-              opt.tree.name().c_str(), grid_p, grid_q, session.pool().size(),
-              decision.forced ? " (forced via TILEDQR_TREE)" : "");
-
-  // Incoming work: a batch of design matrices (one per request). In a real
-  // server these would arrive over the wire; submission is cheap enough to
-  // do on the request thread.
-  std::vector<Matrix<double>> problems;
+  // Incoming work: a request mix of three shapes — the common case plus a
+  // taller and a wider variant — as a server would see from real clients.
+  // In a real deployment these arrive over the wire; pushing is cheap enough
+  // to do on the request thread.
+  struct RequestData {
+    Matrix<double> a;
+    Matrix<double> b;
+  };
+  std::vector<RequestData> problems;
   problems.reserve(size_t(requests));
-  for (int i = 0; i < requests; ++i)
-    problems.push_back(random_matrix<double>(m, n, 7000 + unsigned(i)));
-
-  // Right-hand sides arrive with the requests; generate them up front so the
-  // timed region is pure serving work.
-  std::vector<Matrix<double>> rhs;
-  rhs.reserve(size_t(requests));
-  for (int i = 0; i < requests; ++i) rhs.push_back(random_matrix<double>(m, 1, 9000 + unsigned(i)));
+  for (int i = 0; i < requests; ++i) {
+    const std::int64_t mi = i % 3 == 1 ? m + m / 2 : m;
+    const std::int64_t ni = i % 3 == 2 ? std::max<std::int64_t>(nb, n / 2) : n;
+    problems.push_back(RequestData{random_matrix<double>(mi, ni, 7000 + unsigned(i)),
+                                   random_matrix<double>(mi, 1, 9000 + unsigned(i))});
+  }
 
   WallTimer timer;
-  // Each request is a full async least-squares pipeline: factorize A, apply
-  // Q^T to b, triangular-solve — three chained stages that run end-to-end on
-  // the session pool with no per-request blocking on the serving thread.
+  // The open-ended stream: every push_solve is a full least-squares pipeline
+  // (factorize A, apply Qᵀ to b, triangular-solve) whose apply/trsm stages
+  // chain into the same stream. Pushes that arrive while the pool is busy
+  // coalesce into fused grafts on the live submission — no batch boundary,
+  // no drain between requests.
+  auto stream = session.stream<double>(sopt);
   std::vector<std::future<Matrix<double>>> inflight;
   inflight.reserve(size_t(requests));
-  for (int i = 0; i < requests; ++i)
-    inflight.push_back(session.solve_least_squares_async(
-        ConstMatrixView<double>(problems[size_t(i)].view()),
-        ConstMatrixView<double>(rhs[size_t(i)].view()), opt));
+  for (auto& req : problems)
+    inflight.push_back(stream.push_solve(ConstMatrixView<double>(req.a.view()),
+                                         ConstMatrixView<double>(req.b.view())));
+  auto sstats = stream.stats();  // snapshot before the drain
+  stream.close();                // a real server would keep it open forever
 
   // Drain the solutions and check them.
   double worst_residual = 0.0;
   for (int i = 0; i < requests; ++i) {
     auto x = inflight[size_t(i)].get();
-    const auto& b = rhs[size_t(i)];
+    const auto& a = problems[size_t(i)].a;
+    const auto& b = problems[size_t(i)].b;
     // Residual of the normal equations: A^T (A x - b) ~ 0 at the minimizer.
-    Matrix<double> ax(m, 1);
-    blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, 1.0, problems[size_t(i)].view(), x.view(),
-               0.0, ax.view());
-    for (std::int64_t r = 0; r < m; ++r) ax(r, 0) -= b(r, 0);
-    Matrix<double> atr(n, 1);
-    blas::gemm(blas::Op::ConjTrans, blas::Op::NoTrans, 1.0, problems[size_t(i)].view(), ax.view(),
-               0.0, atr.view());
+    Matrix<double> ax(a.rows(), 1);
+    blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, 1.0, a.view(), x.view(), 0.0, ax.view());
+    for (std::int64_t r = 0; r < a.rows(); ++r) ax(r, 0) -= b(r, 0);
+    Matrix<double> atr(a.cols(), 1);
+    blas::gemm(blas::Op::ConjTrans, blas::Op::NoTrans, 1.0, a.view(), ax.view(), 0.0,
+               atr.view());
     worst_residual = std::max(worst_residual, double(frobenius_norm<double>(atr.view())) /
                                                   double(frobenius_norm<double>(b.view())));
   }
@@ -97,10 +97,12 @@ int main(int argc, char** argv) {
   std::printf("served %d requests in %.3f s (%.1f req/s)\n", requests, seconds,
               requests / seconds);
   std::printf("worst normal-equation residual: %.3e\n", worst_residual);
-  std::printf("plan cache: %ld hits / %ld misses (hit rate %.3f)\n", cache.hits, cache.misses,
-              cache.hit_rate());
-  std::printf("tuning table: %ld hits / %ld misses, %zu entries\n", tuning.hits, tuning.misses,
-              tuning.entries);
+  std::printf("stream: %ld pushes -> %ld grafted components (%ld requests rode fused grafts)\n",
+              sstats.pushed, sstats.components, sstats.fused_requests);
+  std::printf("autotuner: %ld hits / %ld misses, %zu shape decisions\n", tuning.hits,
+              tuning.misses, tuning.entries);
+  std::printf("plan cache: %ld hits / %ld misses (hit rate %.3f), fused: %ld hits / %ld misses\n",
+              cache.hits, cache.misses, cache.hit_rate(), cache.fused_hits, cache.fused_misses);
   std::printf("pool: %ld tasks executed, %ld stolen, %ld graphs\n", pool.tasks_executed,
               pool.tasks_stolen, pool.graphs_completed);
   return worst_residual < 1e-8 ? 0 : 1;

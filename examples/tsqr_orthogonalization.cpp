@@ -47,7 +47,7 @@ int run(const char* label, std::int64_t m, std::int64_t n, int nb) {
         double(difference_norm<T>(back.view(), v.view()) / frobenius_norm<T>(v.view()));
 
     std::printf("  [%s] %-12s cp %5ld  ||I-Q^HQ|| %.2e  span error %.2e  (%.3fs)\n", label,
-                qr.options().tree.name().c_str(), qr.plan().critical_path, orth, span, secs);
+                qr.options().tree->name().c_str(), qr.plan().critical_path, orth, span, secs);
     if (orth > 1e-12 * double(m) || span > 1e-12 * double(m)) return 1;
   }
   return 0;

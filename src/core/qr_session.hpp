@@ -1,4 +1,4 @@
-// QrSession: the batched / asynchronous serving front end.
+// QrSession: the batched / asynchronous / streaming serving front end.
 //
 // A session owns a persistent worker pool and a plan cache and amortizes
 // both across many factorizations — the "heavy traffic of repeated, often
@@ -22,6 +22,12 @@
 //   ...                       // the tree autotuner picks the paper-optimal
 //   ...                       // algorithm for (shape, pool size)
 //
+//   auto stream = session.stream<double>();        // streaming fusion
+//   auto f1 = stream.push(a1.view());              // futures immediately;
+//   auto s2 = stream.push_solve(a2.view(), b2.view());  // pushes coalesce
+//   stream.close();                                // into the live fused
+//                                                  // submission (see below)
+//
 // Batch fusion: factorize_batch concatenates the per-matrix DAGs into one
 // FusedPlan (cached per (shape, count) for homogeneous batches) and submits
 // it once — one deal of the initial ready set, one scheduling-key vector
@@ -31,8 +37,24 @@
 // matrix's promise, so early matrices resolve while the rest of the batch
 // is still running.
 //
-// Results are bitwise identical to TiledQr<T>::factorize on the same input:
-// the same plan, the same kernels, and tasks that write disjoint regions.
+// Streaming fusion: a fixed batch still drains to one matrix's critical-path
+// tail before the next batch starts. FactorStream removes the batch
+// boundary: pushes return futures immediately and accumulate while the
+// in-flight work drains; each flush grafts the accumulated requests — fused
+// through the same FusedPlan machinery — onto the *live* pool submission
+// (ThreadPool::Stream, generation-counted ready sets), so workers flow from
+// the old generation's tail straight into the new generation's heads.
+//
+// Auto mode: wherever `Options::tree` is left disengaged, the batch,
+// pipeline, and stream paths route the shape through the session's tree
+// autotuner (choose_tree) — per input shape, memoized in the TuningTable —
+// so serving traffic never hand-picks a TreeConfig. The plain submit()
+// keeps the explicit-options contract (disengaged tree = the Greedy paper
+// default); use submit_auto for tuned single factorizations.
+//
+// Results are bitwise identical to TiledQr<T>::factorize on the same input
+// and tree: the same plan, the same kernels, and tasks that write disjoint
+// regions.
 #pragma once
 
 #include <algorithm>
@@ -44,12 +66,16 @@
 #include <utility>
 #include <vector>
 
+#include "common/stringf.hpp"
 #include "core/plan_cache.hpp"
 #include "core/tiled_qr.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tuner/tuner.hpp"
 
 namespace tiledqr::core {
+
+template <typename T>
+class FactorStream;
 
 class QrSession {
  public:
@@ -70,6 +96,17 @@ class QrSession {
     int threads = 0;  ///< per-request worker cap; 0 = whole pool
   };
 
+  /// Per-stream options (see stream()). Pushes of any tile-grid shape are
+  /// accepted; `tree` pins one algorithm for every push, disengaged routes
+  /// each pushed shape through the autotuner.
+  struct StreamOptions {
+    int nb = 128;          ///< tile size for dense pushes
+    int ib = 32;           ///< inner blocking of the kernels
+    int threads = 0;       ///< worker cap for the whole stream; 0 = whole pool
+    int max_pending = 32;  ///< coalescing bound: a flush is forced at this depth
+    std::optional<trees::TreeConfig> tree{};  ///< disengaged = autotune per shape
+  };
+
   QrSession() : pool_(0) {}
   explicit QrSession(Config config) : tuner_(std::move(config.tuner)), pool_(config.threads) {}
 
@@ -86,15 +123,16 @@ class QrSession {
 
   /// Asynchronous factorization of a tiled matrix (consumed).
   /// `opt.threads > 0` caps how many pool workers this one factorization may
-  /// occupy; 0 lets it spread over the whole pool.
+  /// occupy; 0 lets it spread over the whole pool. Caps above the pool size
+  /// clamp to the pool, so 0, negative, and over-pool requests all mean
+  /// "whole pool" — the invariant every session path shares.
   template <typename T>
   [[nodiscard]] std::future<TiledQr<T>> submit(TileMatrix<T> a, Options opt) {
     struct Pending {
       TiledQr<T> qr;
       std::promise<TiledQr<T>> promise;
     };
-    const int worker_cap = opt.threads;
-    if (opt.threads <= 0) opt.threads = pool_.size();
+    const int worker_cap = normalize_threads(opt);
     auto state = std::make_shared<Pending>();
     std::future<TiledQr<T>> future = state->promise.get_future();
     try {
@@ -131,6 +169,7 @@ class QrSession {
   /// `opt.threads > 0` keeps its per-matrix meaning: the fused submission is
   /// capped to opt.threads x batch-size workers (clamped to the pool), the
   /// aggregate concurrency the same batch got as per-matrix submissions.
+  /// A disengaged `opt.tree` is routed through the autotuner per input shape.
   template <typename T>
   [[nodiscard]] std::vector<std::future<TiledQr<T>>> submit_batch(
       std::span<const ConstMatrixView<T>> mats, const Options& opt) {
@@ -155,8 +194,10 @@ class QrSession {
   }
 
   /// Blocking batched factorization (one fused DAG; see submit_batch).
-  /// Results are in input order; the first exception is rethrown after every
-  /// component has drained.
+  /// Results are in input order. After every component has drained the first
+  /// exception is rethrown; when several inputs failed, the rethrown Error
+  /// carries the first failure's message plus how many siblings also failed,
+  /// so multi-failure batches are diagnosable from one what().
   template <typename T>
   [[nodiscard]] std::vector<TiledQr<T>> factorize_batch(std::span<const ConstMatrixView<T>> mats,
                                                         const Options& opt) {
@@ -174,6 +215,14 @@ class QrSession {
                                                         const Options& opt) {
     return collect_batch(submit_batch(std::move(mats), opt));
   }
+
+  /// Opens a streaming submission on the session pool: a FactorStream whose
+  /// push()/push_solve() return futures immediately and coalesce into the
+  /// live fused submission (see the header comment). The stream must not
+  /// outlive the session. `opt.threads` caps the pool workers the whole
+  /// stream may occupy (same clamping rule as everywhere).
+  template <typename T>
+  [[nodiscard]] FactorStream<T> stream(StreamOptions opt = {});
 
   /// Applies op(Q) of a finished factorization to tiled C, asynchronously on
   /// the session pool (no spawn path, no blocking). `qr` is borrowed and
@@ -272,7 +321,8 @@ class QrSession {
   /// factorize A, apply Qᵀ to b, triangular-solve R x = (Qᵀb)[0:n] — three
   /// chained stages with no spawn-path fallback and no intermediate blocking
   /// (each stage is submitted by the worker that retires the previous one).
-  /// `opt.threads > 0` caps the pool workers the pipeline may occupy.
+  /// `opt.threads > 0` caps the pool workers the pipeline may occupy; a
+  /// disengaged `opt.tree` is routed through the autotuner for A's shape.
   template <typename T>
   [[nodiscard]] std::future<Matrix<T>> solve_least_squares_async(ConstMatrixView<T> a,
                                                                  ConstMatrixView<T> b,
@@ -283,14 +333,15 @@ class QrSession {
       dag::TaskGraph apply_graph;
       std::promise<Matrix<T>> promise;
     };
-    const int worker_cap = opt.threads;
-    if (opt.threads <= 0) opt.threads = pool_.size();
+    const int worker_cap = normalize_threads(opt);
     auto state = std::make_shared<Pipeline>();
     std::future<Matrix<T>> future = state->promise.get_future();
     try {
       TILEDQR_CHECK(a.rows() >= a.cols(), "solve_least_squares_async: requires m >= n");
       TILEDQR_CHECK(b.rows() == a.rows(), "solve_least_squares_async: rhs row mismatch");
-      state->qr = TiledQr<T>::prepare(TileMatrix<T>::from_dense(a, opt.nb), opt, cache_);
+      auto tiles = TileMatrix<T>::from_dense(a, opt.nb);
+      if (!opt.tree) opt.tree = choose_tree(tiles.mt(), tiles.nt(), worker_cap);
+      state->qr = TiledQr<T>::prepare(std::move(tiles), opt, cache_);
       if (b.cols() > 0) state->c = TileMatrix<T>::from_dense(b, opt.nb);
     } catch (...) {
       state->promise.set_exception(std::current_exception());
@@ -350,10 +401,13 @@ class QrSession {
   // identical to submitting the chosen config explicitly — auto mode only
   // decides, the execution path is the same submit().
 
-  /// Asynchronous auto-tuned factorization of a dense matrix.
+  /// Asynchronous auto-tuned factorization of a dense matrix. Invalid
+  /// AutoOptions (nb/ib < 1) throw a descriptive Error up front — they can
+  /// never reach the tile-layout conversion.
   template <typename T>
   [[nodiscard]] std::future<TiledQr<T>> submit_auto(ConstMatrixView<T> a,
                                                     const AutoOptions& opt = {}) {
+    validate_auto_options(opt);
     return submit_auto(TileMatrix<T>::from_dense(a, opt.nb), opt);
   }
 
@@ -364,6 +418,7 @@ class QrSession {
   /// concurrency, not the whole pool's.
   template <typename T>
   [[nodiscard]] std::future<TiledQr<T>> submit_auto(TileMatrix<T> a, const AutoOptions& opt = {}) {
+    validate_auto_options(opt);
     Options full;
     full.tree = choose_tree(a.mt(), a.nt(), opt.threads);
     full.nb = a.nb();
@@ -408,6 +463,31 @@ class QrSession {
   [[nodiscard]] runtime::ThreadPool::Stats pool_stats() const noexcept { return pool_.stats(); }
 
  private:
+  template <typename U>
+  friend class FactorStream;
+
+  /// The one cap rule: <= 0 (and anything above the pool) means "whole
+  /// pool"; in-range caps pass through. Returned as a ThreadPool max_workers
+  /// argument (0 = uncapped).
+  [[nodiscard]] int clamp_cap(int requested) const noexcept {
+    return requested <= 0 ? 0 : std::min(requested, pool_.size());
+  }
+
+  /// Applies the cap rule to `opt.threads` in place (so the stored
+  /// per-factorization thread count never exceeds the pool — a 0 cap and an
+  /// over-pool cap leave identical state everywhere) and returns the
+  /// ThreadPool worker cap.
+  [[nodiscard]] int normalize_threads(Options& opt) const noexcept {
+    const int cap = clamp_cap(opt.threads);
+    opt.threads = cap == 0 ? pool_.size() : cap;
+    return cap;
+  }
+
+  static void validate_auto_options(const AutoOptions& opt) {
+    TILEDQR_CHECK(opt.nb >= 1, stringf("AutoOptions::nb must be >= 1 (got %d)", opt.nb));
+    TILEDQR_CHECK(opt.ib >= 1, stringf("AutoOptions::ib must be >= 1 (got %d)", opt.ib));
+  }
+
   /// One matrix of a fused batch: its prepared factorization, its promise,
   /// and the per-subgraph sentinel counter that detects component completion
   /// inside the fused submission.
@@ -432,20 +512,24 @@ class QrSession {
 
   /// Shared prepare loop of the submit_batch flavors: `make_tiles(i)` yields
   /// the i-th input's TileMatrix (converting or moving). An input whose
-  /// tiling/planning throws gets a pre-failed future; the rest proceed.
+  /// tiling/planning throws gets a pre-failed future; the rest proceed. A
+  /// disengaged tree resolves through the autotuner per input shape (at the
+  /// per-matrix worker cap — the concurrency each matrix actually gets).
   template <typename T, typename MakeTiles>
   [[nodiscard]] std::vector<std::future<TiledQr<T>>> submit_batch_impl(size_t count,
                                                                        MakeTiles&& make_tiles,
                                                                        Options opt) {
-    const int worker_cap = opt.threads;
-    if (opt.threads <= 0) opt.threads = pool_.size();
+    const int worker_cap = normalize_threads(opt);
     std::vector<std::future<TiledQr<T>>> futures;
     futures.reserve(count);
     auto batch = std::make_shared<BatchState<T>>();
     batch->ib = opt.ib;
     for (size_t i = 0; i < count; ++i) {
       try {
-        batch->parts.emplace_back(TiledQr<T>::prepare(make_tiles(i), opt, cache_));
+        TileMatrix<T> tiles = make_tiles(i);
+        Options per = opt;
+        if (!per.tree) per.tree = choose_tree(tiles.mt(), tiles.nt(), worker_cap);
+        batch->parts.emplace_back(TiledQr<T>::prepare(std::move(tiles), per, cache_));
         futures.push_back(batch->parts.back().promise.get_future());
       } catch (...) {
         std::promise<TiledQr<T>> failed;
@@ -453,7 +537,7 @@ class QrSession {
         failed.set_exception(std::current_exception());
       }
     }
-    launch_batch(std::move(batch), worker_cap, opt.tree);
+    launch_batch(std::move(batch), worker_cap);
     return futures;
   }
 
@@ -462,8 +546,7 @@ class QrSession {
   /// component drains; the single completion callback only mops up after a
   /// cancelled (failed) submission.
   template <typename T>
-  void launch_batch(std::shared_ptr<BatchState<T>> batch, int worker_cap,
-                    const trees::TreeConfig& tree) {
+  void launch_batch(std::shared_ptr<BatchState<T>> batch, int worker_cap) {
     if (batch->parts.empty()) return;
 
     if (batch->parts.size() == 1) {
@@ -497,8 +580,11 @@ class QrSession {
         break;
       }
     if (homogeneous) {
-      batch->cached = cache_.get_fused(front_plan->graph.p, front_plan->graph.q, tree,
-                                       int(batch->parts.size()));
+      // Every part shares the front plan, so the front part's (normalized)
+      // tree is the fused-cache key for all of them.
+      batch->cached =
+          cache_.get_fused(front_plan->graph.p, front_plan->graph.q,
+                           *batch->parts.front().qr.options().tree, int(batch->parts.size()));
       batch->fused = batch->cached.get();
     } else {
       std::vector<std::shared_ptr<const Plan>> plans;
@@ -514,7 +600,8 @@ class QrSession {
 
     // A per-submission cap applies to the whole fused graph, so scale the
     // caller's per-matrix cap by the batch size to preserve the aggregate
-    // concurrency per-matrix submissions had (0 stays "whole pool").
+    // concurrency per-matrix submissions had (0 stays "whole pool"; the cap
+    // arrives pre-clamped, so the product cannot overflow).
     if (worker_cap > 0)
       worker_cap = int(std::min<long>(long(pool_.size()),
                                       long(worker_cap) * long(batch->parts.size())));
@@ -545,21 +632,37 @@ class QrSession {
         runtime::SchedulePriority::CriticalPath, worker_cap, batch, &batch->fused->ranks);
   }
 
-  /// Drains a submit_batch future set, preserving order; rethrows the first
-  /// exception after everything has resolved.
+  /// Drains a submit_batch future set, preserving order. A single failure is
+  /// rethrown verbatim; multiple failures rethrow an Error carrying the
+  /// first failure's message and the count of failed siblings.
   template <typename T>
   [[nodiscard]] static std::vector<TiledQr<T>> collect_batch(
       std::vector<std::future<TiledQr<T>>> futures) {
     std::vector<TiledQr<T>> out;
     out.reserve(futures.size());
     std::exception_ptr first_error;
+    std::string first_message;
+    size_t failed = 0;
     for (auto& f : futures) {
       try {
         out.push_back(f.get());
+      } catch (const std::exception& e) {
+        if (!first_error) {
+          first_error = std::current_exception();
+          first_message = e.what();
+        }
+        ++failed;
       } catch (...) {
-        if (!first_error) first_error = std::current_exception();
+        if (!first_error) {
+          first_error = std::current_exception();
+          first_message = "unknown error";
+        }
+        ++failed;
       }
     }
+    if (failed > 1)
+      throw Error(stringf("%s [batch: %zu of %zu inputs failed; first error shown]",
+                          first_message.c_str(), failed, futures.size()));
     if (first_error) std::rethrow_exception(first_error);
     return out;
   }
@@ -572,5 +675,428 @@ class QrSession {
   tuner::Tuner tuner_;
   runtime::ThreadPool pool_;
 };
+
+// ------------------------------------------------------------ FactorStream --
+
+/// Streaming fusion handle (QrSession::stream). push()/push_solve() return
+/// futures immediately; requests accumulate while the stream's in-flight
+/// work drains and every flush grafts them — coalesced into one fused
+/// component per plan via the session PlanCache's FusedPlan machinery — onto
+/// the live pool submission. The amount of fusion adapts to the arrival
+/// rate: an idle stream grafts a push immediately (latency), a busy stream
+/// coalesces everything that arrived while it was busy (throughput).
+///
+///   auto stream = session.stream<double>();
+///   auto f = stream.push(a.view());        // future resolves independently
+///   auto x = stream.push_solve(a2.view(), b.view());  // factor → Qᵀb → trsm,
+///                                          // chained into the same stream
+///   stream.cork();                         // defer flushing…
+///   for (auto& m : burst) futures.push_back(stream.push(m.view()));
+///   stream.uncork();                       // …one fused graft for the burst
+///   stream.close();                        // drain everything, then seal
+///
+/// Thread-safe: any number of client threads may push/cork/flush
+/// concurrently. A request whose preparation fails resolves its own future
+/// with the exception; a kernel failure cancels only the component (graft)
+/// it rode in on — other grafts keep running. The stream must be closed (or
+/// destroyed — the destructor closes) before its QrSession dies, and close()
+/// must not be called from a pool task body.
+template <typename T>
+class FactorStream {
+ public:
+  struct Stats {
+    long pushed = 0;      ///< requests accepted (push + push_solve)
+    long components = 0;  ///< grafts appended to the live submission
+    long fused_requests = 0;  ///< requests that rode a multi-request graft
+    long pending = 0;     ///< requests accumulated, not yet grafted
+  };
+
+  FactorStream() = default;  ///< empty handle
+  FactorStream(FactorStream&&) noexcept = default;
+  FactorStream& operator=(FactorStream&&) noexcept = default;
+  FactorStream(const FactorStream&) = delete;
+  FactorStream& operator=(const FactorStream&) = delete;
+
+  ~FactorStream() {
+    if (!state_) return;
+    try {
+      close();
+    } catch (...) {
+      // Destructor must not throw; close() errors are only re-close races.
+    }
+  }
+
+  /// Factorize a dense matrix (copied into tiled layout here, on the
+  /// calling thread). Returns a future that resolves when this request's
+  /// component of the live submission drains. An input that fails to tile or
+  /// plan resolves its future with the exception (pushing on a closed stream
+  /// still throws — that is a caller bug, not a request failure).
+  [[nodiscard]] std::future<TiledQr<T>> push(ConstMatrixView<T> a) {
+    TileMatrix<T> tiles;
+    try {
+      tiles = TileMatrix<T>::from_dense(a, state_->opts.nb);
+    } catch (...) {
+      std::promise<TiledQr<T>> failed;
+      auto future = failed.get_future();
+      failed.set_exception(std::current_exception());
+      return future;
+    }
+    return push(std::move(tiles));
+  }
+
+  /// Pre-tiled flavor (consumed); the input keeps its own tile size.
+  [[nodiscard]] std::future<TiledQr<T>> push(TileMatrix<T> a) {
+    auto req = std::make_shared<Request>();
+    std::future<TiledQr<T>> future = req->promise.get_future();
+    try {
+      req->qr = prepare(std::move(a));
+    } catch (...) {
+      req->promise.set_exception(std::current_exception());
+      return future;
+    }
+    enqueue(std::move(req));
+    return future;
+  }
+
+  /// Full least-squares pipeline for one request: factorize A, then chain
+  /// the Qᵀb apply + triangular solve into the same stream (the apply graph
+  /// is grafted by the worker that retires the factorization — ROADMAP's
+  /// "batched solve"). Results are bitwise identical to
+  /// QrSession::solve_least_squares_async(a, b, opt) with the same tree.
+  [[nodiscard]] std::future<Matrix<T>> push_solve(ConstMatrixView<T> a, ConstMatrixView<T> b) {
+    auto req = std::make_shared<Request>();
+    req->solve = true;
+    std::future<Matrix<T>> future = req->solve_promise.get_future();
+    try {
+      TILEDQR_CHECK(a.rows() >= a.cols(), "push_solve: requires m >= n");
+      TILEDQR_CHECK(b.rows() == a.rows(), "push_solve: rhs row mismatch");
+      req->qr = prepare(TileMatrix<T>::from_dense(a, state_->opts.nb));
+      if (b.cols() > 0) req->c = TileMatrix<T>::from_dense(b, state_->opts.nb);
+    } catch (...) {
+      req->solve_promise.set_exception(std::current_exception());
+      return future;
+    }
+    enqueue(std::move(req));
+    return future;
+  }
+
+  /// Defers flushing: corked pushes accumulate (up to max_pending) so a
+  /// known burst grafts as one fused component. Idempotent.
+  void cork() {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->corked = true;
+  }
+
+  /// Re-enables flushing and grafts everything pending now.
+  void uncork() {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->corked = false;
+    }
+    flush();
+  }
+
+  /// Grafts all pending requests onto the live submission immediately.
+  void flush() {
+    std::vector<Group> groups;
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      groups = take_groups_locked(*state_);
+    }
+    graft(state_, std::move(groups));
+  }
+
+  /// Flushes and blocks until every request pushed so far has resolved
+  /// (including chained solve stages). The stream stays open. Requests
+  /// pushed concurrently with the drain may be waited on too.
+  void drain() {
+    for (;;) {
+      // Re-flush each round: a solve may have chained its apply stage, and
+      // a concurrent (even corked) pusher may have refilled pending — graft
+      // it rather than spinning on a quiescence check.
+      flush();
+      state_->stream.wait();
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->pending.empty() && state_->inflight == 0) return;
+    }
+  }
+
+  /// Drains, then seals the stream: further pushes throw Error. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->closed = true;
+      state_->corked = false;
+    }
+    drain();
+    if (!state_->stream.closed()) state_->stream.close();
+  }
+
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    Stats s;
+    s.pushed = state_->pushed;
+    s.components = state_->stream.generation();
+    s.fused_requests = state_->fused_requests.load(std::memory_order_relaxed);
+    s.pending = long(state_->pending.size());
+    return s;
+  }
+
+  /// Ready-set generation of the underlying pool stream (components grafted).
+  [[nodiscard]] long generation() const { return state_->stream.generation(); }
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  explicit operator bool() const noexcept { return valid(); }
+
+ private:
+  friend class QrSession;
+
+  /// One pushed request: its prepared factorization, sentinel counter within
+  /// its graft, and (for solves) the rhs tiles + chained apply graph.
+  struct Request {
+    TiledQr<T> qr;
+    std::promise<TiledQr<T>> promise;
+    std::atomic<std::int32_t> remaining{0};
+    bool solve = false;
+    TileMatrix<T> c;
+    dag::TaskGraph apply_graph;
+    std::promise<Matrix<T>> solve_promise;
+  };
+
+  /// One graft: requests sharing a plan, fused when there is more than one.
+  struct Group {
+    std::vector<std::shared_ptr<Request>> reqs;
+    std::shared_ptr<const FusedPlan> fused;  // engaged iff reqs.size() > 1
+  };
+
+  /// Shared stream state: worker completion callbacks outlive the handle's
+  /// stack frames, so everything they touch lives here.
+  struct State {
+    QrSession* session = nullptr;
+    runtime::ThreadPool::Stream stream;
+    QrSession::StreamOptions opts;
+    int worker_cap = 0;  ///< pre-clamped; the tuner keys on this concurrency
+
+    mutable std::mutex mu;
+    bool corked = false;
+    bool closed = false;
+    std::deque<std::shared_ptr<Request>> pending;
+    long inflight = 0;  ///< grafted components not yet retired
+    long pushed = 0;
+    std::atomic<long> fused_requests{0};  ///< bumped outside mu (graft)
+  };
+
+  FactorStream(QrSession* session, QrSession::StreamOptions opts) : state_(std::make_shared<State>()) {
+    TILEDQR_CHECK(opts.nb >= 1, stringf("StreamOptions::nb must be >= 1 (got %d)", opts.nb));
+    TILEDQR_CHECK(opts.ib >= 1, stringf("StreamOptions::ib must be >= 1 (got %d)", opts.ib));
+    TILEDQR_CHECK(opts.max_pending >= 1, "StreamOptions::max_pending must be >= 1");
+    state_->session = session;
+    state_->worker_cap = session->clamp_cap(opts.threads);
+    state_->opts = std::move(opts);
+    state_->stream = session->pool_.open_stream(state_->worker_cap);
+  }
+
+  /// Tile → plan, resolving a disengaged tree through the autotuner for this
+  /// input's shape at the stream's worker cap.
+  [[nodiscard]] TiledQr<T> prepare(TileMatrix<T> tiles) {
+    Options opt;
+    opt.nb = state_->opts.nb;
+    opt.ib = state_->opts.ib;
+    opt.threads = state_->worker_cap == 0 ? state_->session->pool_.size() : state_->worker_cap;
+    opt.tree = state_->opts.tree ? *state_->opts.tree
+                                 : state_->session->choose_tree(tiles.mt(), tiles.nt(),
+                                                                state_->worker_cap);
+    return TiledQr<T>::prepare(std::move(tiles), opt, state_->session->cache_);
+  }
+
+  void enqueue(std::shared_ptr<Request> req) {
+    std::vector<Group> groups;
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      TILEDQR_CHECK(!state_->closed, "FactorStream: push on a closed stream");
+      state_->pending.push_back(std::move(req));
+      ++state_->pushed;
+      // Flush when the stream ran dry (nothing in flight to hide behind) or
+      // the coalescing bound is hit; a corked stream defers the former but
+      // still bounds its memory with the latter.
+      const bool full = long(state_->pending.size()) >= long(state_->opts.max_pending);
+      if (full || (!state_->corked && state_->inflight == 0))
+        groups = take_groups_locked(*state_);
+    }
+    graft(state_, std::move(groups));
+  }
+
+  /// Groups the pending requests by plan — one graft per distinct plan, so
+  /// a mixed-shape stream still fuses everything of each shape — and
+  /// accounts them in flight. Caller holds s.mu; the actual appends happen
+  /// outside the lock in graft(). Linear scan: pending is bounded by
+  /// max_pending and distinct plans are few.
+  [[nodiscard]] static std::vector<Group> take_groups_locked(State& s) {
+    std::vector<Group> groups;
+    if (s.pending.empty()) return groups;
+    for (auto& req : s.pending) {
+      Group* home = nullptr;
+      for (auto& g : groups)
+        if (g.reqs.front()->qr.plan_.get() == req->qr.plan_.get()) {
+          home = &g;
+          break;
+        }
+      if (!home) home = &groups.emplace_back();
+      home->reqs.push_back(std::move(req));
+    }
+    s.pending.clear();
+    s.inflight += long(groups.size());
+    return groups;
+  }
+
+  /// Appends one component per group onto the live submission. Fused plans
+  /// are resolved here, outside the stream mutex (planning a new (shape,
+  /// count) fusion must not block pushes); a group whose fusion fails to
+  /// build fails only its own requests.
+  static void graft(const std::shared_ptr<State>& state, std::vector<Group> groups) {
+    for (auto& g : groups) {
+      if (g.reqs.size() > 1) {
+        try {
+          const Plan& plan = *g.reqs.front()->qr.plan_;
+          g.fused = state->session->cache_.get_fused(plan.graph.p, plan.graph.q,
+                                                     *g.reqs.front()->qr.options().tree,
+                                                     int(g.reqs.size()));
+          state->fused_requests.fetch_add(long(g.reqs.size()), std::memory_order_relaxed);
+        } catch (...) {
+          for (auto& req : g.reqs) fail_request(*req, std::current_exception());
+          // Account the failed graft like a retired one — including the
+          // backlog check, so a request pended behind this group is not
+          // stranded when the stream went otherwise idle.
+          on_component_retired(state);
+          continue;
+        }
+      }
+      if (g.reqs.size() == 1) {
+        auto req = g.reqs.front();
+        state->stream.append(
+            req->qr.plan_->graph,
+            [raw = req.get()](std::int32_t idx) {
+              TiledQr<T>& qr = raw->qr;
+              run_task_kernels(qr.plan_->graph.tasks[size_t(idx)], qr.a_, qr.t_, qr.t2_,
+                               qr.opt_.ib);
+            },
+            [state, req](std::exception_ptr error) {
+              if (error)
+                fail_request(*req, error);
+              else
+                finish_request(state, req);
+              on_component_retired(state);
+            },
+            req, &req->qr.plan_->ranks);
+        continue;
+      }
+      auto group = std::make_shared<Group>(std::move(g));
+      for (size_t i = 0; i < group->reqs.size(); ++i) {
+        const FusedPlan::Part& range = group->fused->parts[i];
+        group->reqs[i]->remaining.store(range.end - range.begin, std::memory_order_relaxed);
+      }
+      state->stream.append(
+          group->fused->graph,
+          [state, raw = group.get()](std::int32_t idx) {
+            const FusedPlan& fused = *raw->fused;
+            const size_t part = size_t(fused.part_of(idx));
+            Request& req = *raw->reqs[part];
+            TiledQr<T>& qr = req.qr;
+            run_task_kernels(fused.graph.tasks[size_t(idx)], qr.a_, qr.t_, qr.t2_, qr.opt_.ib);
+            // Per-request sentinel, exactly the batch-fusion machinery: the
+            // last retiring task of this part resolves its request early.
+            if (req.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+              finish_request(state, raw->reqs[part]);
+          },
+          [state, group](std::exception_ptr error) {
+            // Unfinished parts only exist when a task threw (the component
+            // was cancelled); resolved parts already kept their values.
+            for (auto& req : group->reqs)
+              if (req->remaining.load(std::memory_order_acquire) != 0)
+                fail_request(*req, error ? error
+                                         : std::make_exception_ptr(
+                                               Error("FactorStream: component cancelled")));
+            on_component_retired(state);
+          },
+          group, &group->fused->ranks);
+    }
+  }
+
+  /// A request's factorization finished (sentinel or single-component
+  /// completion). Plain pushes resolve; solves chain their apply/trsm stage
+  /// into the same stream, from the worker that got here.
+  static void finish_request(const std::shared_ptr<State>& state,
+                             const std::shared_ptr<Request>& req) {
+    if (!req->solve) {
+      req->promise.set_value(std::move(req->qr));
+      return;
+    }
+    try {
+      if (req->c.n() == 0) {  // zero-column rhs: answer is n x 0
+        req->solve_promise.set_value(Matrix<T>(req->qr.a_.n(), 0));
+        return;
+      }
+      req->apply_graph = req->qr.build_apply_graph(ApplyTrans::ConjTrans, req->c.nt());
+    } catch (...) {
+      req->solve_promise.set_exception(std::current_exception());
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->inflight;  // the chained stage counts like any graft
+    }
+    // Safe even though the factor component has not retired yet: the pool
+    // stream admits appends from task bodies and completion callbacks, and
+    // the factor component keeps the submission non-drained throughout.
+    state->stream.append(
+        req->apply_graph,
+        [raw = req.get()](std::int32_t id) {
+          raw->qr.run_apply_task(raw->apply_graph.tasks[size_t(id)], ApplyTrans::ConjTrans,
+                                 raw->c);
+        },
+        [state, req](std::exception_ptr error) {
+          if (error) {
+            req->solve_promise.set_exception(error);
+          } else {
+            try {
+              req->solve_promise.set_value(req->qr.finish_least_squares(req->c));
+            } catch (...) {
+              req->solve_promise.set_exception(std::current_exception());
+            }
+          }
+          on_component_retired(state);
+        },
+        req);
+  }
+
+  static void fail_request(Request& req, std::exception_ptr error) {
+    if (req.solve)
+      req.solve_promise.set_exception(std::move(error));
+    else
+      req.promise.set_exception(std::move(error));
+  }
+
+  /// A grafted component retired: if the stream ran dry with work pending
+  /// (arrivals outpaced this drain), graft the backlog now — this is the
+  /// hand-off that keeps workers flowing across what used to be batch
+  /// boundaries.
+  static void on_component_retired(const std::shared_ptr<State>& state) {
+    std::vector<Group> groups;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      --state->inflight;
+      if (!state->corked && state->inflight == 0 && !state->pending.empty())
+        groups = take_groups_locked(*state);
+    }
+    graft(state, std::move(groups));
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+template <typename T>
+FactorStream<T> QrSession::stream(StreamOptions opt) {
+  return FactorStream<T>(this, std::move(opt));
+}
 
 }  // namespace tiledqr::core

@@ -12,6 +12,7 @@
 // to anything afterwards (LAPACK xORMQR-style).
 #pragma once
 
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -29,12 +30,16 @@ namespace tiledqr::core {
 
 using kernels::ApplyTrans;
 
-/// Factorization options.
+/// Factorization options. `tree` left disengaged means "pick for me": the
+/// QrSession batch/pipeline/stream paths route it through the tree autotuner
+/// per shape, while the direct TiledQr paths (no tuner in scope) fall back
+/// to the paper's recommended default, Greedy with TT kernels. An engaged
+/// tree is always honored verbatim.
 struct Options {
-  trees::TreeConfig tree{};  ///< algorithm (default: Greedy with TT kernels)
-  int nb = 128;              ///< tile size
-  int ib = 32;               ///< inner blocking of the kernels
-  int threads = 0;           ///< worker threads; 0 = TILEDQR_THREADS or hw concurrency
+  std::optional<trees::TreeConfig> tree{};  ///< algorithm; nullopt = auto/Greedy
+  int nb = 128;                             ///< tile size
+  int ib = 32;                              ///< inner blocking of the kernels
+  int threads = 0;  ///< worker threads; 0 = TILEDQR_THREADS or hw concurrency
 };
 
 /// Storage for the ib x nb block factors of every tile.
@@ -291,6 +296,8 @@ class TiledQr {
 
  private:
   friend class QrSession;
+  template <typename U>
+  friend class FactorStream;
 
   /// Only prepare() and QrSession build TiledQr objects: a default-
   /// constructed one would have a null plan_, so the constructor is not
@@ -299,13 +306,18 @@ class TiledQr {
 
   /// Allocates storage and fetches the (possibly cached) plan without
   /// executing; factorize() and QrSession's async path both start here.
+  /// A disengaged `opt.tree` resolves to the Greedy/TT default here (the
+  /// session paths resolve it through the autotuner before calling); the
+  /// stored options always carry the tree actually used.
   [[nodiscard]] static TiledQr prepare(TileMatrix<T> a, Options opt,
                                        PlanCache& cache = PlanCache::default_cache()) {
     TiledQr qr;
+    TILEDQR_CHECK(opt.ib >= 1, "Options::ib must be >= 1");
     if (opt.threads <= 0) opt.threads = default_thread_count();
+    if (!opt.tree) opt.tree = trees::TreeConfig{};
     qr.opt_ = opt;
     qr.a_ = std::move(a);
-    qr.plan_ = cache.get(qr.a_.mt(), qr.a_.nt(), opt.tree);
+    qr.plan_ = cache.get(qr.a_.mt(), qr.a_.nt(), *opt.tree);
     qr.t_ = TStore<T>(qr.a_.mt(), qr.a_.nt(), opt.ib, qr.a_.nb());
     qr.t2_ = TStore<T>(qr.a_.mt(), qr.a_.nt(), opt.ib, qr.a_.nb());
     return qr;

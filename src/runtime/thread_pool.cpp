@@ -15,29 +15,25 @@ thread_local ThreadPool* tl_pool = nullptr;
 thread_local int tl_worker = -1;
 }  // namespace
 
-/// One in-flight DAG. Tasks retire exactly once each — executed normally, or
-/// cancelled (skipped) once a task body has thrown — so `remaining` always
-/// drains to zero and completion fires even on failure.
-struct ThreadPool::Submission {
+/// One DAG component of a submission. Tasks retire exactly once each —
+/// executed normally, or cancelled (skipped) once a task body of *this
+/// component* has thrown — so `remaining` always drains to zero and the
+/// component's completion fires even on failure. Sibling components are
+/// unaffected by a failure: they serve independent requests.
+struct ThreadPool::Component {
   /// `borrowed_keys`, when non-null, is used directly (the caller keeps it
   /// alive like the graph itself — cached plans hand in their rank vector);
-  /// otherwise `owned` is computed per submission and referenced instead.
-  Submission(const dag::TaskGraph& g, std::function<void(std::int32_t)> b,
-             std::function<void(std::exception_ptr)> done_cb, const std::vector<long>* borrowed_keys,
-             std::vector<long> owned, std::shared_ptr<const void> keep)
+  /// otherwise `owned` is computed per component and referenced instead.
+  Component(const dag::TaskGraph& g, std::function<void(std::int32_t)> b,
+            std::function<void(std::exception_ptr)> done_cb,
+            const std::vector<long>* borrowed_keys, std::vector<long> owned,
+            std::shared_ptr<const void> keep)
       : graph(&g), body(std::move(b)), on_complete(std::move(done_cb)),
         keys_owned(std::move(owned)),
         keys(borrowed_keys ? borrowed_keys->data() : keys_owned.data()),
         keepalive(std::move(keep)), npred(g.tasks.size()), remaining(long(g.tasks.size())) {
     for (size_t t = 0; t < g.tasks.size(); ++t)
       npred[t].store(g.tasks[t].npred, std::memory_order_relaxed);
-  }
-
-  [[nodiscard]] bool worker_in_set(int w, int pool_size) const noexcept {
-    if (worker_count >= pool_size) return true;
-    int rel = w - first_worker;
-    if (rel < 0) rel += pool_size;
-    return rel < worker_count;
   }
 
   const dag::TaskGraph* graph;
@@ -49,15 +45,55 @@ struct ThreadPool::Submission {
   std::vector<std::atomic<std::int32_t>> npred;
   std::atomic<long> remaining;
   std::atomic<bool> failed{false};
-  std::atomic<bool> done{false};
+  /// Set (with release) after the retiring worker's LAST touch of this
+  /// component; the stream prune loop pops only flagged components, so a
+  /// concurrent retire of a sibling can never free state still in use.
+  std::atomic<bool> retired{false};
   std::mutex err_mu;
   std::exception_ptr error;
+};
+
+/// One in-flight submission: an append-only, generation-counted set of DAG
+/// components sharing a worker set. The one-shot submit() closes it with a
+/// single component; a Stream keeps it open and grafts components onto the
+/// live ready set. `components` is a deque so grafting never moves a
+/// component a racing worker still holds a pointer into.
+struct ThreadPool::Submission {
+  [[nodiscard]] bool worker_in_set(int w, int pool_size) const noexcept {
+    if (worker_count >= pool_size) return true;
+    int rel = w - first_worker;
+    if (rel < 0) rel += pool_size;
+    return rel < worker_count;
+  }
+
+  std::mutex mu;  ///< guards components growth/pruning and the open→closed flip
+  /// Append-only at the back (grafts), pruned from the front once fully
+  /// retired — but only for streams (`prune`): run() still reads the lone
+  /// component of a one-shot submission after it completes, and one-shot
+  /// submissions die wholesale anyway. Without pruning, a stream held open
+  /// for a server's lifetime would grow one Component shell per graft
+  /// forever; with it, memory is bounded by the in-flight window.
+  std::deque<Component> components;
+  bool prune = false;
+  /// closed is written under `mu` but read lock-free on the retire path; the
+  /// seq_cst store/load pairing with `inflight` resolves the close-vs-last-
+  /// retire race (exactly one side sees both conditions and finalizes).
+  std::atomic<bool> closed{false};
+  std::atomic<long> generation{0};  ///< components appended (ready-set generation)
+  std::atomic<long> retired_components{0};
+  std::atomic<long> inflight{0};  ///< appended minus retired
+  std::atomic<bool> done{false};  ///< closed && everything retired
   int first_worker = 0;
   int worker_count = 0;
+  /// Rotates the deal anchor within the worker set per append, so a stream
+  /// of small components spreads their sources instead of always loading the
+  /// same worker first.
+  std::atomic<unsigned> deal_round{0};
 };
 
 struct ThreadPool::Item {
   std::shared_ptr<Submission> sub;
+  Component* comp;
   std::int32_t task;
 };
 
@@ -92,6 +128,7 @@ ThreadPool::Stats ThreadPool::stats() const noexcept {
   s.graphs_completed = graphs_completed_.load(std::memory_order_relaxed);
   s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
   s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  s.streams_opened = streams_opened_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -110,34 +147,58 @@ void ThreadPool::signal_work() {
   }
 }
 
-std::shared_ptr<ThreadPool::Submission> ThreadPool::submit_impl(
-    const dag::TaskGraph& g, std::function<void(std::int32_t)> body,
-    std::function<void(std::exception_ptr)> on_complete, SchedulePriority priority,
-    int max_workers, std::shared_ptr<const void> keepalive, const std::vector<long>* keys) {
-  TILEDQR_CHECK(!g.tasks.empty(), "ThreadPool::submit: empty graph handled by caller");
-  TILEDQR_CHECK(!keys || keys->size() == g.tasks.size(),
-                "ThreadPool::submit: keys must have one entry per task");
-  auto sub = std::make_shared<Submission>(
-      g, std::move(body), std::move(on_complete), keys,
-      keys ? std::vector<long>() : make_priority_keys(g, priority), std::move(keepalive));
+std::shared_ptr<ThreadPool::Submission> ThreadPool::make_submission(int max_workers, bool closed) {
+  auto sub = std::make_shared<Submission>();
   const int pool_size = size();
   sub->worker_count = max_workers <= 0 ? pool_size : std::min(max_workers, pool_size);
   sub->first_worker = int(next_start_.fetch_add(1, std::memory_order_relaxed) % unsigned(pool_size));
+  sub->closed.store(closed, std::memory_order_relaxed);
+  return sub;
+}
+
+ThreadPool::Component& ThreadPool::append_component(
+    const std::shared_ptr<Submission>& sub, const dag::TaskGraph& g,
+    std::function<void(std::int32_t)> body, std::function<void(std::exception_ptr)> on_complete,
+    SchedulePriority priority, std::shared_ptr<const void> keepalive,
+    const std::vector<long>* keys, bool check_closed) {
+  TILEDQR_CHECK(!g.tasks.empty(), "ThreadPool: empty graph handled by caller");
+  TILEDQR_CHECK(!keys || keys->size() == g.tasks.size(),
+                "ThreadPool: keys must have one entry per task");
+  Component* comp = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(sub->mu);
+    if (check_closed)
+      TILEDQR_CHECK(!sub->closed.load(std::memory_order_relaxed),
+                    "ThreadPool::Stream::append: stream is closed");
+    const long gen = sub->generation.load(std::memory_order_relaxed) + 1;
+    comp = &sub->components.emplace_back(
+        g, std::move(body), std::move(on_complete), keys,
+        keys ? std::vector<long>() : make_priority_keys(g, priority), std::move(keepalive));
+    // inflight before generation: wait() snapshots generation and must never
+    // see a generation whose component is not yet counted in flight.
+    sub->inflight.fetch_add(1, std::memory_order_seq_cst);
+    sub->generation.store(gen, std::memory_order_release);
+  }
   active_submissions_.fetch_add(1, std::memory_order_acq_rel);
 
-  // Initial ready set in descending critical-path priority, dealt round-robin
-  // across the submission's worker set.
+  // Initial ready set in descending priority, dealt round-robin across the
+  // submission's worker set from a per-append rotating anchor. The component
+  // address is stable (deque) so racing workers on older generations are
+  // untouched by this graft.
   std::vector<std::int32_t> sources;
   for (size_t t = 0; t < g.tasks.size(); ++t)
     if (g.tasks[t].npred == 0) sources.push_back(std::int32_t(t));
   std::sort(sources.begin(), sources.end(), [&](std::int32_t a, std::int32_t b) {
-    return sub->keys[size_t(a)] != sub->keys[size_t(b)]
-               ? sub->keys[size_t(a)] > sub->keys[size_t(b)]
+    return comp->keys[size_t(a)] != comp->keys[size_t(b)]
+               ? comp->keys[size_t(a)] > comp->keys[size_t(b)]
                : a < b;
   });
+  const int pool_size = size();
+  const int anchor =
+      int(sub->deal_round.fetch_add(1, std::memory_order_relaxed) % unsigned(sub->worker_count));
   std::vector<std::vector<std::int32_t>> dealt(size_t(sub->worker_count));
   for (size_t i = 0; i < sources.size(); ++i)
-    dealt[i % size_t(sub->worker_count)].push_back(sources[i]);
+    dealt[(i + size_t(anchor)) % size_t(sub->worker_count)].push_back(sources[i]);
   for (int d = 0; d < sub->worker_count; ++d) {
     if (dealt[size_t(d)].empty()) continue;
     Worker& w = *workers_[size_t((sub->first_worker + d) % pool_size)];
@@ -145,9 +206,19 @@ std::shared_ptr<ThreadPool::Submission> ThreadPool::submit_impl(
     // Owners pop from the back: push in ascending priority so the most
     // urgent task comes off first.
     for (auto it = dealt[size_t(d)].rbegin(); it != dealt[size_t(d)].rend(); ++it)
-      w.ready.push_back(Item{sub, *it});
+      w.ready.push_back(Item{sub, comp, *it});
   }
   signal_work();
+  return *comp;
+}
+
+std::shared_ptr<ThreadPool::Submission> ThreadPool::submit_impl(
+    const dag::TaskGraph& g, std::function<void(std::int32_t)> body,
+    std::function<void(std::exception_ptr)> on_complete, SchedulePriority priority,
+    int max_workers, std::shared_ptr<const void> keepalive, const std::vector<long>* keys) {
+  auto sub = make_submission(max_workers, /*closed=*/true);
+  append_component(sub, g, std::move(body), std::move(on_complete), priority,
+                   std::move(keepalive), keys, /*check_closed=*/false);
   return sub;
 }
 
@@ -203,8 +274,9 @@ void ThreadPool::run(const dag::TaskGraph& g, const std::function<void(std::int3
       });
       sleepers_.fetch_sub(1, std::memory_order_seq_cst);
     }
-    std::lock_guard<std::mutex> lock(sub->err_mu);
-    if (sub->error) std::rethrow_exception(sub->error);
+    Component& comp = sub->components.front();
+    std::lock_guard<std::mutex> lock(comp.err_mu);
+    if (comp.error) std::rethrow_exception(comp.error);
     return;
   }
   std::promise<void> promise;
@@ -220,6 +292,91 @@ void ThreadPool::run(const dag::TaskGraph& g, const std::function<void(std::int3
       priority, max_workers, nullptr, keys);
   future.get();
 }
+
+// ------------------------------------------------------------------ stream --
+
+ThreadPool::Stream ThreadPool::open_stream(int max_workers) {
+  Stream s;
+  s.pool_ = this;
+  s.sub_ = make_submission(max_workers, /*closed=*/false);
+  s.sub_->prune = true;  // streams live long; retired grafts are dropped
+  streams_opened_.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::Stream::append(const dag::TaskGraph& g, std::function<void(std::int32_t)> body,
+                                std::function<void(std::exception_ptr)> on_complete,
+                                std::shared_ptr<const void> keepalive,
+                                const std::vector<long>* keys) {
+  TILEDQR_CHECK(valid(), "ThreadPool::Stream::append: empty stream handle");
+  if (g.tasks.empty()) {
+    if (on_complete) on_complete(nullptr);
+    return;
+  }
+  pool_->append_component(sub_, g, std::move(body), std::move(on_complete),
+                          SchedulePriority::CriticalPath, std::move(keepalive), keys,
+                          /*check_closed=*/true);
+}
+
+void ThreadPool::Stream::close() {
+  TILEDQR_CHECK(valid(), "ThreadPool::Stream::close: empty stream handle");
+  {
+    std::lock_guard<std::mutex> lock(sub_->mu);
+    sub_->closed.store(true, std::memory_order_seq_cst);
+  }
+  pool_->finalize_if_drained(*sub_);
+}
+
+void ThreadPool::Stream::wait() {
+  TILEDQR_CHECK(valid(), "ThreadPool::Stream::wait: empty stream handle");
+  pool_->wait_stream(sub_, sub_->generation.load(std::memory_order_acquire));
+}
+
+long ThreadPool::Stream::generation() const noexcept {
+  return sub_ ? sub_->generation.load(std::memory_order_acquire) : 0;
+}
+
+long ThreadPool::Stream::retired() const noexcept {
+  return sub_ ? sub_->retired_components.load(std::memory_order_acquire) : 0;
+}
+
+bool ThreadPool::Stream::closed() const noexcept {
+  return sub_ ? sub_->closed.load(std::memory_order_acquire) : true;
+}
+
+void ThreadPool::finalize_if_drained(Submission& sub) {
+  if (sub.inflight.load(std::memory_order_seq_cst) != 0) return;
+  if (!sub.closed.load(std::memory_order_seq_cst)) return;
+  if (!sub.done.exchange(true, std::memory_order_acq_rel)) signal_work();
+}
+
+void ThreadPool::wait_stream(const std::shared_ptr<Submission>& sub, long up_to_generation) {
+  auto drained = [&] {
+    return sub->retired_components.load(std::memory_order_acquire) >= up_to_generation;
+  };
+  if (tl_pool == this) {
+    // Waiting from a pool worker (e.g. a task body draining a stream it
+    // feeds): help execute instead of deadlocking, like run().
+    while (!drained()) {
+      const long epoch = epoch_.load(std::memory_order_seq_cst);
+      if (try_run_one(tl_worker)) continue;
+      if (drained()) break;
+      std::unique_lock<std::mutex> lock(sleep_mu_);
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      sleep_cv_.wait(lock, [&] {
+        return drained() || epoch_.load(std::memory_order_seq_cst) != epoch;
+      });
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(sleep_mu_);
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  sleep_cv_.wait(lock, drained);
+  sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+// ----------------------------------------------------------------- workers --
 
 void ThreadPool::worker_main(int wid) {
   tl_pool = this;
@@ -270,48 +427,72 @@ bool ThreadPool::try_run_one(int wid) {
 }
 
 void ThreadPool::run_item(int wid, Item item) {
-  Submission& sub = *item.sub;
-  if (!sub.failed.load(std::memory_order_acquire)) {
+  Component& comp = *item.comp;
+  if (!comp.failed.load(std::memory_order_acquire)) {
     try {
-      sub.body(item.task);
+      comp.body(item.task);
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lock(sub.err_mu);
-        if (!sub.error) sub.error = std::current_exception();
+        std::lock_guard<std::mutex> lock(comp.err_mu);
+        if (!comp.error) comp.error = std::current_exception();
       }
-      sub.failed.store(true, std::memory_order_release);
+      comp.failed.store(true, std::memory_order_release);
     }
   }
-  // Propagate readiness even for cancelled tasks so the graph drains and
+  // Propagate readiness even for cancelled tasks so the component drains and
   // completion still fires after a failure.
   std::vector<std::int32_t> ready;
-  for (std::int32_t s : sub.graph->tasks[size_t(item.task)].succ)
-    if (sub.npred[size_t(s)].fetch_sub(1, std::memory_order_acq_rel) == 1) ready.push_back(s);
+  for (std::int32_t s : comp.graph->tasks[size_t(item.task)].succ)
+    if (comp.npred[size_t(s)].fetch_sub(1, std::memory_order_acq_rel) == 1) ready.push_back(s);
   if (!ready.empty()) {
     std::sort(ready.begin(), ready.end(), [&](std::int32_t a, std::int32_t b) {
-      return sub.keys[size_t(a)] != sub.keys[size_t(b)] ? sub.keys[size_t(a)] < sub.keys[size_t(b)]
-                                                        : a > b;
+      return comp.keys[size_t(a)] != comp.keys[size_t(b)]
+                 ? comp.keys[size_t(a)] < comp.keys[size_t(b)]
+                 : a > b;
     });
     Worker& self = *workers_[size_t(wid)];
     {
       std::lock_guard<std::mutex> lock(self.mu);
-      for (std::int32_t s : ready) self.ready.push_back(Item{item.sub, s});
+      for (std::int32_t s : ready) self.ready.push_back(Item{item.sub, item.comp, s});
     }
     signal_work();
   }
-  if (sub.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+  if (comp.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Component retired. Fire its completion *before* decrementing inflight:
+    // a completion that grafts the next pipeline stage onto the stream keeps
+    // the submission observably non-drained throughout, so close()/wait()
+    // can never slip between the stages.
     std::exception_ptr error;
     {
-      std::lock_guard<std::mutex> lock(sub.err_mu);
-      error = sub.error;
+      std::lock_guard<std::mutex> lock(comp.err_mu);
+      error = comp.error;
     }
     graphs_completed_.fetch_add(1, std::memory_order_relaxed);
-    if (sub.on_complete) sub.on_complete(error);
-    sub.keepalive.reset();
-    sub.done.store(true, std::memory_order_release);
+    if (comp.on_complete) comp.on_complete(error);
+    // Release everything the component captured: stream closures hold the
+    // FactorStream state, which holds this submission — clearing here breaks
+    // that cycle (and frees graphs/requests promptly). No task of this
+    // component can run again, so nothing else reads these fields.
+    comp.body = nullptr;
+    comp.on_complete = nullptr;
+    comp.keepalive.reset();
+    comp.keys_owned = std::vector<long>();
+    comp.npred = std::vector<std::atomic<std::int32_t>>();
+    Submission& sub = *item.sub;
+    comp.retired.store(true, std::memory_order_release);  // last touch of comp
+    if (sub.prune) {
+      // Drop the fully-retired prefix so a long-lived stream's component
+      // list is bounded by its in-flight window, not its request history.
+      std::lock_guard<std::mutex> lock(sub.mu);
+      while (!sub.components.empty() &&
+             sub.components.front().retired.load(std::memory_order_acquire))
+        sub.components.pop_front();
+    }
+    sub.retired_components.fetch_add(1, std::memory_order_acq_rel);
+    if (sub.inflight.fetch_sub(1, std::memory_order_seq_cst) == 1) finalize_if_drained(sub);
     active_submissions_.fetch_sub(1, std::memory_order_acq_rel);
-    signal_work();  // wake help-loops and a draining destructor
+    signal_work();  // wake help-loops, stream waiters, and a draining destructor
   }
 }
 

@@ -15,6 +15,17 @@
 //     workers so `execute(g, body, threads)` keeps its exact-concurrency
 //     semantics for the scaling ablations.
 //
+// A submission is a set of DAG *components*. The one-shot submit() carries
+// exactly one and closes immediately; a Stream (open_stream) stays open and
+// grafts new components onto the live submission's ready set while workers
+// are still draining earlier ones — no stop-the-world barrier. Components
+// are generation-counted: each append bumps the submission's generation, the
+// component records the generation it was born in, and the component list is
+// append-only with stable addresses, so workers racing on items of an older
+// generation never observe a ready set being rebuilt under them. Completion
+// is per component (its own sentinel counter and callback); the submission
+// itself retires when it is closed and every generation has drained.
+//
 // Tasks only write their declared outputs, so results are bitwise identical
 // to the sequential replay for any worker count, steal order, or pool reuse
 // pattern.
@@ -35,12 +46,20 @@
 namespace tiledqr::runtime {
 
 class ThreadPool {
+  // Scheduling internals, declared up front so the public Stream handle can
+  // name them (definitions live in the .cpp).
+  struct Component;
+  struct Submission;
+  struct Item;
+  struct Worker;
+
  public:
   /// Counters since construction (monotone; read with stats()).
   struct Stats {
-    long graphs_completed = 0;  ///< DAG submissions fully retired
+    long graphs_completed = 0;  ///< DAG components fully retired
     long tasks_executed = 0;    ///< task bodies actually run
     long tasks_stolen = 0;      ///< tasks taken from another worker's deque
+    long streams_opened = 0;    ///< streaming submissions created
   };
 
   /// `threads == 0` resolves to default_thread_count() (TILEDQR_THREADS or
@@ -87,6 +106,61 @@ class ThreadPool {
            SchedulePriority priority = SchedulePriority::CriticalPath, int max_workers = 0,
            const std::vector<long>* keys = nullptr);
 
+  /// Handle to a live streaming submission (open_stream). append() grafts a
+  /// new DAG component onto the in-flight ready set; each component has its
+  /// own completion callback and error state (one component's failure does
+  /// not cancel its siblings — they are independent requests). The handle is
+  /// movable and shares state: copies of the underlying submission survive
+  /// until the last worker retires it. append()/wait()/generation() are
+  /// thread-safe; close() may race with append() — the append that loses
+  /// throws, like any append after close.
+  ///
+  /// Lifetime: every graph/body/keys passed to append() must stay alive
+  /// until that component's on_complete has run (use `keepalive`). The pool
+  /// must outlive the stream's last append; an open, idle stream does not
+  /// block the pool destructor.
+  class Stream {
+   public:
+    Stream() = default;  ///< empty handle; only moved-into handles are valid
+
+    /// Grafts `g` onto the live submission as a new component of the next
+    /// generation and wakes workers; same argument contract as
+    /// ThreadPool::submit. Throws Error if the stream is closed or empty.
+    /// Appending from a task body or completion callback running on the pool
+    /// is safe (the tail of a solve pipeline chains its next stage this way).
+    void append(const dag::TaskGraph& g, std::function<void(std::int32_t)> body,
+                std::function<void(std::exception_ptr)> on_complete = nullptr,
+                std::shared_ptr<const void> keepalive = nullptr,
+                const std::vector<long>* keys = nullptr);
+
+    /// No further appends; idempotent. Does not block — pair with wait().
+    void close();
+
+    /// Blocks until every component appended before this call has retired.
+    /// Callable with the stream still open (drain-and-continue) or after
+    /// close(). Safe from a pool worker: the caller helps execute.
+    void wait();
+
+    /// Components appended so far — the ready set's generation count.
+    [[nodiscard]] long generation() const noexcept;
+    /// Components fully retired so far.
+    [[nodiscard]] long retired() const noexcept;
+    [[nodiscard]] bool closed() const noexcept;
+
+    [[nodiscard]] bool valid() const noexcept { return pool_ != nullptr; }
+    explicit operator bool() const noexcept { return valid(); }
+
+   private:
+    friend class ThreadPool;
+    ThreadPool* pool_ = nullptr;
+    std::shared_ptr<Submission> sub_;
+  };
+
+  /// Opens a streaming submission confined to `max_workers` workers
+  /// (<= 0 = all), anchored like any submission. Components appended later
+  /// all share this worker set.
+  [[nodiscard]] Stream open_stream(int max_workers = 0);
+
   [[nodiscard]] Stats stats() const noexcept;
 
   /// Process-wide shared pool, lazily created with default_thread_count()
@@ -94,16 +168,24 @@ class ThreadPool {
   static ThreadPool& default_pool();
 
  private:
-  struct Submission;
-  struct Item;
-  struct Worker;
+  friend class Stream;
 
+  std::shared_ptr<Submission> make_submission(int max_workers, bool closed);
+  /// Appends one component (generation = current + 1) and deals its sources.
+  Component& append_component(const std::shared_ptr<Submission>& sub, const dag::TaskGraph& g,
+                              std::function<void(std::int32_t)> body,
+                              std::function<void(std::exception_ptr)> on_complete,
+                              SchedulePriority priority,
+                              std::shared_ptr<const void> keepalive,
+                              const std::vector<long>* keys, bool check_closed);
   std::shared_ptr<Submission> submit_impl(const dag::TaskGraph& g,
                                           std::function<void(std::int32_t)> body,
                                           std::function<void(std::exception_ptr)> on_complete,
                                           SchedulePriority priority, int max_workers,
                                           std::shared_ptr<const void> keepalive,
                                           const std::vector<long>* keys);
+  void finalize_if_drained(Submission& sub);
+  void wait_stream(const std::shared_ptr<Submission>& sub, long up_to_generation);
   void worker_main(int wid);
   bool try_run_one(int wid);
   void run_item(int wid, Item item);
@@ -120,6 +202,8 @@ class ThreadPool {
   std::atomic<int> sleepers_{0};
   std::atomic<bool> stop_{false};
 
+  /// In-flight *components*: a stream counts one per appended component, so
+  /// an open-but-idle stream does not block the draining destructor.
   std::atomic<long> active_submissions_{0};
   /// Rotates the worker-set anchor (unsigned: wraps harmlessly in
   /// long-lived serving processes).
@@ -129,6 +213,7 @@ class ThreadPool {
   std::atomic<long> graphs_completed_{0};
   std::atomic<long> tasks_executed_{0};
   std::atomic<long> tasks_stolen_{0};
+  std::atomic<long> streams_opened_{0};
 };
 
 }  // namespace tiledqr::runtime

@@ -31,6 +31,9 @@ using kernels::ApplyTrans;
 
 Options stress_opt() {
   Options opt;
+  // Pinned tree: the bitwise references below run the synchronous Greedy
+  // default; a disengaged tree would autotune the batch/pipeline paths.
+  opt.tree = trees::TreeConfig{};
   opt.nb = 16;
   opt.ib = 8;
   return opt;

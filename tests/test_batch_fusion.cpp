@@ -34,7 +34,7 @@ using trees::TreeKind;
 /// reference the fused results must match bit for bit.
 Matrix<double> replay_sequential(const Matrix<double>& a, const Options& opt) {
   auto tiles = TileMatrix<double>::from_dense(a.view(), opt.nb);
-  auto plan = core::make_plan(tiles.mt(), tiles.nt(), opt.tree);
+  auto plan = core::make_plan(tiles.mt(), tiles.nt(), *opt.tree);
   core::TStore<double> ts(tiles.mt(), tiles.nt(), opt.ib, tiles.nb());
   core::TStore<double> t2s(tiles.mt(), tiles.nt(), opt.ib, tiles.nb());
   runtime::execute_spawn(
@@ -201,6 +201,7 @@ TEST(BatchFusion, SweepMatchesSequentialReplayBitwise) {
 TEST(BatchFusion, HeterogeneousShapesFuseAdHoc) {
   QrSession session(QrSession::Config{4});
   Options opt;
+  opt.tree = TreeConfig{};  // pin Greedy: a disengaged tree would autotune
   opt.nb = 16;
   opt.ib = 8;
   std::vector<Matrix<double>> inputs;
@@ -225,6 +226,7 @@ TEST(BatchFusion, HeterogeneousShapesFuseAdHoc) {
 TEST(BatchFusion, HomogeneousBatchCachesTheFusedPlan) {
   QrSession session(QrSession::Config{2});
   Options opt;
+  opt.tree = TreeConfig{};  // pin Greedy: a disengaged tree would autotune
   opt.nb = 16;
   opt.ib = 8;
   constexpr int kBatch = 6;
@@ -252,6 +254,7 @@ TEST(BatchFusion, HomogeneousBatchCachesTheFusedPlan) {
 TEST(BatchFusion, FuturesResolveIndependently) {
   QrSession session(QrSession::Config{4});
   Options opt;
+  opt.tree = TreeConfig{};  // pin Greedy: a disengaged tree would autotune
   opt.nb = 16;
   opt.ib = 8;
   constexpr int kBatch = 8;
@@ -301,6 +304,7 @@ TEST(BatchFusion, InvalidOptionsFailEveryFutureWithoutPoisoningTheSession) {
 TEST(BatchFusion, BatchOfOneSkipsFusion) {
   QrSession session(QrSession::Config{2});
   Options opt;
+  opt.tree = TreeConfig{};  // pin Greedy: a disengaged tree would autotune
   opt.nb = 16;
   opt.ib = 8;
   auto a = random_matrix<double>(80, 32, 77);

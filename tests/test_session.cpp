@@ -18,6 +18,10 @@ using core::TiledQr;
 
 Options small_opt() {
   Options opt;
+  // Pinned tree: these tests compare session paths against the synchronous
+  // Greedy-default TiledQr::factorize bit for bit; a disengaged tree would
+  // route the batch/pipeline paths through the autotuner instead.
+  opt.tree = trees::TreeConfig{};
   opt.nb = 32;
   opt.ib = 16;
   return opt;
@@ -136,6 +140,133 @@ TEST(QrSession, InvalidOptionsThrowOnSubmit) {
   Options opt;
   opt.nb = 0;  // invalid tile size: tiling the input must fail loudly
   EXPECT_THROW((void)session.submit(ConstMatrixView<double>(a.view()), opt), Error);
+}
+
+TEST(QrSession, CapAndClampAgreeOnEveryPath) {
+  // Regression for the worker-cap audit: a zero cap, a negative cap, and an
+  // over-pool cap must behave identically (whole pool) on submit, batch, and
+  // pipeline paths — bitwise-identical results AND identical stored options,
+  // so nothing downstream (e.g. q_thin's thread count) can diverge.
+  QrSession session(QrSession::Config{2});
+  auto a = random_matrix<double>(4 * 32, 2 * 32, 77);
+  auto b = random_matrix<double>(4 * 32, 1, 78);
+  const std::vector<int> caps = {0, -3, session.pool().size() + 7, 1 << 20};
+
+  std::vector<TiledQr<double>> qrs;
+  for (int cap : caps) {
+    auto opt = small_opt();
+    opt.threads = cap;
+    qrs.push_back(session.submit(ConstMatrixView<double>(a.view()), opt).get());
+  }
+  for (size_t i = 1; i < qrs.size(); ++i) {
+    expect_bitwise_equal(qrs[i], qrs[0]);
+    // The stored per-factorization thread count is identical too (and never
+    // exceeds the pool), so 0 and over-pool caps leave the same state.
+    EXPECT_EQ(qrs[i].options().threads, qrs[0].options().threads) << caps[i];
+    EXPECT_LE(qrs[i].options().threads, session.pool().size()) << caps[i];
+  }
+
+  std::vector<Matrix<double>> xs;
+  for (int cap : caps) {
+    auto opt = small_opt();
+    opt.threads = cap;
+    std::vector<ConstMatrixView<double>> views(3, ConstMatrixView<double>(a.view()));
+    auto batch = session.factorize_batch(views, opt);
+    expect_bitwise_equal(batch[2], qrs[0]);
+    xs.push_back(session
+                     .solve_least_squares_async(ConstMatrixView<double>(a.view()),
+                                                ConstMatrixView<double>(b.view()), opt)
+                     .get());
+  }
+  for (size_t i = 1; i < xs.size(); ++i)
+    for (std::int64_t r = 0; r < xs[i].rows(); ++r)
+      ASSERT_EQ(xs[i](r, 0), xs[0](r, 0)) << "pipeline cap " << caps[i];
+}
+
+TEST(QrSession, CollectBatchAggregatesMultipleFailures) {
+  // Two of five inputs fail to tile: the blocking collector must surface the
+  // first error's message plus the sibling count, not silently swallow the
+  // second failure.
+  QrSession session(QrSession::Config{2});
+  auto good = random_matrix<double>(64, 32, 9);
+  Matrix<double> empty(0, 0);  // tiling an empty matrix fails per input
+  std::vector<ConstMatrixView<double>> views;
+  views.push_back(ConstMatrixView<double>(good.view()));
+  views.push_back(ConstMatrixView<double>(empty.view()));
+  views.push_back(ConstMatrixView<double>(good.view()));
+  views.push_back(ConstMatrixView<double>(empty.view()));
+  views.push_back(ConstMatrixView<double>(good.view()));
+  auto opt = small_opt();
+  try {
+    (void)session.factorize_batch(views, opt);
+    FAIL() << "expected the batch to throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 of 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("non-empty"), std::string::npos)
+        << "first failure's message missing: " << what;
+  }
+  // A single failure still rethrows the original exception verbatim.
+  std::vector<ConstMatrixView<double>> one_bad;
+  one_bad.push_back(ConstMatrixView<double>(good.view()));
+  one_bad.push_back(ConstMatrixView<double>(empty.view()));
+  try {
+    (void)session.factorize_batch(one_bad, opt);
+    FAIL() << "expected the batch to throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()).find("of 2 inputs failed"), std::string::npos) << e.what();
+  }
+}
+
+TEST(QrSession, SubmitAutoValidatesOptionsUpFront) {
+  QrSession session(QrSession::Config{2});
+  auto a = random_matrix<double>(64, 32, 10);
+  QrSession::AutoOptions bad_nb;
+  bad_nb.nb = 0;  // the PR-1 SIGFPE shape: must be a descriptive Error now
+  try {
+    (void)session.submit_auto(ConstMatrixView<double>(a.view()), bad_nb);
+    FAIL() << "expected submit_auto to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("AutoOptions::nb"), std::string::npos) << e.what();
+  }
+  QrSession::AutoOptions bad_ib;
+  bad_ib.ib = -4;
+  try {
+    (void)session.factorize_auto(ConstMatrixView<double>(a.view()), bad_ib);
+    FAIL() << "expected factorize_auto to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("AutoOptions::ib"), std::string::npos) << e.what();
+  }
+}
+
+TEST(QrSession, DefaultedTreeRoutesBatchAndPipelineThroughTuner) {
+  // Leaving Options::tree disengaged on the batch/pipeline paths must give
+  // exactly the tree the tuner picks for that shape — bitwise identical to
+  // pinning the choice explicitly.
+  QrSession session(QrSession::Config{2});
+  auto a = random_matrix<double>(6 * 32, 2 * 32, 55);
+  Options auto_opt;  // tree disengaged
+  auto_opt.nb = 32;
+  auto_opt.ib = 16;
+  std::vector<ConstMatrixView<double>> views(2, ConstMatrixView<double>(a.view()));
+  auto auto_batch = session.factorize_batch(views, auto_opt);
+
+  Options pinned = auto_opt;
+  pinned.tree = session.choose_tree(6, 2);
+  auto pinned_batch = session.factorize_batch(views, pinned);
+  expect_bitwise_equal(auto_batch[0], pinned_batch[0]);
+  EXPECT_EQ(auto_batch[0].options().tree, pinned.tree);
+
+  auto b = random_matrix<double>(6 * 32, 1, 56);
+  auto x_auto = session
+                    .solve_least_squares_async(ConstMatrixView<double>(a.view()),
+                                               ConstMatrixView<double>(b.view()), auto_opt)
+                    .get();
+  auto x_pinned = session
+                      .solve_least_squares_async(ConstMatrixView<double>(a.view()),
+                                                 ConstMatrixView<double>(b.view()), pinned)
+                      .get();
+  for (std::int64_t r = 0; r < x_auto.rows(); ++r) ASSERT_EQ(x_auto(r, 0), x_pinned(r, 0));
 }
 
 TEST(QrSession, SessionOutlivesNothingItHandsOut) {

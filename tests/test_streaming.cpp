@@ -1,0 +1,414 @@
+// Tests for streaming fusion (QrSession::stream / FactorStream): bitwise
+// equivalence of streamed pushes against the fixed-batch fused path and the
+// sequential replay, push_solve against the async pipeline, cork/uncork
+// coalescing through the cached FusedPlan machinery, per-request failure
+// isolation, close semantics, auto-tree routing on the push path, and a
+// multi-client interleaving stress (the CI TSan job runs this under the
+// `fast` label; TILEDQR_STRESS=1 — the `stress` label — widens the grids
+// and round counts).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.hpp"
+#include "core/qr_session.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/norms.hpp"
+#include "runtime/executor.hpp"
+
+namespace tiledqr {
+namespace {
+
+using core::FactorStream;
+using core::Options;
+using core::QrSession;
+using core::TiledQr;
+using trees::KernelFamily;
+using trees::TreeConfig;
+using trees::TreeKind;
+
+/// Sequential per-matrix replay through the pre-pool spawn path: the
+/// reference the streamed results must match bit for bit.
+Matrix<double> replay_sequential(const Matrix<double>& a, int nb, int ib,
+                                 const TreeConfig& tree) {
+  auto tiles = TileMatrix<double>::from_dense(a.view(), nb);
+  auto plan = core::make_plan(tiles.mt(), tiles.nt(), tree);
+  core::TStore<double> ts(tiles.mt(), tiles.nt(), ib, tiles.nb());
+  core::TStore<double> t2s(tiles.mt(), tiles.nt(), ib, tiles.nb());
+  runtime::execute_spawn(
+      plan.graph,
+      [&](std::int32_t idx) {
+        core::run_task_kernels(plan.graph.tasks[size_t(idx)], tiles, ts, t2s, ib);
+      },
+      1);
+  return tiles.to_dense();
+}
+
+void expect_bitwise(const Matrix<double>& got, const Matrix<double>& want,
+                    const std::string& what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (std::int64_t j = 0; j < got.cols(); ++j)
+    for (std::int64_t i = 0; i < got.rows(); ++i)
+      ASSERT_EQ(got(i, j), want(i, j)) << what << " at (" << i << "," << j << ")";
+}
+
+struct SweepCase {
+  int p, q, nb;
+  TreeConfig tree;
+  int threads;
+  int depth;
+  bool corked;
+};
+
+std::vector<SweepCase> sweep_cases() {
+  const TreeConfig greedy_tt{TreeKind::Greedy, KernelFamily::TT, 1, 0};
+  const TreeConfig flat_ts{TreeKind::FlatTree, KernelFamily::TS, 1, 0};
+  const TreeConfig plasma2{TreeKind::PlasmaTree, KernelFamily::TT, 2, 0};
+  std::vector<SweepCase> cases = {
+      {4, 2, 8, greedy_tt, 2, 5, false},  // one-by-one pushes, tall grid
+      {4, 2, 8, greedy_tt, 2, 5, true},   // same burst corked: one fused graft
+      {5, 3, 8, flat_ts, 4, 4, true},     // TS kernel family
+      {3, 3, 16, plasma2, 2, 4, false},   // square grid, PlasmaTree domains
+      {1, 1, 8, greedy_tt, 1, 3, true},   // single-tile DAGs on one worker
+  };
+  if (env_flag("TILEDQR_STRESS")) {
+    const TreeConfig fib_tt{TreeKind::Fibonacci, KernelFamily::TT, 1, 0};
+    const TreeConfig asap{TreeKind::Asap, KernelFamily::TT, 1, 0};
+    cases.push_back({8, 4, 16, greedy_tt, 4, 12, false});
+    cases.push_back({8, 4, 16, greedy_tt, 4, 12, true});
+    cases.push_back({10, 2, 8, fib_tt, 8, 9, true});
+    cases.push_back({5, 5, 8, asap, 4, 8, false});
+  }
+  return cases;
+}
+
+// ---------------------------------------------------- streamed == batched --
+
+TEST(FactorStream, StreamedPushesMatchFixedBatchBitwise) {
+  for (const auto& c : sweep_cases()) {
+    const std::string what = "p=" + std::to_string(c.p) + " q=" + std::to_string(c.q) +
+                             " nb=" + std::to_string(c.nb) +
+                             " threads=" + std::to_string(c.threads) +
+                             " depth=" + std::to_string(c.depth) +
+                             (c.corked ? " corked" : " uncorked");
+    // Ragged on purpose (padding path), but keep m >= n.
+    const std::int64_t m = std::int64_t(c.p) * c.nb - (c.p > 1 ? 3 : 0);
+    const std::int64_t n = std::min(std::int64_t(c.q) * c.nb - (c.q > 1 ? 2 : 1), m);
+    std::vector<Matrix<double>> inputs;
+    for (int i = 0; i < c.depth; ++i)
+      inputs.push_back(random_matrix<double>(m, n, 100 * unsigned(c.p) + unsigned(i)));
+
+    QrSession session(QrSession::Config{c.threads});
+    QrSession::StreamOptions sopt;
+    sopt.nb = c.nb;
+    sopt.ib = c.nb / 2;
+    sopt.tree = c.tree;
+    auto stream = session.stream<double>(sopt);
+    if (c.corked) stream.cork();
+    std::vector<std::future<TiledQr<double>>> futures;
+    for (const auto& a : inputs)
+      futures.push_back(stream.push(ConstMatrixView<double>(a.view())));
+    if (c.corked) stream.uncork();
+    stream.close();
+
+    // Reference 1: the fixed-batch fused path on a fresh session.
+    QrSession batch_session(QrSession::Config{c.threads});
+    Options bopt;
+    bopt.tree = c.tree;
+    bopt.nb = c.nb;
+    bopt.ib = c.nb / 2;
+    std::vector<ConstMatrixView<double>> views;
+    for (const auto& a : inputs) views.push_back(ConstMatrixView<double>(a.view()));
+    auto batch = batch_session.factorize_batch(views, bopt);
+
+    for (int i = 0; i < c.depth; ++i) {
+      auto got = futures[size_t(i)].get().factors().to_dense();
+      expect_bitwise(got, batch[size_t(i)].factors().to_dense(),
+                     what + " vs batch, matrix " + std::to_string(i));
+      // Reference 2: the sequential spawn-path replay.
+      expect_bitwise(got, replay_sequential(inputs[size_t(i)], c.nb, c.nb / 2, c.tree),
+                     what + " vs replay, matrix " + std::to_string(i));
+    }
+  }
+}
+
+TEST(FactorStream, CorkedBurstCoalescesIntoOneFusedGraft) {
+  QrSession session(QrSession::Config{2});
+  QrSession::StreamOptions sopt;
+  sopt.nb = 16;
+  sopt.ib = 8;
+  sopt.tree = TreeConfig{};
+  auto stream = session.stream<double>(sopt);
+  constexpr int kBurst = 6;
+  std::vector<Matrix<double>> inputs;
+  for (int i = 0; i < kBurst; ++i) inputs.push_back(random_matrix<double>(64, 32, 40 + i));
+
+  stream.cork();
+  std::vector<std::future<TiledQr<double>>> futures;
+  for (const auto& a : inputs) futures.push_back(stream.push(ConstMatrixView<double>(a.view())));
+  {
+    auto s = stream.stats();
+    EXPECT_EQ(s.pushed, kBurst);
+    EXPECT_EQ(s.pending, kBurst);     // corked: nothing grafted yet
+    EXPECT_EQ(s.components, 0);
+  }
+  stream.uncork();
+  {
+    auto s = stream.stats();
+    EXPECT_EQ(s.components, 1);       // the whole burst rode one fused graft
+    EXPECT_EQ(s.fused_requests, kBurst);
+    EXPECT_EQ(s.pending, 0);
+  }
+  for (auto& f : futures) (void)f.get();
+  stream.close();
+  // The graft went through the cached FusedPlan machinery.
+  auto cache = session.plan_cache_stats();
+  EXPECT_EQ(cache.fused_misses, 1);
+  EXPECT_EQ(cache.fused_entries, 1u);
+}
+
+TEST(FactorStream, PushSolveMatchesAsyncPipelineBitwise) {
+  const TreeConfig tree{};
+  QrSession session(QrSession::Config{2});
+  QrSession::StreamOptions sopt;
+  sopt.nb = 16;
+  sopt.ib = 8;
+  sopt.tree = tree;
+  auto stream = session.stream<double>(sopt);
+  constexpr int kSolves = 4;
+  std::vector<Matrix<double>> as, bs;
+  for (int i = 0; i < kSolves; ++i) {
+    as.push_back(random_matrix<double>(5 * 16 - 3, 2 * 16 - 1, 300 + i));
+    bs.push_back(random_matrix<double>(5 * 16 - 3, 2, 400 + i));
+  }
+  std::vector<std::future<Matrix<double>>> streamed;
+  for (int i = 0; i < kSolves; ++i)
+    streamed.push_back(stream.push_solve(ConstMatrixView<double>(as[size_t(i)].view()),
+                                         ConstMatrixView<double>(bs[size_t(i)].view())));
+  stream.close();
+
+  QrSession ref_session(QrSession::Config{2});
+  Options opt;
+  opt.tree = tree;
+  opt.nb = 16;
+  opt.ib = 8;
+  for (int i = 0; i < kSolves; ++i) {
+    auto want = ref_session
+                    .solve_least_squares_async(ConstMatrixView<double>(as[size_t(i)].view()),
+                                               ConstMatrixView<double>(bs[size_t(i)].view()), opt)
+                    .get();
+    expect_bitwise(streamed[size_t(i)].get(), want, "solve " + std::to_string(i));
+  }
+}
+
+TEST(FactorStream, ZeroColumnRhsSolveIsDegenerate) {
+  QrSession session(QrSession::Config{2});
+  QrSession::StreamOptions sopt;
+  sopt.nb = 16;
+  auto stream = session.stream<double>(sopt);
+  auto a = random_matrix<double>(48, 32, 7);
+  Matrix<double> b(48, 0);
+  auto x = stream.push_solve(ConstMatrixView<double>(a.view()),
+                             ConstMatrixView<double>(b.view()));
+  stream.close();
+  auto sol = x.get();
+  EXPECT_EQ(sol.rows(), 32);
+  EXPECT_EQ(sol.cols(), 0);
+}
+
+TEST(FactorStream, AutoRoutedPushMatchesExplicitChoice) {
+  // A stream without a pinned tree routes each pushed shape through the
+  // session tuner; results must be bitwise identical to pushing the chosen
+  // tree explicitly.
+  QrSession session(QrSession::Config{2});
+  QrSession::StreamOptions auto_opt;
+  auto_opt.nb = 16;
+  auto_opt.ib = 8;
+  auto auto_stream = session.stream<double>(auto_opt);
+  auto a = random_matrix<double>(6 * 16, 2 * 16, 99);
+  auto auto_qr = auto_stream.push(ConstMatrixView<double>(a.view())).get();
+  auto_stream.close();
+
+  const TreeConfig chosen = session.choose_tree(6, 2);
+  EXPECT_EQ(auto_qr.options().tree, std::optional<TreeConfig>(chosen));
+  expect_bitwise(auto_qr.factors().to_dense(), replay_sequential(a, 16, 8, chosen),
+                 "auto-routed push");
+}
+
+TEST(FactorStream, FailedPushDoesNotPoisonTheStream) {
+  QrSession session(QrSession::Config{2});
+  QrSession::StreamOptions sopt;
+  sopt.nb = 16;
+  sopt.ib = 8;
+  sopt.tree = TreeConfig{};
+  auto stream = session.stream<double>(sopt);
+  // A push whose preparation fails resolves its own future with the error...
+  Matrix<double> empty(0, 0);
+  auto bad = stream.push(ConstMatrixView<double>(empty.view()));
+  EXPECT_THROW((void)bad.get(), Error);
+  // ...and the stream keeps serving.
+  auto a = random_matrix<double>(64, 32, 3);
+  auto good = stream.push(ConstMatrixView<double>(a.view()));
+  stream.close();
+  expect_bitwise(good.get().factors().to_dense(), replay_sequential(a, 16, 8, TreeConfig{}),
+                 "push after failed push");
+}
+
+TEST(FactorStream, ClosedStreamRejectsPushes) {
+  QrSession session(QrSession::Config{2});
+  auto stream = session.stream<double>();
+  auto a = random_matrix<double>(128, 128, 1);
+  auto f = stream.push(ConstMatrixView<double>(a.view()));
+  stream.close();
+  (void)f.get();
+  EXPECT_THROW((void)stream.push(ConstMatrixView<double>(a.view())), Error);
+  stream.close();  // idempotent
+}
+
+TEST(FactorStream, InvalidStreamOptionsThrowUpFront) {
+  QrSession session(QrSession::Config{2});
+  QrSession::StreamOptions bad_nb;
+  bad_nb.nb = 0;
+  EXPECT_THROW((void)session.stream<double>(bad_nb), Error);
+  QrSession::StreamOptions bad_ib;
+  bad_ib.ib = -1;
+  EXPECT_THROW((void)session.stream<double>(bad_ib), Error);
+}
+
+TEST(FactorStream, DrainKeepsTheStreamOpen) {
+  QrSession session(QrSession::Config{2});
+  QrSession::StreamOptions sopt;
+  sopt.nb = 16;
+  sopt.ib = 8;
+  sopt.tree = TreeConfig{};
+  auto stream = session.stream<double>(sopt);
+  auto a = random_matrix<double>(64, 32, 21);
+  auto f1 = stream.push(ConstMatrixView<double>(a.view()));
+  stream.drain();
+  EXPECT_EQ(f1.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  auto f2 = stream.push(ConstMatrixView<double>(a.view()));  // still open
+  stream.close();
+  expect_bitwise(f1.get().factors().to_dense(), f2.get().factors().to_dense(),
+                 "same input, same plan");
+}
+
+// ------------------------------------------------- multi-client interleave --
+
+TEST(FactorStream, MultiClientInterleavingStress) {
+  // Several client threads hammer ONE session: two share a stream, one owns
+  // a private corked-burst stream, one drives the fixed-batch path — any
+  // cross-talk between grafts shows up as a value mismatch (and any data
+  // race in the TSan CI job).
+  const int rounds = env_flag("TILEDQR_STRESS") ? 10 : 2;
+  const int clients = env_flag("TILEDQR_STRESS") ? 4 : 3;
+  const TreeConfig tree{};
+  QrSession session(QrSession::Config{4});
+  QrSession::StreamOptions sopt;
+  sopt.nb = 16;
+  sopt.ib = 8;
+  sopt.tree = tree;
+  auto shared_stream = session.stream<double>(sopt);
+
+  std::mutex fail_mu;
+  std::vector<std::string> failures;
+  auto record = [&](std::string what) {
+    std::lock_guard<std::mutex> lock(fail_mu);
+    failures.push_back(std::move(what));
+  };
+
+  std::vector<std::thread> threads;
+  for (int cid = 0; cid < clients; ++cid) {
+    threads.emplace_back([&, cid] {
+      for (int r = 0; r < rounds; ++r) {
+        const unsigned seed = unsigned(10000 + cid * 1000 + r * 10);
+        if (cid % 3 == 0) {
+          // Pushes one-by-one into the shared stream (plus one solve).
+          std::vector<Matrix<double>> inputs;
+          std::vector<std::future<TiledQr<double>>> futs;
+          for (int i = 0; i < 3; ++i)
+            inputs.push_back(random_matrix<double>(3 * 16, 2 * 16, seed + unsigned(i)));
+          for (auto& a : inputs)
+            futs.push_back(shared_stream.push(ConstMatrixView<double>(a.view())));
+          auto b = random_matrix<double>(3 * 16, 1, seed + 7);
+          auto x = shared_stream.push_solve(ConstMatrixView<double>(inputs[0].view()),
+                                            ConstMatrixView<double>(b.view()));
+          for (size_t i = 0; i < futs.size(); ++i) {
+            auto got = futs[i].get().factors().to_dense();
+            auto want = replay_sequential(inputs[i], 16, 8, tree);
+            if (got.rows() != want.rows()) { record("stream shape mismatch"); continue; }
+            for (std::int64_t jj = 0; jj < got.cols(); ++jj)
+              for (std::int64_t ii = 0; ii < got.rows(); ++ii)
+                if (got(ii, jj) != want(ii, jj)) {
+                  record("stream value mismatch c" + std::to_string(cid));
+                  jj = got.cols();
+                  break;
+                }
+          }
+          (void)x.get();
+        } else if (cid % 3 == 1) {
+          // Private stream, corked bursts of a different shape.
+          auto mine = session.stream<double>(sopt);
+          mine.cork();
+          std::vector<Matrix<double>> inputs;
+          std::vector<std::future<TiledQr<double>>> futs;
+          for (int i = 0; i < 4; ++i)
+            inputs.push_back(random_matrix<double>(4 * 16, 16, seed + unsigned(i)));
+          for (auto& a : inputs)
+            futs.push_back(mine.push(ConstMatrixView<double>(a.view())));
+          mine.uncork();
+          mine.close();
+          for (size_t i = 0; i < futs.size(); ++i) {
+            auto got = futs[i].get().factors().to_dense();
+            auto want = replay_sequential(inputs[i], 16, 8, tree);
+            for (std::int64_t jj = 0; jj < got.cols(); ++jj)
+              for (std::int64_t ii = 0; ii < got.rows(); ++ii)
+                if (got(ii, jj) != want(ii, jj)) {
+                  record("burst value mismatch c" + std::to_string(cid));
+                  jj = got.cols();
+                  break;
+                }
+          }
+        } else {
+          // Fixed-batch client sharing the same pool/cache.
+          Options opt;
+          opt.tree = tree;
+          opt.nb = 16;
+          opt.ib = 8;
+          std::vector<Matrix<double>> inputs;
+          for (int i = 0; i < 3; ++i)
+            inputs.push_back(random_matrix<double>(2 * 16, 2 * 16, seed + unsigned(i)));
+          std::vector<ConstMatrixView<double>> views;
+          for (auto& a : inputs) views.push_back(ConstMatrixView<double>(a.view()));
+          std::vector<TiledQr<double>> qrs;
+          try {
+            qrs = session.factorize_batch(views, opt);
+          } catch (const std::exception& e) {
+            record(std::string("batch threw: ") + e.what());
+            continue;
+          }
+          for (size_t i = 0; i < qrs.size(); ++i) {
+            auto got = qrs[i].factors().to_dense();
+            auto want = replay_sequential(inputs[i], 16, 8, tree);
+            for (std::int64_t jj = 0; jj < got.cols(); ++jj)
+              for (std::int64_t ii = 0; ii < got.rows(); ++ii)
+                if (got(ii, jj) != want(ii, jj)) {
+                  record("batch value mismatch c" + std::to_string(cid));
+                  jj = got.cols();
+                  break;
+                }
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  shared_stream.close();
+  for (const auto& f : failures) ADD_FAILURE() << f;
+}
+
+}  // namespace
+}  // namespace tiledqr

@@ -218,5 +218,129 @@ TEST(ThreadPool, EmptyGraphCompletesImmediately) {
   EXPECT_EQ(calls, 0);
 }
 
+// -------------------------------------------------------- streaming grafts --
+
+TEST(ThreadPoolStream, AppendsGraftOntoLiveSubmission) {
+  ThreadPool pool(4);
+  auto g = qr_graph(6, 3);
+  auto stream = pool.open_stream();
+  ASSERT_TRUE(stream.valid());
+  constexpr int kComponents = 10;
+  std::vector<std::unique_ptr<std::atomic<long>>> sums;
+  std::atomic<int> completions{0};
+  for (int i = 0; i < kComponents; ++i) sums.push_back(std::make_unique<std::atomic<long>>(0));
+  // Appends race with workers draining earlier generations — exactly the
+  // streaming regime (no stop-the-world between components).
+  for (int i = 0; i < kComponents; ++i) {
+    auto* sum = sums[size_t(i)].get();
+    stream.append(
+        g, [sum](std::int32_t t) { sum->fetch_add(t); },
+        [&completions](std::exception_ptr e) {
+          if (!e) completions.fetch_add(1);
+        });
+  }
+  EXPECT_EQ(stream.generation(), kComponents);
+  stream.wait();
+  EXPECT_EQ(stream.retired(), kComponents);
+  EXPECT_EQ(completions.load(), kComponents);
+  const long expect = long(g.tasks.size()) * long(g.tasks.size() - 1) / 2;
+  for (int i = 0; i < kComponents; ++i) EXPECT_EQ(sums[size_t(i)]->load(), expect) << i;
+  stream.close();
+  EXPECT_TRUE(stream.closed());
+}
+
+TEST(ThreadPoolStream, AppendAfterCloseThrows) {
+  ThreadPool pool(2);
+  auto g = qr_graph(3, 2);
+  auto stream = pool.open_stream();
+  stream.append(g, [](std::int32_t) {});
+  stream.close();
+  stream.close();  // idempotent
+  EXPECT_THROW(stream.append(g, [](std::int32_t) {}), Error);
+  stream.wait();
+  EXPECT_EQ(stream.retired(), 1);
+}
+
+TEST(ThreadPoolStream, ComponentFailureDoesNotCancelSiblings) {
+  ThreadPool pool(2);
+  auto g = qr_graph(8, 4);
+  auto stream = pool.open_stream();
+  std::atomic<long> good_tasks{0};
+  std::atomic<bool> bad_failed{false};
+  stream.append(g, [](std::int32_t t) {
+    if (t == 5) throw Error("injected");
+  }, [&](std::exception_ptr e) { bad_failed.store(e != nullptr); });
+  stream.append(g, [&](std::int32_t) { good_tasks.fetch_add(1); });
+  stream.wait();
+  EXPECT_TRUE(bad_failed.load());
+  EXPECT_EQ(good_tasks.load(), long(g.tasks.size()));
+  // The stream keeps accepting work after a component failure.
+  std::atomic<long> more{0};
+  stream.append(g, [&](std::int32_t) { more.fetch_add(1); });
+  stream.wait();
+  EXPECT_EQ(more.load(), long(g.tasks.size()));
+}
+
+TEST(ThreadPoolStream, ChainedAppendFromCompletionCallback) {
+  // A completion callback grafts the next pipeline stage onto the same
+  // stream (the solve-pipeline pattern); wait() must cover the chained
+  // generation once it observes it.
+  ThreadPool pool(2);
+  auto g = qr_graph(4, 2);
+  auto stream = pool.open_stream();
+  std::atomic<long> second_stage{0};
+  std::atomic<bool> chained{false};
+  stream.append(g, [](std::int32_t) {}, [&](std::exception_ptr) {
+    stream.append(g, [&](std::int32_t) { second_stage.fetch_add(1); },
+                  [&](std::exception_ptr) { chained.store(true); });
+  });
+  while (!chained.load()) stream.wait();
+  EXPECT_EQ(second_stage.load(), long(g.tasks.size()));
+  EXPECT_EQ(stream.generation(), 2);
+  EXPECT_EQ(stream.retired(), 2);
+}
+
+TEST(ThreadPoolStream, CappedStreamConfinedToWorkerSubset) {
+  ThreadPool pool(6);
+  auto g = fanout_graph(200);
+  auto stream = pool.open_stream(/*max_workers=*/2);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  for (int i = 0; i < 3; ++i)
+    stream.append(g, [&](std::int32_t) {
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+  stream.wait();
+  EXPECT_LE(ids.size(), 2u);
+}
+
+TEST(ThreadPoolStream, OpenIdleStreamDoesNotBlockPoolDestructor) {
+  auto pool = std::make_unique<ThreadPool>(2);
+  auto stream = pool->open_stream();
+  auto g = qr_graph(3, 2);
+  std::atomic<long> count{0};
+  stream.append(g, [&](std::int32_t) { count.fetch_add(1); });
+  stream.wait();
+  // Stream never closed; the destructor must drain what was appended and
+  // return (an open, idle stream holds no in-flight work).
+  pool.reset();
+  EXPECT_EQ(count.load(), long(g.tasks.size()));
+}
+
+TEST(ThreadPoolStream, StatsCountStreamsAndComponents) {
+  ThreadPool pool(2);
+  auto g = qr_graph(3, 2);
+  auto s1 = pool.open_stream();
+  auto s2 = pool.open_stream();
+  s1.append(g, [](std::int32_t) {});
+  s2.append(g, [](std::int32_t) {});
+  s1.wait();
+  s2.wait();
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.streams_opened, 2);
+  EXPECT_EQ(stats.graphs_completed, 2);  // one per component, like submit()
+}
+
 }  // namespace
 }  // namespace tiledqr
