@@ -30,8 +30,10 @@
 // TILEDQR_STREAM_N, TILEDQR_STREAM_NB, TILEDQR_THREADS, TILEDQR_REPS,
 // TILEDQR_QUICK, TILEDQR_STREAM_ASSERT, TILEDQR_BENCH_JSON (output path,
 // default BENCH_streaming.json).
+#include <algorithm>
 #include <fstream>
 #include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "common/timer.hpp"
@@ -259,6 +261,96 @@ ModeResult run_streamed(core::QrSession& session, const Workload& w, int depth, 
   return out;
 }
 
+// ---------------------------------------------------------- serving QoS ----
+
+/// Backpressure: one producer pushes the whole workload through a stream
+/// whose admission is bounded at `max_queued` (Block overflow: the producer
+/// parks on the retirement condvar when the bound is hit). Reports the
+/// throughput cost of the bound and the observed high-water mark — which
+/// must never exceed the bound, the memory-safety contract of Block.
+struct BackpressureRow {
+  int max_queued = 0;  ///< 0 = unbounded (the pre-QoS admission policy)
+  double seconds = 0.0;
+  double per_sec = 0.0;
+  long peak_unresolved = 0;
+};
+
+BackpressureRow run_backpressure(core::QrSession& session, const Workload& w, int max_queued,
+                                 int reps) {
+  BackpressureRow row;
+  row.max_queued = max_queued;
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    core::QrSession::StreamOptions sopt;
+    sopt.nb = w.opt.nb;
+    sopt.ib = w.opt.ib;
+    sopt.tree = w.opt.tree;
+    sopt.max_queued = max_queued;
+    sopt.overflow = core::QrSession::StreamOverflow::Block;
+    auto stream = session.stream<double>(sopt);
+    WallTimer timer;
+    std::vector<std::future<core::TiledQr<double>>> futures;
+    futures.reserve(w.tiles.size());
+    for (const auto& tiles : w.tiles) futures.push_back(stream.push(TileMatrix<double>(tiles)));
+    for (auto& f : futures) (void)f.get();
+    double sec = timer.seconds();
+    row.peak_unresolved = std::max(row.peak_unresolved, stream.stats().peak_unresolved);
+    stream.close();
+    if (best < 0.0 || sec < best) best = sec;
+  }
+  row.seconds = best;
+  row.per_sec = double(w.tiles.size()) / best;
+  return row;
+}
+
+/// Fairness: two clients race equal workloads through their own streams on
+/// ONE session pool. With the pool-level graft rotation and per-submission
+/// worker queues, neither client's backlog can monopolize the workers, so
+/// both finish at about the same time — `imbalance` (slower/faster makespan)
+/// near 1.0. A FIFO-piling scheduler would let one client finish in roughly
+/// half the wall clock of the other (imbalance near 2).
+struct FairnessResult {
+  double client_seconds[2] = {0.0, 0.0};
+  double imbalance = 0.0;
+};
+
+FairnessResult run_fairness(core::QrSession& session, const Workload& w, int per_client,
+                            int reps) {
+  FairnessResult out;
+  double best_imbalance = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    double seconds[2] = {0.0, 0.0};
+    std::vector<std::thread> clients;
+    for (int cid = 0; cid < 2; ++cid) {
+      clients.emplace_back([&, cid] {
+        core::QrSession::StreamOptions sopt;
+        sopt.nb = w.opt.nb;
+        sopt.ib = w.opt.ib;
+        sopt.tree = w.opt.tree;
+        auto stream = session.stream<double>(sopt);
+        WallTimer timer;
+        std::vector<std::future<core::TiledQr<double>>> futures;
+        for (int i = 0; i < per_client; ++i)
+          futures.push_back(
+              stream.push(TileMatrix<double>(w.tiles[size_t(i) % w.tiles.size()])));
+        for (auto& f : futures) (void)f.get();
+        seconds[cid] = timer.seconds();
+        stream.close();
+      });
+    }
+    for (auto& th : clients) th.join();
+    const double imbalance =
+        std::max(seconds[0], seconds[1]) / std::max(1e-12, std::min(seconds[0], seconds[1]));
+    if (best_imbalance < 0.0 || imbalance < best_imbalance) {
+      best_imbalance = imbalance;
+      out.client_seconds[0] = seconds[0];
+      out.client_seconds[1] = seconds[1];
+    }
+  }
+  out.imbalance = best_imbalance;
+  return out;
+}
+
 /// Streamed results must be bitwise identical to the sequential replay (the
 /// acceptance bar for streaming fusion, same as batch fusion).
 bool verify_streamed_bitwise(core::QrSession& session, const Workload& w, int check_count) {
@@ -359,12 +451,48 @@ int main() {
   std::printf("streamed results bitwise identical to sequential replay: %s\n\n",
               bitwise ? "yes" : "NO (BUG)");
 
+  // ---- 3. serving QoS: backpressure ------------------------------------- --
+  // Small-matrix workload (the overhead-bound regime QoS matters for): how
+  // much throughput a bounded admission window costs, and proof the Block
+  // bound holds. max_queued=0 is the pre-QoS unbounded baseline.
+  auto wq = make_workload(knobs.quick ? 24 : 64, 2 * nb, nb, knobs.ib);
+  std::vector<BackpressureRow> bp_rows;
+  bool bounds_hold = true;
+  {
+    TextTable tb(stringf("backpressure: %zu x %dx%d QRs, Block overflow (threads=%d)",
+                         wq.tiles.size(), int(2 * nb), int(2 * nb), threads));
+    tb.set_header({"max_queued", "seconds", "fact/s", "peak unresolved", "bound held"});
+    for (int max_queued : {0, 8, 2}) {
+      auto row = run_backpressure(session, wq, max_queued, knobs.reps);
+      bp_rows.push_back(row);
+      const bool held = max_queued == 0 || row.peak_unresolved <= max_queued;
+      bounds_hold = bounds_hold && held;
+      tb.add_row({max_queued == 0 ? "unbounded" : stringf("%d", max_queued),
+                  stringf("%.4f", row.seconds), stringf("%.2f", row.per_sec),
+                  stringf("%ld", row.peak_unresolved), held ? "yes" : "NO (BUG)"});
+    }
+    bench::emit(tb, "streaming_backpressure", knobs);
+  }
+
+  // ---- 4. serving QoS: multi-stream fairness ----------------------------- --
+  auto fair = run_fairness(session, wq, knobs.quick ? 16 : 48, std::max(2, knobs.reps));
+  {
+    TextTable tf(stringf("fairness: 2 clients x %d QRs, own streams, one pool (threads=%d)",
+                         knobs.quick ? 16 : 48, threads));
+    tf.set_header({"client", "seconds"});
+    tf.add_row({"A", stringf("%.4f", fair.client_seconds[0])});
+    tf.add_row({"B", stringf("%.4f", fair.client_seconds[1])});
+    tf.add_row({"imbalance", stringf("%.2fx", fair.imbalance)});
+    bench::emit(tf, "streaming_fairness", knobs);
+  }
+  std::printf("\n");
+
   // ---- acceptance ------------------------------------------------------- --
   // On the overhead-bound grid, at burst depth >= 4: streamed grafts ride
   // the same cached FusedPlans as fixed batches but skip the batch-boundary
   // drains, so they must be within 10% of fused dispatch cost (they are in
   // fact cheaper) and >= 1.3x cheaper than per-matrix submissions.
-  bool ok = bitwise;
+  bool ok = bitwise && bounds_hold;
   for (const auto& row : rows) {
     if (row.depth < 4) continue;
     const bool near_fused = row.streamed_us <= 1.10 * row.fused_us;
@@ -373,6 +501,8 @@ int main() {
                 row.depth, near_fused ? "yes" : "NO", beats_per_matrix ? "yes" : "NO");
     ok = ok && near_fused && beats_per_matrix;
   }
+  std::printf("Block backpressure bound held at every max_queued: %s\n",
+              bounds_hold ? "yes" : "NO (BUG)");
   std::printf("%s\n\n", ok ? "ACCEPTANCE: pass" : enforce ? "ACCEPTANCE: FAIL"
                                                           : "ACCEPTANCE: fail (not enforced)");
 
@@ -409,7 +539,22 @@ int main() {
                     fixed.seconds, fixed.per_sec)
          << stringf("    \"streamed\": {\"seconds\": %.6f, \"per_sec\": %.3f},\n",
                     streamed.seconds, streamed.per_sec)
-         << stringf("    \"streamed_bitwise_identical\": %s},\n", bitwise ? "true" : "false")
+         << stringf("    \"streamed_bitwise_identical\": %s},\n", bitwise ? "true" : "false");
+    json << stringf("  \"backpressure\": {\"count\": %zu, \"n\": %d, \"overflow\": \"block\", "
+                    "\"rows\": [",
+                    wq.tiles.size(), int(2 * nb));
+    for (size_t i = 0; i < bp_rows.size(); ++i) {
+      const auto& row = bp_rows[i];
+      json << stringf("%s{\"max_queued\": %d, \"seconds\": %.6f, \"per_sec\": %.3f, "
+                      "\"peak_unresolved\": %ld}",
+                      i ? ", " : "", row.max_queued, row.seconds, row.per_sec,
+                      row.peak_unresolved);
+    }
+    json << stringf("], \"bounds_held\": %s},\n", bounds_hold ? "true" : "false")
+         << stringf("  \"fairness\": {\"clients\": 2, \"per_client\": %d, "
+                    "\"client_seconds\": [%.6f, %.6f], \"imbalance\": %.3f},\n",
+                    knobs.quick ? 16 : 48, fair.client_seconds[0], fair.client_seconds[1],
+                    fair.imbalance)
          << stringf("  \"acceptance_pass\": %s\n", ok ? "true" : "false") << "}\n";
     std::printf("(json written to %s)\n", json_path.c_str());
   }

@@ -59,10 +59,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
 #include <span>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -96,15 +99,42 @@ class QrSession {
     int threads = 0;  ///< per-request worker cap; 0 = whole pool
   };
 
+  /// What a push does when the stream already holds `max_queued` unresolved
+  /// requests: Block parks the pushing thread on the stream's retirement
+  /// condvar until a slot frees (bounded server memory, lossless); Reject
+  /// resolves the returned future immediately with an Error (fast-fail, the
+  /// caller sheds load).
+  enum class StreamOverflow { Block, Reject };
+
   /// Per-stream options (see stream()). Pushes of any tile-grid shape are
   /// accepted; `tree` pins one algorithm for every push, disengaged routes
-  /// each pushed shape through the autotuner.
+  /// each pushed shape through the autotuner. The QoS knobs below all
+  /// default to the pre-QoS policy (unbounded admission, graft on idle, no
+  /// deadline), so a default-constructed stream behaves — and schedules —
+  /// exactly as before.
   struct StreamOptions {
     int nb = 128;          ///< tile size for dense pushes
     int ib = 32;           ///< inner blocking of the kernels
     int threads = 0;       ///< worker cap for the whole stream; 0 = whole pool
     int max_pending = 32;  ///< coalescing bound: a flush is forced at this depth
     std::optional<trees::TreeConfig> tree{};  ///< disengaged = autotune per shape
+    /// Backpressure: bound on requests admitted but not yet resolved
+    /// (pending + grafted + chained solve stages). 0 = unbounded. A request
+    /// holds its slot from admission — before tiling, so a blocked or
+    /// rejected push allocates nothing — until its future resolves.
+    int max_queued = 0;
+    StreamOverflow overflow = StreamOverflow::Block;  ///< policy at max_queued
+    /// Watermark flush policy: graft the backlog whenever the number of
+    /// in-flight grafts is <= this. 0 (default) grafts only when the stream
+    /// runs dry; 1 keeps one graft queued behind the live one, so workers
+    /// flow straight from the live graft's tail into the next one at the
+    /// cost of shallower coalescing.
+    int low_watermark = 0;
+    /// > 0: cap on how long an uncorked request may sit in the coalescing
+    /// backlog before it is grafted regardless of the watermark (a dedicated
+    /// deadline thread is spawned for the stream's lifetime). 0 = no cap.
+    /// Corked backlogs are exempt: cork() is an explicit promise.
+    std::chrono::steady_clock::duration flush_deadline{0};
   };
 
   QrSession() : pool_(0) {}
@@ -701,6 +731,18 @@ class QrSession {
 /// it rode in on — other grafts keep running. The stream must be closed (or
 /// destroyed — the destructor closes) before its QrSession dies, and close()
 /// must not be called from a pool task body.
+///
+/// Serving QoS (StreamOptions): `max_queued` + `overflow` bound the
+/// unresolved requests a stream may hold (Block parks the pusher on the
+/// retirement condvar, Reject fails the future immediately);
+/// `low_watermark` grafts the backlog before the stream runs dry (keep one
+/// graft queued behind the live one); `flush_deadline` caps how long an
+/// uncorked request may wait in the coalescing backlog. drain() respects a
+/// concurrent cork: it never claims a corked backlog (that burst belongs to
+/// the corking client's single fused graft) and parks on the condvar until
+/// the corker uncorks — so a thread that corks, pushes, and drains without
+/// uncorking first deadlocks itself, as does a corked Block-overflow pusher
+/// with no uncorking peer. All QoS defaults reproduce the pre-QoS policy.
 template <typename T>
 class FactorStream {
  public:
@@ -709,11 +751,35 @@ class FactorStream {
     long components = 0;  ///< grafts appended to the live submission
     long fused_requests = 0;  ///< requests that rode a multi-request graft
     long pending = 0;     ///< requests accumulated, not yet grafted
+    long unresolved = 0;  ///< admitted requests whose future hasn't resolved
+    long peak_unresolved = 0;  ///< high-water mark of `unresolved` — with a
+                               ///< Block overflow this never exceeds max_queued
+    long rejected = 0;         ///< pushes refused by the Reject overflow policy
+    long deadline_flushes = 0;  ///< backlog grafts forced by flush_deadline
+    long empty_flushes = 0;     ///< backlog claims that found nothing queued
+                                ///< (a spinning drain would grow this; bounded)
   };
 
   FactorStream() = default;  ///< empty handle
   FactorStream(FactorStream&&) noexcept = default;
-  FactorStream& operator=(FactorStream&&) noexcept = default;
+  /// Move-assign closes the overwritten stream first (re-opening a stream
+  /// in place is normal server code); a defaulted move would orphan its
+  /// shared state with no handle left to ever close it — leaking the
+  /// deadline thread, the pool submission, and the live-stream gauge slot.
+  FactorStream& operator=(FactorStream&& other) noexcept {
+    if (this != &other) {
+      if (state_) {
+        try {
+          close();
+        } catch (...) {
+          // Same contract as the destructor: close() errors are only
+          // re-close races, never worth tearing down the process.
+        }
+      }
+      state_ = std::move(other.state_);
+    }
+    return *this;
+  }
   FactorStream(const FactorStream&) = delete;
   FactorStream& operator=(const FactorStream&) = delete;
 
@@ -730,28 +796,41 @@ class FactorStream {
   /// calling thread). Returns a future that resolves when this request's
   /// component of the live submission drains. An input that fails to tile or
   /// plan resolves its future with the exception (pushing on a closed stream
-  /// still throws — that is a caller bug, not a request failure).
+  /// still throws — that is a caller bug, not a request failure). A stream
+  /// at its max_queued bound blocks here or fails the future, per
+  /// StreamOptions::overflow; admission happens before tiling, so a blocked
+  /// or rejected push allocates nothing.
   [[nodiscard]] std::future<TiledQr<T>> push(ConstMatrixView<T> a) {
-    TileMatrix<T> tiles;
-    try {
-      tiles = TileMatrix<T>::from_dense(a, state_->opts.nb);
-    } catch (...) {
-      std::promise<TiledQr<T>> failed;
-      auto future = failed.get_future();
-      failed.set_exception(std::current_exception());
+    TILEDQR_CHECK(valid(), "FactorStream::push: moved-from or empty stream handle");
+    auto req = std::make_shared<Request>();
+    std::future<TiledQr<T>> future = req->promise.get_future();
+    if (std::exception_ptr rejected = admit()) {
+      req->promise.set_exception(std::move(rejected));
       return future;
     }
-    return push(std::move(tiles));
+    try {
+      req->qr = prepare(TileMatrix<T>::from_dense(a, state_->opts.nb));
+    } catch (...) {
+      fail_request(state_, *req, std::current_exception());
+      return future;
+    }
+    enqueue(std::move(req));
+    return future;
   }
 
   /// Pre-tiled flavor (consumed); the input keeps its own tile size.
   [[nodiscard]] std::future<TiledQr<T>> push(TileMatrix<T> a) {
+    TILEDQR_CHECK(valid(), "FactorStream::push: moved-from or empty stream handle");
     auto req = std::make_shared<Request>();
     std::future<TiledQr<T>> future = req->promise.get_future();
+    if (std::exception_ptr rejected = admit()) {
+      req->promise.set_exception(std::move(rejected));
+      return future;
+    }
     try {
       req->qr = prepare(std::move(a));
     } catch (...) {
-      req->promise.set_exception(std::current_exception());
+      fail_request(state_, *req, std::current_exception());
       return future;
     }
     enqueue(std::move(req));
@@ -763,17 +842,24 @@ class FactorStream {
   /// is grafted by the worker that retires the factorization — ROADMAP's
   /// "batched solve"). Results are bitwise identical to
   /// QrSession::solve_least_squares_async(a, b, opt) with the same tree.
+  /// Backpressure treats a solve as one request from admission until its
+  /// solution future resolves (the chained stages keep the slot).
   [[nodiscard]] std::future<Matrix<T>> push_solve(ConstMatrixView<T> a, ConstMatrixView<T> b) {
+    TILEDQR_CHECK(valid(), "FactorStream::push_solve: moved-from or empty stream handle");
     auto req = std::make_shared<Request>();
     req->solve = true;
     std::future<Matrix<T>> future = req->solve_promise.get_future();
+    if (std::exception_ptr rejected = admit()) {
+      req->solve_promise.set_exception(std::move(rejected));
+      return future;
+    }
     try {
       TILEDQR_CHECK(a.rows() >= a.cols(), "push_solve: requires m >= n");
       TILEDQR_CHECK(b.rows() == a.rows(), "push_solve: rhs row mismatch");
       req->qr = prepare(TileMatrix<T>::from_dense(a, state_->opts.nb));
       if (b.cols() > 0) req->c = TileMatrix<T>::from_dense(b, state_->opts.nb);
     } catch (...) {
-      req->solve_promise.set_exception(std::current_exception());
+      fail_request(state_, *req, std::current_exception());
       return future;
     }
     enqueue(std::move(req));
@@ -781,69 +867,105 @@ class FactorStream {
   }
 
   /// Defers flushing: corked pushes accumulate (up to max_pending) so a
-  /// known burst grafts as one fused component. Idempotent.
+  /// known burst grafts as one fused component. Idempotent. While corked,
+  /// the watermark, deadline, and drain() paths all leave the backlog alone
+  /// — only uncork()/flush()/max_pending release it.
   void cork() {
-    std::lock_guard<std::mutex> lock(state_->mu);
-    state_->corked = true;
+    TILEDQR_CHECK(valid(), "FactorStream::cork: moved-from or empty stream handle");
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->corked = true;
+    }
+    state_->retire_cv.notify_all();
   }
 
   /// Re-enables flushing and grafts everything pending now.
   void uncork() {
+    TILEDQR_CHECK(valid(), "FactorStream::uncork: moved-from or empty stream handle");
     {
       std::lock_guard<std::mutex> lock(state_->mu);
       state_->corked = false;
     }
+    state_->retire_cv.notify_all();
     flush();
   }
 
-  /// Grafts all pending requests onto the live submission immediately.
+  /// Grafts all pending requests — corked or not: an explicit flush is the
+  /// caller's own uncorking — onto the live submission immediately.
   void flush() {
+    TILEDQR_CHECK(valid(), "FactorStream::flush: moved-from or empty stream handle");
     std::vector<Group> groups;
     {
       std::lock_guard<std::mutex> lock(state_->mu);
       groups = take_groups_locked(*state_);
+      if (groups.empty()) ++state_->empty_flushes;
     }
     graft(state_, std::move(groups));
   }
 
-  /// Flushes and blocks until every request pushed so far has resolved
-  /// (including chained solve stages). The stream stays open. Requests
-  /// pushed concurrently with the drain may be waited on too.
+  /// Grafts the uncorked backlog, then blocks until every request admitted
+  /// so far has resolved (including chained solve stages). The stream stays
+  /// open. Requests pushed concurrently with the drain may be waited on too.
+  /// A peer's corked backlog is NOT claimed — the burst grafts as the one
+  /// fused component cork() promised — so the drain parks on the retirement
+  /// condvar until the corker uncorks (no flush/wait spinning).
   void drain() {
-    for (;;) {
-      // Re-flush each round: a solve may have chained its apply stage, and
-      // a concurrent (even corked) pusher may have refilled pending — graft
-      // it rather than spinning on a quiescence check.
-      flush();
-      state_->stream.wait();
+    TILEDQR_CHECK(valid(), "FactorStream::drain: moved-from or empty stream handle");
+    std::vector<Group> groups;
+    {
       std::lock_guard<std::mutex> lock(state_->mu);
-      if (state_->pending.empty() && state_->inflight == 0) return;
+      if (!state_->corked) {
+        groups = take_groups_locked(*state_);
+        // Count only claims actually attempted: a corked skip is deference,
+        // not an empty flush.
+        if (groups.empty()) ++state_->empty_flushes;
+      }
     }
+    graft(state_, std::move(groups));
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->retire_cv.wait(lock, [&] { return state_->unresolved == 0; });
   }
 
   /// Drains, then seals the stream: further pushes throw Error. Idempotent.
   void close() {
+    TILEDQR_CHECK(valid(), "FactorStream::close: moved-from or empty stream handle");
+    std::thread deadline_reaper;
     {
       std::lock_guard<std::mutex> lock(state_->mu);
       state_->closed = true;
       state_->corked = false;
+      deadline_reaper.swap(state_->deadline_thread);
     }
+    // Wake Block-ed pushers (they observe closed and throw) and the deadline
+    // thread (it observes closed and exits; joined before the drain so no
+    // grafting races the seal).
+    state_->retire_cv.notify_all();
+    if (deadline_reaper.joinable()) deadline_reaper.join();
     drain();
     if (!state_->stream.closed()) state_->stream.close();
   }
 
   [[nodiscard]] Stats stats() const {
+    TILEDQR_CHECK(valid(), "FactorStream::stats: moved-from or empty stream handle");
     std::lock_guard<std::mutex> lock(state_->mu);
     Stats s;
     s.pushed = state_->pushed;
     s.components = state_->stream.generation();
     s.fused_requests = state_->fused_requests.load(std::memory_order_relaxed);
     s.pending = long(state_->pending.size());
+    s.unresolved = state_->unresolved;
+    s.peak_unresolved = state_->peak_unresolved;
+    s.rejected = state_->rejected;
+    s.deadline_flushes = state_->deadline_flushes;
+    s.empty_flushes = state_->empty_flushes;
     return s;
   }
 
   /// Ready-set generation of the underlying pool stream (components grafted).
-  [[nodiscard]] long generation() const { return state_->stream.generation(); }
+  [[nodiscard]] long generation() const {
+    TILEDQR_CHECK(valid(), "FactorStream::generation: moved-from or empty stream handle");
+    return state_->stream.generation();
+  }
 
   [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
   explicit operator bool() const noexcept { return valid(); }
@@ -878,11 +1000,26 @@ class FactorStream {
     int worker_cap = 0;  ///< pre-clamped; the tuner keys on this concurrency
 
     mutable std::mutex mu;
+    /// The retirement condvar: notified whenever a request resolves, a
+    /// grafted component retires, or the cork/closed flags flip. Waiters:
+    /// drain() (unresolved == 0), Block-overflow pushers (a slot freed),
+    /// and the flush_deadline thread (a backlog to watch appeared).
+    std::condition_variable retire_cv;
     bool corked = false;
     bool closed = false;
     std::deque<std::shared_ptr<Request>> pending;
     long inflight = 0;  ///< grafted components not yet retired
     long pushed = 0;
+    long unresolved = 0;  ///< admitted requests whose future hasn't resolved
+    long peak_unresolved = 0;
+    long rejected = 0;
+    long deadline_flushes = 0;
+    long empty_flushes = 0;
+    /// When the pending backlog last went empty -> non-empty; the deadline
+    /// thread grafts at oldest_pending + flush_deadline.
+    std::chrono::steady_clock::time_point oldest_pending{};
+    /// Engaged only when flush_deadline > 0; joined by close().
+    std::thread deadline_thread;
     std::atomic<long> fused_requests{0};  ///< bumped outside mu (graft)
   };
 
@@ -890,10 +1027,83 @@ class FactorStream {
     TILEDQR_CHECK(opts.nb >= 1, stringf("StreamOptions::nb must be >= 1 (got %d)", opts.nb));
     TILEDQR_CHECK(opts.ib >= 1, stringf("StreamOptions::ib must be >= 1 (got %d)", opts.ib));
     TILEDQR_CHECK(opts.max_pending >= 1, "StreamOptions::max_pending must be >= 1");
+    TILEDQR_CHECK(opts.max_queued >= 0,
+                  stringf("StreamOptions::max_queued must be >= 0, 0 = unbounded (got %d)",
+                          opts.max_queued));
+    TILEDQR_CHECK(opts.low_watermark >= 0,
+                  stringf("StreamOptions::low_watermark must be >= 0 (got %d)",
+                          opts.low_watermark));
+    TILEDQR_CHECK(opts.flush_deadline.count() >= 0,
+                  "StreamOptions::flush_deadline must be >= 0, 0 = no deadline");
     state_->session = session;
     state_->worker_cap = session->clamp_cap(opts.threads);
     state_->opts = std::move(opts);
     state_->stream = session->pool_.open_stream(state_->worker_cap);
+    if (state_->opts.flush_deadline.count() > 0)
+      state_->deadline_thread = std::thread(&FactorStream::deadline_main, state_);
+  }
+
+  /// Body of the per-stream deadline thread (flush_deadline > 0): sleeps
+  /// until there is an uncorked backlog to watch, then grafts it once it has
+  /// aged past the deadline. Exits when the stream closes (close() joins it
+  /// before sealing, so a final deadline graft cannot race the seal).
+  static void deadline_main(std::shared_ptr<State> state) {
+    std::unique_lock<std::mutex> lock(state->mu);
+    while (!state->closed) {
+      if (state->pending.empty() || state->corked) {
+        state->retire_cv.wait(lock, [&] {
+          return state->closed || (!state->pending.empty() && !state->corked);
+        });
+        continue;
+      }
+      const auto due = state->oldest_pending + state->opts.flush_deadline;
+      if (std::chrono::steady_clock::now() < due) {
+        state->retire_cv.wait_until(lock, due);
+        continue;  // re-evaluate: the backlog may have been claimed meanwhile
+      }
+      auto groups = take_groups_locked(*state);
+      ++state->deadline_flushes;
+      lock.unlock();
+      graft(state, std::move(groups));
+      lock.lock();
+    }
+  }
+
+  /// Backpressure gate: every accepted request holds one `unresolved` slot
+  /// from admission until its user-facing future resolves. Returns null on
+  /// admission; with the Reject policy at the bound, returns the error the
+  /// caller must fail its future with (no slot taken). With Block, parks on
+  /// the retirement condvar until a slot frees. Throws on a closed stream
+  /// (including a close that lands while a Block-ed push waits).
+  [[nodiscard]] std::exception_ptr admit() {
+    State& s = *state_;
+    std::unique_lock<std::mutex> lock(s.mu);
+    TILEDQR_CHECK(!s.closed, "FactorStream: push on a closed stream");
+    if (s.opts.max_queued > 0 && s.unresolved >= long(s.opts.max_queued)) {
+      if (s.opts.overflow == QrSession::StreamOverflow::Reject) {
+        ++s.rejected;
+        return std::make_exception_ptr(Error(
+            stringf("FactorStream: backpressure reject — stream already holds max_queued=%d "
+                    "unresolved requests (StreamOptions::overflow = Reject)",
+                    s.opts.max_queued)));
+      }
+      s.retire_cv.wait(lock,
+                       [&] { return s.closed || s.unresolved < long(s.opts.max_queued); });
+      TILEDQR_CHECK(!s.closed, "FactorStream: push on a closed stream");
+    }
+    ++s.unresolved;
+    s.peak_unresolved = std::max(s.peak_unresolved, s.unresolved);
+    return nullptr;
+  }
+
+  /// A request's user-facing future resolved (value or error): release its
+  /// backpressure slot and wake drain()ers / Block-ed pushers.
+  static void request_resolved(const std::shared_ptr<State>& state) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      --state->unresolved;
+    }
+    state->retire_cv.notify_all();
   }
 
   /// Tile → plan, resolving a disengaged tree through the autotuner for this
@@ -913,16 +1123,29 @@ class FactorStream {
     std::vector<Group> groups;
     {
       std::lock_guard<std::mutex> lock(state_->mu);
-      TILEDQR_CHECK(!state_->closed, "FactorStream: push on a closed stream");
+      if (state_->closed) {
+        // Push-vs-close race: the close won. Give the admission slot back
+        // before reporting the caller bug, so the closing drain terminates.
+        --state_->unresolved;
+        state_->retire_cv.notify_all();
+        throw Error("FactorStream: push on a closed stream");
+      }
+      if (state_->pending.empty())
+        state_->oldest_pending = std::chrono::steady_clock::now();
       state_->pending.push_back(std::move(req));
       ++state_->pushed;
-      // Flush when the stream ran dry (nothing in flight to hide behind) or
-      // the coalescing bound is hit; a corked stream defers the former but
-      // still bounds its memory with the latter.
+      // Flush when the in-flight window fell to the watermark (default 0:
+      // the stream ran dry with nothing to hide behind) or the coalescing
+      // bound is hit; a corked stream defers the former but still bounds
+      // its memory with the latter.
       const bool full = long(state_->pending.size()) >= long(state_->opts.max_pending);
-      if (full || (!state_->corked && state_->inflight == 0))
+      if (full || (!state_->corked && state_->inflight <= long(state_->opts.low_watermark)))
         groups = take_groups_locked(*state_);
     }
+    // Only a request that actually stayed pending re-arms the deadline
+    // thread's watch; a push that grafted immediately left nothing to age.
+    if (groups.empty() && state_->opts.flush_deadline.count() > 0)
+      state_->retire_cv.notify_all();
     graft(state_, std::move(groups));
   }
 
@@ -952,7 +1175,9 @@ class FactorStream {
   /// Appends one component per group onto the live submission. Fused plans
   /// are resolved here, outside the stream mutex (planning a new (shape,
   /// count) fusion must not block pushes); a group whose fusion fails to
-  /// build fails only its own requests.
+  /// build — or whose append is refused (close race) — fails only its own
+  /// requests, and retires its inflight slot so nothing pended behind it is
+  /// stranded and close()'s drain still terminates.
   static void graft(const std::shared_ptr<State>& state, std::vector<Group> groups) {
     for (auto& g : groups) {
       if (g.reqs.size() > 1) {
@@ -963,7 +1188,7 @@ class FactorStream {
                                                      int(g.reqs.size()));
           state->fused_requests.fetch_add(long(g.reqs.size()), std::memory_order_relaxed);
         } catch (...) {
-          for (auto& req : g.reqs) fail_request(*req, std::current_exception());
+          for (auto& req : g.reqs) fail_request(state, *req, std::current_exception());
           // Account the failed graft like a retired one — including the
           // backlog check, so a request pended behind this group is not
           // stranded when the stream went otherwise idle.
@@ -973,21 +1198,26 @@ class FactorStream {
       }
       if (g.reqs.size() == 1) {
         auto req = g.reqs.front();
-        state->stream.append(
-            req->qr.plan_->graph,
-            [raw = req.get()](std::int32_t idx) {
-              TiledQr<T>& qr = raw->qr;
-              run_task_kernels(qr.plan_->graph.tasks[size_t(idx)], qr.a_, qr.t_, qr.t2_,
-                               qr.opt_.ib);
-            },
-            [state, req](std::exception_ptr error) {
-              if (error)
-                fail_request(*req, error);
-              else
-                finish_request(state, req);
-              on_component_retired(state);
-            },
-            req, &req->qr.plan_->ranks);
+        try {
+          state->stream.append(
+              req->qr.plan_->graph,
+              [raw = req.get()](std::int32_t idx) {
+                TiledQr<T>& qr = raw->qr;
+                run_task_kernels(qr.plan_->graph.tasks[size_t(idx)], qr.a_, qr.t_, qr.t2_,
+                                 qr.opt_.ib);
+              },
+              [state, req](std::exception_ptr error) {
+                if (error)
+                  fail_request(state, *req, error);
+                else
+                  finish_request(state, req);
+                on_component_retired(state);
+              },
+              req, &req->qr.plan_->ranks);
+        } catch (...) {
+          fail_request(state, *req, std::current_exception());
+          on_component_retired(state);
+        }
         continue;
       }
       auto group = std::make_shared<Group>(std::move(g));
@@ -995,30 +1225,37 @@ class FactorStream {
         const FusedPlan::Part& range = group->fused->parts[i];
         group->reqs[i]->remaining.store(range.end - range.begin, std::memory_order_relaxed);
       }
-      state->stream.append(
-          group->fused->graph,
-          [state, raw = group.get()](std::int32_t idx) {
-            const FusedPlan& fused = *raw->fused;
-            const size_t part = size_t(fused.part_of(idx));
-            Request& req = *raw->reqs[part];
-            TiledQr<T>& qr = req.qr;
-            run_task_kernels(fused.graph.tasks[size_t(idx)], qr.a_, qr.t_, qr.t2_, qr.opt_.ib);
-            // Per-request sentinel, exactly the batch-fusion machinery: the
-            // last retiring task of this part resolves its request early.
-            if (req.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
-              finish_request(state, raw->reqs[part]);
-          },
-          [state, group](std::exception_ptr error) {
-            // Unfinished parts only exist when a task threw (the component
-            // was cancelled); resolved parts already kept their values.
-            for (auto& req : group->reqs)
-              if (req->remaining.load(std::memory_order_acquire) != 0)
-                fail_request(*req, error ? error
-                                         : std::make_exception_ptr(
-                                               Error("FactorStream: component cancelled")));
-            on_component_retired(state);
-          },
-          group, &group->fused->ranks);
+      try {
+        state->stream.append(
+            group->fused->graph,
+            [state, raw = group.get()](std::int32_t idx) {
+              const FusedPlan& fused = *raw->fused;
+              const size_t part = size_t(fused.part_of(idx));
+              Request& req = *raw->reqs[part];
+              TiledQr<T>& qr = req.qr;
+              run_task_kernels(fused.graph.tasks[size_t(idx)], qr.a_, qr.t_, qr.t2_, qr.opt_.ib);
+              // Per-request sentinel, exactly the batch-fusion machinery: the
+              // last retiring task of this part resolves its request early.
+              if (req.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+                finish_request(state, raw->reqs[part]);
+            },
+            [state, group](std::exception_ptr error) {
+              // Unfinished parts only exist when a task threw (the component
+              // was cancelled); resolved parts already kept their values.
+              for (auto& req : group->reqs)
+                if (req->remaining.load(std::memory_order_acquire) != 0)
+                  fail_request(state, *req,
+                               error ? error
+                                     : std::make_exception_ptr(
+                                           Error("FactorStream: component cancelled")));
+              on_component_retired(state);
+            },
+            group, &group->fused->ranks);
+      } catch (...) {
+        auto error = std::current_exception();
+        for (auto& req : group->reqs) fail_request(state, *req, error);
+        on_component_retired(state);
+      }
     }
   }
 
@@ -1029,16 +1266,19 @@ class FactorStream {
                              const std::shared_ptr<Request>& req) {
     if (!req->solve) {
       req->promise.set_value(std::move(req->qr));
+      request_resolved(state);
       return;
     }
     try {
       if (req->c.n() == 0) {  // zero-column rhs: answer is n x 0
         req->solve_promise.set_value(Matrix<T>(req->qr.a_.n(), 0));
+        request_resolved(state);
         return;
       }
       req->apply_graph = req->qr.build_apply_graph(ApplyTrans::ConjTrans, req->c.nt());
     } catch (...) {
       req->solve_promise.set_exception(std::current_exception());
+      request_resolved(state);
       return;
     }
     {
@@ -1048,46 +1288,61 @@ class FactorStream {
     // Safe even though the factor component has not retired yet: the pool
     // stream admits appends from task bodies and completion callbacks, and
     // the factor component keeps the submission non-drained throughout.
-    state->stream.append(
-        req->apply_graph,
-        [raw = req.get()](std::int32_t id) {
-          raw->qr.run_apply_task(raw->apply_graph.tasks[size_t(id)], ApplyTrans::ConjTrans,
-                                 raw->c);
-        },
-        [state, req](std::exception_ptr error) {
-          if (error) {
-            req->solve_promise.set_exception(error);
-          } else {
-            try {
-              req->solve_promise.set_value(req->qr.finish_least_squares(req->c));
-            } catch (...) {
-              req->solve_promise.set_exception(std::current_exception());
+    try {
+      state->stream.append(
+          req->apply_graph,
+          [raw = req.get()](std::int32_t id) {
+            raw->qr.run_apply_task(raw->apply_graph.tasks[size_t(id)], ApplyTrans::ConjTrans,
+                                   raw->c);
+          },
+          [state, req](std::exception_ptr error) {
+            if (error) {
+              req->solve_promise.set_exception(error);
+            } else {
+              try {
+                req->solve_promise.set_value(req->qr.finish_least_squares(req->c));
+              } catch (...) {
+                req->solve_promise.set_exception(std::current_exception());
+              }
             }
-          }
-          on_component_retired(state);
-        },
-        req);
+            request_resolved(state);
+            on_component_retired(state);
+          },
+          req);
+    } catch (...) {
+      // Close race: the pool stream refused the chained stage. Fail the
+      // solve and retire the phantom graft, or the inflight/unresolved
+      // accounting leaks and the request's future never resolves.
+      req->solve_promise.set_exception(std::current_exception());
+      request_resolved(state);
+      on_component_retired(state);
+    }
   }
 
-  static void fail_request(Request& req, std::exception_ptr error) {
+  /// Fails a request's user-facing future and releases its admission slot.
+  static void fail_request(const std::shared_ptr<State>& state, Request& req,
+                           std::exception_ptr error) {
     if (req.solve)
       req.solve_promise.set_exception(std::move(error));
     else
       req.promise.set_exception(std::move(error));
+    request_resolved(state);
   }
 
-  /// A grafted component retired: if the stream ran dry with work pending
-  /// (arrivals outpaced this drain), graft the backlog now — this is the
-  /// hand-off that keeps workers flowing across what used to be batch
-  /// boundaries.
+  /// A grafted component retired: if the in-flight window fell to the
+  /// watermark with work pending (arrivals outpaced this drain), graft the
+  /// backlog now — this is the hand-off that keeps workers flowing across
+  /// what used to be batch boundaries.
   static void on_component_retired(const std::shared_ptr<State>& state) {
     std::vector<Group> groups;
     {
       std::lock_guard<std::mutex> lock(state->mu);
       --state->inflight;
-      if (!state->corked && state->inflight == 0 && !state->pending.empty())
+      if (!state->corked && state->inflight <= long(state->opts.low_watermark) &&
+          !state->pending.empty())
         groups = take_groups_locked(*state);
     }
+    state->retire_cv.notify_all();
     graft(state, std::move(groups));
   }
 

@@ -68,13 +68,25 @@ struct ThreadPool::Submission {
 
   std::mutex mu;  ///< guards components growth/pruning and the open→closed flip
   /// Append-only at the back (grafts), pruned from the front once fully
-  /// retired — but only for streams (`prune`): run() still reads the lone
+  /// retired — but only for streams (`stream`): run() still reads the lone
   /// component of a one-shot submission after it completes, and one-shot
   /// submissions die wholesale anyway. Without pruning, a stream held open
   /// for a server's lifetime would grow one Component shell per graft
   /// forever; with it, memory is bounded by the in-flight window.
   std::deque<Component> components;
-  bool prune = false;
+  /// Streaming submission: enables front-pruning (above) and routes the deal
+  /// anchor through the pool-level weighted round-robin across streams.
+  bool stream = false;
+  /// The pool's live-stream gauge (engaged for streams only). Decremented
+  /// once — by the first close(), or from ~Submission when the last handle
+  /// was dropped without ever closing (`gauge_counted` guards the double).
+  std::shared_ptr<std::atomic<long>> live_gauge;
+  std::atomic<bool> gauge_counted{false};
+
+  ~Submission() {
+    if (live_gauge && gauge_counted.exchange(false, std::memory_order_acq_rel))
+      live_gauge->fetch_sub(1, std::memory_order_relaxed);
+  }
   /// closed is written under `mu` but read lock-free on the retire path; the
   /// seq_cst store/load pairing with `inflight` resolves the close-vs-last-
   /// retire race (exactly one side sees both conditions and finalizes).
@@ -93,13 +105,74 @@ struct ThreadPool::Submission {
 
 struct ThreadPool::Item {
   std::shared_ptr<Submission> sub;
-  Component* comp;
-  std::int32_t task;
+  Component* comp = nullptr;
+  std::int32_t task = 0;
 };
 
+/// Per-worker ready set: one queue per live submission, linear-scanned (a
+/// worker sees only a handful of submissions at once, so a vector beats any
+/// map). The owner pops LIFO from the back of a queue — preserving locality
+/// and the per-component priority order exactly as the old single deque did —
+/// but rotates round-robin across queues, so one chatty stream's continuous
+/// grafts cannot bury another submission's items at the bottom of a shared
+/// LIFO pile (the pop-side half of multi-stream fairness; the deal-side half
+/// is the pool-level graft rotation). Thieves take the oldest item of the
+/// first queue whose submission admits them. Queues are erased the moment
+/// they empty, so `queues` only ever holds non-empty queues.
 struct ThreadPool::Worker {
+  struct SubQueue {
+    const Submission* key;
+    std::deque<Item> items;
+  };
   std::mutex mu;
-  std::deque<Item> ready;
+  std::vector<SubQueue> queues;
+  size_t rr = 0;  ///< round-robin cursor over `queues` (owner pops)
+
+  // All three require holding `mu`.
+  void push(Item item) {
+    for (auto& q : queues)
+      if (q.key == item.sub.get()) {
+        q.items.push_back(std::move(item));
+        return;
+      }
+    queues.push_back(SubQueue{item.sub.get(), {}});
+    queues.back().items.push_back(std::move(item));
+  }
+  bool pop_rotating(Item& out) {
+    if (queues.empty()) return false;
+    if (rr >= queues.size()) rr = 0;
+    SubQueue& q = queues[rr];
+    out = std::move(q.items.back());
+    q.items.pop_back();
+    if (q.items.empty())
+      queues.erase(queues.begin() + long(rr));  // rr now points at the next queue
+    else
+      ++rr;
+    return true;
+  }
+  bool steal_oldest(int thief, int pool_size, Item& out) {
+    const size_t n = queues.size();
+    if (n == 0) return false;
+    if (rr >= n) rr = 0;
+    // Start at the victim's rotation cursor and advance it on success:
+    // a steal serves a submission's turn just like an owner pop would, so
+    // heavy stealing cannot collapse the round-robin back into one stream.
+    for (size_t k = 0; k < n; ++k) {
+      const size_t i = (rr + k) % n;
+      SubQueue& q = queues[i];
+      if (!q.items.front().sub->worker_in_set(thief, pool_size)) continue;
+      out = std::move(q.items.front());
+      q.items.pop_front();
+      if (q.items.empty()) {
+        queues.erase(queues.begin() + long(i));
+        if (rr > i) --rr;  // cursor keeps pointing at the same next queue
+      } else {
+        rr = i + 1;  // clamped on the next use
+      }
+      return true;
+    }
+    return false;
+  }
 };
 
 ThreadPool::ThreadPool(int threads) {
@@ -129,6 +202,7 @@ ThreadPool::Stats ThreadPool::stats() const noexcept {
   s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
   s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
   s.streams_opened = streams_opened_.load(std::memory_order_relaxed);
+  s.streams_live = streams_live_->load(std::memory_order_relaxed);
   return s;
 }
 
@@ -194,8 +268,15 @@ ThreadPool::Component& ThreadPool::append_component(
                : a < b;
   });
   const int pool_size = size();
-  const int anchor =
-      int(sub->deal_round.fetch_add(1, std::memory_order_relaxed) % unsigned(sub->worker_count));
+  // One-shot submissions rotate their anchor per submission (deal_round);
+  // stream grafts draw from the pool-level round shared by ALL streams,
+  // advanced by the number of sources dealt — weighted round-robin, so a
+  // wide graft shifts the next stream's anchor past the workers it loaded.
+  const unsigned round =
+      sub->stream
+          ? stream_deal_round_.fetch_add(unsigned(sources.size()), std::memory_order_relaxed)
+          : sub->deal_round.fetch_add(1, std::memory_order_relaxed);
+  const int anchor = int(round % unsigned(sub->worker_count));
   std::vector<std::vector<std::int32_t>> dealt(size_t(sub->worker_count));
   for (size_t i = 0; i < sources.size(); ++i)
     dealt[(i + size_t(anchor)) % size_t(sub->worker_count)].push_back(sources[i]);
@@ -206,7 +287,7 @@ ThreadPool::Component& ThreadPool::append_component(
     // Owners pop from the back: push in ascending priority so the most
     // urgent task comes off first.
     for (auto it = dealt[size_t(d)].rbegin(); it != dealt[size_t(d)].rend(); ++it)
-      w.ready.push_back(Item{sub, comp, *it});
+      w.push(Item{sub, comp, *it});
   }
   signal_work();
   return *comp;
@@ -299,8 +380,11 @@ ThreadPool::Stream ThreadPool::open_stream(int max_workers) {
   Stream s;
   s.pool_ = this;
   s.sub_ = make_submission(max_workers, /*closed=*/false);
-  s.sub_->prune = true;  // streams live long; retired grafts are dropped
+  s.sub_->stream = true;  // prune retired grafts + pool-level deal rotation
+  s.sub_->live_gauge = streams_live_;
+  s.sub_->gauge_counted.store(true, std::memory_order_release);
   streams_opened_.fetch_add(1, std::memory_order_relaxed);
+  streams_live_->fetch_add(1, std::memory_order_relaxed);
   return s;
 }
 
@@ -324,6 +408,8 @@ void ThreadPool::Stream::close() {
     std::lock_guard<std::mutex> lock(sub_->mu);
     sub_->closed.store(true, std::memory_order_seq_cst);
   }
+  if (sub_->gauge_counted.exchange(false, std::memory_order_acq_rel))
+    sub_->live_gauge->fetch_sub(1, std::memory_order_relaxed);
   pool_->finalize_if_drained(*sub_);
 }
 
@@ -399,9 +485,8 @@ bool ThreadPool::try_run_one(int wid) {
   Worker& self = *workers_[size_t(wid)];
   {
     std::unique_lock<std::mutex> lock(self.mu);
-    if (!self.ready.empty()) {
-      Item item = std::move(self.ready.back());
-      self.ready.pop_back();
+    Item item;
+    if (self.pop_rotating(item)) {
       lock.unlock();
       run_item(wid, std::move(item));
       return true;
@@ -413,10 +498,8 @@ bool ThreadPool::try_run_one(int wid) {
   for (int d = 1; d < pool_size; ++d) {
     Worker& victim = *workers_[size_t((wid + d) % pool_size)];
     std::unique_lock<std::mutex> lock(victim.mu);
-    for (auto it = victim.ready.begin(); it != victim.ready.end(); ++it) {
-      if (!it->sub->worker_in_set(wid, pool_size)) continue;
-      Item item = std::move(*it);
-      victim.ready.erase(it);
+    Item item;
+    if (victim.steal_oldest(wid, pool_size, item)) {
       lock.unlock();
       tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
       run_item(wid, std::move(item));
@@ -454,7 +537,7 @@ void ThreadPool::run_item(int wid, Item item) {
     Worker& self = *workers_[size_t(wid)];
     {
       std::lock_guard<std::mutex> lock(self.mu);
-      for (std::int32_t s : ready) self.ready.push_back(Item{item.sub, item.comp, s});
+      for (std::int32_t s : ready) self.push(Item{item.sub, item.comp, s});
     }
     signal_work();
   }
@@ -481,7 +564,7 @@ void ThreadPool::run_item(int wid, Item item) {
     comp.npred = std::vector<std::atomic<std::int32_t>>();
     Submission& sub = *item.sub;
     comp.retired.store(true, std::memory_order_release);  // last touch of comp
-    if (sub.prune) {
+    if (sub.stream) {
       // Drop the fully-retired prefix so a long-lived stream's component
       // list is bounded by its in-flight window, not its request history.
       std::lock_guard<std::mutex> lock(sub.mu);

@@ -5,8 +5,10 @@
 // dominant for the "many repeated small factorizations" workload the ROADMAP
 // targets. ThreadPool keeps the workers alive across factorizations:
 //
-//   * one ready deque per worker, guarded by a small per-worker mutex;
-//     owners pop LIFO (locality), idle workers steal FIFO from victims;
+//   * one ready queue per (worker, live submission), guarded by a small
+//     per-worker mutex; owners pop LIFO within a submission's queue
+//     (locality) but rotate round-robin across submissions, idle workers
+//     steal the oldest admissible item from victims — see "fairness" below;
 //   * the initial ready set of a DAG is dealt round-robin across workers in
 //     descending critical-path priority (the paper's scheduling rule), so
 //     every worker starts on the most urgent task it holds;
@@ -25,6 +27,17 @@
 // generation never observe a ready set being rebuilt under them. Completion
 // is per component (its own sentinel counter and callback); the submission
 // itself retires when it is closed and every generation has drained.
+//
+// Fairness (serving QoS): several live streams share the pool, and with one
+// LIFO deque per worker a chatty client's continuous grafts would keep
+// landing on top, starving a quieter stream's items at the bottom. Two
+// mechanisms keep concurrent streams interleaved: (1) stream grafts are
+// dealt from a pool-level weighted round-robin anchor — shared by all
+// streams and advanced by the number of sources dealt — so one client's
+// burst shifts the next client's graft past the workers it just loaded;
+// (2) each worker keeps one ready queue per live submission and rotates
+// round-robin across them when popping, so every submission visible to a
+// worker makes progress regardless of graft arrival order.
 //
 // Tasks only write their declared outputs, so results are bitwise identical
 // to the sequential replay for any worker count, steal order, or pool reuse
@@ -60,6 +73,8 @@ class ThreadPool {
     long tasks_executed = 0;    ///< task bodies actually run
     long tasks_stolen = 0;      ///< tasks taken from another worker's deque
     long streams_opened = 0;    ///< streaming submissions created
+    long streams_live = 0;  ///< gauge: streams opened and neither closed nor
+                            ///< abandoned (all handles dropped without close)
   };
 
   /// `threads == 0` resolves to default_thread_count() (TILEDQR_THREADS or
@@ -208,6 +223,17 @@ class ThreadPool {
   /// Rotates the worker-set anchor (unsigned: wraps harmlessly in
   /// long-lived serving processes).
   std::atomic<unsigned> next_start_{0};
+  /// Pool-level deal round shared by ALL stream grafts, advanced by the
+  /// number of sources each graft deals (weighted round-robin): concurrent
+  /// streams interleave their components across the worker set instead of
+  /// each independently rotating from its own anchor.
+  std::atomic<unsigned> stream_deal_round_{0};
+  /// Live-stream gauge (opened minus closed-or-abandoned); fairness
+  /// diagnostics. Shared with each stream Submission so a handle dropped
+  /// without close() still decrements from ~Submission — which can outlive
+  /// the pool (an open idle stream does not block the pool destructor), so
+  /// the counter cannot live in the pool object itself.
+  std::shared_ptr<std::atomic<long>> streams_live_{std::make_shared<std::atomic<long>>(0)};
 
   // Stats (relaxed counters).
   std::atomic<long> graphs_completed_{0};

@@ -3,6 +3,7 @@
 // amortization across a batch, and error surfacing.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <vector>
 
 #include "core/qr_session.hpp"
@@ -267,6 +268,36 @@ TEST(QrSession, DefaultedTreeRoutesBatchAndPipelineThroughTuner) {
                                                  ConstMatrixView<double>(b.view()), pinned)
                       .get();
   for (std::int64_t r = 0; r < x_auto.rows(); ++r) ASSERT_EQ(x_auto(r, 0), x_pinned(r, 0));
+}
+
+TEST(QrSession, StreamQoSKnobsDoNotChangeResults) {
+  // The serving-QoS knobs (backpressure, watermark, deadline) only decide
+  // WHEN requests graft, never what they compute: a fully-knobbed stream
+  // must be bitwise identical to a default one on the same inputs.
+  auto a = random_matrix<double>(4 * 16 - 1, 2 * 16 - 2, 77);
+  QrSession::StreamOptions plain;
+  plain.nb = 16;
+  plain.ib = 8;
+  plain.tree = trees::TreeConfig{};
+  QrSession::StreamOptions qos = plain;
+  qos.max_queued = 2;
+  qos.overflow = QrSession::StreamOverflow::Block;
+  qos.low_watermark = 1;
+  qos.flush_deadline = std::chrono::milliseconds(1);
+
+  QrSession session(QrSession::Config{2});
+  std::vector<Matrix<double>> results;
+  for (const auto& sopt : {plain, qos}) {
+    auto stream = session.stream<double>(sopt);
+    std::vector<std::future<TiledQr<double>>> futs;
+    for (int i = 0; i < 4; ++i) futs.push_back(stream.push(ConstMatrixView<double>(a.view())));
+    stream.close();
+    for (auto& f : futs) results.push_back(f.get().factors().to_dense());
+  }
+  for (size_t i = 1; i < results.size(); ++i)
+    for (std::int64_t j = 0; j < results[0].cols(); ++j)
+      for (std::int64_t r = 0; r < results[0].rows(); ++r)
+        ASSERT_EQ(results[i](r, j), results[0](r, j)) << "request " << i;
 }
 
 TEST(QrSession, SessionOutlivesNothingItHandsOut) {

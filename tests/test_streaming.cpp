@@ -8,6 +8,7 @@
 // and round counts).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -296,6 +297,234 @@ TEST(FactorStream, DrainKeepsTheStreamOpen) {
                  "same input, same plan");
 }
 
+// ------------------------------------------------------------ serving QoS --
+
+TEST(FactorStream, MultiClientCorkVsDrainKeepsBurstIntact) {
+  // Client A corks a burst; a peer calls drain(). The drain must not claim
+  // A's corked backlog (the burst grafts as the ONE fused component cork
+  // promised) and must park on the retirement condvar — not spin flushing an
+  // empty backlog — until A uncorks.
+  QrSession session(QrSession::Config{2});
+  QrSession::StreamOptions sopt;
+  sopt.nb = 16;
+  sopt.ib = 8;
+  sopt.tree = TreeConfig{};
+  auto stream = session.stream<double>(sopt);
+  constexpr int kBurst = 3;
+  std::vector<Matrix<double>> inputs;
+  for (int i = 0; i < kBurst; ++i) inputs.push_back(random_matrix<double>(64, 32, 500 + i));
+
+  stream.cork();
+  std::vector<std::future<TiledQr<double>>> futures;
+  for (const auto& a : inputs) futures.push_back(stream.push(ConstMatrixView<double>(a.view())));
+
+  std::atomic<bool> drained{false};
+  std::thread drainer([&] {
+    stream.drain();
+    drained.store(true);
+  });
+  // Give the drainer time to park; it cannot return (3 unresolved corked
+  // requests) and must not graft anything.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(drained.load());
+  {
+    auto s = stream.stats();
+    EXPECT_EQ(s.components, 0);  // corked backlog untouched by the drain
+    EXPECT_EQ(s.pending, kBurst);
+    EXPECT_EQ(s.unresolved, kBurst);
+  }
+  stream.uncork();
+  drainer.join();
+  EXPECT_TRUE(drained.load());
+  auto s = stream.stats();
+  EXPECT_EQ(s.components, 1);  // the whole burst rode one fused graft
+  EXPECT_EQ(s.fused_requests, kBurst);
+  EXPECT_EQ(s.unresolved, 0);
+  // A parked drain claims the (empty, corked) backlog at most once.
+  EXPECT_LE(s.empty_flushes, 2);
+  for (auto& f : futures) (void)f.get();
+  stream.close();
+}
+
+TEST(FactorStream, MovedFromHandleGuardsThrow) {
+  QrSession session(QrSession::Config{2});
+  auto stream = session.stream<double>();
+  auto moved = std::move(stream);
+  auto a = random_matrix<double>(32, 16, 9);
+  // Every public method on the moved-from handle reports the caller bug
+  // instead of dereferencing null shared state.
+  EXPECT_THROW((void)stream.push(ConstMatrixView<double>(a.view())), Error);
+  EXPECT_THROW((void)stream.push(TileMatrix<double>::from_dense(a.view(), 16)), Error);
+  EXPECT_THROW((void)stream.push_solve(ConstMatrixView<double>(a.view()),
+                                       ConstMatrixView<double>(a.view())),
+               Error);
+  EXPECT_THROW(stream.cork(), Error);
+  EXPECT_THROW(stream.uncork(), Error);
+  EXPECT_THROW(stream.flush(), Error);
+  EXPECT_THROW(stream.drain(), Error);
+  EXPECT_THROW((void)stream.stats(), Error);
+  EXPECT_THROW((void)stream.generation(), Error);
+  EXPECT_THROW(stream.close(), Error);
+  EXPECT_FALSE(stream.valid());
+  // The moved-into handle works (and the moved-from destructor is a no-op).
+  auto f = moved.push(ConstMatrixView<double>(a.view()));
+  moved.close();
+  (void)f.get();
+}
+
+TEST(FactorStream, RejectOverflowReturnsFailedFuture) {
+  QrSession session(QrSession::Config{2});
+  QrSession::StreamOptions sopt;
+  sopt.nb = 16;
+  sopt.ib = 8;
+  sopt.tree = TreeConfig{};
+  sopt.max_queued = 2;
+  sopt.overflow = QrSession::StreamOverflow::Reject;
+  auto stream = session.stream<double>(sopt);
+  auto a = random_matrix<double>(64, 32, 71);
+  stream.cork();  // hold the admitted requests unresolved deterministically
+  auto f1 = stream.push(ConstMatrixView<double>(a.view()));
+  auto f2 = stream.push(ConstMatrixView<double>(a.view()));
+  auto f3 = stream.push(ConstMatrixView<double>(a.view()));  // over the bound
+  try {
+    (void)f3.get();
+    FAIL() << "expected a backpressure reject";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("backpressure reject"), std::string::npos);
+  }
+  {
+    auto s = stream.stats();
+    EXPECT_EQ(s.rejected, 1);
+    EXPECT_EQ(s.unresolved, 2);
+    EXPECT_EQ(s.pushed, 2);  // the rejected push was never admitted
+  }
+  stream.uncork();
+  stream.close();
+  (void)f1.get();  // the admitted requests are untouched by the reject
+  (void)f2.get();
+  EXPECT_LE(stream.stats().peak_unresolved, 2);
+}
+
+TEST(FactorStream, BlockOverflowBoundsUnresolvedRequests) {
+  // The acceptance bar: a Block-overflow stream never holds more than
+  // max_queued unresolved requests — the pusher parks until a slot frees —
+  // and loses nothing.
+  QrSession session(QrSession::Config{2});
+  QrSession::StreamOptions sopt;
+  sopt.nb = 16;
+  sopt.ib = 8;
+  sopt.tree = TreeConfig{};
+  sopt.max_queued = 2;
+  sopt.overflow = QrSession::StreamOverflow::Block;
+  auto stream = session.stream<double>(sopt);
+  constexpr int kPushes = 16;
+  std::vector<Matrix<double>> inputs;
+  std::vector<std::future<TiledQr<double>>> futures;
+  for (int i = 0; i < kPushes; ++i) {
+    inputs.push_back(random_matrix<double>(48, 32, 800 + i));
+    futures.push_back(stream.push(ConstMatrixView<double>(inputs.back().view())));
+  }
+  stream.close();
+  auto s = stream.stats();
+  EXPECT_LE(s.peak_unresolved, 2);
+  EXPECT_EQ(s.pushed, kPushes);
+  EXPECT_EQ(s.rejected, 0);
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto got = futures[i].get().factors().to_dense();
+    expect_bitwise(got, replay_sequential(inputs[i], 16, 8, TreeConfig{}),
+                   "blocked push " + std::to_string(i));
+  }
+}
+
+TEST(FactorStream, LowWatermarkGraftsBehindLiveComponent) {
+  // low_watermark = 1 keeps a graft queued behind the live one: a push that
+  // arrives with only the live graft in flight grafts immediately instead of
+  // pending until the stream runs dry. The graft happens synchronously on
+  // the pushing thread, so the component count is deterministic.
+  QrSession session(QrSession::Config{2});
+  QrSession::StreamOptions sopt;
+  sopt.nb = 16;
+  sopt.ib = 8;
+  sopt.tree = TreeConfig{};
+  sopt.low_watermark = 1;
+  auto stream = session.stream<double>(sopt);
+  auto a = random_matrix<double>(64, 32, 31);
+  auto f1 = stream.push(ConstMatrixView<double>(a.view()));
+  EXPECT_EQ(stream.stats().components, 1);  // idle stream: grafted immediately
+  auto f2 = stream.push(ConstMatrixView<double>(a.view()));
+  // Whether or not the first graft already retired, inflight <= 1 here, so
+  // the watermark grafts the second push rather than pending it.
+  EXPECT_EQ(stream.stats().components, 2);
+  EXPECT_EQ(stream.stats().pending, 0);
+  stream.close();
+  expect_bitwise(f1.get().factors().to_dense(), f2.get().factors().to_dense(),
+                 "same input through watermark grafts");
+}
+
+TEST(FactorStream, FlushDeadlineCapsCoalescingLatency) {
+  // A big factorization keeps the stream busy; a small request pushed behind
+  // it would normally coalesce until the big one retires. flush_deadline
+  // caps that wait: the deadline thread grafts the aged backlog while the
+  // big graft is still running. (The big QR takes hundreds of milliseconds —
+  // orders of magnitude past the deadline — so the ordering is robust, and
+  // sanitizer slowdowns only widen the margin.)
+  QrSession session(QrSession::Config{2});
+  QrSession::StreamOptions sopt;
+  sopt.nb = 64;
+  sopt.ib = 16;
+  sopt.tree = TreeConfig{};
+  sopt.flush_deadline = std::chrono::milliseconds(5);
+  auto stream = session.stream<double>(sopt);
+  auto big = random_matrix<double>(512, 512, 1);
+  auto small = random_matrix<double>(64, 32, 2);
+  auto f_big = stream.push(ConstMatrixView<double>(big.view()));
+  auto f_small = stream.push(ConstMatrixView<double>(small.view()));
+  auto small_qr = f_small.get();
+  EXPECT_GE(stream.stats().deadline_flushes, 1);
+  (void)f_big.get();
+  stream.close();
+  expect_bitwise(small_qr.factors().to_dense(),
+                 replay_sequential(small, 64, 16, TreeConfig{}), "deadline-grafted push");
+}
+
+TEST(FactorStream, MoveAssignClosesTheOverwrittenStream) {
+  // Re-opening a stream in place (`stream = session.stream(...)`) must close
+  // the old one: its in-flight requests resolve, its deadline thread joins,
+  // and the pool's live-stream gauge drops — nothing is orphaned with no
+  // handle left to close it.
+  QrSession session(QrSession::Config{2});
+  QrSession::StreamOptions sopt;
+  sopt.nb = 16;
+  sopt.ib = 8;
+  sopt.tree = TreeConfig{};
+  sopt.flush_deadline = std::chrono::milliseconds(50);  // engages the thread
+  auto stream = session.stream<double>(sopt);
+  auto a = random_matrix<double>(64, 32, 13);
+  auto f = stream.push(ConstMatrixView<double>(a.view()));
+  EXPECT_EQ(session.pool_stats().streams_live, 1);
+  stream = session.stream<double>(sopt);  // old stream closed by move-assign
+  EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(session.pool_stats().streams_live, 1);  // only the new stream
+  auto f2 = stream.push(ConstMatrixView<double>(a.view()));
+  stream.close();
+  EXPECT_EQ(session.pool_stats().streams_live, 0);
+  expect_bitwise(f.get().factors().to_dense(), f2.get().factors().to_dense(),
+                 "same input across the reassignment");
+}
+
+TEST(FactorStream, NewStreamOptionKnobsAreValidated) {
+  QrSession session(QrSession::Config{2});
+  QrSession::StreamOptions bad_queue;
+  bad_queue.max_queued = -1;
+  EXPECT_THROW((void)session.stream<double>(bad_queue), Error);
+  QrSession::StreamOptions bad_watermark;
+  bad_watermark.low_watermark = -1;
+  EXPECT_THROW((void)session.stream<double>(bad_watermark), Error);
+  QrSession::StreamOptions bad_deadline;
+  bad_deadline.flush_deadline = std::chrono::milliseconds(-1);
+  EXPECT_THROW((void)session.stream<double>(bad_deadline), Error);
+}
+
 // ------------------------------------------------- multi-client interleave --
 
 TEST(FactorStream, MultiClientInterleavingStress) {
@@ -408,6 +637,60 @@ TEST(FactorStream, MultiClientInterleavingStress) {
   for (auto& th : threads) th.join();
   shared_stream.close();
   for (const auto& f : failures) ADD_FAILURE() << f;
+}
+
+TEST(FactorStream, TwoStreamQoSCompetitionStress) {
+  // Two clients, each with its own QoS-bounded stream (Block overflow +
+  // watermark), hammer one 2-worker session. The pool-level fairness deal
+  // interleaves their grafts; the per-stream bound must hold for both under
+  // contention and every result must stay bitwise identical to the replay.
+  const int per_client = env_flag("TILEDQR_STRESS") ? 24 : 6;
+  const TreeConfig tree{};
+  QrSession session(QrSession::Config{2});
+  QrSession::StreamOptions sopt;
+  sopt.nb = 16;
+  sopt.ib = 8;
+  sopt.tree = tree;
+  sopt.max_queued = 4;
+  sopt.overflow = QrSession::StreamOverflow::Block;
+  sopt.low_watermark = 1;
+
+  std::mutex fail_mu;
+  std::vector<std::string> failures;
+  std::vector<std::thread> clients;
+  std::vector<long> peaks(2, 0);
+  for (int cid = 0; cid < 2; ++cid) {
+    clients.emplace_back([&, cid] {
+      auto stream = session.stream<double>(sopt);
+      std::vector<Matrix<double>> inputs;
+      std::vector<std::future<TiledQr<double>>> futs;
+      for (int i = 0; i < per_client; ++i) {
+        inputs.push_back(random_matrix<double>(3 * 16, 2 * 16, unsigned(20000 + cid * 100 + i)));
+        futs.push_back(stream.push(ConstMatrixView<double>(inputs.back().view())));
+      }
+      stream.drain();
+      peaks[size_t(cid)] = stream.stats().peak_unresolved;
+      stream.close();
+      for (size_t i = 0; i < futs.size(); ++i) {
+        auto got = futs[i].get().factors().to_dense();
+        auto want = replay_sequential(inputs[i], 16, 8, tree);
+        for (std::int64_t jj = 0; jj < got.cols(); ++jj)
+          for (std::int64_t ii = 0; ii < got.rows(); ++ii)
+            if (got(ii, jj) != want(ii, jj)) {
+              std::lock_guard<std::mutex> lock(fail_mu);
+              failures.push_back("qos stream value mismatch c" + std::to_string(cid));
+              jj = got.cols();
+              break;
+            }
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  for (const auto& f : failures) ADD_FAILURE() << f;
+  EXPECT_LE(peaks[0], 4);
+  EXPECT_LE(peaks[1], 4);
+  EXPECT_GT(peaks[0], 0);
+  EXPECT_GT(peaks[1], 0);
 }
 
 }  // namespace
