@@ -33,6 +33,8 @@
 #include "common/timer.hpp"
 #include "core/qr_session.hpp"
 #include "matrix/generate.hpp"
+#include "obs/schedule_report.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 using namespace tiledqr;
@@ -325,6 +327,27 @@ int main() {
   }
   std::printf("\n");
 
+  // ---- observability overhead ------------------------------------------- --
+  // The same real-kernel pool-sequential pass, untraced then traced (best of
+  // >= 3 reps each). The disabled path is one relaxed atomic load per task,
+  // so tracing must be free when off and cheap when on; the smoke assert
+  // (TILEDQR_OBS_ASSERT, on by default) enforces a < 5% ratio.
+  auto& tracer = obs::Tracer::instance();
+  const bool was_tracing = tracer.enabled();
+  const int obs_reps = std::max(3, knobs.reps);
+  tracer.disable();
+  auto untraced = run_pool_sequential(session, small, obs_reps);
+  tracer.enable();
+  auto traced = run_pool_sequential(session, small, obs_reps);
+  if (!was_tracing) tracer.disable();
+  const double obs_ratio = traced.seconds / untraced.seconds;
+  std::printf("observability overhead (pool-sequential, best of %d):\n", obs_reps);
+  std::printf("  untraced %.4f s, traced %.4f s -> ratio %.4f (%+.2f%%)\n", untraced.seconds,
+              traced.seconds, obs_ratio, (obs_ratio - 1.0) * 100.0);
+  std::string sched_report = obs::format_schedule_report(obs::build_schedule_report(tracer));
+  if (!sched_report.empty()) std::printf("%s", sched_report.c_str());
+  std::printf("\n");
+
   // ---- one large QR ---------------------------------------------------- --
   auto large = make_workload(1, large_n, small_nb, knobs.ib);
   auto spawn_large = run_spawn_per_call(large, threads, knobs.reps);
@@ -379,6 +402,9 @@ int main() {
                       fo.per_matrix_us_per_graph / fo.fused_us_per_graph);
     }
     json << "],\n";
+    json << stringf("  \"observability\": {\"untraced_seconds\": %.6f, "
+                    "\"traced_seconds\": %.6f, \"overhead_ratio\": %.4f},\n",
+                    untraced.seconds, traced.seconds, obs_ratio);
     json
          << stringf("  \"large\": {\"n\": %lld, \"nb\": %d,\n", (long long)large_n, small_nb)
          << stringf("    \"spawn_per_call\": {\"seconds\": %.6f},\n", spawn_large.seconds)
@@ -386,6 +412,15 @@ int main() {
          << stringf("    \"speedup_pool_vs_spawn\": %.3f}\n", spawn_large.seconds / pool_large.seconds)
          << "}\n";
     std::printf("(json written to %s)\n", json_path.c_str());
+  }
+
+  // Enforced last so the table and JSON record land even on failure.
+  if (env_flag("TILEDQR_OBS_ASSERT", true) && obs_ratio > 1.05) {
+    std::fprintf(stderr,
+                 "FAIL: traced run is %.2f%% slower than untraced (budget 5%%); set "
+                 "TILEDQR_OBS_ASSERT=0 to report without enforcing\n",
+                 (obs_ratio - 1.0) * 100.0);
+    return 1;
   }
   return 0;
 }

@@ -39,6 +39,8 @@
 #include "common/timer.hpp"
 #include "core/qr_session.hpp"
 #include "matrix/generate.hpp"
+#include "obs/schedule_report.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 using namespace tiledqr;
@@ -486,6 +488,17 @@ int main() {
     bench::emit(tf, "streaming_fairness", knobs);
   }
   std::printf("\n");
+
+  // ---- schedule report (when traced) ------------------------------------ --
+  // Under TILEDQR_TRACE the whole run above was recorded; summarize where
+  // the workers spent their time before the exporter writes the raw events.
+  {
+    auto& tracer = obs::Tracer::instance();
+    if (tracer.enabled()) {
+      auto report = obs::format_schedule_report(obs::build_schedule_report(tracer));
+      if (!report.empty()) std::printf("%s\n", report.c_str());
+    }
+  }
 
   // ---- acceptance ------------------------------------------------------- --
   // On the overhead-bound grid, at burst depth >= 4: streamed grafts ride

@@ -27,10 +27,15 @@
 #include <thread>
 #include <vector>
 
+#include <cmath>
+
 #include "common/timer.hpp"
 #include "core/qr_session.hpp"
 #include "matrix/generate.hpp"
 #include "matrix/norms.hpp"
+#include "obs/metrics.hpp"
+#include "obs/schedule_report.hpp"
+#include "obs/trace.hpp"
 
 using namespace tiledqr;
 
@@ -92,20 +97,25 @@ int main(int argc, char** argv) {
   auto bulk_problems = make_problems(requests, m, n, nb, 7000);
   auto interactive_problems = make_problems(interactive_count, m, n, nb, 31000);
 
+  // Each client labels its stream, so its counters and request-latency
+  // histogram export from the global metrics registry as "stream.bulk.*" /
+  // "stream.interactive.*" — the per-client report below reads the registry
+  // snapshot instead of aggregating by hand.
   core::QrSession::StreamOptions bulk_opt;
+  bulk_opt.label = "bulk";
   bulk_opt.nb = nb;
   bulk_opt.ib = std::min(32, nb);
   bulk_opt.max_queued = 16;  // backpressure: the flood cannot outgrow the pool
   bulk_opt.overflow = core::QrSession::StreamOverflow::Block;
 
   core::QrSession::StreamOptions inter_opt;
+  inter_opt.label = "interactive";
   inter_opt.nb = nb;
   inter_opt.ib = std::min(32, nb);
   inter_opt.low_watermark = 1;  // keep a graft queued behind the live one
   inter_opt.flush_deadline = std::chrono::milliseconds(2);  // cap coalescing latency
 
   double bulk_seconds = 0.0;
-  core::FactorStream<double>::Stats bulk_stats{}, inter_stats{};
   std::vector<Matrix<double>> bulk_solutions(size_t(requests), Matrix<double>(0, 0));
   std::vector<Matrix<double>> inter_solutions(size_t(interactive_count), Matrix<double>(0, 0));
   std::vector<double> inter_latencies_ms;
@@ -121,7 +131,6 @@ int main(int argc, char** argv) {
                                            ConstMatrixView<double>(req.b.view())));
     for (int i = 0; i < requests; ++i) bulk_solutions[size_t(i)] = inflight[size_t(i)].get();
     bulk_seconds = timer.seconds();
-    bulk_stats = stream.stats();
     stream.close();
   });
   std::thread interactive_client([&] {
@@ -136,7 +145,6 @@ int main(int argc, char** argv) {
                                        .get();
       inter_latencies_ms.push_back(timer.seconds() * 1e3);
     }
-    inter_stats = stream.stats();
     stream.close();
   });
   bulk_client.join();
@@ -155,6 +163,14 @@ int main(int argc, char** argv) {
   for (double v : inter_latencies_ms) mean_ms += v;
   mean_ms /= double(std::max<size_t>(1, inter_latencies_ms.size()));
 
+  // Per-client stats come from the unified metrics registry: both streams
+  // are closed by now, so their final counters live on as retired samples
+  // under the labels chosen above ("stream.bulk.*", "stream.interactive.*").
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  auto metric = [&snap](const std::string& name) {
+    const double v = snap.value(name);
+    return std::isnan(v) ? 0.0 : v;
+  };
   auto cache = session.plan_cache_stats();
   auto pool = session.pool_stats();
   auto tuning = session.tuning_stats();
@@ -163,14 +179,23 @@ int main(int argc, char** argv) {
               double(requests + interactive_count) / seconds);
   std::printf("worst normal-equation residual: %.3e\n", worst_residual);
   std::printf("bulk client:        %d requests in %.3f s (%.1f req/s); "
-              "peak unresolved %ld (max_queued=16, Block)\n",
-              requests, bulk_seconds, requests / bulk_seconds, bulk_stats.peak_unresolved);
-  std::printf("  stream: %ld pushes -> %ld grafts (%ld rode fused grafts)\n",
-              bulk_stats.pushed, bulk_stats.components, bulk_stats.fused_requests);
+              "peak unresolved %.0f (max_queued=16, Block)\n",
+              requests, bulk_seconds, requests / bulk_seconds,
+              metric("stream.bulk.peak_unresolved"));
+  std::printf("  stream: %.0f pushes -> %.0f grafts (%.0f rode fused grafts); "
+              "admit-to-resolve p50 %.1f ms, p95 %.1f ms\n",
+              metric("stream.bulk.pushed"), metric("stream.bulk.components"),
+              metric("stream.bulk.fused_requests"),
+              metric("stream.bulk.latency.p50_us") * 1e-3,
+              metric("stream.bulk.latency.p95_us") * 1e-3);
   std::printf("interactive client: %d requests, latency mean %.1f ms, p50 %.1f ms, "
-              "p95 %.1f ms (low_watermark=1, flush_deadline=2ms, %ld deadline flushes)\n",
+              "p95 %.1f ms (low_watermark=1, flush_deadline=2ms, %.0f deadline flushes)\n",
               interactive_count, mean_ms, percentile(inter_latencies_ms, 0.50),
-              percentile(inter_latencies_ms, 0.95), inter_stats.deadline_flushes);
+              percentile(inter_latencies_ms, 0.95),
+              metric("stream.interactive.deadline_flushes"));
+  std::printf("  stream: admit-to-resolve p50 %.1f ms, p95 %.1f ms\n",
+              metric("stream.interactive.latency.p50_us") * 1e-3,
+              metric("stream.interactive.latency.p95_us") * 1e-3);
   std::printf("autotuner: %ld hits / %ld misses, %zu shape decisions\n", tuning.hits,
               tuning.misses, tuning.entries);
   std::printf("plan cache: %ld hits / %ld misses (hit rate %.3f), fused: %ld hits / %ld misses\n",
@@ -179,5 +204,13 @@ int main(int argc, char** argv) {
               "(%ld still live)\n",
               pool.tasks_executed, pool.tasks_stolen, pool.graphs_completed,
               pool.streams_opened, pool.streams_live);
+
+  // Under TILEDQR_TRACE the whole run was recorded; summarize where the
+  // workers spent their time (the raw events export at process exit).
+  auto& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    auto report = obs::format_schedule_report(obs::build_schedule_report(tracer));
+    if (!report.empty()) std::printf("\n%s", report.c_str());
+  }
   return worst_residual < 1e-8 ? 0 : 1;
 }

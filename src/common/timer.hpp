@@ -1,7 +1,14 @@
 // Wall-clock timing helper used by the perf harness and the benches.
+//
+// The library has exactly one clock: std::chrono::steady_clock. WallTimer,
+// the trace collector's event timestamps (obs::now_ns), and the session's
+// deadline math all read it, so durations measured by any of them are
+// directly comparable — a bench's seconds() and a trace slice's `dur` come
+// from the same monotonic source.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace tiledqr {
 
@@ -22,5 +29,18 @@ class WallTimer {
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+namespace obs {
+
+/// Nanoseconds since the steady_clock epoch — the library's one timestamp.
+/// Trace events record pairs of these; subtracting two gives the same
+/// duration a WallTimer spanning them would report.
+[[nodiscard]] inline std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace obs
 
 }  // namespace tiledqr

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 
 namespace tiledqr::core {
 
@@ -29,6 +30,23 @@ size_t fused_plan_bytes(const FusedPlan& fused) {
 }
 
 }  // namespace
+
+PlanCache::PlanCache(size_t byte_budget) : budget_(byte_budget) {
+  metrics_source_ = obs::MetricsRegistry::global().register_source(
+      obs::MetricsRegistry::global().unique_label("plan_cache"),
+      [this](std::vector<obs::Sample>& out) {
+        Stats s = stats();
+        out.push_back({"hits", double(s.hits)});
+        out.push_back({"misses", double(s.misses)});
+        out.push_back({"entries", double(s.entries)});
+        out.push_back({"fused_hits", double(s.fused_hits)});
+        out.push_back({"fused_misses", double(s.fused_misses)});
+        out.push_back({"fused_entries", double(s.fused_entries)});
+        out.push_back({"evictions", double(s.evictions)});
+        out.push_back({"bytes", double(s.bytes)});
+        plan_time_.append_samples("plan_time", out);
+      });
+}
 
 size_t PlanCache::KeyHash::operator()(const Key& k) const noexcept {
   // FNV-1a over the key fields; cheap and well-mixed for small int tuples.
@@ -95,7 +113,9 @@ std::shared_ptr<const Plan> PlanCache::get_impl(int p, int q, const trees::TreeC
   }
   // Plan outside the lock: planning a big grid must not block hits on other
   // shapes. Concurrent misses of the same key each plan; first insert wins.
+  const std::int64_t t0 = obs::now_ns();
   auto plan = std::make_shared<const Plan>(make_plan(p, q, config));
+  plan_time_.record_ns(obs::now_ns() - t0);
   Entry entry;
   entry.bytes = plan_bytes(*plan);
   entry.plan = std::move(plan);
@@ -120,7 +140,9 @@ std::shared_ptr<const FusedPlan> PlanCache::get_fused(int p, int q,
   }
   auto base = get_impl(p, q, config, /*count_stats=*/false);
   std::vector<std::shared_ptr<const Plan>> parts(size_t(count), base);
+  const std::int64_t t0 = obs::now_ns();
   auto fused = std::make_shared<const FusedPlan>(make_fused_plan(parts));
+  plan_time_.record_ns(obs::now_ns() - t0);
   Entry entry;
   entry.bytes = fused_plan_bytes(*fused);
   entry.fused = std::move(fused);

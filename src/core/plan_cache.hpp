@@ -27,6 +27,7 @@
 #include <unordered_map>
 
 #include "core/plan.hpp"
+#include "obs/metrics.hpp"
 
 namespace tiledqr::core {
 
@@ -52,8 +53,9 @@ class PlanCache {
     }
   };
 
-  /// `byte_budget == 0` (the default) means unbounded.
-  explicit PlanCache(size_t byte_budget = 0) : budget_(byte_budget) {}
+  /// `byte_budget == 0` (the default) means unbounded. Registers the cache
+  /// as a metrics source ("plan_cache<N>") in the global registry.
+  explicit PlanCache(size_t byte_budget = 0);
 
   /// Returns the cached plan for the shape, planning on first use. Safe to
   /// call concurrently; on a concurrent miss of the same key one plan wins
@@ -121,6 +123,11 @@ class PlanCache {
   long fused_hits_ = 0;
   long fused_misses_ = 0;
   long evictions_ = 0;
+  /// Wall time spent planning on misses (make_plan/make_fused_plan); lock-
+  /// free, recorded outside mu_.
+  obs::Histogram plan_time_;
+  /// Declared last: deregistered before the fields its callback reads die.
+  obs::MetricsRegistry::SourceHandle metrics_source_;
 };
 
 }  // namespace tiledqr::core

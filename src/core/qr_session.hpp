@@ -65,13 +65,16 @@
 #include <future>
 #include <memory>
 #include <span>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/stringf.hpp"
+#include "common/timer.hpp"
 #include "core/plan_cache.hpp"
 #include "core/tiled_qr.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tuner/tuner.hpp"
 
@@ -135,6 +138,11 @@ class QrSession {
     /// deadline thread is spawned for the stream's lifetime). 0 = no cap.
     /// Corked backlogs are exempt: cork() is an explicit promise.
     std::chrono::steady_clock::duration flush_deadline{0};
+    /// Metrics name of the stream in the global registry: its counters and
+    /// request-latency histogram export as "stream.<label>.*". Empty picks a
+    /// unique "stream<N>" — set it when a process runs several streams whose
+    /// stats a dashboard must tell apart (e.g. "bulk" vs "interactive").
+    std::string label;
   };
 
   QrSession() : pool_(0) {}
@@ -808,6 +816,7 @@ class FactorStream {
       req->promise.set_exception(std::move(rejected));
       return future;
     }
+    req->admit_ns = obs::now_ns();
     try {
       req->qr = prepare(TileMatrix<T>::from_dense(a, state_->opts.nb));
     } catch (...) {
@@ -827,6 +836,7 @@ class FactorStream {
       req->promise.set_exception(std::move(rejected));
       return future;
     }
+    req->admit_ns = obs::now_ns();
     try {
       req->qr = prepare(std::move(a));
     } catch (...) {
@@ -853,6 +863,7 @@ class FactorStream {
       req->solve_promise.set_exception(std::move(rejected));
       return future;
     }
+    req->admit_ns = obs::now_ns();
     try {
       TILEDQR_CHECK(a.rows() >= a.cols(), "push_solve: requires m >= n");
       TILEDQR_CHECK(b.rows() == a.rows(), "push_solve: rhs row mismatch");
@@ -983,6 +994,10 @@ class FactorStream {
     TileMatrix<T> c;
     dag::TaskGraph apply_graph;
     std::promise<Matrix<T>> solve_promise;
+    /// Admission timestamp (obs::now_ns), stamped once a push holds its
+    /// backpressure slot; request_resolved turns it into the stream's
+    /// end-to-end latency sample. 0 = never admitted (no sample).
+    std::int64_t admit_ns = 0;
   };
 
   /// One graft: requests sharing a plan, fused when there is more than one.
@@ -1021,6 +1036,13 @@ class FactorStream {
     /// Engaged only when flush_deadline > 0; joined by close().
     std::thread deadline_thread;
     std::atomic<long> fused_requests{0};  ///< bumped outside mu (graft)
+    /// End-to-end request latency (admission -> future resolution), exported
+    /// through the registry source below. Atomic; recorded outside mu.
+    obs::Histogram latency;
+    /// Registry source "stream.<label>" / "stream<N>". Declared last so it
+    /// deregisters (freezing the stream's final samples as retired metrics)
+    /// before any field its callback reads is destroyed.
+    obs::MetricsRegistry::SourceHandle metrics_source;
   };
 
   FactorStream(QrSession* session, QrSession::StreamOptions opts) : state_(std::make_shared<State>()) {
@@ -1039,6 +1061,27 @@ class FactorStream {
     state_->worker_cap = session->clamp_cap(opts.threads);
     state_->opts = std::move(opts);
     state_->stream = session->pool_.open_stream(state_->worker_cap);
+    auto& registry = obs::MetricsRegistry::global();
+    // Raw State pointer, not the shared_ptr: the handle lives inside State,
+    // so a shared capture would be a self-cycle. It deregisters first in
+    // State's destruction (declared last), while every field here is alive.
+    state_->metrics_source = registry.register_source(
+        state_->opts.label.empty() ? registry.unique_label("stream")
+                                   : "stream." + state_->opts.label,
+        [s = state_.get()](std::vector<obs::Sample>& out) {
+          std::lock_guard<std::mutex> lock(s->mu);
+          out.push_back({"pushed", double(s->pushed)});
+          out.push_back({"components", double(s->stream.generation())});
+          out.push_back({"fused_requests",
+                         double(s->fused_requests.load(std::memory_order_relaxed))});
+          out.push_back({"pending", double(s->pending.size())});
+          out.push_back({"unresolved", double(s->unresolved)});
+          out.push_back({"peak_unresolved", double(s->peak_unresolved)});
+          out.push_back({"rejected", double(s->rejected)});
+          out.push_back({"deadline_flushes", double(s->deadline_flushes)});
+          out.push_back({"empty_flushes", double(s->empty_flushes)});
+          s->latency.append_samples("latency", out);
+        });
     if (state_->opts.flush_deadline.count() > 0)
       state_->deadline_thread = std::thread(&FactorStream::deadline_main, state_);
   }
@@ -1096,9 +1139,11 @@ class FactorStream {
     return nullptr;
   }
 
-  /// A request's user-facing future resolved (value or error): release its
-  /// backpressure slot and wake drain()ers / Block-ed pushers.
-  static void request_resolved(const std::shared_ptr<State>& state) {
+  /// A request's user-facing future resolved (value or error): record its
+  /// end-to-end latency, release its backpressure slot, and wake drain()ers
+  /// / Block-ed pushers.
+  static void request_resolved(const std::shared_ptr<State>& state, const Request& req) {
+    if (req.admit_ns > 0) state->latency.record_ns(obs::now_ns() - req.admit_ns);
     {
       std::lock_guard<std::mutex> lock(state->mu);
       --state->unresolved;
@@ -1266,19 +1311,19 @@ class FactorStream {
                              const std::shared_ptr<Request>& req) {
     if (!req->solve) {
       req->promise.set_value(std::move(req->qr));
-      request_resolved(state);
+      request_resolved(state, *req);
       return;
     }
     try {
       if (req->c.n() == 0) {  // zero-column rhs: answer is n x 0
         req->solve_promise.set_value(Matrix<T>(req->qr.a_.n(), 0));
-        request_resolved(state);
+        request_resolved(state, *req);
         return;
       }
       req->apply_graph = req->qr.build_apply_graph(ApplyTrans::ConjTrans, req->c.nt());
     } catch (...) {
       req->solve_promise.set_exception(std::current_exception());
-      request_resolved(state);
+      request_resolved(state, *req);
       return;
     }
     {
@@ -1305,7 +1350,7 @@ class FactorStream {
                 req->solve_promise.set_exception(std::current_exception());
               }
             }
-            request_resolved(state);
+            request_resolved(state, *req);
             on_component_retired(state);
           },
           req);
@@ -1314,7 +1359,7 @@ class FactorStream {
       // solve and retire the phantom graft, or the inflight/unresolved
       // accounting leaks and the request's future never resolves.
       req->solve_promise.set_exception(std::current_exception());
-      request_resolved(state);
+      request_resolved(state, *req);
       on_component_retired(state);
     }
   }
@@ -1326,7 +1371,7 @@ class FactorStream {
       req.solve_promise.set_exception(std::move(error));
     else
       req.promise.set_exception(std::move(error));
-    request_resolved(state);
+    request_resolved(state, req);
   }
 
   /// A grafted component retired: if the in-flight window fell to the

@@ -1,0 +1,53 @@
+#include "obs/kernel_profile.hpp"
+
+#include "kernels/kernels.hpp"
+
+namespace tiledqr::obs {
+
+long KernelProfiler::total_samples() const noexcept {
+  long n = 0;
+  for (const auto& h : hist_) n += h.count();
+  return n;
+}
+
+perf::WeightProfile KernelProfiler::live_profile(const perf::WeightProfile& fallback) const {
+  if (total_samples() == 0) return fallback;
+
+  perf::WeightProfile out;
+  out.id = "live";
+  // Rescale fallback weights into observed-seconds units using the kinds
+  // that were actually seen, so unobserved kinds stay comparable.
+  double ratio_sum = 0.0;
+  int ratio_n = 0;
+  for (int k = 0; k < kKinds; ++k) {
+    if (hist_[k].count() > 0 && fallback.weight[std::size_t(k)] > 0.0) {
+      ratio_sum += mean_seconds(k) / fallback.weight[std::size_t(k)];
+      ++ratio_n;
+    }
+  }
+  double scale = ratio_n > 0 ? ratio_sum / ratio_n : 1.0;
+  for (int k = 0; k < kKinds; ++k) {
+    out.weight[std::size_t(k)] = hist_[k].count() > 0
+                                     ? mean_seconds(k)
+                                     : fallback.weight[std::size_t(k)] * scale;
+  }
+  return out;
+}
+
+void KernelProfiler::reset() noexcept {
+  for (auto& h : hist_) h.reset();
+}
+
+KernelProfiler& KernelProfiler::global() {
+  static KernelProfiler profiler;
+  static MetricsRegistry::SourceHandle source =
+      MetricsRegistry::global().register_source("kernels", [](std::vector<Sample>& out) {
+        for (int k = 0; k < kKinds; ++k) {
+          profiler.hist_[k].append_samples(
+              kernels::kernel_name(static_cast<kernels::KernelKind>(k)), out);
+        }
+      });
+  return profiler;
+}
+
+}  // namespace tiledqr::obs

@@ -10,11 +10,26 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/kernel_profile.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace tiledqr::runtime {
 
 namespace {
+
+// Load-time refs: the per-task trace guard is one relaxed enabled() load
+// (see thread_pool.cpp for the same pattern).
+obs::Tracer& g_tracer = obs::Tracer::instance();
+obs::KernelProfiler& g_kernel_profiler = obs::KernelProfiler::global();
+
+void record_task_event(const dag::TaskGraph& g, std::int32_t t, std::int64_t t0,
+                       std::int64_t t1, std::uint32_t submission) {
+  const dag::Task& task = g.tasks[size_t(t)];
+  g_tracer.record(t0, t1, std::uint8_t(task.kind), task.i, task.piv, task.k, task.j, t,
+                  submission, /*component=*/0, /*stolen=*/false);
+  g_kernel_profiler.record(std::uint8_t(task.kind), t1 - t0);
+}
 
 /// Priority-queue entry: higher key first, ties by ascending index.
 struct Prioritized {
@@ -52,6 +67,8 @@ class Scheduler {
       lock.unlock();
 
       bool ok = true;
+      const bool traced = g_tracer.enabled();
+      const std::int64_t t0 = traced ? obs::now_ns() : 0;
       try {
         body_(t);
       } catch (...) {
@@ -60,6 +77,7 @@ class Scheduler {
         if (!error_) error_ = std::current_exception();
         failed_ = true;
       }
+      if (traced) record_task_event(g_, t, t0, obs::now_ns(), trace_id_);
 
       lock.lock();
       if (ok) {
@@ -84,6 +102,7 @@ class Scheduler {
  private:
   const dag::TaskGraph& g_;
   const std::function<void(std::int32_t)>& body_;
+  const std::uint32_t trace_id_ = obs::next_trace_submission_id();
   std::vector<long> keys_;
   std::vector<std::atomic<std::int32_t>> npred_;
   ReadyQueue ready_;
@@ -103,11 +122,15 @@ void execute_sequential(const dag::TaskGraph& g, const std::function<void(std::i
     npred[t] = g.tasks[t].npred;
     if (npred[t] == 0) ready.push({keys[t], std::int32_t(t)});
   }
+  const bool traced = g_tracer.enabled();
+  const std::uint32_t sid = traced ? obs::next_trace_submission_id() : 0;
   size_t done = 0;
   while (!ready.empty()) {
     std::int32_t t = ready.top().task;
     ready.pop();
+    const std::int64_t t0 = traced ? obs::now_ns() : 0;
     body(t);
+    if (traced) record_task_event(g, t, t0, obs::now_ns(), sid);
     ++done;
     for (std::int32_t s : g.tasks[size_t(t)].succ)
       if (--npred[size_t(s)] == 0) ready.push({keys[size_t(s)], s});
@@ -178,7 +201,11 @@ void execute_spawn(const dag::TaskGraph& g, const std::function<void(std::int32_
   Scheduler sched(g, body, keys ? *keys : make_priority_keys(g, priority));
   std::vector<std::thread> pool;
   pool.reserve(size_t(threads));
-  for (int w = 0; w < threads; ++w) pool.emplace_back([&sched] { sched.worker_loop(); });
+  for (int w = 0; w < threads; ++w)
+    pool.emplace_back([&sched, w] {
+      g_tracer.set_thread_track_name("spawn.w" + std::to_string(w));
+      sched.worker_loop();
+    });
   for (auto& th : pool) th.join();
   sched.rethrow_if_failed();
 }

@@ -5,6 +5,9 @@
 
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/timer.hpp"
+#include "obs/kernel_profile.hpp"
+#include "obs/trace.hpp"
 
 namespace tiledqr::runtime {
 
@@ -13,6 +16,13 @@ namespace {
 // detect re-entrant use from a task body and help instead of deadlocking.
 thread_local ThreadPool* tl_pool = nullptr;
 thread_local int tl_worker = -1;
+
+// Resolved at load time so the per-task hook in run_item is one relaxed
+// enabled() load when observability is off — no function-local-static guard
+// on the hot path. Also pins the singletons' construction before any
+// static-storage pool, so they are destroyed after it.
+obs::Tracer& g_tracer = obs::Tracer::instance();
+obs::KernelProfiler& g_kernel_profiler = obs::KernelProfiler::global();
 }  // namespace
 
 /// One DAG component of a submission. Tasks retire exactly once each —
@@ -44,6 +54,10 @@ struct ThreadPool::Component {
   std::shared_ptr<const void> keepalive;
   std::vector<std::atomic<std::int32_t>> npred;
   std::atomic<long> remaining;
+  /// Generation this component was born in — its id within the submission
+  /// for trace events. Written once under the submission mutex before any
+  /// item is dealt.
+  long gen = 0;
   std::atomic<bool> failed{false};
   /// Set (with release) after the retiring worker's LAST touch of this
   /// component; the stream prune loop pops only flagged components, so a
@@ -77,15 +91,19 @@ struct ThreadPool::Submission {
   /// Streaming submission: enables front-pruning (above) and routes the deal
   /// anchor through the pool-level weighted round-robin across streams.
   bool stream = false;
-  /// The pool's live-stream gauge (engaged for streams only). Decremented
-  /// once — by the first close(), or from ~Submission when the last handle
-  /// was dropped without ever closing (`gauge_counted` guards the double).
-  std::shared_ptr<std::atomic<long>> live_gauge;
+  /// Trace id: which submission an event belongs to (unique across pools and
+  /// the spawn-path executor).
+  std::uint32_t id = 0;
+  /// The pool's streams-closed counter (engaged for streams only).
+  /// Incremented once — by the first close(), or from ~Submission when the
+  /// last handle was dropped without ever closing (`gauge_counted` guards
+  /// the double count).
+  std::shared_ptr<std::atomic<long>> streams_closed;
   std::atomic<bool> gauge_counted{false};
 
   ~Submission() {
-    if (live_gauge && gauge_counted.exchange(false, std::memory_order_acq_rel))
-      live_gauge->fetch_sub(1, std::memory_order_relaxed);
+    if (streams_closed && gauge_counted.exchange(false, std::memory_order_acq_rel))
+      streams_closed->fetch_add(1, std::memory_order_relaxed);
   }
   /// closed is written under `mu` but read lock-free on the retire path; the
   /// seq_cst store/load pairing with `inflight` resolves the close-vs-last-
@@ -177,10 +195,23 @@ struct ThreadPool::Worker {
 
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) threads = default_thread_count();
+  label_ = obs::MetricsRegistry::global().unique_label("pool");
   workers_.reserve(size_t(threads));
   for (int w = 0; w < threads; ++w) workers_.push_back(std::make_unique<Worker>());
   threads_.reserve(size_t(threads));
   for (int w = 0; w < threads; ++w) threads_.emplace_back([this, w] { worker_main(w); });
+  // Registered after the workers exist: a snapshot taken from another thread
+  // must never observe the pool half-constructed.
+  metrics_source_ = obs::MetricsRegistry::global().register_source(
+      label_, [this](std::vector<obs::Sample>& out) {
+        Stats s = stats();
+        out.push_back({"workers", double(size())});
+        out.push_back({"graphs_completed", double(s.graphs_completed)});
+        out.push_back({"tasks_executed", double(s.tasks_executed)});
+        out.push_back({"tasks_stolen", double(s.tasks_stolen)});
+        out.push_back({"streams_opened", double(s.streams_opened)});
+        out.push_back({"streams_live", double(s.streams_live)});
+      });
 }
 
 ThreadPool::~ThreadPool() {
@@ -197,12 +228,34 @@ ThreadPool::~ThreadPool() {
 }
 
 ThreadPool::Stats ThreadPool::stats() const noexcept {
+  // Coherent snapshot of monotone counters: re-read until two consecutive
+  // passes agree. If every counter reads the same value twice, each held
+  // that value for the whole window between the reads (monotonicity), so
+  // all values coexisted at one instant. Workers mutating mid-read just
+  // trigger another pass; the retry bound keeps this wait-free in practice
+  // (a torn-but-monotone final pass is still a valid *approximate* read,
+  // the same guarantee the old field-by-field code gave).
+  long a[5];
+  long b[5];
+  auto read = [&](long v[5]) {
+    v[0] = graphs_completed_.load(std::memory_order_acquire);
+    v[1] = tasks_executed_.load(std::memory_order_acquire);
+    v[2] = tasks_stolen_.load(std::memory_order_acquire);
+    v[3] = streams_opened_.load(std::memory_order_acquire);
+    v[4] = streams_closed_->load(std::memory_order_acquire);
+  };
+  read(a);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    read(b);
+    if (std::equal(std::begin(a), std::end(a), std::begin(b))) break;
+    std::copy(std::begin(b), std::end(b), std::begin(a));
+  }
   Stats s;
-  s.graphs_completed = graphs_completed_.load(std::memory_order_relaxed);
-  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
-  s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
-  s.streams_opened = streams_opened_.load(std::memory_order_relaxed);
-  s.streams_live = streams_live_->load(std::memory_order_relaxed);
+  s.graphs_completed = b[0];
+  s.tasks_executed = b[1];
+  s.tasks_stolen = b[2];
+  s.streams_opened = b[3];
+  s.streams_live = b[3] - b[4];
   return s;
 }
 
@@ -223,6 +276,7 @@ void ThreadPool::signal_work() {
 
 std::shared_ptr<ThreadPool::Submission> ThreadPool::make_submission(int max_workers, bool closed) {
   auto sub = std::make_shared<Submission>();
+  sub->id = obs::next_trace_submission_id();
   const int pool_size = size();
   sub->worker_count = max_workers <= 0 ? pool_size : std::min(max_workers, pool_size);
   sub->first_worker = int(next_start_.fetch_add(1, std::memory_order_relaxed) % unsigned(pool_size));
@@ -248,6 +302,7 @@ ThreadPool::Component& ThreadPool::append_component(
     comp = &sub->components.emplace_back(
         g, std::move(body), std::move(on_complete), keys,
         keys ? std::vector<long>() : make_priority_keys(g, priority), std::move(keepalive));
+    comp->gen = gen;
     // inflight before generation: wait() snapshots generation and must never
     // see a generation whose component is not yet counted in flight.
     sub->inflight.fetch_add(1, std::memory_order_seq_cst);
@@ -381,10 +436,9 @@ ThreadPool::Stream ThreadPool::open_stream(int max_workers) {
   s.pool_ = this;
   s.sub_ = make_submission(max_workers, /*closed=*/false);
   s.sub_->stream = true;  // prune retired grafts + pool-level deal rotation
-  s.sub_->live_gauge = streams_live_;
+  s.sub_->streams_closed = streams_closed_;
   s.sub_->gauge_counted.store(true, std::memory_order_release);
   streams_opened_.fetch_add(1, std::memory_order_relaxed);
-  streams_live_->fetch_add(1, std::memory_order_relaxed);
   return s;
 }
 
@@ -409,7 +463,7 @@ void ThreadPool::Stream::close() {
     sub_->closed.store(true, std::memory_order_seq_cst);
   }
   if (sub_->gauge_counted.exchange(false, std::memory_order_acq_rel))
-    sub_->live_gauge->fetch_sub(1, std::memory_order_relaxed);
+    sub_->streams_closed->fetch_add(1, std::memory_order_relaxed);
   pool_->finalize_if_drained(*sub_);
 }
 
@@ -467,6 +521,7 @@ void ThreadPool::wait_stream(const std::shared_ptr<Submission>& sub, long up_to_
 void ThreadPool::worker_main(int wid) {
   tl_pool = this;
   tl_worker = wid;
+  g_tracer.set_thread_track_name(label_ + ".w" + std::to_string(wid));
   for (;;) {
     const long epoch = epoch_.load(std::memory_order_seq_cst);
     if (try_run_one(wid)) continue;
@@ -488,7 +543,7 @@ bool ThreadPool::try_run_one(int wid) {
     Item item;
     if (self.pop_rotating(item)) {
       lock.unlock();
-      run_item(wid, std::move(item));
+      run_item(wid, std::move(item), /*stolen=*/false);
       return true;
     }
   }
@@ -502,16 +557,21 @@ bool ThreadPool::try_run_one(int wid) {
     if (victim.steal_oldest(wid, pool_size, item)) {
       lock.unlock();
       tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
-      run_item(wid, std::move(item));
+      run_item(wid, std::move(item), /*stolen=*/true);
       return true;
     }
   }
   return false;
 }
 
-void ThreadPool::run_item(int wid, Item item) {
+void ThreadPool::run_item(int wid, Item item, bool stolen) {
   Component& comp = *item.comp;
   if (!comp.failed.load(std::memory_order_acquire)) {
+    // Observability hook: `traced` is one relaxed load — the entire cost of
+    // the disabled path. When on, the task's begin/end lands in this
+    // thread's trace ring and its duration in the per-kernel histograms.
+    const bool traced = g_tracer.enabled();
+    const std::int64_t t0 = traced ? obs::now_ns() : 0;
     try {
       comp.body(item.task);
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -521,6 +581,13 @@ void ThreadPool::run_item(int wid, Item item) {
         if (!comp.error) comp.error = std::current_exception();
       }
       comp.failed.store(true, std::memory_order_release);
+    }
+    if (traced) {
+      const std::int64_t t1 = obs::now_ns();
+      const dag::Task& t = comp.graph->tasks[size_t(item.task)];
+      g_tracer.record(t0, t1, std::uint8_t(t.kind), t.i, t.piv, t.k, t.j, item.task,
+                      item.sub->id, std::int32_t(comp.gen), stolen);
+      g_kernel_profiler.record(std::uint8_t(t.kind), t1 - t0);
     }
   }
   // Propagate readiness even for cancelled tasks so the component drains and

@@ -51,9 +51,11 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/executor.hpp"
 
 namespace tiledqr::runtime {
@@ -67,7 +69,10 @@ class ThreadPool {
   struct Worker;
 
  public:
-  /// Counters since construction (monotone; read with stats()).
+  /// Counters since construction. stats() returns a *coherent* snapshot:
+  /// every underlying counter is monotone and the reader re-reads until two
+  /// consecutive passes agree, so the returned struct reflects one instant
+  /// (e.g. tasks_stolen never exceeds tasks_executed by a torn read).
   struct Stats {
     long graphs_completed = 0;  ///< DAG components fully retired
     long tasks_executed = 0;    ///< task bodies actually run
@@ -203,7 +208,7 @@ class ThreadPool {
   void wait_stream(const std::shared_ptr<Submission>& sub, long up_to_generation);
   void worker_main(int wid);
   bool try_run_one(int wid);
-  void run_item(int wid, Item item);
+  void run_item(int wid, Item item, bool stolen);
   void signal_work();
 
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -228,18 +233,25 @@ class ThreadPool {
   /// streams interleave their components across the worker set instead of
   /// each independently rotating from its own anchor.
   std::atomic<unsigned> stream_deal_round_{0};
-  /// Live-stream gauge (opened minus closed-or-abandoned); fairness
-  /// diagnostics. Shared with each stream Submission so a handle dropped
-  /// without close() still decrements from ~Submission — which can outlive
-  /// the pool (an open idle stream does not block the pool destructor), so
-  /// the counter cannot live in the pool object itself.
-  std::shared_ptr<std::atomic<long>> streams_live_{std::make_shared<std::atomic<long>>(0)};
+  /// Streams closed or abandoned, monotone (streams_live is derived as
+  /// streams_opened_ − this, keeping every stats() input monotone so the
+  /// coherent-snapshot re-read works). Shared with each stream Submission so
+  /// a handle dropped without close() still counts from ~Submission — which
+  /// can outlive the pool (an open idle stream does not block the pool
+  /// destructor), so the counter cannot live in the pool object itself.
+  std::shared_ptr<std::atomic<long>> streams_closed_{std::make_shared<std::atomic<long>>(0)};
 
   // Stats (relaxed counters).
   std::atomic<long> graphs_completed_{0};
   std::atomic<long> tasks_executed_{0};
   std::atomic<long> tasks_stolen_{0};
   std::atomic<long> streams_opened_{0};
+
+  /// Registry label ("pool0", ...); worker trace tracks are "<label>.w<i>".
+  std::string label_;
+  /// Declared last: deregistered (freezing final stats into the registry)
+  /// before any counter it reads is destroyed.
+  obs::MetricsRegistry::SourceHandle metrics_source_;
 };
 
 }  // namespace tiledqr::runtime

@@ -93,6 +93,15 @@ std::optional<TreeConfig> forced_tree_from_env(int p, int q) {
 
 Tuner::Tuner(TunerConfig config) : config_(std::move(config)) {
   if (!config_.table_path.empty()) table_ = TuningTable::load_or_empty(config_.table_path);
+  metrics_source_ = obs::MetricsRegistry::global().register_source(
+      obs::MetricsRegistry::global().unique_label("tuner"),
+      [this](std::vector<obs::Sample>& out) {
+        TuningTable::Stats s = table_.stats();
+        out.push_back({"hits", double(s.hits)});
+        out.push_back({"misses", double(s.misses)});
+        out.push_back({"refinements", double(s.refinements)});
+        out.push_back({"entries", double(s.entries)});
+      });
 }
 
 Tuner::~Tuner() {

@@ -36,6 +36,7 @@
 
 #include "core/plan_cache.hpp"
 #include "matrix/tile_matrix.hpp"
+#include "obs/metrics.hpp"
 #include "perf/kernel_bench.hpp"
 #include "tuner/tuning_table.hpp"
 
@@ -157,6 +158,10 @@ class Tuner {
   std::mutex forced_mu_;
   std::string forced_env_;
   std::unordered_map<long, std::optional<trees::TreeConfig>> forced_memo_;
+
+  /// Registry source "tuner<N>" exporting the TuningTable stats; declared
+  /// last so it deregisters before table_ dies.
+  obs::MetricsRegistry::SourceHandle metrics_source_;
 };
 
 }  // namespace tiledqr::tuner

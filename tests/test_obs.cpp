@@ -1,0 +1,625 @@
+// Tests for the observability layer: the per-thread trace collector
+// (begin/end pairing, ring overflow accounting, disabled-mode cost contract),
+// the Chrome trace_event exporter (validated by a test-side JSON parser),
+// the unified metrics registry (sources, retirement, named metrics,
+// snapshots), the kernel profiler -> WeightProfile bridge, and the post-run
+// schedule report.
+//
+// The ObsSmoke suite doubles as the CI `obs_smoke` ctest: it traces a real
+// pool factorization end to end and writes build/trace_ci.json, which CI
+// uploads as a Perfetto-loadable artifact.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/qr_session.hpp"
+#include "matrix/generate.hpp"
+#include "obs/kernel_profile.hpp"
+#include "obs/metrics.hpp"
+#include "obs/schedule_report.hpp"
+#include "obs/trace.hpp"
+#include "runtime/executor.hpp"
+
+namespace tiledqr {
+namespace {
+
+// ------------------------------------------------------------------------
+// A deliberately independent JSON reader: the exporter must produce JSON a
+// parser that never saw its writer accepts. Throws std::runtime_error on
+// malformed input.
+struct Json {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  [[nodiscard]] const Json& at(const std::string& key) const {
+    auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return object.count(key) != 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end of input");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) throw std::runtime_error(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(const char* lit) {
+    std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    skip_ws();
+    char c = peek();
+    Json v;
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      v.type = Json::Type::String;
+      v.string = string();
+      return v;
+    }
+    if (consume("true")) {
+      v.type = Json::Type::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume("false")) {
+      v.type = Json::Type::Bool;
+      return v;
+    }
+    if (consume("null")) return v;
+    return number();
+  }
+
+  Json object() {
+    Json v;
+    v.type = Json::Type::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object[key] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json array() {
+    Json v;
+    v.type = Json::Type::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) throw std::runtime_error("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) throw std::runtime_error("raw control char");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u escape");
+          int code = std::stoi(s_.substr(pos_, 4), nullptr, 16);
+          pos_ += 4;
+          out += code < 0x80 ? char(code) : '?';  // ASCII is all the writer emits
+          break;
+        }
+        default: throw std::runtime_error("unknown escape");
+      }
+    }
+  }
+
+  Json number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    std::size_t used = 0;
+    std::string token = s_.substr(start, pos_ - start);
+    double v = std::stod(token, &used);
+    if (used != token.size()) throw std::runtime_error("malformed number: " + token);
+    Json j;
+    j.type = Json::Type::Number;
+    j.number = v;
+    return j;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------------------
+// Trace tests share the process-global tracer; each test starts and ends
+// from the disabled, empty state. (CMake marks this binary RUN_SERIAL so a
+// concurrently scheduled test's pool cannot record into our tracks.)
+struct TracerGuard {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  TracerGuard() {
+    tracer.disable();
+    tracer.clear();
+  }
+  ~TracerGuard() {
+    tracer.disable();
+    tracer.clear();
+  }
+};
+
+/// Chrome-trace "X" events of one exported JSON document.
+std::vector<Json> slice_events(const Json& doc) {
+  std::vector<Json> out;
+  for (const Json& e : doc.at("traceEvents").array)
+    if (e.at("ph").string == "X") out.push_back(e);
+  return out;
+}
+
+std::map<int, std::string> thread_names(const Json& doc) {
+  std::map<int, std::string> names;
+  for (const Json& e : doc.at("traceEvents").array)
+    if (e.at("ph").string == "M" && e.at("name").string == "thread_name")
+      names[int(e.at("tid").number)] = e.at("args").at("name").string;
+  return names;
+}
+
+TEST(Trace, DisabledModeRecordsNothing) {
+  TracerGuard guard;
+  EXPECT_FALSE(guard.tracer.enabled());
+  guard.tracer.record(10, 20, 0, 0, -1, -1, -1, 0, 1, 0, false);
+  EXPECT_EQ(guard.tracer.event_count(), 0u);
+  EXPECT_EQ(guard.tracer.dropped_count(), 0);
+
+  // A full factorization with tracing off leaves no events either — the
+  // acceptance contract behind the "< 5% overhead" bench assertion.
+  core::QrSession session(core::QrSession::Config{.threads = 2});
+  auto a = random_matrix<double>(64, 32, 0xB5);
+  core::Options opt;
+  opt.nb = 16;
+  opt.ib = 8;
+  (void)session.submit(ConstMatrixView<double>(a.view()), opt).get();
+  EXPECT_EQ(guard.tracer.event_count(), 0u);
+}
+
+TEST(Trace, RecordsPairedEventsPerThread) {
+  TracerGuard guard;
+  guard.tracer.enable();
+
+  constexpr int kThreads = 3;
+  constexpr int kEvents = 50;
+  // Barrier: every thread must bind (and name) its track before any thread
+  // exits — a released track is reused by the next binder, and this test
+  // needs three distinct tracks.
+  std::atomic<int> bound{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([w, &guard, &bound] {
+      guard.tracer.set_thread_track_name("pair.w" + std::to_string(w));
+      bound.fetch_add(1);
+      while (bound.load() < kThreads) std::this_thread::yield();
+      for (int e = 0; e < kEvents; ++e) {
+        const std::int64_t t0 = obs::now_ns();
+        const std::int64_t t1 = obs::now_ns();
+        guard.tracer.record(t0, t1, std::uint8_t(e % 6), e, -1, w, e, e,
+                            /*submission=*/7, /*component=*/w, (e % 2) != 0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  int matched_tracks = 0;
+  for (const auto& track : guard.tracer.collect()) {
+    if (track.name.rfind("pair.w", 0) != 0) continue;
+    ++matched_tracks;
+    ASSERT_EQ(track.events.size(), std::size_t(kEvents)) << track.name;
+    EXPECT_EQ(track.dropped, 0);
+    std::int64_t prev_start = 0;
+    for (int e = 0; e < kEvents; ++e) {
+      const obs::TraceEvent& ev = track.events[std::size_t(e)];
+      EXPECT_GE(ev.end_ns, ev.start_ns);     // begin/end pairing, same thread
+      EXPECT_GE(ev.start_ns, prev_start);    // recording order preserved
+      prev_start = ev.start_ns;
+      EXPECT_EQ(ev.task, e);
+      EXPECT_EQ(ev.submission, 7u);
+      EXPECT_EQ(ev.kind, std::uint8_t(e % 6));
+      EXPECT_EQ((ev.flags & obs::TraceEvent::kFlagStolen) != 0, (e % 2) != 0);
+    }
+  }
+  EXPECT_EQ(matched_tracks, kThreads);
+  EXPECT_GE(guard.tracer.event_count(), std::size_t(kThreads * kEvents));
+}
+
+TEST(Trace, OverflowDropsAreCountedNotCorrupting) {
+  TracerGuard guard;
+  guard.tracer.enable();
+
+  // Overflow any ring (default capacity 65536; a reused one can be smaller).
+  constexpr long kRecords = 70000;
+  std::thread writer([&guard] {
+    guard.tracer.set_thread_track_name("overflow.w0");
+    for (long e = 0; e < kRecords; ++e)
+      guard.tracer.record(e, e + 1, 0, 1, -1, -1, -1, std::int32_t(e),
+                          /*submission=*/0xBEEF, 0, false);
+  });
+  writer.join();
+
+  bool found = false;
+  for (const auto& track : guard.tracer.collect()) {
+    if (track.name != "overflow.w0") continue;
+    found = true;
+    // Nothing lost silently: kept + dropped accounts for every record().
+    EXPECT_GT(track.dropped, 0);
+    EXPECT_EQ(long(track.events.size()) + track.dropped, kRecords);
+    // The ring kept the oldest events, uncorrupted, in order.
+    for (std::size_t e = 0; e < track.events.size(); ++e) {
+      ASSERT_EQ(track.events[e].task, std::int32_t(e));
+      ASSERT_EQ(track.events[e].start_ns, std::int64_t(e));
+      ASSERT_EQ(track.events[e].submission, 0xBEEFu);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GT(guard.tracer.dropped_count(), 0);
+}
+
+TEST(Trace, ClearResetsEventsAndDrops) {
+  TracerGuard guard;
+  guard.tracer.enable();
+  guard.tracer.record(1, 2, 0, 0, -1, -1, -1, 0, 1, 0, false);
+  EXPECT_GE(guard.tracer.event_count(), 1u);
+  guard.tracer.disable();
+  guard.tracer.clear();
+  EXPECT_EQ(guard.tracer.event_count(), 0u);
+  EXPECT_EQ(guard.tracer.dropped_count(), 0);
+}
+
+TEST(Trace, ExportedJsonIsValidAndComplete) {
+  TracerGuard guard;
+  guard.tracer.enable();
+
+  std::thread writer([&guard] {
+    guard.tracer.set_thread_track_name("export.w0");
+    for (int e = 0; e < 10; ++e)
+      guard.tracer.record(1000 * e, 1000 * e + 500, std::uint8_t(e % 6), e, e + 1, -1, -1, e,
+                          3, 1, false);
+  });
+  writer.join();
+
+  std::ostringstream out;
+  guard.tracer.export_chrome_json(out);
+  Json doc = JsonParser(out.str()).parse();
+
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+  auto names = thread_names(doc);
+  bool named = false;
+  for (const auto& [tid, name] : names) named = named || name == "export.w0";
+  EXPECT_TRUE(named);
+
+  int matched = 0;
+  for (const Json& e : slice_events(doc)) {
+    // Complete events: non-negative microsecond timestamps and durations,
+    // a tid with thread_name metadata, kernel-kind slice names.
+    EXPECT_GE(e.at("ts").number, 0.0);
+    EXPECT_GE(e.at("dur").number, 0.0);
+    EXPECT_TRUE(names.count(int(e.at("tid").number))) << "unnamed tid";
+    if (names[int(e.at("tid").number)] != "export.w0") continue;
+    ++matched;
+    EXPECT_EQ(e.at("dur").number, 500.0 / 1000.0);  // 500 ns = 0.5 us
+    EXPECT_TRUE(e.at("args").has("i"));
+    EXPECT_TRUE(e.at("args").has("sub"));
+    static const std::set<std::string> kKernels{"GEQRT", "UNMQR", "TSQRT",
+                                               "TSMQR", "TTQRT", "TTMQR"};
+    EXPECT_TRUE(kKernels.count(e.at("name").string)) << e.at("name").string;
+  }
+  EXPECT_EQ(matched, 10);
+}
+
+TEST(Trace, SubmissionIdsAreUnique) {
+  std::uint32_t a = obs::next_trace_submission_id();
+  std::uint32_t b = obs::next_trace_submission_id();
+  EXPECT_NE(a, b);
+}
+
+// ------------------------------------------------------------------------
+
+TEST(Metrics, NamedCountersGaugesHistograms) {
+  obs::MetricsRegistry reg;
+  reg.counter("requests").add(3);
+  reg.counter("requests").add(2);
+  reg.gauge("depth").set(7);
+  reg.histogram("latency").record_ns(1000);
+  reg.histogram("latency").record_ns(3000);
+
+  auto snap = reg.snapshot();
+  EXPECT_EQ(snap.value("requests"), 5.0);
+  EXPECT_EQ(snap.value("depth"), 7.0);
+  EXPECT_EQ(snap.value("latency.count"), 2.0);
+  EXPECT_NEAR(snap.value("latency.mean_us"), 2.0, 1e-9);
+  EXPECT_TRUE(std::isnan(snap.value("no.such.metric")));
+}
+
+TEST(Metrics, HistogramQuantilesAreBucketBoundsClampedToMax) {
+  obs::Histogram h;
+  EXPECT_EQ(h.quantile_ns(0.5), 0.0);
+  for (int i = 0; i < 100; ++i) h.record_ns(1000);  // bucket [512, 1024)
+  h.record_ns(1 << 20);
+  EXPECT_EQ(h.count(), 101);
+  EXPECT_EQ(h.max_ns(), 1 << 20);
+  double p50 = h.quantile_ns(0.5);
+  EXPECT_GE(p50, 1000.0);   // within its power-of-two bucket...
+  EXPECT_LE(p50, 2048.0);   // ...never past the bucket's upper bound
+  EXPECT_EQ(h.quantile_ns(1.0), double(1 << 20));  // clamped to observed max
+}
+
+TEST(Metrics, SourcesPrefixAndRetire) {
+  obs::MetricsRegistry reg;
+  {
+    auto handle = reg.register_source("pool0", [](std::vector<obs::Sample>& out) {
+      out.push_back({"tasks", 42.0});
+    });
+    EXPECT_EQ(reg.snapshot().value("pool0.tasks"), 42.0);
+  }
+  // A dead source's final samples are frozen, so end-of-run dumps still show
+  // closed components.
+  EXPECT_EQ(reg.snapshot().value("pool0.tasks"), 42.0);
+  reg.clear_retired();
+  EXPECT_TRUE(std::isnan(reg.snapshot().value("pool0.tasks")));
+}
+
+TEST(Metrics, UniqueLabelsPerPrefix) {
+  obs::MetricsRegistry reg;
+  EXPECT_EQ(reg.unique_label("pool"), "pool0");
+  EXPECT_EQ(reg.unique_label("pool"), "pool1");
+  EXPECT_EQ(reg.unique_label("stream"), "stream0");
+}
+
+TEST(Metrics, JsonDumpParses) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.count").add(1);
+  reg.histogram("h").record_ns(500);
+  Json doc = JsonParser(reg.snapshot().to_json()).parse();
+  EXPECT_EQ(doc.at("a.count").number, 1.0);
+  EXPECT_EQ(doc.at("h.count").number, 1.0);
+  EXPECT_FALSE(reg.snapshot().to_text().empty());
+}
+
+TEST(Metrics, RuntimeComponentsExportThroughGlobalRegistry) {
+  auto& reg = obs::MetricsRegistry::global();
+  core::QrSession session(core::QrSession::Config{.threads = 2});
+  core::QrSession::StreamOptions sopt;
+  sopt.nb = 16;
+  sopt.ib = 8;
+  sopt.label = "unit";
+  auto stream = session.stream<double>(sopt);
+
+  constexpr int kPushes = 3;
+  std::vector<std::future<core::TiledQr<double>>> futures;
+  for (int r = 0; r < kPushes; ++r) {
+    auto a = random_matrix<double>(48, 32, 0xC0 + unsigned(r));
+    futures.push_back(stream.push(ConstMatrixView<double>(a.view())));
+  }
+  for (auto& f : futures) (void)f.get();
+  // get() returns at promise fulfilment, which precedes the latency record;
+  // drain() returns only after every admitted request fully resolved.
+  stream.drain();
+
+  // Live: the stream's source is registered under its label.
+  auto snap = reg.snapshot();
+  EXPECT_EQ(snap.value("stream.unit.pushed"), double(kPushes));
+  EXPECT_EQ(snap.value("stream.unit.latency.count"), double(kPushes));
+  EXPECT_GT(snap.value("stream.unit.latency.mean_us"), 0.0);
+
+  // The session pool registered as "pool<N>"; find it via the prefix API.
+  bool pool_found = false;
+  for (const auto& s : snap.samples)
+    pool_found = pool_found || (s.name.rfind("pool", 0) == 0 &&
+                                s.name.find(".tasks_executed") != std::string::npos);
+  EXPECT_TRUE(pool_found);
+
+  // Closed: the stream's totals survive as retired samples.
+  stream.close();
+  EXPECT_EQ(reg.snapshot().value("stream.unit.pushed"), double(kPushes));
+}
+
+// ------------------------------------------------------------------------
+
+TEST(KernelProfiler, EmptyProfilerReturnsFallbackUnchanged) {
+  obs::KernelProfiler prof;
+  auto fallback = perf::sc11_profile();
+  auto live = prof.live_profile(fallback);
+  EXPECT_EQ(live.id, fallback.id);
+  EXPECT_EQ(live.weight, fallback.weight);
+}
+
+TEST(KernelProfiler, LiveProfileUsesObservedMeansAndScalesTheRest) {
+  obs::KernelProfiler prof;
+  auto fallback = perf::sc11_profile();
+  // Observe only GEQRT, at exactly 3x its fallback weight (in seconds).
+  const double observed_seconds = 3.0 * fallback.weight[0];
+  for (int s = 0; s < 8; ++s)
+    prof.record(0, std::int64_t(observed_seconds * 1e9));
+  auto live = prof.live_profile(fallback);
+  EXPECT_EQ(live.id, "live");
+  EXPECT_NEAR(live.weight[0], observed_seconds, observed_seconds * 1e-6);
+  // Unobserved kinds keep the fallback's relative shape, rescaled by the
+  // observed/fallback ratio (3x) so they stay comparable.
+  for (std::size_t k = 1; k < live.weight.size(); ++k)
+    EXPECT_NEAR(live.weight[k], 3.0 * fallback.weight[k], 3.0 * fallback.weight[k] * 1e-6)
+        << "kind " << k;
+  EXPECT_EQ(prof.samples(0), 8);
+  EXPECT_EQ(prof.total_samples(), 8);
+  prof.reset();
+  EXPECT_EQ(prof.total_samples(), 0);
+}
+
+// ------------------------------------------------------------------------
+// ObsSmoke: the CI smoke (also part of the plain test run). Traces a real
+// pool factorization, validates the export with the test-side parser, and
+// leaves trace_ci.json in the working directory (the build dir under ctest)
+// for the workflow artifact.
+
+TEST(ObsSmoke, TracedFactorizationExportsLoadableChromeTrace) {
+  TracerGuard guard;
+  guard.tracer.enable();
+
+  constexpr int kWorkers = 2;
+  core::QrSession session(core::QrSession::Config{.threads = kWorkers});
+  auto a = random_matrix<double>(128, 64, 0x51);
+  core::Options opt;
+  opt.nb = 16;
+  opt.ib = 8;
+  (void)session.submit(ConstMatrixView<double>(a.view()), opt).get();
+  guard.tracer.disable();
+
+  const std::size_t recorded = guard.tracer.event_count();
+  EXPECT_GT(recorded, 0u);
+
+  guard.tracer.export_chrome_json("trace_ci.json");
+  std::ifstream in("trace_ci.json");
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  Json doc = JsonParser(buf.str()).parse();
+
+  // One track per pool worker, named by the instrumentation.
+  auto names = thread_names(doc);
+  int pool_tracks = 0;
+  for (const auto& [tid, name] : names)
+    if (name.rfind("pool", 0) == 0 && name.find(".w") != std::string::npos) ++pool_tracks;
+  EXPECT_GE(pool_tracks, kWorkers);
+
+  // Every recorded task appears as a named kernel slice on a named track.
+  auto slices = slice_events(doc);
+  EXPECT_EQ(slices.size(), recorded);
+  static const std::set<std::string> kKernels{"GEQRT", "UNMQR", "TSQRT",
+                                             "TSMQR", "TTQRT", "TTMQR"};
+  std::set<std::string> seen;
+  for (const Json& e : slices) {
+    ASSERT_TRUE(names.count(int(e.at("tid").number)));
+    ASSERT_TRUE(kKernels.count(e.at("name").string)) << e.at("name").string;
+    seen.insert(e.at("name").string);
+    EXPECT_GE(e.at("dur").number, 0.0);
+  }
+  // An 8x4 tile grid exercises the panel kernel and its updates at minimum.
+  EXPECT_GE(seen.size(), 2u);
+
+  // The schedule report built from the same trace is coherent with it.
+  auto report = obs::build_schedule_report(guard.tracer);
+  EXPECT_EQ(report.tasks, long(recorded));
+  EXPECT_GT(report.span_ns, 0);
+  EXPECT_GT(report.utilization, 0.0);
+  EXPECT_LE(report.utilization, 1.0 + 1e-9);
+  EXPECT_FALSE(obs::format_schedule_report(report).empty());
+}
+
+TEST(ObsSmoke, LiveKernelProfileFeedsScheduleReportModel) {
+  TracerGuard guard;
+  guard.tracer.enable();
+
+  core::QrSession session(core::QrSession::Config{.threads = 2});
+  auto a = random_matrix<double>(96, 48, 0x52);
+  core::Options opt;
+  opt.nb = 16;
+  opt.ib = 8;
+  opt.tree = trees::TreeConfig{trees::TreeKind::Greedy, trees::KernelFamily::TT, 1, 1};
+  auto qr = session.submit(ConstMatrixView<double>(a.view()), opt).get();
+  guard.tracer.disable();
+
+  // The run fed the global kernel profiler, so live_profile() is measured.
+  EXPECT_GT(obs::KernelProfiler::global().total_samples(), 0);
+  auto live = obs::KernelProfiler::global().live_profile();
+  EXPECT_EQ(live.id, "live");
+  for (double w : live.weight) EXPECT_GT(w, 0.0);
+
+  // Model comparison: achieved span vs bounded-sim makespan under the live
+  // weights, for the plan this run actually executed.
+  auto plan = session.plan_cache().get(6, 3, *opt.tree);
+  (void)qr;
+  auto report = obs::build_schedule_report(guard.tracer, plan->graph, 2);
+  EXPECT_GT(report.model_seconds, 0.0);
+  EXPECT_GT(report.model_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace tiledqr

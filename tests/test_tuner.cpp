@@ -14,6 +14,7 @@
 
 #include "core/qr_session.hpp"
 #include "matrix/generate.hpp"
+#include "obs/kernel_profile.hpp"
 #include "tuner/tuner.hpp"
 
 namespace tiledqr {
@@ -282,6 +283,43 @@ TEST(Tuner, RefinementTimesTopCandidatesOnPool) {
   auto again = tuner.decide(6, 3, 2, cache, &pool);
   EXPECT_EQ(d, again);
   EXPECT_EQ(tuner.stats().hits, 1);
+}
+
+TEST(Tuner, AcceptsLiveProfileAndRoundTripsThroughTable) {
+  // A WeightProfile built from live trace histograms (the observability
+  // layer's kernel profiler) drives the tuner like any synthetic profile,
+  // and its decisions persist under the "live" id.
+  obs::KernelProfiler prof;
+  // Plausible per-kernel timings: updates cost more than panels, TS kernels
+  // run at higher rate than TT (the paper's §5 asymmetry).
+  const std::int64_t ns[obs::KernelProfiler::kKinds] = {40000, 55000, 52000,
+                                                        90000, 60000, 110000};
+  for (int kind = 0; kind < obs::KernelProfiler::kKinds; ++kind)
+    for (int s = 0; s < 32; ++s) prof.record(std::uint8_t(kind), ns[kind]);
+
+  perf::WeightProfile live = prof.live_profile();
+  EXPECT_EQ(live.id, "live");
+  for (int kind = 0; kind < obs::KernelProfiler::kKinds; ++kind)
+    EXPECT_NEAR(live.weight[std::size_t(kind)], double(ns[kind]) / 1e9, 1e-12);
+
+  TunerConfig config;
+  config.profile = live;
+  Tuner tuner(std::move(config));
+  core::PlanCache cache;
+  auto d = tuner.decide(12, 3, 4, cache);
+  EXPECT_GT(d.model_makespan, 0.0);
+
+  // The decision round-trips through the TuningTable JSON under the live id.
+  TuningTable loaded = TuningTable::from_json(tuner.table().to_json());
+  auto hit = loaded.lookup(12, 3, 4, "live");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, d);
+  // ...and a tuner resuming from that table serves it as a hit.
+  Tuner resumed(TunerConfig{.profile = live});
+  resumed.table() = std::move(loaded);
+  EXPECT_EQ(resumed.decide(12, 3, 4, cache), d);
+  // Two hits: the direct lookup() above and the resumed decide().
+  EXPECT_EQ(resumed.stats().hits, 2);
 }
 
 TEST(Tuner, TablePersistsAcrossTunerLifetimes) {
