@@ -1,10 +1,16 @@
 // gemm / gemv / ger implementations.
 //
-// The NoTrans x NoTrans path — the hot loop of the update kernels — processes
-// four result columns per sweep over A so each A column is loaded once per
-// four C columns; the inner loops are stride-1 and auto-vectorize.
+// For real scalars the NN and (Conj)Trans x NoTrans paths — the hot loops of
+// the update kernels — dispatch to the runtime-selected SIMD microkernels
+// (blas/simd/simd.hpp: register-blocked, packed, FMA where the host has it).
+// Complex scalars keep the generic loops: the NoTrans x NoTrans path
+// processes four result columns per sweep over A so each A column is loaded
+// once per four C columns; the inner loops are stride-1 and auto-vectorize.
 #pragma once
 
+#include <type_traits>
+
+#include "blas/simd/simd.hpp"
 #include "common/error.hpp"
 
 namespace tiledqr::blas {
@@ -16,6 +22,13 @@ void gemm_nn(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> 
   const std::int64_t m = c.rows();
   const std::int64_t n = c.cols();
   const std::int64_t k = a.cols();
+  if constexpr (std::is_same_v<T, double>) {
+    simd::ops().dgemm_nn(m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(), c.data(), c.ld());
+    return;
+  } else if constexpr (std::is_same_v<T, float>) {
+    simd::ops().sgemm_nn(m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(), c.data(), c.ld());
+    return;
+  }
   std::int64_t j = 0;
   for (; j + 4 <= n; j += 4) {
     T* c0 = c.col(j);
@@ -54,6 +67,15 @@ void gemm_tn(Op opa, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, Matrix
   const std::int64_t m = c.rows();
   const std::int64_t n = c.cols();
   const std::int64_t k = a.rows();
+  // For real scalars Trans and ConjTrans coincide, so every transposed-A
+  // path can take the vectorized dot-product microkernel.
+  if constexpr (std::is_same_v<T, double>) {
+    simd::ops().dgemm_tn(m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(), c.data(), c.ld());
+    return;
+  } else if constexpr (std::is_same_v<T, float>) {
+    simd::ops().sgemm_tn(m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(), c.data(), c.ld());
+    return;
+  }
   const bool conj = (opa == Op::ConjTrans) && is_complex_v<T>;
   for (std::int64_t j = 0; j < n; ++j) {
     const T* bj = b.col(j);
@@ -142,27 +164,47 @@ template <typename T>
 void gemv(Op opa, T alpha, ConstMatrixView<T> a, const T* x, T beta, T* y) {
   const std::int64_t m = a.rows();
   const std::int64_t n = a.cols();
+  // BLAS semantics: beta == 0 OVERWRITES y — it must not read it, or NaN/Inf
+  // in an uninitialized output buffer would survive the scaling (0 * NaN is
+  // NaN, not 0).
   if (opa == Op::NoTrans) {
-    if (beta != T(1)) scal(m, beta, y);
+    if (beta == T(0)) {
+      for (std::int64_t i = 0; i < m; ++i) y[i] = T(0);
+    } else if (beta != T(1)) {
+      scal(m, beta, y);
+    }
     for (std::int64_t l = 0; l < n; ++l) axpy(m, alpha * x[l], a.col(l), y);
+  } else if constexpr (!is_complex_v<T>) {
+    // Real transpose path: scale/clear y, then batch the column dots through
+    // the shared-x microkernel (x loaded once per four columns of A).
+    if (beta == T(0)) {
+      for (std::int64_t j = 0; j < n; ++j) y[j] = T(0);
+    } else if (beta != T(1)) {
+      scal(n, beta, y);
+    }
+    gemv_t_acc(m, n, alpha, a.data(), a.ld(), x, y);
   } else {
     for (std::int64_t j = 0; j < n; ++j) {
       T acc = T(0);
       const T* aj = a.col(j);
       if (opa == Op::ConjTrans) {
-        for (std::int64_t i = 0; i < m; ++i) acc += conj_if_complex(aj[i]) * x[i];
+        acc = dotc(m, aj, x);
       } else {
         for (std::int64_t i = 0; i < m; ++i) acc += aj[i] * x[i];
       }
-      y[j] = beta * y[j] + alpha * acc;
+      y[j] = beta == T(0) ? alpha * acc : beta * y[j] + alpha * acc;
     }
   }
 }
 
 template <typename T>
 void ger(T alpha, const T* x, const T* y, MatrixView<T> a) {
-  for (std::int64_t j = 0; j < a.cols(); ++j)
-    axpy(a.rows(), alpha * conj_if_complex(y[j]), x, a.col(j));
+  if constexpr (!is_complex_v<T>) {
+    ger_acc(a.rows(), a.cols(), alpha, x, y, a.data(), a.ld());
+  } else {
+    for (std::int64_t j = 0; j < a.cols(); ++j)
+      axpy(a.rows(), alpha * conj_if_complex(y[j]), x, a.col(j));
+  }
 }
 
 template <typename T>

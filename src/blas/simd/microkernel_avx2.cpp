@@ -1,0 +1,16 @@
+// AVX2 + FMA tier: 256-bit vectors (4 doubles / 8 floats per register).
+// Compiled with -mavx2 -mfma (CMakeLists.txt); nothing outside this TU may
+// assume AVX2, and the dispatcher only installs this table after
+// __builtin_cpu_supports confirms the host has both AVX2 and FMA.
+#if defined(__AVX2__)
+
+#define TILEDQR_SIMD_NS avx2
+#define TILEDQR_SIMD_VBYTES 32
+#define TILEDQR_SIMD_NAME "avx2"
+#define TILEDQR_SIMD_GETTER ops_avx2
+
+#include "blas/simd/microkernel_body.inc"
+
+#else
+#error "microkernel_avx2.cpp must be compiled with -mavx2 (see CMakeLists.txt)"
+#endif

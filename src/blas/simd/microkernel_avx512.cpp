@@ -1,0 +1,21 @@
+// AVX-512 tier: 512-bit vectors (8 doubles / 16 floats per register).
+// Compiled with -mavx512f -mavx512vl -mavx512dq -mfma (CMakeLists.txt); the
+// dispatcher installs this table only after __builtin_cpu_supports confirms
+// the host has the same feature set.
+#if defined(__AVX512F__)
+
+#define TILEDQR_SIMD_NS avx512
+#define TILEDQR_SIMD_VBYTES 64
+// Panel/level-1 kernels run at 256-bit (AVX-512VL encodings on ymm): the
+// bursty short-vector work in the panel factorizations trips the 512-bit
+// frequency license, which costs more than the extra lanes recover. The
+// streaming GEMM loops keep the full 512-bit width where the license pays.
+#define TILEDQR_SIMD_VBYTES_L1 32
+#define TILEDQR_SIMD_NAME "avx512"
+#define TILEDQR_SIMD_GETTER ops_avx512
+
+#include "blas/simd/microkernel_body.inc"
+
+#else
+#error "microkernel_avx512.cpp must be compiled with -mavx512f (see CMakeLists.txt)"
+#endif

@@ -1,0 +1,15 @@
+// NEON tier: 128-bit vectors (2 doubles / 4 floats per register). AArch64
+// guarantees Advanced SIMD, so this TU needs no extra -m flags and the tier
+// is available whenever it is compiled in.
+#if defined(__aarch64__) || defined(__ARM_NEON)
+
+#define TILEDQR_SIMD_NS neon
+#define TILEDQR_SIMD_VBYTES 16
+#define TILEDQR_SIMD_NAME "neon"
+#define TILEDQR_SIMD_GETTER ops_neon
+
+#include "blas/simd/microkernel_body.inc"
+
+#else
+#error "microkernel_neon.cpp is only meaningful on a NEON-capable target"
+#endif

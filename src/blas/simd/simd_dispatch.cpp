@@ -1,0 +1,168 @@
+// Tier resolution: which microkernel table serves the process.
+//
+// Resolution order (first call to ops()/active_tier() decides, then it's one
+// relaxed atomic load on the hot path):
+//   1. TILEDQR_SIMD env override, if it names an available tier;
+//   2. otherwise the highest tier that is both compiled in and supported by
+//      the running CPU (checked with __builtin_cpu_supports on x86).
+// An override naming an unavailable/unknown tier falls back to auto with a
+// one-time stderr warning — serving a request with slower kernels beats
+// refusing to start.
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "blas/simd/simd_tables.hpp"
+#include "common/env.hpp"
+
+namespace tiledqr::blas::simd {
+
+namespace {
+
+std::atomic<const Ops*> g_ops{nullptr};
+std::atomic<int> g_tier{int(Tier::Scalar)};
+std::mutex g_init_mutex;
+
+const Ops* table_for(Tier t) noexcept {
+  switch (t) {
+    case Tier::Scalar:
+      return &ops_scalar();
+    case Tier::Neon:
+#ifdef TILEDQR_SIMD_HAVE_NEON
+      return &ops_neon();
+#else
+      return nullptr;
+#endif
+    case Tier::Avx2:
+#ifdef TILEDQR_SIMD_HAVE_AVX2
+      return &ops_avx2();
+#else
+      return nullptr;
+#endif
+    case Tier::Avx512:
+#ifdef TILEDQR_SIMD_HAVE_AVX512
+      return &ops_avx512();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+bool cpu_supports(Tier t) noexcept {
+  switch (t) {
+    case Tier::Scalar:
+      return true;
+    case Tier::Neon:
+      // The NEON TU is only compiled for AArch64 targets, where Advanced
+      // SIMD is architecturally guaranteed.
+      return true;
+    case Tier::Avx2:
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Tier::Avx512:
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+      return __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512vl") &&
+             __builtin_cpu_supports("avx512dq");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const Ops& init_and_get() noexcept {
+  std::lock_guard<std::mutex> lock(g_init_mutex);
+  const Ops* cur = g_ops.load(std::memory_order_relaxed);
+  if (cur) return *cur;
+
+  Tier pick = best_available_tier();
+  if (auto env = env_string("TILEDQR_SIMD")) {
+    Tier forced;
+    if (parse_tier(env->c_str(), forced)) {
+      if (tier_available(forced)) {
+        pick = forced;
+      } else {
+        std::fprintf(stderr,
+                     "tiledqr: TILEDQR_SIMD=%s names an unavailable dispatch tier "
+                     "(not compiled in or unsupported by this CPU); using %s\n",
+                     env->c_str(), tier_name(pick));
+      }
+    } else if (*env != "auto") {
+      std::fprintf(stderr, "tiledqr: unrecognized TILEDQR_SIMD=%s; using %s\n", env->c_str(),
+                   tier_name(pick));
+    }
+  }
+  const Ops* table = table_for(pick);
+  g_tier.store(int(pick), std::memory_order_relaxed);
+  g_ops.store(table, std::memory_order_release);
+  return *table;
+}
+
+}  // namespace
+
+const Ops& ops() noexcept {
+  const Ops* p = g_ops.load(std::memory_order_relaxed);
+  return p ? *p : init_and_get();
+}
+
+Tier active_tier() noexcept {
+  (void)ops();  // force resolution
+  return Tier(g_tier.load(std::memory_order_relaxed));
+}
+
+bool tier_available(Tier t) noexcept { return table_for(t) != nullptr && cpu_supports(t); }
+
+Tier best_available_tier() noexcept {
+  for (int t = kNumTiers - 1; t >= 0; --t)
+    if (tier_available(Tier(t))) return Tier(t);
+  return Tier::Scalar;
+}
+
+std::vector<Tier> available_tiers() {
+  std::vector<Tier> out;
+  for (int t = 0; t < kNumTiers; ++t)
+    if (tier_available(Tier(t))) out.push_back(Tier(t));
+  return out;
+}
+
+bool set_tier(Tier t) noexcept {
+  if (!tier_available(t)) return false;
+  std::lock_guard<std::mutex> lock(g_init_mutex);
+  g_tier.store(int(t), std::memory_order_relaxed);
+  g_ops.store(table_for(t), std::memory_order_release);
+  return true;
+}
+
+const char* tier_name(Tier t) noexcept {
+  switch (t) {
+    case Tier::Scalar:
+      return "scalar";
+    case Tier::Neon:
+      return "neon";
+    case Tier::Avx2:
+      return "avx2";
+    case Tier::Avx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+bool parse_tier(const char* s, Tier& out) noexcept {
+  for (int t = 0; t < kNumTiers; ++t) {
+    const char* name = tier_name(Tier(t));
+    const char* p = s;
+    const char* q = name;
+    while (*p && *q && *p == *q) ++p, ++q;
+    if (!*p && !*q) {
+      out = Tier(t);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace tiledqr::blas::simd

@@ -1,0 +1,25 @@
+// Internal: per-tier table getters. Which vector tiers exist in this binary
+// is a build-time fact — CMake adds a TILEDQR_SIMD_HAVE_* define for every
+// per-ISA translation unit it compiles (see CMakeLists.txt), and only
+// simd_dispatch.cpp consumes these declarations.
+#pragma once
+
+#include "blas/simd/simd.hpp"
+
+namespace tiledqr::blas::simd {
+
+const Ops& ops_scalar() noexcept;
+
+#ifdef TILEDQR_SIMD_HAVE_AVX2
+const Ops& ops_avx2() noexcept;
+#endif
+
+#ifdef TILEDQR_SIMD_HAVE_AVX512
+const Ops& ops_avx512() noexcept;
+#endif
+
+#ifdef TILEDQR_SIMD_HAVE_NEON
+const Ops& ops_neon() noexcept;
+#endif
+
+}  // namespace tiledqr::blas::simd

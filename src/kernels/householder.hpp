@@ -81,10 +81,18 @@ void geqr2(MatrixView<T> a, T* tau, T* work) {
       a(i, i) = T(1);
       const T* v = &a(i, i);
       auto c = a.sub(i, i + 1, m - i, n - i - 1);
-      // w_j = v^H C(:,j); then C(:,j) -= conj(tau) * w_j * v.
-      for (std::int64_t j = 0; j < c.cols(); ++j) work[j] = blas::dotc(c.rows(), v, c.col(j));
-      for (std::int64_t j = 0; j < c.cols(); ++j)
-        blas::axpy(c.rows(), -conj_if_complex(tau[i]) * work[j], v, c.col(j));
+      // w_j = v^H C(:,j); then C(:,j) -= conj(tau) * w_j * v. Real scalars
+      // take the shared-x microkernels (v loaded once per four columns);
+      // complex keeps per-column dotc because the conjugation is on v.
+      if constexpr (!is_complex_v<T>) {
+        for (std::int64_t j = 0; j < c.cols(); ++j) work[j] = T(0);
+        blas::gemv_t_acc(c.rows(), c.cols(), T(1), c.data(), c.ld(), v, work);
+        blas::ger_acc(c.rows(), c.cols(), -tau[i], v, work, c.data(), c.ld());
+      } else {
+        for (std::int64_t j = 0; j < c.cols(); ++j) work[j] = blas::dotc(c.rows(), v, c.col(j));
+        for (std::int64_t j = 0; j < c.cols(); ++j)
+          blas::axpy(c.rows(), -conj_if_complex(tau[i]) * work[j], v, c.col(j));
+      }
       a(i, i) = alpha;
     }
   }
@@ -104,12 +112,25 @@ void larft(ConstMatrixView<T> v, const T* tau, MatrixView<T> t) {
       continue;
     }
     // t(0:i, i) = -tau_i * V(:,0:i)^H * v_i, exploiting the unit diagonal:
-    // v_i has implicit 1 at row i, explicit tail below.
-    for (std::int64_t j = 0; j < i; ++j) {
-      // Row i of column j is explicit (j < i so V(i,j) is below V's diagonal).
-      T acc = conj_if_complex(v(i, j));  // from the implicit v_i(i) = 1
-      for (std::int64_t r = i + 1; r < m; ++r) acc += conj_if_complex(v(r, j)) * v(r, i);
-      t(j, i) = -tau[i] * acc;
+    // v_i has implicit 1 at row i, explicit tail below; the tails are
+    // contiguous column segments, so the sum is a dotc. Real scalars batch
+    // the i dots through the shared-x microkernel (v_i's tail loaded once
+    // per four columns of V).
+    if constexpr (!is_complex_v<T>) {
+      for (std::int64_t j = 0; j < i; ++j) t(j, i) = v(i, j);  // implicit v_i(i) = 1
+      if (i > 0 && m > i + 1)
+        blas::gemv_t_acc(m - i - 1, i, T(1), &v(i + 1, 0), v.ld(), &v(i + 1, i), &t(0, i));
+      for (std::int64_t j = 0; j < i; ++j) t(j, i) *= -tau[i];
+    } else {
+      for (std::int64_t j = 0; j < i; ++j) {
+        // Row i of column j is explicit (j < i so V(i,j) is below V's
+        // diagonal).
+        // Tails via col() pointers: when i + 1 == m the tail is empty and
+        // &v(i + 1, j) would index one past the view.
+        T acc = conj_if_complex(v(i, j)) +  // from the implicit v_i(i) = 1
+                blas::dotc(m - i - 1, v.col(j) + i + 1, v.col(i) + i + 1);
+        t(j, i) = -tau[i] * acc;
+      }
     }
     // t(0:i, i) = T(0:i,0:i) * t(0:i, i)
     if (i > 0) {

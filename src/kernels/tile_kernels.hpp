@@ -100,7 +100,8 @@ template <typename T>
 void tsqrt(int ib, MatrixView<T> a1, MatrixView<T> a2, MatrixView<T> t) {
   const std::int64_t n = a1.cols();
   const std::int64_t m2 = a2.rows();
-  TILEDQR_CHECK(a1.rows() >= std::min(a1.rows(), n), "tsqrt: bad a1");
+  TILEDQR_CHECK(a1.rows() >= n,
+                "tsqrt: a1 has fewer rows than columns (R1 must hold an n x n triangle)");
   TILEDQR_CHECK(a2.cols() == n, "tsqrt: a2 col mismatch");
   TILEDQR_CHECK(ib >= 1, "tsqrt: ib must be >= 1");
 

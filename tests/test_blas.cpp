@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <complex>
+#include <limits>
 #include <tuple>
 
 #include "blas/blas.hpp"
@@ -104,6 +105,49 @@ TYPED_TEST(BlasTyped, GemmBetaZeroOverwritesGarbage) {
   blas::gemm(Op::NoTrans, Op::NoTrans, T(1), a.view(), b.view(), T(0), c.view());
   auto want = naive_mul(a, b);
   EXPECT_LE(difference_norm<T>(want.view(), c.view()), this->tol());
+}
+
+TYPED_TEST(BlasTyped, GemmBetaZeroOverwritesNaN) {
+  using T = TypeParam;
+  // Stronger than the 1e30 fill: 0 * NaN is NaN, so any path that scales the
+  // output instead of overwriting it fails this test.
+  const auto nan = std::numeric_limits<RealType<T>>::quiet_NaN();
+  auto a = random_matrix<T>(5, 3, 21);
+  auto b = random_matrix<T>(3, 4, 22);
+  Matrix<T> c(5, 4);
+  c.fill(T(nan));
+  blas::gemm(Op::NoTrans, Op::NoTrans, T(1), a.view(), b.view(), T(0), c.view());
+  auto want = naive_mul(a, b);
+  EXPECT_LE(difference_norm<T>(want.view(), c.view()), this->tol());
+}
+
+TYPED_TEST(BlasTyped, GemvBetaZeroOverwritesNaN) {
+  using T = TypeParam;
+  // Regression: gemv used to scale y by beta on both paths, so beta == 0 on a
+  // NaN-poisoned output buffer produced NaN instead of overwriting.
+  const auto nan = std::numeric_limits<RealType<T>>::quiet_NaN();
+  auto a = random_matrix<T>(5, 4, 23);
+  std::vector<T> x4{T(1), T(2), T(-1), T(0.5)};
+  std::vector<T> x5{T(1), T(-2), T(3), T(0), T(1)};
+
+  std::vector<T> y5(5, T(nan));
+  blas::gemv(Op::NoTrans, T(2), a.view(), x4.data(), T(0), y5.data());
+  for (int i = 0; i < 5; ++i) {
+    T want = T(0);
+    for (int j = 0; j < 4; ++j) want += T(2) * a(i, j) * x4[size_t(j)];
+    EXPECT_LE(std::abs(want - y5[size_t(i)]), this->tol()) << i;
+  }
+
+  for (Op op : {Op::Trans, Op::ConjTrans}) {
+    std::vector<T> y4(4, T(nan));
+    blas::gemv(op, T(1), a.view(), x5.data(), T(0), y4.data());
+    for (int j = 0; j < 4; ++j) {
+      T want = T(0);
+      for (int i = 0; i < 5; ++i)
+        want += (op == Op::ConjTrans ? conj_if_complex(a(i, j)) : a(i, j)) * x5[size_t(i)];
+      EXPECT_LE(std::abs(want - y4[size_t(j)]), this->tol()) << j;
+    }
+  }
 }
 
 TYPED_TEST(BlasTyped, GemmWideColumnBlocking) {

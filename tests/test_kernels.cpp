@@ -237,5 +237,13 @@ TEST(KernelChecks, BadIbThrows) {
   EXPECT_THROW(kernels::geqrt(0, a.view(), t.view()), Error);
 }
 
+TEST(KernelChecks, TsqrtRejectsUndersizedR1) {
+  // a1 must hold an n x n triangle: a 2 x 4 a1 cannot. The original check
+  // compared a1.rows() against min(a1.rows(), n) — a tautology that let this
+  // shape through to read past a1's rows.
+  Matrix<double> a1(2, 4), a2(4, 4), t(2, 4);
+  EXPECT_THROW(kernels::tsqrt(2, a1.view(), a2.view(), t.view()), Error);
+}
+
 }  // namespace
 }  // namespace tiledqr

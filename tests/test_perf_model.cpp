@@ -1,6 +1,7 @@
 // Tests for the roofline prediction model and the perf harness plumbing.
 #include <gtest/gtest.h>
 
+#include "blas/simd/simd.hpp"
 #include "core/experiment.hpp"
 #include "core/roofline.hpp"
 #include "perf/cache_flush.hpp"
@@ -91,7 +92,13 @@ TEST(PerfHarness, KernelRatesArePositiveAndFinite) {
 TEST(PerfHarness, KernelSecondsOrdering) {
   // At equal tile size, TSMQR does ~2x the flops of TTMQR and must take
   // longer; same for TSQRT vs TTQRT. (Loose sanity, not a perf assertion.)
+  // Pinned to the scalar dispatch tier: the vectorized tiers speed up the
+  // GEMM-shaped TS kernels far more than the triangular TT kernels, so the
+  // flops-proportional-to-seconds assumption only holds for the plain loops.
+  const auto saved = blas::simd::active_tier();
+  blas::simd::set_tier(blas::simd::Tier::Scalar);
   auto sec = perf::measure_kernel_seconds<double>(48, 8, perf::CacheMode::InCache, 5);
+  blas::simd::set_tier(saved);
   EXPECT_GT(sec[size_t(kernels::KernelKind::TSMQR)],
             sec[size_t(kernels::KernelKind::TTMQR)] * 0.9);
   EXPECT_GT(sec[size_t(kernels::KernelKind::TSQRT)],
