@@ -338,15 +338,27 @@ int main() {
   tracer.disable();
   auto untraced = run_pool_sequential(session, small, obs_reps);
   tracer.enable();
+  tracer.mark();  // scope the report + critical-path forensics to this pass
   auto traced = run_pool_sequential(session, small, obs_reps);
   if (!was_tracing) tracer.disable();
   const double obs_ratio = traced.seconds / untraced.seconds;
   std::printf("observability overhead (pool-sequential, best of %d):\n", obs_reps);
   std::printf("  untraced %.4f s, traced %.4f s -> ratio %.4f (%+.2f%%)\n", untraced.seconds,
               traced.seconds, obs_ratio, (obs_ratio - 1.0) * 100.0);
-  std::string sched_report = obs::format_schedule_report(obs::build_schedule_report(tracer));
+
+  // Critical-path forensics: join the traced pass against the cached plan's
+  // DAG and decompose the dominant factorization's realized chain into work
+  // vs scheduler gap. Reconstruction must itself be cheap — asserted < 1% of
+  // the traced pass it explains (enforced with the overhead budget below).
+  auto small_plan = session.plan_cache().get(tile_p, tile_p, *small.opt.tree);
+  WallTimer analysis_timer;
+  const auto sched = obs::build_schedule_report(tracer, small_plan->graph, threads);
+  const double analysis_seconds = analysis_timer.seconds();
+  const obs::CriticalPathBreakdown& bd = sched.breakdown;
+  std::string sched_report = obs::format_schedule_report(sched);
   if (!sched_report.empty()) std::printf("%s", sched_report.c_str());
-  std::printf("\n");
+  std::printf("  (report + breakdown built in %.3f ms, %.3f%% of the traced pass)\n\n",
+              analysis_seconds * 1e3, 100.0 * analysis_seconds / traced.seconds);
 
   // ---- one large QR ---------------------------------------------------- --
   auto large = make_workload(1, large_n, small_nb, knobs.ib);
@@ -403,8 +415,18 @@ int main() {
     }
     json << "],\n";
     json << stringf("  \"observability\": {\"untraced_seconds\": %.6f, "
-                    "\"traced_seconds\": %.6f, \"overhead_ratio\": %.4f},\n",
-                    untraced.seconds, traced.seconds, obs_ratio);
+                    "\"traced_seconds\": %.6f, \"overhead_ratio\": %.4f,\n",
+                    untraced.seconds, traced.seconds, obs_ratio)
+         << stringf("    \"analysis_seconds\": %.6f,\n", analysis_seconds)
+         << stringf("    \"critical_path\": {\"valid\": %s, \"tasks\": %ld, "
+                    "\"realized_ms\": %.4f, \"work_ms\": %.4f, \"gap_ms\": %.4f, "
+                    "\"dispatch_gap_ms\": %.4f, \"cross_gap_ms\": %.4f, "
+                    "\"stolen_edges\": %ld, \"model_cp_ms\": %.4f, "
+                    "\"realized_over_model\": %.3f}},\n",
+                    bd.valid ? "true" : "false", bd.path_tasks, double(bd.realized_ns) / 1e6,
+                    double(bd.work_ns) / 1e6, double(bd.gap_ns) / 1e6,
+                    double(bd.dispatch_gap_ns) / 1e6, double(bd.cross_gap_ns) / 1e6,
+                    bd.stolen_edges, bd.model_cp_seconds * 1e3, bd.realized_over_model);
     json
          << stringf("  \"large\": {\"n\": %lld, \"nb\": %d,\n", (long long)large_n, small_nb)
          << stringf("    \"spawn_per_call\": {\"seconds\": %.6f},\n", spawn_large.seconds)
@@ -420,6 +442,13 @@ int main() {
                  "FAIL: traced run is %.2f%% slower than untraced (budget 5%%); set "
                  "TILEDQR_OBS_ASSERT=0 to report without enforcing\n",
                  (obs_ratio - 1.0) * 100.0);
+    return 1;
+  }
+  if (env_flag("TILEDQR_OBS_ASSERT", true) && analysis_seconds > 0.01 * traced.seconds) {
+    std::fprintf(stderr,
+                 "FAIL: critical-path analysis took %.3f ms, over 1%% of the traced pass "
+                 "(%.3f s); set TILEDQR_OBS_ASSERT=0 to report without enforcing\n",
+                 analysis_seconds * 1e3, traced.seconds);
     return 1;
   }
   return 0;

@@ -19,6 +19,8 @@
 // it for A/B runs).
 //
 //   ./serving [requests] [m] [n] [nb]
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -33,6 +35,7 @@
 #include "core/qr_session.hpp"
 #include "matrix/generate.hpp"
 #include "matrix/norms.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/schedule_report.hpp"
 #include "obs/trace.hpp"
@@ -93,6 +96,18 @@ int main(int argc, char** argv) {
   // One session for the lifetime of the "server": a persistent worker pool,
   // a plan cache, and a tree autotuner shared by every client.
   core::QrSession session;
+
+  // TILEDQR_HEALTH=1 attaches the live health layer: `kill -USR1 <pid>`
+  // (or HealthMonitor::request_snapshot from code) writes an append-safe
+  // snapshot of the metrics registry plus the session's schedule report —
+  // with the critical-path breakdown when tracing — while the server keeps
+  // serving, and the stall/overrun watchdog runs in the background. Knobs:
+  // TILEDQR_HEALTH_PATH, _POLL_MS, _STALL_MS, _OVERRUN_FACTOR.
+  auto health = obs::HealthMonitor::maybe_from_env(
+      session.pool(), [&session] { return session.health_report(); });
+  if (health)
+    std::printf("health monitor live (pid %d): SIGUSR1 dumps a snapshot without stopping\n",
+                int(::getpid()));
 
   auto bulk_problems = make_problems(requests, m, n, nb, 7000);
   auto interactive_problems = make_problems(interactive_count, m, n, nb, 31000);
@@ -211,6 +226,11 @@ int main(int argc, char** argv) {
   if (tracer.enabled()) {
     auto report = obs::format_schedule_report(obs::build_schedule_report(tracer));
     if (!report.empty()) std::printf("\n%s", report.c_str());
+  }
+  if (health) {
+    const auto hs = health->stats();
+    std::printf("health watchdog: %ld stalls, %ld overruns, %ld snapshots written\n",
+                hs.stalls, hs.overruns, hs.snapshots);
   }
   return worst_residual < 1e-8 ? 0 : 1;
 }

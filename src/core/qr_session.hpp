@@ -75,6 +75,7 @@
 #include "core/plan_cache.hpp"
 #include "core/tiled_qr.hpp"
 #include "obs/metrics.hpp"
+#include "obs/schedule_report.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tuner/tuner.hpp"
 
@@ -179,6 +180,7 @@ class QrSession {
       state->promise.set_exception(std::current_exception());
       return future;
     }
+    note_plan(state->qr.plan_);
     const dag::TaskGraph& graph = state->qr.plan_->graph;
     const int ib = state->qr.opt_.ib;
     pool_.submit(
@@ -385,6 +387,7 @@ class QrSession {
       state->promise.set_exception(std::current_exception());
       return future;
     }
+    note_plan(state->qr.plan_);
     runtime::ThreadPool* pool = &pool_;
     pool_.submit(
         state->qr.plan_->graph,
@@ -500,9 +503,40 @@ class QrSession {
   [[nodiscard]] PlanCache::Stats plan_cache_stats() const { return cache_.stats(); }
   [[nodiscard]] runtime::ThreadPool::Stats pool_stats() const noexcept { return pool_.stats(); }
 
+  /// One-call live snapshot for servers (the HealthMonitor's report
+  /// callback, also useful directly): the global registry metrics plus —
+  /// when tracing is on — the schedule report over the current trace
+  /// window, including the realized-critical-path breakdown joined against
+  /// the DAG of the most recently planned factorization. Safe from any
+  /// thread; reads only snapshots, never disturbs in-flight work.
+  [[nodiscard]] std::string health_report() const {
+    std::string out = obs::MetricsRegistry::global().snapshot().to_text();
+    const auto& tracer = obs::Tracer::instance();
+    if (tracer.enabled()) {
+      std::shared_ptr<const Plan> plan;
+      {
+        std::lock_guard<std::mutex> lock(last_plan_mu_);
+        plan = last_plan_;
+      }
+      const obs::ScheduleReport report =
+          plan ? obs::build_schedule_report(tracer, plan->graph, pool_.size())
+               : obs::build_schedule_report(tracer);
+      out += obs::format_schedule_report(report);
+    }
+    return out;
+  }
+
  private:
   template <typename U>
   friend class FactorStream;
+
+  /// Remembers the most recently prepared plan so health_report() can join
+  /// the live trace against a real DAG. A shared_ptr copy: plans are
+  /// immutable and cache-owned, so this pins at most one plan's memory.
+  void note_plan(const std::shared_ptr<const Plan>& plan) {
+    std::lock_guard<std::mutex> lock(last_plan_mu_);
+    last_plan_ = plan;
+  }
 
   /// The one cap rule: <= 0 (and anything above the pool) means "whole
   /// pool"; in-range caps pass through. Returned as a ThreadPool max_workers
@@ -568,6 +602,7 @@ class QrSession {
         Options per = opt;
         if (!per.tree) per.tree = choose_tree(tiles.mt(), tiles.nt(), worker_cap);
         batch->parts.emplace_back(TiledQr<T>::prepare(std::move(tiles), per, cache_));
+        note_plan(batch->parts.back().qr.plan_);
         futures.push_back(batch->parts.back().promise.get_future());
       } catch (...) {
         std::promise<TiledQr<T>> failed;
@@ -712,6 +747,12 @@ class QrSession {
   PlanCache cache_;
   tuner::Tuner tuner_;
   runtime::ThreadPool pool_;
+
+  /// Most recently prepared plan (any entry path), for health_report()'s
+  /// trace join; guarded by its own mutex so snapshots never contend with
+  /// the scheduling paths beyond this one pointer copy.
+  mutable std::mutex last_plan_mu_;
+  std::shared_ptr<const Plan> last_plan_;
 };
 
 // ------------------------------------------------------------ FactorStream --
@@ -978,6 +1019,13 @@ class FactorStream {
     return state_->stream.generation();
   }
 
+  /// The session-level live snapshot (QrSession::health_report) from the
+  /// stream handle a server actually holds.
+  [[nodiscard]] std::string health_report() const {
+    TILEDQR_CHECK(valid(), "FactorStream::health_report: moved-from or empty stream handle");
+    return state_->session->health_report();
+  }
+
   [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
   explicit operator bool() const noexcept { return valid(); }
 
@@ -1161,7 +1209,9 @@ class FactorStream {
     opt.tree = state_->opts.tree ? *state_->opts.tree
                                  : state_->session->choose_tree(tiles.mt(), tiles.nt(),
                                                                 state_->worker_cap);
-    return TiledQr<T>::prepare(std::move(tiles), opt, state_->session->cache_);
+    TiledQr<T> qr = TiledQr<T>::prepare(std::move(tiles), opt, state_->session->cache_);
+    state_->session->note_plan(qr.plan_);
+    return qr;
   }
 
   void enqueue(std::shared_ptr<Request> req) {

@@ -56,6 +56,58 @@ class DependencyTracker {
   std::vector<std::vector<std::int32_t>> readers_;
 };
 
+/// The kernel access sets of the file comment in task_graph.hpp, applied to
+/// one emitted task. Shared by build_task_graph (emitting as it goes) and
+/// infer_dependencies (replaying a finished list), so the two can never
+/// disagree about an edge.
+void apply_accesses(DependencyTracker& deps, std::int32_t id, const Task& t) {
+  const int i = t.i;
+  const int piv = t.piv;
+  const int k = t.k;
+  const int j = t.j;
+  switch (t.kind) {
+    case KernelKind::GEQRT:
+      deps.modify(id, i, k, kU);
+      deps.modify(id, i, k, kL);
+      deps.modify(id, i, k, kT);
+      break;
+    case KernelKind::UNMQR:
+      deps.read(id, i, k, kL);
+      deps.read(id, i, k, kT);
+      deps.modify(id, i, j, kU);
+      deps.modify(id, i, j, kL);
+      break;
+    case KernelKind::TSQRT:
+      deps.modify(id, piv, k, kU);
+      deps.modify(id, i, k, kU);
+      deps.modify(id, i, k, kL);
+      deps.modify(id, i, k, kT);
+      break;
+    case KernelKind::TSMQR:
+      deps.read(id, i, k, kU);
+      deps.read(id, i, k, kL);
+      deps.read(id, i, k, kT);
+      deps.modify(id, piv, j, kU);
+      deps.modify(id, piv, j, kL);
+      deps.modify(id, i, j, kU);
+      deps.modify(id, i, j, kL);
+      break;
+    case KernelKind::TTQRT:
+      deps.modify(id, piv, k, kU);
+      deps.modify(id, i, k, kU);
+      deps.modify(id, i, k, kT2);
+      break;
+    case KernelKind::TTMQR:
+      deps.read(id, i, k, kU);
+      deps.read(id, i, k, kT2);
+      deps.modify(id, piv, j, kU);
+      deps.modify(id, piv, j, kL);
+      deps.modify(id, i, j, kU);
+      deps.modify(id, i, j, kL);
+      break;
+  }
+}
+
 }  // namespace
 
 std::int32_t TaskGraph::append_offset(const TaskGraph& other) {
@@ -89,47 +141,7 @@ TaskGraph build_task_graph(int p, int q, const trees::EliminationList& list) {
   auto emit = [&](KernelKind kind, int i, int piv, int k, int j) -> std::int32_t {
     auto id = std::int32_t(g.tasks.size());
     g.tasks.push_back(Task{kind, i, piv, k, j, 0, {}});
-    switch (kind) {
-      case KernelKind::GEQRT:
-        deps.modify(id, i, k, kU);
-        deps.modify(id, i, k, kL);
-        deps.modify(id, i, k, kT);
-        break;
-      case KernelKind::UNMQR:
-        deps.read(id, i, k, kL);
-        deps.read(id, i, k, kT);
-        deps.modify(id, i, j, kU);
-        deps.modify(id, i, j, kL);
-        break;
-      case KernelKind::TSQRT:
-        deps.modify(id, piv, k, kU);
-        deps.modify(id, i, k, kU);
-        deps.modify(id, i, k, kL);
-        deps.modify(id, i, k, kT);
-        break;
-      case KernelKind::TSMQR:
-        deps.read(id, i, k, kU);
-        deps.read(id, i, k, kL);
-        deps.read(id, i, k, kT);
-        deps.modify(id, piv, j, kU);
-        deps.modify(id, piv, j, kL);
-        deps.modify(id, i, j, kU);
-        deps.modify(id, i, j, kL);
-        break;
-      case KernelKind::TTQRT:
-        deps.modify(id, piv, k, kU);
-        deps.modify(id, i, k, kU);
-        deps.modify(id, i, k, kT2);
-        break;
-      case KernelKind::TTMQR:
-        deps.read(id, i, k, kU);
-        deps.read(id, i, k, kT2);
-        deps.modify(id, piv, j, kU);
-        deps.modify(id, piv, j, kL);
-        deps.modify(id, i, j, kU);
-        deps.modify(id, i, j, kL);
-        break;
-    }
+    apply_accesses(deps, id, g.tasks.back());
     return id;
   };
 
@@ -159,6 +171,18 @@ TaskGraph build_task_graph(int p, int q, const trees::EliminationList& list) {
   for (int k = 0; k < std::min(p, q); ++k) triangularize(k, k);
 
   return g;
+}
+
+void infer_dependencies(int p, int q, std::vector<Task>& tasks) {
+  TILEDQR_CHECK(p > 0 && q > 0, "infer_dependencies: p and q must be positive");
+  for (auto& t : tasks) {
+    t.npred = 0;
+    t.succ.clear();
+    TILEDQR_CHECK(t.i >= 0 && t.i < p && t.k >= 0 && t.k < q,
+                  "infer_dependencies: task coordinates outside the p x q grid");
+  }
+  DependencyTracker deps(p, q, tasks);
+  for (size_t id = 0; id < tasks.size(); ++id) apply_accesses(deps, std::int32_t(id), tasks[id]);
 }
 
 }  // namespace tiledqr::dag

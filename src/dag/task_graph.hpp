@@ -89,4 +89,12 @@ struct TaskGraph {
 /// Tasks appear in a dependency-consistent (topological) order.
 [[nodiscard]] TaskGraph build_task_graph(int p, int q, const trees::EliminationList& list);
 
+/// Recomputes `npred`/`succ` for an externally-assembled task list (kinds and
+/// tile coordinates set, tasks in emission order) by replaying the access
+/// sets above — the same dependence rule build_task_graph applies while
+/// emitting. Lets the trace analyzer rebuild a plan's exact DAG from a trace
+/// that records only each task's kind and coordinates. Existing edges are
+/// discarded first.
+void infer_dependencies(int p, int q, std::vector<Task>& tasks);
+
 }  // namespace tiledqr::dag

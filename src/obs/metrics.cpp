@@ -8,6 +8,8 @@
 #include <sstream>
 
 #include "common/env.hpp"
+#include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace tiledqr::obs {
 
@@ -162,6 +164,18 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   std::stable_sort(snap.samples.begin(), snap.samples.end(),
                    [](const Sample& a, const Sample& b) { return a.name < b.name; });
   return snap;
+}
+
+std::string MetricsRegistry::dump_now(const std::string& path) const {
+  const std::string target = unique_export_path(path);
+  Snapshot snap = snapshot();
+  std::ofstream f(target);
+  TILEDQR_CHECK(f.good(), "cannot open metrics dump file: " + target);
+  const bool json = target.size() >= 5 && target.ends_with(".json");
+  f << (json ? snap.to_json() : snap.to_text());
+  f.flush();
+  TILEDQR_CHECK(f.good(), "failed writing metrics dump file: " + target);
+  return target;
 }
 
 void MetricsRegistry::clear_retired() {

@@ -149,6 +149,13 @@ class MetricsRegistry {
 
   [[nodiscard]] Snapshot snapshot() const;
 
+  /// Mid-process dump for the health/SIGUSR1 path: writes snapshot() to
+  /// `path` (".json" extension → JSON, anything else → the text table),
+  /// append-safe — an existing file gets a unique "-N" suffix instead of
+  /// being overwritten (obs::unique_export_path). Returns the path actually
+  /// written; throws tiledqr::Error on I/O failure.
+  std::string dump_now(const std::string& path) const;
+
   /// Drop retained (dead-source) samples; live sources are unaffected.
   void clear_retired();
 

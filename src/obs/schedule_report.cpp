@@ -14,7 +14,7 @@ ScheduleReport build_schedule_report(const Tracer& tracer) {
   ScheduleReport r;
   std::int64_t first = std::numeric_limits<std::int64_t>::max();
   std::int64_t last = std::numeric_limits<std::int64_t>::min();
-  for (const auto& track : tracer.collect()) {
+  for (const auto& track : tracer.collect_since(tracer.mark_ns())) {
     r.dropped += track.dropped;
     if (track.events.empty()) continue;
     WorkerLoad w;
@@ -53,6 +53,7 @@ ScheduleReport build_schedule_report(const Tracer& tracer, const dag::TaskGraph&
   if (r.achieved_seconds > 0.0 && r.model_seconds >= 0.0) {
     r.model_ratio = r.model_seconds / r.achieved_seconds;
   }
+  r.breakdown = build_critical_path_breakdown(tracer, graph);
   return r;
 }
 
@@ -82,6 +83,7 @@ std::string format_schedule_report(const ScheduleReport& r) {
                   r.achieved_seconds * 1e3, r.model_seconds * 1e3, r.model_ratio);
     out += line;
   }
+  out += format_critical_path_breakdown(r.breakdown);
   return out;
 }
 

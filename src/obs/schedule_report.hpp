@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/critical_path.hpp"
 #include "obs/trace.hpp"
 
 namespace tiledqr::dag {
@@ -44,10 +45,18 @@ struct ScheduleReport {
   /// model / achieved when both known (> 1 would mean beating the model,
   /// < 1 is scheduling + memory overhead the model doesn't see).
   double model_ratio = -1.0;
+
+  /// Realized-critical-path decomposition (graph flavor only): which chain
+  /// of tasks actually set the span, split into work vs scheduler gaps —
+  /// the explanation behind model_ratio. Invalid when no graph was given or
+  /// no trace group joined against it.
+  CriticalPathBreakdown breakdown;
 };
 
-/// Aggregates the tracer's current events. Empty report when nothing was
-/// recorded.
+/// Aggregates the tracer's current events — honoring the tracer's
+/// begin-mark: only events since mark() count, so a long-lived server can
+/// scope each report to the run since the last mark. Empty report when
+/// nothing was recorded.
 [[nodiscard]] ScheduleReport build_schedule_report(const Tracer& tracer);
 
 /// Same, plus the achieved-vs-model comparison: the bounded list-scheduler

@@ -7,6 +7,7 @@
 
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "kernels/kernels.hpp"
 
 namespace tiledqr::obs {
@@ -98,9 +99,13 @@ void Tracer::enable(std::size_t capacity) {
     if (!t.buf) allocate_locked(t);
   }
   enabled_.store(true, std::memory_order_release);
+  task_observation_flags().fetch_or(kObsTaskTrace, std::memory_order_relaxed);
 }
 
-void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+void Tracer::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+  task_observation_flags().fetch_and(~unsigned(kObsTaskTrace), std::memory_order_relaxed);
+}
 
 void Tracer::clear() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -108,6 +113,13 @@ void Tracer::clear() {
     t.size.store(0, std::memory_order_relaxed);
     t.dropped.store(0, std::memory_order_relaxed);
   }
+  mark_ns_.store(0, std::memory_order_relaxed);
+}
+
+std::int64_t Tracer::mark() {
+  const std::int64_t now = now_ns();
+  mark_ns_.store(now, std::memory_order_relaxed);
+  return now;
 }
 
 Tracer::Track* Tracer::this_thread_track() {
@@ -117,6 +129,11 @@ Tracer::Track* Tracer::this_thread_track() {
   if (!free_.empty()) {
     t = free_.back();
     free_.pop_back();
+    // Clear-on-reuse: the previous lessee is dead; keeping its events would
+    // let a mid-process report mix a stale thread's run into the live one.
+    t->size.store(0, std::memory_order_relaxed);
+    t->dropped.store(0, std::memory_order_relaxed);
+    t->name.clear();
   } else {
     tracks_.emplace_back();
     t = &tracks_.back();
@@ -164,7 +181,9 @@ void Tracer::record(std::int64_t start_ns, std::int64_t end_ns, std::uint8_t kin
   t->size.store(n + 1, std::memory_order_release);
 }
 
-std::vector<TrackSnapshot> Tracer::collect() const {
+std::vector<TrackSnapshot> Tracer::collect() const { return collect_since(0); }
+
+std::vector<TrackSnapshot> Tracer::collect_since(std::int64_t since_ns) const {
   std::vector<TrackSnapshot> out;
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& t : tracks_) {
@@ -175,7 +194,12 @@ std::vector<TrackSnapshot> Tracer::collect() const {
     snap.name = t.name.empty() ? ("thread" + std::to_string(t.tid)) : t.name;
     snap.tid = t.tid;
     snap.dropped = dropped;
-    snap.events.assign(t.buf.get(), t.buf.get() + n);
+    // A thread records in start order, so the kept window is a suffix.
+    std::size_t first = 0;
+    if (since_ns > 0) {
+      while (first < n && t.buf[first].start_ns < since_ns) ++first;
+    }
+    snap.events.assign(t.buf.get() + first, t.buf.get() + n);
     out.push_back(std::move(snap));
   }
   return out;
@@ -238,9 +262,37 @@ void Tracer::export_chrome_json(const std::string& path) const {
   TILEDQR_CHECK(f.good(), "failed writing trace output file: " + path);
 }
 
+std::string Tracer::export_now(const std::string& path) const {
+  const std::string target = unique_export_path(path);
+  export_chrome_json(target);
+  return target;
+}
+
 std::uint32_t next_trace_submission_id() noexcept {
   static std::atomic<std::uint32_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::atomic<unsigned>& task_observation_flags() noexcept {
+  static std::atomic<unsigned> flags{0};
+  return flags;
+}
+
+std::string unique_export_path(const std::string& path) {
+  auto exists = [](const std::string& p) { return std::ifstream(p).good(); };
+  if (!exists(path)) return path;
+  // Insert "-N" before the extension (the final '.' of the basename).
+  const std::size_t slash = path.find_last_of('/');
+  std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    dot = path.size();
+  }
+  for (int n = 1; n < 100000; ++n) {
+    std::string candidate =
+        path.substr(0, dot) + "-" + std::to_string(n) + path.substr(dot);
+    if (!exists(candidate)) return candidate;
+  }
+  return path;  // pathological directory: fall back to overwriting
 }
 
 }  // namespace tiledqr::obs

@@ -21,8 +21,11 @@
 // Track returns to a free list and the next new thread reuses it — so the
 // number of Tracks is bounded by the peak concurrent thread count, not by
 // how many threads ever existed (the spawn-per-call executor baseline
-// creates thousands). Events already in a reused Track are kept; its name
-// is overwritten by the next explicit set_thread_track_name().
+// creates thousands). Reuse clears the previous thread's events, drops, and
+// name: a report built mid-process must never mix a dead thread's stale
+// events into the current run's span or critical path. For reports over a
+// window narrower than "since the last clear", mark() stamps a begin-mark
+// and collect_since() filters on it.
 //
 // `TILEDQR_TRACE=<path>` enables collection at startup and writes the
 // Chrome JSON at process exit; `TILEDQR_TRACE_CAPACITY=<events>` sizes the
@@ -81,11 +84,22 @@ class Tracer {
   void enable(std::size_t capacity = 0);
   void disable();
 
-  /// Drop all recorded events and drop counts (rings stay allocated).
-  /// Callers must quiesce recording threads first — a record() racing a
-  /// clear() may land in the cleared region or be lost, but the buffer
-  /// stays well-formed.
+  /// Drop all recorded events and drop counts (rings stay allocated), and
+  /// reset the begin-mark. Callers must quiesce recording threads first — a
+  /// record() racing a clear() may land in the cleared region or be lost,
+  /// but the buffer stays well-formed.
   void clear();
+
+  /// Stamp the begin-mark at now_ns(): schedule reports and critical-path
+  /// analyses built afterwards (via collect_since(mark_ns())) consider only
+  /// events that *start* at or after the mark, so one long-lived tracer can
+  /// scope its reports to "the run since mark()" without clearing the rings
+  /// the exporter still wants in full. Returns the mark.
+  std::int64_t mark();
+  /// The current begin-mark; 0 = never marked (or cleared since).
+  [[nodiscard]] std::int64_t mark_ns() const noexcept {
+    return mark_ns_.load(std::memory_order_relaxed);
+  }
 
   /// Record one completed task on the calling thread's track. No-op when
   /// disabled. `kind` is kernels::KernelKind or TraceEvent::kNonKernel.
@@ -101,6 +115,11 @@ class Tracer {
   /// in-flight recording). Tracks with no events and no name are skipped.
   [[nodiscard]] std::vector<TrackSnapshot> collect() const;
 
+  /// collect(), keeping only events with start_ns >= since_ns (0 = keep
+  /// everything). Drop counts are reported unchanged — a ring overflow loses
+  /// events regardless of which window a report asks for.
+  [[nodiscard]] std::vector<TrackSnapshot> collect_since(std::int64_t since_ns) const;
+
   [[nodiscard]] std::size_t event_count() const;
   [[nodiscard]] long dropped_count() const;
 
@@ -110,6 +129,13 @@ class Tracer {
   /// failure.
   void export_chrome_json(std::ostream& out) const;
   void export_chrome_json(const std::string& path) const;
+
+  /// Mid-process export for the health/SIGUSR1 path: writes the Chrome JSON
+  /// to `path`, made append-safe — when a file already exists there, a
+  /// unique "-N" suffix is inserted before the extension instead of
+  /// overwriting. Returns the path actually written. Throws tiledqr::Error
+  /// on I/O failure.
+  std::string export_now(const std::string& path) const;
 
   /// The process-wide collector. First call reads TILEDQR_TRACE /
   /// TILEDQR_TRACE_CAPACITY; when TILEDQR_TRACE names a path, collection is
@@ -145,6 +171,7 @@ class Tracer {
   std::vector<Track*> free_;         // tracks whose thread has exited
   std::size_t capacity_ = kDefaultCapacity;
   std::atomic<bool> enabled_{false};
+  std::atomic<std::int64_t> mark_ns_{0};
   std::string exit_path_;  // TILEDQR_TRACE destination, "" = none
 
   static constexpr std::size_t kDefaultCapacity = 65536;
@@ -153,5 +180,26 @@ class Tracer {
 /// Monotonic id source for trace submission ids, shared by the ThreadPool's
 /// submissions and the spawn-path executor so ids are unique across both.
 [[nodiscard]] std::uint32_t next_trace_submission_id() noexcept;
+
+/// Bits of task_observation_flags(): which observers want the runtime's
+/// per-task hook to take timestamps.
+enum ObsTaskFlag : unsigned {
+  kObsTaskTrace = 1u,   ///< Tracer enabled (trace ring + kernel profiler)
+  kObsTaskHealth = 2u,  ///< a HealthMonitor is live (worker running-task slots)
+};
+
+/// The single word the runtime's task hook loads (relaxed) per task — the
+/// whole disabled path, shared by tracing and the health layer so adding the
+/// watchdog did not add a second load. Tracer::enable/disable maintain
+/// kObsTaskTrace; HealthMonitor construction/destruction maintains
+/// kObsTaskHealth.
+[[nodiscard]] std::atomic<unsigned>& task_observation_flags() noexcept;
+
+/// `path`, or — when a file already exists there — the first available
+/// variant with "-N" inserted before the extension ("trace.json" →
+/// "trace-1.json"). The append-safety rule behind Tracer::export_now and
+/// MetricsRegistry::dump_now: repeated snapshots of a live server never
+/// overwrite each other.
+[[nodiscard]] std::string unique_export_path(const std::string& path);
 
 }  // namespace tiledqr::obs

@@ -18,9 +18,10 @@ thread_local ThreadPool* tl_pool = nullptr;
 thread_local int tl_worker = -1;
 
 // Resolved at load time so the per-task hook in run_item is one relaxed
-// enabled() load when observability is off — no function-local-static guard
-// on the hot path. Also pins the singletons' construction before any
-// static-storage pool, so they are destroyed after it.
+// load of the observation flag word when observability is off — no
+// function-local-static guard on the hot path. Also pins the singletons'
+// construction before any static-storage pool, so they are destroyed after
+// it.
 obs::Tracer& g_tracer = obs::Tracer::instance();
 obs::KernelProfiler& g_kernel_profiler = obs::KernelProfiler::global();
 }  // namespace
@@ -146,6 +147,15 @@ struct ThreadPool::Worker {
   std::vector<SubQueue> queues;
   size_t rr = 0;  ///< round-robin cursor over `queues` (owner pops)
 
+  // Health slots, stamped by run_item only while a HealthMonitor is live
+  // (obs::kObsTaskHealth): what this worker is executing right now and when
+  // it last finished anything. release on the *_since/last_finish stores so
+  // a prober that sees the timestamp also sees the matching task/kind.
+  std::atomic<std::int64_t> running_since{0};  ///< 0 = idle
+  std::atomic<std::int64_t> last_finish{0};
+  std::atomic<std::int32_t> running_task{-1};
+  std::atomic<std::uint8_t> running_kind{0xFF};
+
   // All three require holding `mu`.
   void push(Item item) {
     for (auto& q : queues)
@@ -257,6 +267,35 @@ ThreadPool::Stats ThreadPool::stats() const noexcept {
   s.streams_opened = b[3];
   s.streams_live = b[3] - b[4];
   return s;
+}
+
+std::vector<ThreadPool::WorkerProbe> ThreadPool::probe_workers() const {
+  std::vector<WorkerProbe> out;
+  out.reserve(workers_.size());
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    Worker& wk = *workers_[w];
+    WorkerProbe p;
+    p.worker = int(w);
+    {
+      std::lock_guard<std::mutex> lock(wk.mu);
+      for (const auto& q : wk.queues) p.ready += q.items.size();
+    }
+    p.running_since_ns = wk.running_since.load(std::memory_order_acquire);
+    p.running_task = wk.running_task.load(std::memory_order_relaxed);
+    p.running_kind = wk.running_kind.load(std::memory_order_relaxed);
+    p.last_finish_ns = wk.last_finish.load(std::memory_order_acquire);
+    out.push_back(p);
+  }
+  return out;
+}
+
+long ThreadPool::ready_depth() const {
+  long n = 0;
+  for (const auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->mu);
+    for (const auto& q : w->queues) n += long(q.items.size());
+  }
+  return n;
 }
 
 ThreadPool& ThreadPool::default_pool() {
@@ -567,11 +606,21 @@ bool ThreadPool::try_run_one(int wid) {
 void ThreadPool::run_item(int wid, Item item, bool stolen) {
   Component& comp = *item.comp;
   if (!comp.failed.load(std::memory_order_acquire)) {
-    // Observability hook: `traced` is one relaxed load — the entire cost of
-    // the disabled path. When on, the task's begin/end lands in this
-    // thread's trace ring and its duration in the per-kernel histograms.
-    const bool traced = g_tracer.enabled();
-    const std::int64_t t0 = traced ? obs::now_ns() : 0;
+    // Observability hook: one relaxed load of the combined flag word is the
+    // entire cost of the disabled path — tracing and the health layer share
+    // it, so the watchdog did not add a second load. When tracing is on,
+    // the task's begin/end lands in this thread's trace ring and its
+    // duration in the per-kernel histograms; when a HealthMonitor is live,
+    // the worker's running-task slots are stamped for the watchdog.
+    const unsigned obs_flags = obs::task_observation_flags().load(std::memory_order_relaxed);
+    const std::int64_t t0 = obs_flags != 0 ? obs::now_ns() : 0;
+    if (obs_flags & obs::kObsTaskHealth) {
+      Worker& self = *workers_[size_t(wid)];
+      const dag::Task& t = comp.graph->tasks[size_t(item.task)];
+      self.running_task.store(item.task, std::memory_order_relaxed);
+      self.running_kind.store(std::uint8_t(t.kind), std::memory_order_relaxed);
+      self.running_since.store(t0, std::memory_order_release);
+    }
     try {
       comp.body(item.task);
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -582,12 +631,19 @@ void ThreadPool::run_item(int wid, Item item, bool stolen) {
       }
       comp.failed.store(true, std::memory_order_release);
     }
-    if (traced) {
+    if (obs_flags != 0) {
       const std::int64_t t1 = obs::now_ns();
-      const dag::Task& t = comp.graph->tasks[size_t(item.task)];
-      g_tracer.record(t0, t1, std::uint8_t(t.kind), t.i, t.piv, t.k, t.j, item.task,
-                      item.sub->id, std::int32_t(comp.gen), stolen);
-      g_kernel_profiler.record(std::uint8_t(t.kind), t1 - t0);
+      if (obs_flags & obs::kObsTaskTrace) {
+        const dag::Task& t = comp.graph->tasks[size_t(item.task)];
+        g_tracer.record(t0, t1, std::uint8_t(t.kind), t.i, t.piv, t.k, t.j, item.task,
+                        item.sub->id, std::int32_t(comp.gen), stolen);
+        g_kernel_profiler.record(std::uint8_t(t.kind), t1 - t0);
+      }
+      if (obs_flags & obs::kObsTaskHealth) {
+        Worker& self = *workers_[size_t(wid)];
+        self.running_since.store(0, std::memory_order_relaxed);
+        self.last_finish.store(t1, std::memory_order_release);
+      }
     }
   }
   // Propagate readiness even for cancelled tasks so the component drains and

@@ -183,6 +183,28 @@ class ThreadPool {
 
   [[nodiscard]] Stats stats() const noexcept;
 
+  /// Point-in-time view of one worker, for the health layer's stall and
+  /// overrun watchdogs. The running_* slots are stamped by the per-task hook
+  /// only while a HealthMonitor is live (obs::kObsTaskHealth) — otherwise
+  /// they read as idle — so probing costs the runtime nothing when nobody
+  /// watches.
+  struct WorkerProbe {
+    int worker = 0;
+    std::size_t ready = 0;  ///< items queued on this worker right now
+    std::int64_t running_since_ns = 0;  ///< start of the in-flight task; 0 = idle
+    std::int32_t running_task = -1;     ///< its task index (valid while running)
+    std::uint8_t running_kind = 0xFF;   ///< its KernelKind, 0xFF = non-kernel
+    std::int64_t last_finish_ns = 0;    ///< end of the last retired task; 0 = never
+  };
+
+  /// Probes every worker (brief per-worker lock each for the queue depth;
+  /// the running slots are lock-free). Safe from any thread.
+  [[nodiscard]] std::vector<WorkerProbe> probe_workers() const;
+
+  /// Total ready items across all workers — "is there runnable work a
+  /// stalled worker should be taking?". Same locking as probe_workers().
+  [[nodiscard]] long ready_depth() const;
+
   /// Process-wide shared pool, lazily created with default_thread_count()
   /// workers; what runtime::execute() submits to.
   static ThreadPool& default_pool();

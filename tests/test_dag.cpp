@@ -135,6 +135,28 @@ TEST(TaskGraph, TaskCountsForFlatTree) {
   EXPECT_EQ(counts[size_t(KernelKind::TSMQR)], 0);
 }
 
+TEST(TaskGraph, InferDependenciesReproducesBuilderEdges) {
+  // The analyzer rebuilds a DAG from a trace that records only kinds and
+  // tile coordinates; infer_dependencies must reproduce the builder's edges
+  // exactly for any tree shape, or the offline critical path drifts from the
+  // in-process one.
+  for (auto [p, q] : std::vector<std::pair<int, int>>{{4, 2}, {8, 3}, {6, 6}}) {
+    for (const auto& list : {trees::greedy_tree(p, q), trees::flat_tree(p, q, KernelFamily::TS),
+                             trees::plasma_tree(p, q, 2, KernelFamily::TT)}) {
+      auto g = build_task_graph(p, q, list);
+      std::vector<dag::Task> stripped;
+      for (const auto& t : g.tasks)
+        stripped.push_back(dag::Task{t.kind, t.i, t.piv, t.k, t.j, 0, {}});
+      dag::infer_dependencies(p, q, stripped);
+      ASSERT_EQ(stripped.size(), g.tasks.size());
+      for (size_t t = 0; t < g.tasks.size(); ++t) {
+        EXPECT_EQ(stripped[t].npred, g.tasks[t].npred) << p << "x" << q << " task " << t;
+        EXPECT_EQ(stripped[t].succ, g.tasks[t].succ) << p << "x" << q << " task " << t;
+      }
+    }
+  }
+}
+
 TEST(TaskGraph, Lemma1TransformPreservesCriticalPathLength) {
   // Build a list with reverse eliminations, remove them, and check the
   // execution time is unchanged (Lemma 1).

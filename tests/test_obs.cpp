@@ -11,8 +11,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <set>
@@ -23,12 +26,17 @@
 #include <vector>
 
 #include "core/qr_session.hpp"
+#include "dag/task_graph.hpp"
 #include "matrix/generate.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/health.hpp"
 #include "obs/kernel_profile.hpp"
 #include "obs/metrics.hpp"
 #include "obs/schedule_report.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_import.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace tiledqr {
 namespace {
@@ -401,6 +409,73 @@ TEST(Trace, SubmissionIdsAreUnique) {
   EXPECT_NE(a, b);
 }
 
+TEST(Trace, TrackReuseClearsDeadThreadsEvents) {
+  TracerGuard guard;
+  guard.tracer.enable();
+
+  // First lessee records and dies; its track returns to the free list.
+  std::thread first([&guard] {
+    guard.tracer.set_thread_track_name("reuse.old");
+    for (int e = 0; e < 5; ++e)
+      guard.tracer.record(100 * e, 100 * e + 50, 0, e, -1, 0, -1, e,
+                          /*submission=*/11, /*component=*/1, false);
+  });
+  first.join();
+
+  // The free list is LIFO, so the next binder leases that exact track. The
+  // dead thread's name and events must be gone: a mid-process report built
+  // now must not mix the stale run into the live one.
+  std::thread second([&guard] {
+    guard.tracer.set_thread_track_name("reuse.new");
+    for (int e = 0; e < 2; ++e)
+      guard.tracer.record(1000 + 10 * e, 1005 + 10 * e, 0, e, -1, 0, -1, e,
+                          /*submission=*/12, /*component=*/1, false);
+  });
+  second.join();
+
+  bool saw_old = false;
+  bool saw_new = false;
+  for (const auto& track : guard.tracer.collect()) {
+    if (track.name == "reuse.old") saw_old = true;
+    if (track.name != "reuse.new") continue;
+    saw_new = true;
+    ASSERT_EQ(track.events.size(), 2u);
+    EXPECT_EQ(track.dropped, 0);
+    for (const auto& e : track.events) EXPECT_EQ(e.submission, 12u);
+  }
+  EXPECT_FALSE(saw_old);
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(Trace, ExportNowInsertsUniqueSuffix) {
+  TracerGuard guard;
+  guard.tracer.enable();
+  std::thread writer([&guard] {
+    guard.tracer.set_thread_track_name("exportnow.w0");
+    guard.tracer.record(100, 200, 0, 0, -1, 0, -1, 0, 1, 1, false);
+  });
+  writer.join();
+
+  std::remove("export_now_ci.json");
+  std::remove("export_now_ci-1.json");
+  const std::string p1 = guard.tracer.export_now("export_now_ci.json");
+  const std::string p2 = guard.tracer.export_now("export_now_ci.json");
+  EXPECT_EQ(p1, "export_now_ci.json");
+  EXPECT_EQ(p2, "export_now_ci-1.json");  // append-safe: never overwrites
+
+  // Both files exist and hold valid Chrome JSON.
+  for (const std::string& path : {p1, p2}) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    Json doc = JsonParser(buf.str()).parse();
+    EXPECT_EQ(slice_events(doc).size(), 1u) << path;
+  }
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
 // ------------------------------------------------------------------------
 
 TEST(Metrics, NamedCountersGaugesHistograms) {
@@ -462,6 +537,24 @@ TEST(Metrics, JsonDumpParses) {
   EXPECT_EQ(doc.at("a.count").number, 1.0);
   EXPECT_EQ(doc.at("h.count").number, 1.0);
   EXPECT_FALSE(reg.snapshot().to_text().empty());
+}
+
+TEST(Metrics, DumpNowInsertsUniqueSuffix) {
+  obs::MetricsRegistry reg;
+  reg.counter("dumped.count").add(1);
+  std::remove("dump_now_ci.txt");
+  std::remove("dump_now_ci-1.txt");
+  const std::string p1 = reg.dump_now("dump_now_ci.txt");
+  const std::string p2 = reg.dump_now("dump_now_ci.txt");
+  EXPECT_EQ(p1, "dump_now_ci.txt");
+  EXPECT_EQ(p2, "dump_now_ci-1.txt");  // append-safe, like Tracer::export_now
+  std::ifstream in(p2);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("dumped.count"), std::string::npos);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
 }
 
 TEST(Metrics, RuntimeComponentsExportThroughGlobalRegistry) {
@@ -531,6 +624,329 @@ TEST(KernelProfiler, LiveProfileUsesObservedMeansAndScalesTheRest) {
   EXPECT_EQ(prof.total_samples(), 8);
   prof.reset();
   EXPECT_EQ(prof.total_samples(), 0);
+}
+
+// ------------------------------------------------------------------------
+// CriticalPath: realized-path reconstruction over synthetic traces with
+// known-exact decompositions, the tracer's mark window, and the offline
+// Chrome-JSON import round trip.
+
+obs::TraceEvent task_event(std::int64_t start, std::int64_t end, std::uint8_t kind,
+                           std::int32_t task, bool stolen = false) {
+  obs::TraceEvent e;
+  e.start_ns = start;
+  e.end_ns = end;
+  e.task = task;
+  e.submission = 1;
+  e.component = 1;
+  e.i = task;
+  e.k = 0;
+  e.kind = kind;
+  e.flags = stolen ? obs::TraceEvent::kFlagStolen : std::uint8_t(0);
+  return e;
+}
+
+/// A hand-built 3-task chain 0 -> 1 -> 2 (GEQRT, then two TSQRTs).
+dag::TaskGraph chain_graph() {
+  dag::TaskGraph g;
+  g.p = 3;
+  g.q = 1;
+  g.tasks.push_back(dag::Task{kernels::KernelKind::GEQRT, 0, -1, 0, -1, 0, {1}});
+  g.tasks.push_back(dag::Task{kernels::KernelKind::TSQRT, 1, 0, 0, -1, 1, {2}});
+  g.tasks.push_back(dag::Task{kernels::KernelKind::TSQRT, 2, 0, 0, -1, 1, {}});
+  return g;
+}
+
+TEST(CriticalPath, SyntheticChainDecomposesExactly) {
+  // task 0 on w0 [1000, 1100]; task 1 stolen onto w1 after a 50 ns
+  // cross-worker gap [1150, 1250]; task 2 on w1 after a 10 ns dispatch gap
+  // [1260, 1400]. Every breakdown total is known exactly.
+  std::vector<obs::TrackSnapshot> tracks(2);
+  tracks[0].name = "syn.w0";
+  tracks[0].tid = 0;
+  tracks[0].events.push_back(task_event(1000, 1100, 0, 0));
+  tracks[1].name = "syn.w1";
+  tracks[1].tid = 1;
+  tracks[1].events.push_back(task_event(1150, 1250, 2, 1, /*stolen=*/true));
+  tracks[1].events.push_back(task_event(1260, 1400, 2, 2));
+
+  obs::BreakdownOptions opt;
+  opt.with_model = false;
+  const auto b = obs::build_critical_path_breakdown(tracks, chain_graph(), opt);
+  ASSERT_TRUE(b.valid);
+  EXPECT_EQ(b.submission, 1u);
+  EXPECT_EQ(b.component, 1);
+  EXPECT_EQ(b.events_matched, 3);
+  EXPECT_EQ(b.dropped, 0);
+  EXPECT_EQ(b.path_tasks, 3);
+  EXPECT_EQ(b.realized_ns, 400);
+  EXPECT_EQ(b.work_ns, 340);
+  EXPECT_EQ(b.gap_ns, 60);
+  EXPECT_EQ(b.cross_gap_ns, 50);
+  EXPECT_EQ(b.dispatch_gap_ns, 10);
+  EXPECT_EQ(b.stolen_edges, 1);
+  // The headline identity: work + gap == realized, exactly.
+  EXPECT_EQ(b.work_ns + b.gap_ns, b.realized_ns);
+  EXPECT_EQ(b.dispatch_gap_ns + b.cross_gap_ns, b.gap_ns);
+
+  // Per-kind attribution.
+  EXPECT_EQ(b.work_by_kind[0], 100);  // GEQRT
+  EXPECT_EQ(b.work_by_kind[2], 240);  // TSQRT x2
+  EXPECT_EQ(b.tasks_by_kind[0], 1);
+  EXPECT_EQ(b.tasks_by_kind[2], 2);
+
+  // Widest gap first: the stolen cross-worker handoff 0 -> 1.
+  ASSERT_EQ(b.top_gaps.size(), 2u);
+  EXPECT_EQ(b.top_gaps[0].pred, 0);
+  EXPECT_EQ(b.top_gaps[0].succ, 1);
+  EXPECT_EQ(b.top_gaps[0].gap_ns, 50);
+  EXPECT_TRUE(b.top_gaps[0].cross_worker);
+  EXPECT_TRUE(b.top_gaps[0].stolen);
+  EXPECT_EQ(b.top_gaps[0].pred_track, "syn.w0");
+  EXPECT_EQ(b.top_gaps[0].succ_track, "syn.w1");
+  EXPECT_EQ(b.top_gaps[1].gap_ns, 10);
+  EXPECT_FALSE(b.top_gaps[1].cross_worker);
+
+  // Per-worker attribution sums back to the totals; incoming-edge gaps are
+  // charged to the successor's track (both gaps precede w1 tasks).
+  ASSERT_EQ(b.workers.size(), 2u);
+  long worker_tasks = 0;
+  std::int64_t worker_work = 0, worker_gap = 0;
+  for (const auto& w : b.workers) {
+    worker_tasks += w.tasks;
+    worker_work += w.work_ns;
+    worker_gap += w.gap_ns;
+    if (w.track == "syn.w1") {
+      EXPECT_EQ(w.tasks, 2);
+      EXPECT_EQ(w.work_ns, 240);
+      EXPECT_EQ(w.gap_ns, 60);
+    }
+  }
+  EXPECT_EQ(worker_tasks, b.path_tasks);
+  EXPECT_EQ(worker_work, b.work_ns);
+  EXPECT_EQ(worker_gap, b.gap_ns);
+
+  // log2 histogram: 50 ns -> bucket 5 [32, 64), 10 ns -> bucket 3 [8, 16).
+  EXPECT_EQ(b.gap_hist[5], 1);
+  EXPECT_EQ(b.gap_hist[3], 1);
+
+  EXPECT_LT(b.model_cp_seconds, 0.0);  // with_model = false
+  EXPECT_FALSE(obs::format_critical_path_breakdown(b).empty());
+}
+
+TEST(CriticalPath, GatingPredecessorIsTheLatestFinisher) {
+  // Diamond 0 -> {1, 2} -> 3 where task 1 finishes after task 2: the walk
+  // from task 3 must follow the dependency that actually gated its start.
+  dag::TaskGraph g;
+  g.p = 4;
+  g.q = 1;
+  g.tasks.push_back(dag::Task{kernels::KernelKind::GEQRT, 0, -1, 0, -1, 0, {1, 2}});
+  g.tasks.push_back(dag::Task{kernels::KernelKind::TSQRT, 1, 0, 0, -1, 1, {3}});
+  g.tasks.push_back(dag::Task{kernels::KernelKind::TSQRT, 2, 0, 0, -1, 1, {3}});
+  g.tasks.push_back(dag::Task{kernels::KernelKind::TSQRT, 3, 0, 0, -1, 2, {}});
+
+  std::vector<obs::TrackSnapshot> tracks(1);
+  tracks[0].name = "dia.w0";
+  tracks[0].events.push_back(task_event(1000, 1010, 0, 0));
+  tracks[0].events.push_back(task_event(1020, 1050, 2, 1));  // the late pred
+  tracks[0].events.push_back(task_event(1015, 1030, 2, 2));
+  tracks[0].events.push_back(task_event(1055, 1070, 2, 3));
+
+  obs::BreakdownOptions opt;
+  opt.with_model = false;
+  const auto b = obs::build_critical_path_breakdown(tracks, g, opt);
+  ASSERT_TRUE(b.valid);
+  EXPECT_EQ(b.events_matched, 4);
+  EXPECT_EQ(b.path_tasks, 3);  // 0, 1, 3 — not through task 2
+  EXPECT_EQ(b.realized_ns, 70);
+  EXPECT_EQ(b.work_ns, 55);  // 10 + 30 + 15
+  EXPECT_EQ(b.gap_ns, 15);   // 10 (0 -> 1) + 5 (1 -> 3)
+  EXPECT_EQ(b.dispatch_gap_ns, 15);
+  EXPECT_EQ(b.cross_gap_ns, 0);
+  ASSERT_FALSE(b.top_gaps.empty());
+  EXPECT_EQ(b.top_gaps[0].pred, 0);
+  EXPECT_EQ(b.top_gaps[0].succ, 1);
+}
+
+TEST(CriticalPath, TracerMarkScopesBreakdown) {
+  TracerGuard guard;
+  guard.tracer.enable();
+  guard.tracer.set_thread_track_name("mark.w0");
+
+  // Batch A: a chain run safely in the past (steady clock, so well below
+  // any mark taken now). realized would be 900 ns.
+  const std::int64_t past = obs::now_ns() - 1'000'000;
+  guard.tracer.record(past + 0, past + 100, 0, 0, -1, 0, -1, 0, 1, 1, false);
+  guard.tracer.record(past + 200, past + 500, 2, 1, 0, 0, -1, 1, 1, 1, false);
+  guard.tracer.record(past + 600, past + 900, 2, 2, 0, 0, -1, 2, 1, 1, false);
+
+  // Batch B after the mark: the same tasks re-run, realized 400 ns.
+  const std::int64_t m = guard.tracer.mark();
+  guard.tracer.record(m + 1000, m + 1100, 0, 0, -1, 0, -1, 0, 1, 1, false);
+  guard.tracer.record(m + 1150, m + 1250, 2, 1, 0, 0, -1, 1, 1, 1, false);
+  guard.tracer.record(m + 1260, m + 1400, 2, 2, 0, 0, -1, 2, 1, 1, false);
+
+  // All six events are still in the ring for the exporter...
+  EXPECT_EQ(guard.tracer.event_count(), 6u);
+  // ...but mark-aware analyses see only batch B.
+  obs::BreakdownOptions opt;
+  opt.with_model = false;
+  const auto b = obs::build_critical_path_breakdown(guard.tracer, chain_graph(), opt);
+  ASSERT_TRUE(b.valid);
+  EXPECT_EQ(b.events_matched, 3);
+  EXPECT_EQ(b.realized_ns, 400);
+  const auto report = obs::build_schedule_report(guard.tracer);
+  EXPECT_EQ(report.tasks, 3);
+}
+
+TEST(CriticalPath, ImportRoundTripMatchesDirectAnalysis) {
+  TracerGuard guard;
+  guard.tracer.enable();
+
+  // Record the synthetic chain on two real threads (distinct tracks; the
+  // barrier keeps the first lease from being reused by the second thread).
+  std::atomic<int> bound{0};
+  std::thread w0([&guard, &bound] {
+    guard.tracer.set_thread_track_name("rt.w0");
+    bound.fetch_add(1);
+    while (bound.load() < 2) std::this_thread::yield();
+    guard.tracer.record(1000, 1100, 0, 0, -1, 0, -1, 0, 1, 1, false);
+  });
+  std::thread w1([&guard, &bound] {
+    guard.tracer.set_thread_track_name("rt.w1");
+    bound.fetch_add(1);
+    while (bound.load() < 2) std::this_thread::yield();
+    guard.tracer.record(1150, 1250, 2, 1, 0, 0, -1, 1, 1, 1, true);
+    guard.tracer.record(1260, 1400, 2, 2, 0, 0, -1, 2, 1, 1, false);
+  });
+  w0.join();
+  w1.join();
+
+  obs::BreakdownOptions opt;
+  opt.with_model = false;
+  const auto graph = chain_graph();
+  const auto direct = obs::build_critical_path_breakdown(guard.tracer.collect(), graph, opt);
+  ASSERT_TRUE(direct.valid);
+
+  // Export to Chrome JSON, re-import, re-analyze: the offline analyzer must
+  // reproduce the in-process breakdown exactly (timestamps are integral
+  // nanoseconds, which survive the microsecond-format round trip).
+  std::ostringstream out;
+  guard.tracer.export_chrome_json(out);
+  std::istringstream in(out.str());
+  const auto imported = obs::import_chrome_json(in);
+  const auto offline = obs::build_critical_path_breakdown(imported, graph, opt);
+  ASSERT_TRUE(offline.valid);
+  EXPECT_EQ(offline.path_tasks, direct.path_tasks);
+  EXPECT_EQ(offline.events_matched, direct.events_matched);
+  EXPECT_EQ(offline.realized_ns, direct.realized_ns);
+  EXPECT_EQ(offline.work_ns, direct.work_ns);
+  EXPECT_EQ(offline.gap_ns, direct.gap_ns);
+  EXPECT_EQ(offline.dispatch_gap_ns, direct.dispatch_gap_ns);
+  EXPECT_EQ(offline.cross_gap_ns, direct.cross_gap_ns);
+  EXPECT_EQ(offline.stolen_edges, direct.stolen_edges);
+  EXPECT_EQ(offline.work_by_kind, direct.work_by_kind);
+  ASSERT_EQ(offline.top_gaps.size(), direct.top_gaps.size());
+  for (std::size_t i = 0; i < direct.top_gaps.size(); ++i) {
+    EXPECT_EQ(offline.top_gaps[i].pred, direct.top_gaps[i].pred);
+    EXPECT_EQ(offline.top_gaps[i].succ, direct.top_gaps[i].succ);
+    EXPECT_EQ(offline.top_gaps[i].gap_ns, direct.top_gaps[i].gap_ns);
+    EXPECT_EQ(offline.top_gaps[i].stolen, direct.top_gaps[i].stolen);
+    EXPECT_EQ(offline.top_gaps[i].pred_track, direct.top_gaps[i].pred_track);
+  }
+}
+
+// ------------------------------------------------------------------------
+// Health: the live watchdog layer. Real pools, real sleeps — thresholds are
+// chosen with wide margins so shared/TSan runners don't flake.
+
+TEST(Health, OverrunWatchdogFlagsLongRunningTask) {
+  runtime::ThreadPool pool(2);
+  // Make sure GEQRT has a live-profile mean (isolated gtest_filter runs may
+  // reach here with an empty profiler); 0.5 ms keeps the 2x threshold far
+  // below the 150 ms the task actually takes.
+  obs::KernelProfiler::global().record(0, 500'000);
+
+  obs::HealthMonitor::Options hopt;
+  hopt.poll = std::chrono::milliseconds(10);
+  hopt.stall_after = std::chrono::seconds(10);  // not under test here
+  hopt.overrun_factor = 2.0;
+  hopt.overrun_floor_ns = 1'000'000;
+  obs::HealthMonitor mon(pool, hopt);
+
+  dag::TaskGraph g;
+  g.p = 1;
+  g.q = 1;
+  g.tasks.push_back(dag::Task{kernels::KernelKind::GEQRT, 0, -1, 0, -1, 0, {}});
+  pool.run(g, [](std::int32_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  });
+
+  EXPECT_GE(mon.stats().overruns, 1);
+  EXPECT_EQ(mon.stats().stalls, 0);
+}
+
+TEST(Health, StallWatchdogFlagsIdleWorkerWithReadyWork) {
+  runtime::ThreadPool pool(2);
+  obs::HealthMonitor::Options hopt;
+  hopt.poll = std::chrono::milliseconds(10);
+  hopt.stall_after = std::chrono::milliseconds(25);
+  hopt.overrun_factor = 1e9;  // not under test here
+  obs::HealthMonitor mon(pool, hopt);
+
+  // Fan-out confined to one worker of a two-worker pool: while it grinds
+  // through the successors sequentially, ready work queues up and the other
+  // worker idles — the exact pathology the stall watchdog exists for.
+  dag::TaskGraph g;
+  g.p = 4;
+  g.q = 1;
+  g.tasks.push_back(dag::Task{kernels::KernelKind::GEQRT, 0, -1, 0, -1, 0, {1, 2, 3}});
+  for (int t = 1; t <= 3; ++t)
+    g.tasks.push_back(dag::Task{kernels::KernelKind::TSQRT, t, 0, 0, -1, 1, {}});
+  pool.run(
+      g, [](std::int32_t) { std::this_thread::sleep_for(std::chrono::milliseconds(60)); },
+      runtime::SchedulePriority::CriticalPath, /*max_workers=*/1);
+
+  EXPECT_GE(mon.stats().stalls, 1);
+}
+
+TEST(Health, SnapshotsAreOnDemandAppendSafeAndSignalDriven) {
+  runtime::ThreadPool pool(2);
+  obs::HealthMonitor::Options hopt;
+  hopt.poll = std::chrono::milliseconds(5);
+  hopt.snapshot_path = "health_ci_snapshot.txt";
+  hopt.report = [] { return std::string("REPORT_MARKER\n"); };
+  std::remove("health_ci_snapshot.txt");
+  std::remove("health_ci_snapshot-1.txt");
+  obs::HealthMonitor mon(pool, hopt);
+
+  // API path: a direct dump, synchronously.
+  const std::string p1 = mon.dump_snapshot();
+  EXPECT_EQ(p1, "health_ci_snapshot.txt");
+  {
+    std::ifstream in(p1);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("tiledqr health snapshot"), std::string::npos);
+    EXPECT_NE(buf.str().find("metrics:"), std::string::npos);
+    EXPECT_NE(buf.str().find("REPORT_MARKER"), std::string::npos);
+  }
+  EXPECT_EQ(mon.stats().snapshots, 1);
+
+  // Operator path: SIGUSR1 -> atomic counter bump -> the monitor thread
+  // writes the next snapshot, append-safe, without the process exiting.
+  obs::HealthMonitor::install_sigusr1();
+  std::raise(SIGUSR1);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (mon.stats().snapshots < 2 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(mon.stats().snapshots, 2);
+  std::ifstream second("health_ci_snapshot-1.txt");
+  EXPECT_TRUE(second.good());
+
+  std::remove("health_ci_snapshot.txt");
+  std::remove("health_ci_snapshot-1.txt");
 }
 
 // ------------------------------------------------------------------------
@@ -619,6 +1035,79 @@ TEST(ObsSmoke, LiveKernelProfileFeedsScheduleReportModel) {
   auto report = obs::build_schedule_report(guard.tracer, plan->graph, 2);
   EXPECT_GT(report.model_seconds, 0.0);
   EXPECT_GT(report.model_ratio, 0.0);
+}
+
+TEST(ObsSmoke, CriticalPathBreakdownReconcilesWithReport) {
+  TracerGuard guard;
+  guard.tracer.enable();
+
+  core::QrSession session(core::QrSession::Config{.threads = 2});
+  core::Options opt;
+  opt.nb = 16;
+  opt.ib = 8;
+  opt.tree = trees::TreeConfig{trees::TreeKind::Greedy, trees::KernelFamily::TT, 1, 1};
+
+  // Warmup run: feeds the kernel profiler so the breakdown's model critical
+  // path uses means measured under the same conditions as the run below.
+  auto warm = random_matrix<double>(96, 48, 0x53);
+  (void)session.submit(ConstMatrixView<double>(warm.view()), opt).get();
+
+  // Measured run, scoped by the mark: the breakdown and report must see
+  // only this factorization.
+  guard.tracer.mark();
+  auto a = random_matrix<double>(96, 48, 0x54);
+  (void)session.submit(ConstMatrixView<double>(a.view()), opt).get();
+
+  // The live health snapshot carries the schedule report while tracing.
+  const std::string health = session.health_report();
+  EXPECT_NE(health.find("critical path ("), std::string::npos);
+  guard.tracer.disable();
+
+  auto plan = session.plan_cache().get(6, 3, *opt.tree);
+  const auto report = obs::build_schedule_report(guard.tracer, plan->graph, 2);
+  const obs::CriticalPathBreakdown& b = report.breakdown;
+  ASSERT_TRUE(b.valid);
+
+  // Every traced task of the measured run joined against the plan's graph.
+  EXPECT_EQ(b.dropped, 0);
+  EXPECT_EQ(b.events_matched, long(plan->graph.tasks.size()));
+  EXPECT_EQ(report.tasks, long(plan->graph.tasks.size()));
+
+  // Reconciliation: work + gap == realized exactly, and the realized chain
+  // fits inside the report's span (equal when the chain's head/tail are the
+  // first/last events, which is typical but not guaranteed).
+  EXPECT_GT(b.path_tasks, 0);
+  EXPECT_GT(b.realized_ns, 0);
+  EXPECT_EQ(b.work_ns + b.gap_ns, b.realized_ns);
+  EXPECT_EQ(b.dispatch_gap_ns + b.cross_gap_ns, b.gap_ns);
+  EXPECT_LE(b.realized_ns, report.span_ns);
+
+  // Aggregations sum back to the totals.
+  std::int64_t kind_work = 0;
+  long kind_tasks = 0;
+  for (int k = 0; k < obs::CriticalPathBreakdown::kKinds; ++k) {
+    kind_work += b.work_by_kind[std::size_t(k)];
+    kind_tasks += b.tasks_by_kind[std::size_t(k)];
+  }
+  EXPECT_EQ(kind_work, b.work_ns);
+  EXPECT_EQ(kind_tasks, b.path_tasks);
+  std::int64_t worker_work = 0, worker_gap = 0;
+  for (const auto& w : b.workers) {
+    worker_work += w.work_ns;
+    worker_gap += w.gap_ns;
+  }
+  EXPECT_EQ(worker_work, b.work_ns);
+  EXPECT_EQ(worker_gap, b.gap_ns);
+
+  // Model comparison under the warm profile: the realized chain carries real
+  // durations plus scheduler gaps, so it sits at or above the model path
+  // (0.9 slack absorbs per-sample jitter between the two runs).
+  EXPECT_GT(b.model_cp_seconds, 0.0);
+  EXPECT_GE(double(b.realized_ns) / 1e9, 0.9 * b.model_cp_seconds);
+  EXPECT_GT(b.realized_over_model, 0.0);
+
+  EXPECT_FALSE(obs::format_critical_path_breakdown(b).empty());
+  EXPECT_NE(obs::format_schedule_report(report).find("critical path ("), std::string::npos);
 }
 
 }  // namespace
