@@ -26,6 +26,7 @@
 // Env knobs: TILEDQR_SERVE_COUNT, TILEDQR_SERVE_N, TILEDQR_SERVE_NB,
 // TILEDQR_LARGE_N, TILEDQR_THREADS, TILEDQR_REPS, TILEDQR_QUICK,
 // TILEDQR_BENCH_JSON (output path, default BENCH_serving.json).
+#include <cstdlib>
 #include <fstream>
 #include <thread>
 
@@ -248,13 +249,48 @@ FusedOverheadResult run_fused_overhead(int p, int q, int threads, int batch, int
   {
     WallTimer timer;
     for (int c = 0; c < calls; ++c) {
-      auto f = pool.submit(fused->graph, noop, runtime::SchedulePriority::CriticalPath, 0,
-                           nullptr, &fused->ranks);
+      auto f = pool.submit(fused->component_graph(), noop,
+                           runtime::SchedulePriority::CriticalPath, 0, nullptr,
+                           &fused->component_ranks(), fused->copies());
       f.get();
     }
     out.fused_us_per_graph = timer.seconds() * 1e6 / double(calls) / double(batch);
   }
   return out;
+}
+
+// ------------------------------------------------------ multicore scaling --
+
+/// One point of the multicore scaling sweep: the pool-batch workload on
+/// `threads` workers with pinning on/off, plus the scheduler's contention
+/// and locality counters for that run. TILEDQR_PIN is read at pool
+/// construction, so each point builds a fresh session.
+struct ScalingRow {
+  int threads = 0;
+  bool pinned = false;
+  double per_sec = 0.0;
+  double speedup_vs_1t = 0.0;
+  long tasks_stolen = 0;
+  long steal_cas_retries = 0;
+  long empty_steal_probes = 0;
+  long tasks_home = 0;
+  long tasks_foreign = 0;
+};
+
+ScalingRow run_scaling_point(const Workload& w, int threads, bool pinned, int reps) {
+  setenv("TILEDQR_PIN", pinned ? "1" : "0", 1);
+  core::QrSession session(core::QrSession::Config{threads});
+  ScalingRow row;
+  row.threads = threads;
+  row.pinned = pinned;
+  row.per_sec = run_pool_batch(session, w, reps).per_sec;
+  const auto stats = session.pool_stats();
+  row.tasks_stolen = stats.tasks_stolen;
+  row.steal_cas_retries = stats.steal_cas_retries;
+  row.empty_steal_probes = stats.empty_steal_probes;
+  row.tasks_home = stats.tasks_home;
+  row.tasks_foreign = stats.tasks_foreign;
+  return row;
 }
 
 }  // namespace
@@ -299,8 +335,11 @@ int main() {
               "fused: %ld hits / %ld misses, %zu entries\n",
               cache_stats.hits, cache_stats.misses, cache_stats.hit_rate(), cache_stats.entries,
               cache_stats.fused_hits, cache_stats.fused_misses, cache_stats.fused_entries);
-  std::printf("pool: %ld graphs, %ld tasks executed, %ld stolen\n\n", pool_stats.graphs_completed,
-              pool_stats.tasks_executed, pool_stats.tasks_stolen);
+  std::printf("pool: %ld graphs, %ld tasks executed, %ld stolen (%ld lost CAS, %ld empty "
+              "probes), locality %ld home / %ld foreign\n\n",
+              pool_stats.graphs_completed, pool_stats.tasks_executed, pool_stats.tasks_stolen,
+              pool_stats.steal_cas_retries, pool_stats.empty_steal_probes,
+              pool_stats.tasks_home, pool_stats.tasks_foreign);
 
   // ---- pure scheduling overhead ----------------------------------------- --
   const int tile_p = int((small_n + small_nb - 1) / small_nb);
@@ -325,6 +364,38 @@ int main() {
                 fo.batch, fo.per_matrix_us_per_graph, fo.fused_us_per_graph,
                 fo.per_matrix_us_per_graph / fo.fused_us_per_graph);
   }
+  std::printf("\n");
+
+  // ---- multicore scaling ------------------------------------------------ --
+  // The same small-QR batch swept across worker counts, pinned and unpinned
+  // (TILEDQR_PIN), in pool-batch mode — per-matrix submissions in flight at
+  // once, the shape that exercises dealing and stealing hardest. Steal
+  // contention (lost top-CAS races, empty sweep probes) and the
+  // home-vs-foreign locality split land next to each throughput point so
+  // scaling claims carry their scheduler evidence. Results above
+  // hardware_threads worker counts are oversubscribed — recorded anyway so
+  // the curve is honest about the host.
+  const char* saved_pin = std::getenv("TILEDQR_PIN");
+  std::vector<ScalingRow> scaling;
+  const int scaling_reps = std::max(2, knobs.reps);
+  std::printf("multicore scaling (pool-batch, %d x %lldx%lld nb=%d, best of %d):\n", count,
+              (long long)small_n, (long long)small_n, small_nb, scaling_reps);
+  std::printf("  %7s %6s %10s %9s %8s %8s %8s %9s %9s\n", "threads", "pinned", "fact/s",
+              "speedup", "stolen", "cas_ret", "empty", "home", "foreign");
+  for (int t : {1, 2, 4, 8}) {
+    for (bool pinned : {false, true}) {
+      auto row = run_scaling_point(small, t, pinned, scaling_reps);
+      const double base =
+          scaling.empty() ? row.per_sec : scaling.front().per_sec;  // 1t unpinned
+      row.speedup_vs_1t = row.per_sec / base;
+      std::printf("  %7d %6s %10.1f %8.2fx %8ld %8ld %8ld %9ld %9ld\n", row.threads,
+                  row.pinned ? "yes" : "no", row.per_sec, row.speedup_vs_1t, row.tasks_stolen,
+                  row.steal_cas_retries, row.empty_steal_probes, row.tasks_home,
+                  row.tasks_foreign);
+      scaling.push_back(row);
+    }
+  }
+  saved_pin ? setenv("TILEDQR_PIN", saved_pin, 1) : unsetenv("TILEDQR_PIN");
   std::printf("\n");
 
   // ---- observability overhead ------------------------------------------- --
@@ -412,6 +483,18 @@ int main() {
                       i ? ", " : "", fo.batch, fo.per_matrix_us_per_graph,
                       fo.fused_us_per_graph,
                       fo.per_matrix_us_per_graph / fo.fused_us_per_graph);
+    }
+    json << "],\n";
+    json << "  \"multicore_scaling\": [";
+    for (size_t i = 0; i < scaling.size(); ++i) {
+      const auto& r = scaling[i];
+      json << stringf("%s\n    {\"threads\": %d, \"pinned\": %s, \"per_sec\": %.3f, "
+                      "\"speedup_vs_1t\": %.3f, \"tasks_stolen\": %ld, "
+                      "\"steal_cas_retries\": %ld, \"empty_steal_probes\": %ld, "
+                      "\"tasks_home\": %ld, \"tasks_foreign\": %ld}",
+                      i ? "," : "", r.threads, r.pinned ? "true" : "false", r.per_sec,
+                      r.speedup_vs_1t, r.tasks_stolen, r.steal_cas_retries,
+                      r.empty_steal_probes, r.tasks_home, r.tasks_foreign);
     }
     json << "],\n";
     json << stringf("  \"observability\": {\"untraced_seconds\": %.6f, "

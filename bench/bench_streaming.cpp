@@ -31,6 +31,7 @@
 // TILEDQR_QUICK, TILEDQR_STREAM_ASSERT, TILEDQR_BENCH_JSON (output path,
 // default BENCH_streaming.json).
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <thread>
 #include <vector>
@@ -63,12 +64,11 @@ struct OverheadRow {
 /// the serving API: every mode hands its caller one future per request.
 struct SentinelBurst {
   explicit SentinelBurst(const core::FusedPlan& fused) : fused(&fused) {
-    const size_t parts = fused.parts.size();
+    const size_t parts = size_t(fused.part_count());
     remaining = std::vector<std::atomic<std::int32_t>>(parts);
     promises.resize(parts);
     for (size_t i = 0; i < parts; ++i)
-      remaining[i].store(fused.parts[i].end - fused.parts[i].begin,
-                         std::memory_order_relaxed);
+      remaining[i].store(fused.part_size(int(i)), std::memory_order_relaxed);
   }
   void body(std::int32_t idx) {
     const size_t part = size_t(fused->part_of(idx));
@@ -124,9 +124,9 @@ OverheadRow run_overhead(core::PlanCache& cache, runtime::ThreadPool& pool, int 
       std::vector<std::future<void>> futures;
       for (auto& p2 : state.promises) futures.push_back(p2.get_future());
       pool.submit(
-          fused->graph, [&state](std::int32_t idx) { state.body(idx); },
+          fused->component_graph(), [&state](std::int32_t idx) { state.body(idx); },
           [](std::exception_ptr) {}, runtime::SchedulePriority::CriticalPath, 0, nullptr,
-          &fused->ranks);
+          &fused->component_ranks(), fused->copies());
       for (auto& f : futures) f.get();  // batch boundary: drain before the next burst
     }
     best = best < 0 ? timer.seconds() : std::min(best, timer.seconds());
@@ -149,8 +149,8 @@ OverheadRow run_overhead(core::PlanCache& cache, runtime::ThreadPool& pool, int 
       auto* state = states.back().get();
       for (auto& p2 : state->promises) futures.push_back(p2.get_future());
       stream.append(
-          fused->graph, [state](std::int32_t idx) { state->body(idx); }, nullptr, nullptr,
-          &fused->ranks);
+          fused->component_graph(), [state](std::int32_t idx) { state->body(idx); }, nullptr,
+          nullptr, &fused->component_ranks(), fused->copies());
     }
     for (auto& f : futures) f.get();
     best = best < 0 ? timer.seconds() : std::min(best, timer.seconds());
@@ -261,6 +261,44 @@ ModeResult run_streamed(core::QrSession& session, const Workload& w, int depth, 
   out.seconds = best;
   out.per_sec = double(w.tiles.size()) / best;
   return out;
+}
+
+// ------------------------------------------------------ multicore scaling --
+
+/// One point of the streamed scaling sweep: the real-kernel workload pushed
+/// through a FactorStream on a fresh session with `threads` workers,
+/// component-affine stealing on or off (TILEDQR_AFFINE_STEAL — affine
+/// dealing only applies to stream components, which is why this sweep lives
+/// here and the pinning sweep lives in bench_serving_throughput). Steal
+/// contention and the home/foreign locality split ride along so every
+/// throughput point carries its scheduler evidence.
+struct StreamScalingRow {
+  int threads = 0;
+  bool affine = true;
+  double per_sec = 0.0;
+  double speedup_vs_1t = 0.0;
+  long tasks_stolen = 0;
+  long steal_cas_retries = 0;
+  long empty_steal_probes = 0;
+  long tasks_home = 0;
+  long tasks_foreign = 0;
+};
+
+StreamScalingRow run_stream_scaling_point(const Workload& w, int threads, bool affine,
+                                          int depth, int reps) {
+  setenv("TILEDQR_AFFINE_STEAL", affine ? "1" : "0", 1);
+  core::QrSession session(core::QrSession::Config{threads});
+  StreamScalingRow row;
+  row.threads = threads;
+  row.affine = affine;
+  row.per_sec = run_streamed(session, w, depth, reps).per_sec;
+  const auto stats = session.pool_stats();
+  row.tasks_stolen = stats.tasks_stolen;
+  row.steal_cas_retries = stats.steal_cas_retries;
+  row.empty_steal_probes = stats.empty_steal_probes;
+  row.tasks_home = stats.tasks_home;
+  row.tasks_foreign = stats.tasks_foreign;
+  return row;
 }
 
 // ---------------------------------------------------------- serving QoS ----
@@ -489,6 +527,39 @@ int main() {
   }
   std::printf("\n");
 
+  // ---- 5. multicore scaling: affine vs free stealing -------------------- --
+  // The real-kernel workload streamed across worker counts, with
+  // component-affine dealing on (default: each graft dealt whole to a home
+  // worker, stolen only when others run dry) and off (spread round-robin).
+  // Worker counts above hardware_threads are oversubscribed — recorded
+  // anyway so the curve is honest about the host.
+  const char* saved_affine = std::getenv("TILEDQR_AFFINE_STEAL");
+  std::vector<StreamScalingRow> scaling;
+  {
+    const int scaling_reps = std::max(2, knobs.reps);
+    std::printf("multicore scaling (streamed, %zu x %lldx%lld nb=%d, depth %d, best of %d):\n",
+                w.tiles.size(), (long long)small_n, (long long)small_n, nb, real_depth,
+                scaling_reps);
+    std::printf("  %7s %6s %10s %9s %8s %8s %8s %9s %9s\n", "threads", "affine", "fact/s",
+                "speedup", "stolen", "cas_ret", "empty", "home", "foreign");
+    for (int t : {1, 2, 4, 8}) {
+      for (bool affine : {true, false}) {
+        auto row = run_stream_scaling_point(w, t, affine, real_depth, scaling_reps);
+        const double base =
+            scaling.empty() ? row.per_sec : scaling.front().per_sec;  // 1t affine
+        row.speedup_vs_1t = row.per_sec / base;
+        std::printf("  %7d %6s %10.1f %8.2fx %8ld %8ld %8ld %9ld %9ld\n", row.threads,
+                    row.affine ? "yes" : "no", row.per_sec, row.speedup_vs_1t,
+                    row.tasks_stolen, row.steal_cas_retries, row.empty_steal_probes,
+                    row.tasks_home, row.tasks_foreign);
+        scaling.push_back(row);
+      }
+    }
+    saved_affine ? setenv("TILEDQR_AFFINE_STEAL", saved_affine, 1)
+                 : unsetenv("TILEDQR_AFFINE_STEAL");
+  }
+  std::printf("\n");
+
   // ---- schedule report (when traced) ------------------------------------ --
   // Under TILEDQR_TRACE the whole run above was recorded; summarize where
   // the workers spent their time before the exporter writes the raw events.
@@ -567,8 +638,20 @@ int main() {
          << stringf("  \"fairness\": {\"clients\": 2, \"per_client\": %d, "
                     "\"client_seconds\": [%.6f, %.6f], \"imbalance\": %.3f},\n",
                     knobs.quick ? 16 : 48, fair.client_seconds[0], fair.client_seconds[1],
-                    fair.imbalance)
-         << stringf("  \"acceptance_pass\": %s\n", ok ? "true" : "false") << "}\n";
+                    fair.imbalance);
+    json << "  \"multicore_scaling\": [";
+    for (size_t i = 0; i < scaling.size(); ++i) {
+      const auto& r = scaling[i];
+      json << stringf("%s\n    {\"threads\": %d, \"affine_steal\": %s, \"per_sec\": %.3f, "
+                      "\"speedup_vs_1t\": %.3f, \"tasks_stolen\": %ld, "
+                      "\"steal_cas_retries\": %ld, \"empty_steal_probes\": %ld, "
+                      "\"tasks_home\": %ld, \"tasks_foreign\": %ld}",
+                      i ? "," : "", r.threads, r.affine ? "true" : "false", r.per_sec,
+                      r.speedup_vs_1t, r.tasks_stolen, r.steal_cas_retries,
+                      r.empty_steal_probes, r.tasks_home, r.tasks_foreign);
+    }
+    json << "],\n";
+    json << stringf("  \"acceptance_pass\": %s\n", ok ? "true" : "false") << "}\n";
     std::printf("(json written to %s)\n", json_path.c_str());
   }
   return ok || !enforce ? 0 : 1;

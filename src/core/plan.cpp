@@ -39,6 +39,14 @@ FusedPlan make_fused_plan(std::span<const std::shared_ptr<const Plan>> plans) {
   return fused;
 }
 
+FusedPlan make_homogeneous_fused_plan(std::shared_ptr<const Plan> base, int count) {
+  FusedPlan fused;
+  fused.stride = std::int32_t(base->graph.tasks.size());
+  fused.count = count;
+  fused.base = std::move(base);
+  return fused;
+}
+
 long plan_critical_path(int p, int q, const trees::TreeConfig& config) {
   return make_plan(p, q, config).critical_path;
 }

@@ -24,6 +24,8 @@ size_t plan_bytes(const Plan& plan) {
 }
 
 size_t fused_plan_bytes(const FusedPlan& fused) {
+  // Thin homogeneous plans carry no materialized state; the shared base plan
+  // is accounted by its own cache entry, so only the descriptor is charged.
   return sizeof(FusedPlan) + graph_bytes(fused.graph) +
          fused.parts.capacity() * sizeof(FusedPlan::Part) +
          fused.ranks.capacity() * sizeof(long);
@@ -138,10 +140,13 @@ std::shared_ptr<const FusedPlan> PlanCache::get_fused(int p, int q,
       return it->second.fused;
     }
   }
+  // Homogeneous by construction (count copies of one base plan), so the
+  // fused entry is a thin stride descriptor sharing the base plan — not a
+  // materialized count x base graph. The pool replicates at schedule time.
   auto base = get_impl(p, q, config, /*count_stats=*/false);
-  std::vector<std::shared_ptr<const Plan>> parts(size_t(count), base);
   const std::int64_t t0 = obs::now_ns();
-  auto fused = std::make_shared<const FusedPlan>(make_fused_plan(parts));
+  auto fused =
+      std::make_shared<const FusedPlan>(make_homogeneous_fused_plan(std::move(base), count));
   plan_time_.record_ns(obs::now_ns() - t0);
   Entry entry;
   entry.bytes = fused_plan_bytes(*fused);

@@ -144,6 +144,12 @@ class QrSession {
     /// unique "stream<N>" — set it when a process runs several streams whose
     /// stats a dashboard must tell apart (e.g. "bulk" vs "interactive").
     std::string label;
+    /// Component-affinity hint (TILEDQR_AFFINE_STEAL): >= 0 pins every graft
+    /// of this stream to the same home worker (modulo the stream's worker
+    /// set) — use when a client's requests reuse the same tiles and should
+    /// stay in one core's cache across grafts. The default -1 rotates homes
+    /// per component, spreading load while each component still lands whole.
+    int affinity_hint = -1;
   };
 
   QrSession() : pool_(0) {}
@@ -666,10 +672,9 @@ class QrSession {
       batch->owned = make_fused_plan(plans);
       batch->fused = &batch->owned;
     }
-    for (size_t i = 0; i < batch->parts.size(); ++i) {
-      const FusedPlan::Part& range = batch->fused->parts[i];
-      batch->parts[i].remaining.store(range.end - range.begin, std::memory_order_relaxed);
-    }
+    for (size_t i = 0; i < batch->parts.size(); ++i)
+      batch->parts[i].remaining.store(batch->fused->part_size(int(i)),
+                                      std::memory_order_relaxed);
 
     // A per-submission cap applies to the whole fused graph, so scale the
     // caller's per-matrix cap by the batch size to preserve the aggregate
@@ -680,12 +685,12 @@ class QrSession {
                                       long(worker_cap) * long(batch->parts.size())));
 
     pool_.submit(
-        batch->fused->graph,
+        batch->fused->component_graph(),
         [raw = batch.get()](std::int32_t idx) {
           const FusedPlan& fused = *raw->fused;
           BatchPart<T>& part = raw->parts[size_t(fused.part_of(idx))];
           TiledQr<T>& qr = part.qr;
-          run_task_kernels(fused.graph.tasks[size_t(idx)], qr.a_, qr.t_, qr.t2_, raw->ib);
+          run_task_kernels(fused.task(idx), qr.a_, qr.t_, qr.t2_, raw->ib);
           // Per-subgraph sentinel: the last retiring task of this component
           // fulfils its matrix's promise (acq_rel pairs with the other
           // workers' decrements, so their tile writes are visible before the
@@ -702,7 +707,8 @@ class QrSession {
                   error ? error
                         : std::make_exception_ptr(Error("factorize_batch: cancelled")));
         },
-        runtime::SchedulePriority::CriticalPath, worker_cap, batch, &batch->fused->ranks);
+        runtime::SchedulePriority::CriticalPath, worker_cap, batch,
+        &batch->fused->component_ranks(), batch->fused->copies());
   }
 
   /// Drains a submit_batch future set, preserving order. A single failure is
@@ -1108,7 +1114,8 @@ class FactorStream {
     state_->session = session;
     state_->worker_cap = session->clamp_cap(opts.threads);
     state_->opts = std::move(opts);
-    state_->stream = session->pool_.open_stream(state_->worker_cap);
+    state_->stream =
+        session->pool_.open_stream(state_->worker_cap, state_->opts.affinity_hint);
     auto& registry = obs::MetricsRegistry::global();
     // Raw State pointer, not the shared_ptr: the handle lives inside State,
     // so a shared capture would be a self-cycle. It deregisters first in
@@ -1316,19 +1323,18 @@ class FactorStream {
         continue;
       }
       auto group = std::make_shared<Group>(std::move(g));
-      for (size_t i = 0; i < group->reqs.size(); ++i) {
-        const FusedPlan::Part& range = group->fused->parts[i];
-        group->reqs[i]->remaining.store(range.end - range.begin, std::memory_order_relaxed);
-      }
+      for (size_t i = 0; i < group->reqs.size(); ++i)
+        group->reqs[i]->remaining.store(group->fused->part_size(int(i)),
+                                        std::memory_order_relaxed);
       try {
         state->stream.append(
-            group->fused->graph,
+            group->fused->component_graph(),
             [state, raw = group.get()](std::int32_t idx) {
               const FusedPlan& fused = *raw->fused;
               const size_t part = size_t(fused.part_of(idx));
               Request& req = *raw->reqs[part];
               TiledQr<T>& qr = req.qr;
-              run_task_kernels(fused.graph.tasks[size_t(idx)], qr.a_, qr.t_, qr.t2_, qr.opt_.ib);
+              run_task_kernels(fused.task(idx), qr.a_, qr.t_, qr.t2_, qr.opt_.ib);
               // Per-request sentinel, exactly the batch-fusion machinery: the
               // last retiring task of this part resolves its request early.
               if (req.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
@@ -1345,7 +1351,7 @@ class FactorStream {
                                            Error("FactorStream: component cancelled")));
               on_component_retired(state);
             },
-            group, &group->fused->ranks);
+            group, &group->fused->component_ranks(), group->fused->copies());
       } catch (...) {
         auto error = std::current_exception();
         for (auto& req : group->reqs) fail_request(state, *req, error);

@@ -1,0 +1,187 @@
+// Chase–Lev lock-free work-stealing deque.
+//
+// Single-owner double-ended queue of {pointer, int32} entries — the Chase–Lev
+// algorithm in the C11 weak-memory formulation of Lê, Pop, Cohen & Nardelli
+// ("Correct and Efficient Work-Stealing for Weak Memory Models", PPoPP'13).
+// The owner pushes and pops at the bottom (LIFO, relaxed fast path with one
+// fence); any other thread steals from the top (FIFO), paying one CAS. The
+// only owner-side CAS is the contended race against a thief for the last
+// element.
+//
+// Entries are stored in per-field atomic cells, so every shared access is an
+// atomic operation (data-race-free by construction — TSan never sees a plain
+// racing access). A torn entry (pointer from one logical slot, tag from
+// another) can never be *observed*: a cell is only overwritten by the owner
+// after `top` has advanced past its logical index, and a thief (or the owner
+// on the last element) that read a recycled slot then fails its CAS on `top`
+// and discards what it read. The circular array grows by doubling; old
+// arrays are retired to a chain and freed with the deque (an in-flight steal
+// may still be reading one), which bounds retired memory by ~2x the peak.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+// ThreadSanitizer does not model standalone atomic_thread_fence (GCC even
+// warns -Wtsan), so the fence-published bottom store would carry no
+// TSan-visible happens-before edge to a thief's acquire load — every steal
+// would be reported as a race between the pushed task's prior writes and the
+// thief's reads. Under TSan we fold each fence into the adjacent atomic
+// operation instead (release store / seq_cst accesses) — strictly stronger
+// ordering, so it cannot mask a real bug; normal builds keep the exact
+// PPoPP'13 fence formulation.
+#if defined(__SANITIZE_THREAD__)
+#define TILEDQR_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TILEDQR_TSAN 1
+#endif
+#endif
+#ifndef TILEDQR_TSAN
+#define TILEDQR_TSAN 0
+#endif
+
+namespace tiledqr::runtime {
+
+template <typename P>
+class ChaseLevDeque {
+ public:
+  /// What the deque holds: a pointer plus a small tag (the pool stores
+  /// {Component*, task index}). Both fields live in per-cell atomics.
+  struct Entry {
+    P* ptr = nullptr;
+    std::int32_t tag = 0;
+  };
+
+  enum class Steal {
+    Ok,     ///< entry removed and returned
+    Empty,  ///< nothing to steal at probe time
+    Lost    ///< lost the top CAS to a racing thief/owner — retry is fair game
+  };
+
+  /// `capacity` is rounded up to a power of two; the deque grows on demand.
+  explicit ChaseLevDeque(std::int64_t capacity = 64) {
+    std::int64_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    owned_ = std::make_unique<Array>(cap);
+    array_.store(owned_.get(), std::memory_order_relaxed);
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only. Never fails; grows the array when full.
+  void push(Entry e) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t > a->cap - 1) a = grow(a, b, t);
+    a->put(b, e);
+#if TILEDQR_TSAN
+    bottom_.store(b + 1, std::memory_order_release);
+#else
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+#endif
+  }
+
+  /// Owner only: LIFO pop from the bottom. Returns false when empty (a lost
+  /// last-element race against a thief reads as empty — the thief has it).
+  bool pop(Entry& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+#if TILEDQR_TSAN
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+#else
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+#endif
+    if (t > b) {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = a->get(b);
+    if (t == b) {
+      // Last element: the CAS on top decides against a racing thief.
+      const bool won = top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                                    std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return won;
+    }
+    return true;
+  }
+
+  /// Any thread: FIFO steal from the top.
+  Steal steal(Entry& out) {
+#if TILEDQR_TSAN
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+#else
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+#endif
+    if (t >= b) return Steal::Empty;
+    Array* a = array_.load(std::memory_order_acquire);
+    out = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return Steal::Lost;
+    return Steal::Ok;
+  }
+
+  /// Racy size estimate (never negative); exact when only the owner moves.
+  [[nodiscard]] std::int64_t size() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  struct Cell {
+    std::atomic<P*> ptr{nullptr};
+    std::atomic<std::int32_t> tag{0};
+  };
+  struct Array {
+    explicit Array(std::int64_t n) : cap(n), mask(n - 1), cells(new Cell[std::size_t(n)]) {}
+    const std::int64_t cap;
+    const std::int64_t mask;
+    std::unique_ptr<Cell[]> cells;
+    /// Previous (smaller) array, kept alive until the deque dies: a thief
+    /// holding the old pointer may still read cells from it, and the values
+    /// it finds there are the same logical values grow() copied forward.
+    std::unique_ptr<Array> retired_prev;
+
+    void put(std::int64_t i, Entry e) noexcept {
+      Cell& c = cells[std::size_t(i & mask)];
+      c.ptr.store(e.ptr, std::memory_order_relaxed);
+      c.tag.store(e.tag, std::memory_order_relaxed);
+    }
+    [[nodiscard]] Entry get(std::int64_t i) const noexcept {
+      const Cell& c = cells[std::size_t(i & mask)];
+      return Entry{c.ptr.load(std::memory_order_relaxed), c.tag.load(std::memory_order_relaxed)};
+    }
+  };
+
+  /// Owner only: double the array, copying the live logical range [t, b).
+  Array* grow(Array* a, std::int64_t b, std::int64_t t) {
+    auto bigger = std::make_unique<Array>(a->cap * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, a->get(i));
+    bigger->retired_prev = std::move(owned_);
+    owned_ = std::move(bigger);
+    Array* raw = owned_.get();
+    array_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Array*> array_{nullptr};
+  std::unique_ptr<Array> owned_;  ///< current array; owns the retired chain
+};
+
+}  // namespace tiledqr::runtime

@@ -1,6 +1,7 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <array>
 #include <deque>
 
 #include "common/env.hpp"
@@ -8,6 +9,12 @@
 #include "common/timer.hpp"
 #include "obs/kernel_profile.hpp"
 #include "obs/trace.hpp"
+#include "runtime/chase_lev.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace tiledqr::runtime {
 
@@ -24,6 +31,22 @@ thread_local int tl_worker = -1;
 // it.
 obs::Tracer& g_tracer = obs::Tracer::instance();
 obs::KernelProfiler& g_kernel_profiler = obs::KernelProfiler::global();
+
+/// Best-effort worker->core pinning (TILEDQR_PIN). Linux-only; everywhere
+/// else it is a documented no-op, and even on Linux a failed setaffinity
+/// (cgroup cpuset, restricted mask) is ignored — pinning is an optimization,
+/// never a correctness requirement.
+void pin_to_core(int wid) {
+#if defined(__linux__)
+  const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(unsigned(wid) % ncpu, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)wid;
+#endif
+}
 }  // namespace
 
 /// One DAG component of a submission. Tasks retire exactly once each —
@@ -31,34 +54,53 @@ obs::KernelProfiler& g_kernel_profiler = obs::KernelProfiler::global();
 /// component* has thrown — so `remaining` always drains to zero and the
 /// component's completion fires even on failure. Sibling components are
 /// unaffected by a failure: they serve independent requests.
+///
+/// A component may be *replicated* (`copies > 1`): the scheduler runs
+/// `copies` independent instances of the base graph, with global task id
+/// = copy * stride + local (stride = base graph size). Dependencies never
+/// cross copies, graph/key lookups index by `local`, and the body receives
+/// the global id — exactly the task-id contract a materialized homogeneous
+/// fused graph had, without the count x graph memory.
 struct ThreadPool::Component {
-  /// `borrowed_keys`, when non-null, is used directly (the caller keeps it
-  /// alive like the graph itself — cached plans hand in their rank vector);
-  /// otherwise `owned` is computed per component and referenced instead.
-  Component(const dag::TaskGraph& g, std::function<void(std::int32_t)> b,
+  Component(const dag::TaskGraph& g, int copies_, std::function<void(std::int32_t)> b,
             std::function<void(std::exception_ptr)> done_cb,
             const std::vector<long>* borrowed_keys, std::vector<long> owned,
             std::shared_ptr<const void> keep)
       : graph(&g), body(std::move(b)), on_complete(std::move(done_cb)),
         keys_owned(std::move(owned)),
         keys(borrowed_keys ? borrowed_keys->data() : keys_owned.data()),
-        keepalive(std::move(keep)), npred(g.tasks.size()), remaining(long(g.tasks.size())) {
-    for (size_t t = 0; t < g.tasks.size(); ++t)
-      npred[t].store(g.tasks[t].npred, std::memory_order_relaxed);
+        keepalive(std::move(keep)), stride(std::int32_t(g.tasks.size())), copies(copies_),
+        npred(g.tasks.size() * std::size_t(copies_)),
+        remaining(long(g.tasks.size()) * copies_) {
+    for (int c = 0; c < copies_; ++c)
+      for (std::size_t t = 0; t < g.tasks.size(); ++t)
+        npred[std::size_t(c) * g.tasks.size() + t].store(g.tasks[t].npred,
+                                                         std::memory_order_relaxed);
   }
 
   const dag::TaskGraph* graph;
   std::function<void(std::int32_t)> body;
   std::function<void(std::exception_ptr)> on_complete;
   std::vector<long> keys_owned;
-  const long* keys;  ///< one scheduling key per task (borrowed or keys_owned)
+  /// One scheduling key per *base-graph* task (borrowed or keys_owned);
+  /// replicated copies share it — index with `task % stride`.
+  const long* keys;
   std::shared_ptr<const void> keepalive;
-  std::vector<std::atomic<std::int32_t>> npred;
+  std::int32_t stride;  ///< tasks per copy (= base graph size)
+  int copies;
+  std::vector<std::atomic<std::int32_t>> npred;  ///< copies x stride
   std::atomic<long> remaining;
+  /// Owning submission. Raw: the submission outlives every queued item of
+  /// its components via its self-reference (cleared only once inflight hits
+  /// zero), so this pointer is valid for the component's whole queued life.
+  Submission* owner = nullptr;
   /// Generation this component was born in — its id within the submission
   /// for trace events. Written once under the submission mutex before any
   /// item is dealt.
   long gen = 0;
+  /// Home worker under component-affine dealing; -1 = dealt spread. Used
+  /// for the home-vs-foreign locality split in stats().
+  int home = -1;
   std::atomic<bool> failed{false};
   /// Set (with release) after the retiring worker's LAST touch of this
   /// component; the stream prune loop pops only flagged components, so a
@@ -71,7 +113,7 @@ struct ThreadPool::Component {
 /// One in-flight submission: an append-only, generation-counted set of DAG
 /// components sharing a worker set. The one-shot submit() closes it with a
 /// single component; a Stream keeps it open and grafts components onto the
-/// live ready set. `components` is a deque so grafting never moves a
+/// live submission. `components` is a deque so grafting never moves a
 /// component a racing worker still holds a pointer into.
 struct ThreadPool::Submission {
   [[nodiscard]] bool worker_in_set(int w, int pool_size) const noexcept {
@@ -81,7 +123,7 @@ struct ThreadPool::Submission {
     return rel < worker_count;
   }
 
-  std::mutex mu;  ///< guards components growth/pruning and the open→closed flip
+  std::mutex mu;  ///< guards components growth/pruning, self_ref, and the open->closed flip
   /// Append-only at the back (grafts), pruned from the front once fully
   /// retired — but only for streams (`stream`): run() still reads the lone
   /// component of a one-shot submission after it completes, and one-shot
@@ -89,8 +131,14 @@ struct ThreadPool::Submission {
   /// for a server's lifetime would grow one Component shell per graft
   /// forever; with it, memory is bounded by the in-flight window.
   std::deque<Component> components;
+  /// Queue items are POD (no shared_ptr), so the submission keeps *itself*
+  /// alive while any component is in flight: set (under mu) whenever a
+  /// component is appended, cleared (under mu) by the retire path only once
+  /// inflight is observed zero again. Stream handles and waiters hold their
+  /// own shared_ptrs independently.
+  std::shared_ptr<Submission> self_ref;
   /// Streaming submission: enables front-pruning (above) and routes the deal
-  /// anchor through the pool-level weighted round-robin across streams.
+  /// anchor through the pool-level round shared across streams.
   bool stream = false;
   /// Trace id: which submission an event belongs to (unique across pools and
   /// the spawn-path executor).
@@ -116,36 +164,65 @@ struct ThreadPool::Submission {
   std::atomic<bool> done{false};  ///< closed && everything retired
   int first_worker = 0;
   int worker_count = 0;
-  /// Rotates the deal anchor within the worker set per append, so a stream
-  /// of small components spreads their sources instead of always loading the
+  /// Home anchor under affine dealing: >= 0 pins every component of this
+  /// stream to the same slot of its worker set; < 0 rotates per component.
+  int affinity_hint = -1;
+  /// Rotates the deal anchor within the worker set per append, so a
+  /// one-shot-heavy workload spreads sources instead of always loading the
   /// same worker first.
   std::atomic<unsigned> deal_round{0};
 };
 
-struct ThreadPool::Item {
-  std::shared_ptr<Submission> sub;
-  Component* comp = nullptr;
-  std::int32_t task = 0;
-};
-
-/// Per-worker ready set: one queue per live submission, linear-scanned (a
-/// worker sees only a handful of submissions at once, so a vector beats any
-/// map). The owner pops LIFO from the back of a queue — preserving locality
-/// and the per-component priority order exactly as the old single deque did —
-/// but rotates round-robin across queues, so one chatty stream's continuous
-/// grafts cannot bury another submission's items at the bottom of a shared
-/// LIFO pile (the pop-side half of multi-stream fairness; the deal-side half
-/// is the pool-level graft rotation). Thieves take the oldest item of the
-/// first queue whose submission admits them. Queues are erased the moment
-/// they empty, so `queues` only ever holds non-empty queues.
+/// Per-worker ready set: a fixed array of lanes, one Chase–Lev deque per
+/// live submission the worker holds work for, plus a mutexed inbox.
+///
+/// Single-producer discipline: only the OWNER pushes into (and assigns/
+/// recycles) its lanes. Everything arriving from another thread — dealt
+/// sources, forwarded inadmissible steals — lands in the inbox; the owner
+/// drains it into lanes before popping. Thieves steal lock-free from lane
+/// tops, and, failing that, take admissible items from inboxes under the
+/// mutex, so capped work parked on a busy worker is never stranded.
+///
+/// The owner pops LIFO from a lane bottom — preserving locality and the
+/// per-component priority order exactly as the old mutexed deques did — but
+/// rotates round-robin across lanes, so one chatty stream's continuous
+/// grafts cannot bury another submission's items (the pop-side half of
+/// multi-stream fairness; the deal-side half is the pool-level graft
+/// rotation). A lane whose deque drains is recycled (sub cleared) by the
+/// owner; admissibility of a stolen item is verified from the item's own
+/// component afterwards, so a lane recycling mid-steal can never leak a
+/// capped submission's task to an out-of-set worker.
 struct ThreadPool::Worker {
-  struct SubQueue {
-    const Submission* key;
-    std::deque<Item> items;
+  static constexpr std::size_t kLanes = 16;  ///< concurrent submissions held apart
+
+  struct Lane {
+    ChaseLevDeque<Component> deq;
+    /// Owner-written lane key (which submission this lane serves); nullptr =
+    /// free. Compared, never dereferenced, by non-owners.
+    std::atomic<Submission*> sub{nullptr};
   };
-  std::mutex mu;
-  std::vector<SubQueue> queues;
-  size_t rr = 0;  ///< round-robin cursor over `queues` (owner pops)
+
+  std::array<Lane, kLanes> lanes;
+  std::size_t rr = 0;  ///< owner-private round-robin cursor over lanes
+  /// Thieves' rotation cursor over this victim's lanes: a successful steal
+  /// advances it, so heavy stealing serves submissions round-robin instead
+  /// of draining one lane dry first.
+  std::atomic<unsigned> steal_rr{0};
+
+  /// Cross-thread mailbox (dealers + forwarded steals -> owner/thieves).
+  std::mutex inbox_mu;
+  std::deque<Item> inbox;
+  std::atomic<long> inbox_size{0};  ///< maintained under inbox_mu; read lock-free
+  /// Rotation cursor for steal_inbox, guarded by inbox_mu: which parked
+  /// submission thieves serve next, so inbox steals interleave submissions
+  /// like lane steals do instead of draining one stream's backlog FIFO.
+  unsigned inbox_steal_rr = 0;
+
+  // Per-worker relaxed counters, summed by stats().
+  std::atomic<long> tasks_home{0};
+  std::atomic<long> tasks_foreign{0};
+  std::atomic<long> steal_cas_retries{0};
+  std::atomic<long> empty_steal_probes{0};
 
   // Health slots, stamped by run_item only while a HealthMonitor is live
   // (obs::kObsTaskHealth): what this worker is executing right now and when
@@ -156,55 +233,27 @@ struct ThreadPool::Worker {
   std::atomic<std::int32_t> running_task{-1};
   std::atomic<std::uint8_t> running_kind{0xFF};
 
-  // All three require holding `mu`.
-  void push(Item item) {
-    for (auto& q : queues)
-      if (q.key == item.sub.get()) {
-        q.items.push_back(std::move(item));
-        return;
-      }
-    queues.push_back(SubQueue{item.sub.get(), {}});
-    queues.back().items.push_back(std::move(item));
-  }
-  bool pop_rotating(Item& out) {
-    if (queues.empty()) return false;
-    if (rr >= queues.size()) rr = 0;
-    SubQueue& q = queues[rr];
-    out = std::move(q.items.back());
-    q.items.pop_back();
-    if (q.items.empty())
-      queues.erase(queues.begin() + long(rr));  // rr now points at the next queue
-    else
-      ++rr;
-    return true;
-  }
-  bool steal_oldest(int thief, int pool_size, Item& out) {
-    const size_t n = queues.size();
-    if (n == 0) return false;
-    if (rr >= n) rr = 0;
-    // Start at the victim's rotation cursor and advance it on success:
-    // a steal serves a submission's turn just like an owner pop would, so
-    // heavy stealing cannot collapse the round-robin back into one stream.
-    for (size_t k = 0; k < n; ++k) {
-      const size_t i = (rr + k) % n;
-      SubQueue& q = queues[i];
-      if (!q.items.front().sub->worker_in_set(thief, pool_size)) continue;
-      out = std::move(q.items.front());
-      q.items.pop_front();
-      if (q.items.empty()) {
-        queues.erase(queues.begin() + long(i));
-        if (rr > i) --rr;  // cursor keeps pointing at the same next queue
-      } else {
-        rr = i + 1;  // clamped on the next use
-      }
-      return true;
+  /// Owner only: lane serving `s`, claiming a free one if needed; nullptr
+  /// when every lane is taken by another live submission (caller falls back
+  /// to the inbox). Stale keys of dead submissions are only ever *compared*
+  /// against, and a lane with a stale key is necessarily empty (items keep
+  /// their submission alive), so it gets recycled by the pop scan.
+  Lane* lane_for(Submission* s) {
+    Lane* free_lane = nullptr;
+    for (auto& lane : lanes) {
+      Submission* cur = lane.sub.load(std::memory_order_relaxed);
+      if (cur == s) return &lane;
+      if (cur == nullptr && free_lane == nullptr) free_lane = &lane;
     }
-    return false;
+    if (free_lane) free_lane->sub.store(s, std::memory_order_relaxed);
+    return free_lane;
   }
 };
 
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) threads = default_thread_count();
+  pin_workers_ = env_flag("TILEDQR_PIN", false);
+  affine_steal_ = env_flag("TILEDQR_AFFINE_STEAL", true);
   label_ = obs::MetricsRegistry::global().unique_label("pool");
   workers_.reserve(size_t(threads));
   for (int w = 0; w < threads; ++w) workers_.push_back(std::make_unique<Worker>());
@@ -221,6 +270,10 @@ ThreadPool::ThreadPool(int threads) {
         out.push_back({"tasks_stolen", double(s.tasks_stolen)});
         out.push_back({"streams_opened", double(s.streams_opened)});
         out.push_back({"streams_live", double(s.streams_live)});
+        out.push_back({"steal_cas_retries", double(s.steal_cas_retries)});
+        out.push_back({"empty_steal_probes", double(s.empty_steal_probes)});
+        out.push_back({"tasks_home", double(s.tasks_home)});
+        out.push_back({"tasks_foreign", double(s.tasks_foreign)});
       });
 }
 
@@ -244,15 +297,25 @@ ThreadPool::Stats ThreadPool::stats() const noexcept {
   // all values coexisted at one instant. Workers mutating mid-read just
   // trigger another pass; the retry bound keeps this wait-free in practice
   // (a torn-but-monotone final pass is still a valid *approximate* read,
-  // the same guarantee the old field-by-field code gave).
-  long a[5];
-  long b[5];
-  auto read = [&](long v[5]) {
+  // the same guarantee the old field-by-field code gave). The per-worker
+  // counters are summed per pass; a sum of monotone counters is monotone,
+  // so the agreement argument covers them too.
+  constexpr int kN = 9;
+  long a[kN];
+  long b[kN];
+  auto read = [&](long v[kN]) {
     v[0] = graphs_completed_.load(std::memory_order_acquire);
     v[1] = tasks_executed_.load(std::memory_order_acquire);
     v[2] = tasks_stolen_.load(std::memory_order_acquire);
     v[3] = streams_opened_.load(std::memory_order_acquire);
     v[4] = streams_closed_->load(std::memory_order_acquire);
+    v[5] = v[6] = v[7] = v[8] = 0;
+    for (const auto& w : workers_) {
+      v[5] += w->steal_cas_retries.load(std::memory_order_acquire);
+      v[6] += w->empty_steal_probes.load(std::memory_order_acquire);
+      v[7] += w->tasks_home.load(std::memory_order_acquire);
+      v[8] += w->tasks_foreign.load(std::memory_order_acquire);
+    }
   };
   read(a);
   for (int attempt = 0; attempt < 64; ++attempt) {
@@ -266,6 +329,10 @@ ThreadPool::Stats ThreadPool::stats() const noexcept {
   s.tasks_stolen = b[2];
   s.streams_opened = b[3];
   s.streams_live = b[3] - b[4];
+  s.steal_cas_retries = b[5];
+  s.empty_steal_probes = b[6];
+  s.tasks_home = b[7];
+  s.tasks_foreign = b[8];
   return s;
 }
 
@@ -276,14 +343,14 @@ std::vector<ThreadPool::WorkerProbe> ThreadPool::probe_workers() const {
     Worker& wk = *workers_[w];
     WorkerProbe p;
     p.worker = int(w);
-    {
-      std::lock_guard<std::mutex> lock(wk.mu);
-      for (const auto& q : wk.queues) p.ready += q.items.size();
-    }
+    for (const auto& lane : wk.lanes) p.ready += std::size_t(lane.deq.size());
+    p.ready += std::size_t(std::max<long>(0, wk.inbox_size.load(std::memory_order_acquire)));
     p.running_since_ns = wk.running_since.load(std::memory_order_acquire);
     p.running_task = wk.running_task.load(std::memory_order_relaxed);
     p.running_kind = wk.running_kind.load(std::memory_order_relaxed);
     p.last_finish_ns = wk.last_finish.load(std::memory_order_acquire);
+    p.tasks_home = wk.tasks_home.load(std::memory_order_relaxed);
+    p.tasks_foreign = wk.tasks_foreign.load(std::memory_order_relaxed);
     out.push_back(p);
   }
   return out;
@@ -292,8 +359,8 @@ std::vector<ThreadPool::WorkerProbe> ThreadPool::probe_workers() const {
 long ThreadPool::ready_depth() const {
   long n = 0;
   for (const auto& w : workers_) {
-    std::lock_guard<std::mutex> lock(w->mu);
-    for (const auto& q : w->queues) n += long(q.items.size());
+    for (const auto& lane : w->lanes) n += long(lane.deq.size());
+    n += std::max<long>(0, w->inbox_size.load(std::memory_order_acquire));
   }
   return n;
 }
@@ -323,12 +390,19 @@ std::shared_ptr<ThreadPool::Submission> ThreadPool::make_submission(int max_work
   return sub;
 }
 
+void ThreadPool::push_inbox(Worker& w, const Item* items, std::size_t n) {
+  std::lock_guard<std::mutex> lock(w.inbox_mu);
+  for (std::size_t i = 0; i < n; ++i) w.inbox.push_back(items[i]);
+  w.inbox_size.store(long(w.inbox.size()), std::memory_order_release);
+}
+
 ThreadPool::Component& ThreadPool::append_component(
     const std::shared_ptr<Submission>& sub, const dag::TaskGraph& g,
     std::function<void(std::int32_t)> body, std::function<void(std::exception_ptr)> on_complete,
     SchedulePriority priority, std::shared_ptr<const void> keepalive,
-    const std::vector<long>* keys, bool check_closed) {
+    const std::vector<long>* keys, bool check_closed, int copies) {
   TILEDQR_CHECK(!g.tasks.empty(), "ThreadPool: empty graph handled by caller");
+  TILEDQR_CHECK(copies >= 1, "ThreadPool: copies must be >= 1");
   TILEDQR_CHECK(!keys || keys->size() == g.tasks.size(),
                 "ThreadPool: keys must have one entry per task");
   Component* comp = nullptr;
@@ -339,9 +413,13 @@ ThreadPool::Component& ThreadPool::append_component(
                     "ThreadPool::Stream::append: stream is closed");
     const long gen = sub->generation.load(std::memory_order_relaxed) + 1;
     comp = &sub->components.emplace_back(
-        g, std::move(body), std::move(on_complete), keys,
+        g, copies, std::move(body), std::move(on_complete), keys,
         keys ? std::vector<long>() : make_priority_keys(g, priority), std::move(keepalive));
     comp->gen = gen;
+    comp->owner = sub.get();
+    // Queue items carry no ownership, so the submission must hold itself
+    // alive while components are in flight (idempotent re-arm on re-use).
+    sub->self_ref = sub;
     // inflight before generation: wait() snapshots generation and must never
     // see a generation whose component is not yet counted in flight.
     sub->inflight.fetch_add(1, std::memory_order_seq_cst);
@@ -349,39 +427,67 @@ ThreadPool::Component& ThreadPool::append_component(
   }
   active_submissions_.fetch_add(1, std::memory_order_acq_rel);
 
-  // Initial ready set in descending priority, dealt round-robin across the
-  // submission's worker set from a per-append rotating anchor. The component
-  // address is stable (deque) so racing workers on older generations are
-  // untouched by this graft.
+  // Initial ready set: global source ids across all copies, in descending
+  // priority (ties broken ascending by id — the same total order the old
+  // materialized fused graphs produced). The component address is stable
+  // (deque) so racing workers on older generations are untouched.
+  const std::int32_t stride = comp->stride;
   std::vector<std::int32_t> sources;
   for (size_t t = 0; t < g.tasks.size(); ++t)
-    if (g.tasks[t].npred == 0) sources.push_back(std::int32_t(t));
+    if (g.tasks[t].npred == 0)
+      for (int c = 0; c < copies; ++c)
+        sources.push_back(std::int32_t(c) * stride + std::int32_t(t));
   std::sort(sources.begin(), sources.end(), [&](std::int32_t a, std::int32_t b) {
-    return comp->keys[size_t(a)] != comp->keys[size_t(b)]
-               ? comp->keys[size_t(a)] > comp->keys[size_t(b)]
-               : a < b;
+    const long ka = comp->keys[size_t(a % stride)];
+    const long kb = comp->keys[size_t(b % stride)];
+    return ka != kb ? ka > kb : a < b;
   });
+
   const int pool_size = size();
-  // One-shot submissions rotate their anchor per submission (deal_round);
-  // stream grafts draw from the pool-level round shared by ALL streams,
-  // advanced by the number of sources dealt — weighted round-robin, so a
-  // wide graft shifts the next stream's anchor past the workers it loaded.
-  const unsigned round =
-      sub->stream
-          ? stream_deal_round_.fetch_add(unsigned(sources.size()), std::memory_order_relaxed)
-          : sub->deal_round.fetch_add(1, std::memory_order_relaxed);
-  const int anchor = int(round % unsigned(sub->worker_count));
-  std::vector<std::vector<std::int32_t>> dealt(size_t(sub->worker_count));
-  for (size_t i = 0; i < sources.size(); ++i)
-    dealt[(i + size_t(anchor)) % size_t(sub->worker_count)].push_back(sources[i]);
-  for (int d = 0; d < sub->worker_count; ++d) {
-    if (dealt[size_t(d)].empty()) continue;
-    Worker& w = *workers_[size_t((sub->first_worker + d) % pool_size)];
-    std::lock_guard<std::mutex> lock(w.mu);
-    // Owners pop from the back: push in ascending priority so the most
-    // urgent task comes off first.
-    for (auto it = dealt[size_t(d)].rbegin(); it != dealt[size_t(d)].rend(); ++it)
-      w.push(Item{sub, comp, *it});
+  if (affine_steal_ && sub->stream) {
+    // Component-affine dealing: the whole component goes to one home worker
+    // so a request's tiles stay in one cache; siblings steal only when idle.
+    // Homes rotate per component from the pool-level round shared by all
+    // streams, unless the stream pinned a slot via its affinity hint.
+    const int slot =
+        sub->affinity_hint >= 0
+            ? sub->affinity_hint % sub->worker_count
+            : int(stream_deal_round_.fetch_add(1, std::memory_order_relaxed) %
+                  unsigned(sub->worker_count));
+    const int home = (sub->first_worker + slot) % pool_size;
+    comp->home = home;
+    // Inbox order is drained-in-order into a LIFO lane, so push ascending
+    // priority: the owner pops the most urgent first.
+    std::vector<Item> items;
+    items.reserve(sources.size());
+    for (auto it = sources.rbegin(); it != sources.rend(); ++it)
+      items.push_back(Item{comp, *it});
+    push_inbox(*workers_[size_t(home)], items.data(), items.size());
+  } else {
+    // Spread dealing: round-robin across the submission's worker set from a
+    // rotating anchor. One-shot submissions rotate per submission
+    // (deal_round); stream grafts draw from the pool-level round advanced by
+    // the number of sources dealt — weighted round-robin, so a wide graft
+    // shifts the next stream's anchor past the workers it loaded.
+    const unsigned round =
+        sub->stream
+            ? stream_deal_round_.fetch_add(unsigned(sources.size()), std::memory_order_relaxed)
+            : sub->deal_round.fetch_add(1, std::memory_order_relaxed);
+    const int anchor = int(round % unsigned(sub->worker_count));
+    std::vector<std::vector<std::int32_t>> dealt(size_t(sub->worker_count));
+    for (size_t i = 0; i < sources.size(); ++i)
+      dealt[(i + size_t(anchor)) % size_t(sub->worker_count)].push_back(sources[i]);
+    for (int d = 0; d < sub->worker_count; ++d) {
+      if (dealt[size_t(d)].empty()) continue;
+      Worker& w = *workers_[size_t((sub->first_worker + d) % pool_size)];
+      // Ascending priority into the inbox -> LIFO lane pops most urgent
+      // first (the old push-reversed-pop-back behavior, one hop removed).
+      std::vector<Item> items;
+      items.reserve(dealt[size_t(d)].size());
+      for (auto it = dealt[size_t(d)].rbegin(); it != dealt[size_t(d)].rend(); ++it)
+        items.push_back(Item{comp, *it});
+      push_inbox(w, items.data(), items.size());
+    }
   }
   signal_work();
   return *comp;
@@ -390,30 +496,32 @@ ThreadPool::Component& ThreadPool::append_component(
 std::shared_ptr<ThreadPool::Submission> ThreadPool::submit_impl(
     const dag::TaskGraph& g, std::function<void(std::int32_t)> body,
     std::function<void(std::exception_ptr)> on_complete, SchedulePriority priority,
-    int max_workers, std::shared_ptr<const void> keepalive, const std::vector<long>* keys) {
+    int max_workers, std::shared_ptr<const void> keepalive, const std::vector<long>* keys,
+    int copies) {
   auto sub = make_submission(max_workers, /*closed=*/true);
   append_component(sub, g, std::move(body), std::move(on_complete), priority,
-                   std::move(keepalive), keys, /*check_closed=*/false);
+                   std::move(keepalive), keys, /*check_closed=*/false, copies);
   return sub;
 }
 
 void ThreadPool::submit(const dag::TaskGraph& g, std::function<void(std::int32_t)> body,
                         std::function<void(std::exception_ptr)> on_complete,
                         SchedulePriority priority, int max_workers,
-                        std::shared_ptr<const void> keepalive, const std::vector<long>* keys) {
+                        std::shared_ptr<const void> keepalive, const std::vector<long>* keys,
+                        int copies) {
   if (g.tasks.empty()) {
     if (on_complete) on_complete(nullptr);
     return;
   }
   submit_impl(g, std::move(body), std::move(on_complete), priority, max_workers,
-              std::move(keepalive), keys);
+              std::move(keepalive), keys, copies);
 }
 
 std::future<void> ThreadPool::submit(const dag::TaskGraph& g,
                                      std::function<void(std::int32_t)> body,
                                      SchedulePriority priority, int max_workers,
                                      std::shared_ptr<const void> keepalive,
-                                     const std::vector<long>* keys) {
+                                     const std::vector<long>* keys, int copies) {
   auto promise = std::make_shared<std::promise<void>>();
   std::future<void> future = promise->get_future();
   submit(
@@ -424,7 +532,7 @@ std::future<void> ThreadPool::submit(const dag::TaskGraph& g,
         else
           promise->set_value();
       },
-      priority, max_workers, std::move(keepalive), keys);
+      priority, max_workers, std::move(keepalive), keys, copies);
   return future;
 }
 
@@ -436,7 +544,7 @@ void ThreadPool::run(const dag::TaskGraph& g, const std::function<void(std::int3
     // until this submission retires (blocking would deadlock the pool).
     // When no admissible work exists it parks on the epoch/cv machinery
     // like any worker (completion bumps the epoch via signal_work).
-    auto sub = submit_impl(g, body, nullptr, priority, max_workers, nullptr, keys);
+    auto sub = submit_impl(g, body, nullptr, priority, max_workers, nullptr, keys, 1);
     while (!sub->done.load(std::memory_order_acquire)) {
       const long epoch = epoch_.load(std::memory_order_seq_cst);
       if (try_run_one(tl_worker)) continue;
@@ -464,17 +572,18 @@ void ThreadPool::run(const dag::TaskGraph& g, const std::function<void(std::int3
         else
           promise.set_value();
       },
-      priority, max_workers, nullptr, keys);
+      priority, max_workers, nullptr, keys, 1);
   future.get();
 }
 
 // ------------------------------------------------------------------ stream --
 
-ThreadPool::Stream ThreadPool::open_stream(int max_workers) {
+ThreadPool::Stream ThreadPool::open_stream(int max_workers, int affinity_hint) {
   Stream s;
   s.pool_ = this;
   s.sub_ = make_submission(max_workers, /*closed=*/false);
   s.sub_->stream = true;  // prune retired grafts + pool-level deal rotation
+  s.sub_->affinity_hint = affinity_hint;
   s.sub_->streams_closed = streams_closed_;
   s.sub_->gauge_counted.store(true, std::memory_order_release);
   streams_opened_.fetch_add(1, std::memory_order_relaxed);
@@ -484,7 +593,7 @@ ThreadPool::Stream ThreadPool::open_stream(int max_workers) {
 void ThreadPool::Stream::append(const dag::TaskGraph& g, std::function<void(std::int32_t)> body,
                                 std::function<void(std::exception_ptr)> on_complete,
                                 std::shared_ptr<const void> keepalive,
-                                const std::vector<long>* keys) {
+                                const std::vector<long>* keys, int copies) {
   TILEDQR_CHECK(valid(), "ThreadPool::Stream::append: empty stream handle");
   if (g.tasks.empty()) {
     if (on_complete) on_complete(nullptr);
@@ -492,7 +601,7 @@ void ThreadPool::Stream::append(const dag::TaskGraph& g, std::function<void(std:
   }
   pool_->append_component(sub_, g, std::move(body), std::move(on_complete),
                           SchedulePriority::CriticalPath, std::move(keepalive), keys,
-                          /*check_closed=*/true);
+                          /*check_closed=*/true, copies);
 }
 
 void ThreadPool::Stream::close() {
@@ -560,6 +669,7 @@ void ThreadPool::wait_stream(const std::shared_ptr<Submission>& sub, long up_to_
 void ThreadPool::worker_main(int wid) {
   tl_pool = this;
   tl_worker = wid;
+  if (pin_workers_) pin_to_core(wid);
   g_tracer.set_thread_track_name(label_ + ".w" + std::to_string(wid));
   for (;;) {
     const long epoch = epoch_.load(std::memory_order_seq_cst);
@@ -575,36 +685,188 @@ void ThreadPool::worker_main(int wid) {
   }
 }
 
-bool ThreadPool::try_run_one(int wid) {
-  Worker& self = *workers_[size_t(wid)];
+/// Owner: move inbox items into lanes. Stops early when every lane is taken
+/// by other live submissions, re-queuing the remainder in order — thieves
+/// can still take those from the inbox, and the owner retries after its
+/// lanes drain (recycling frees lanes), so nothing is ever stranded.
+void ThreadPool::drain_inbox(Worker& self) {
+  if (self.inbox_size.load(std::memory_order_acquire) == 0) return;
+  std::deque<Item> moved;
   {
-    std::unique_lock<std::mutex> lock(self.mu);
-    Item item;
-    if (self.pop_rotating(item)) {
-      lock.unlock();
-      run_item(wid, std::move(item), /*stolen=*/false);
+    std::lock_guard<std::mutex> lock(self.inbox_mu);
+    moved.swap(self.inbox);
+    self.inbox_size.store(0, std::memory_order_release);
+  }
+  while (!moved.empty()) {
+    const Item item = moved.front();
+    Worker::Lane* lane = self.lane_for(item.comp->owner);
+    if (!lane) break;
+    moved.pop_front();
+    lane->deq.push(ChaseLevDeque<Component>::Entry{item.comp, item.task});
+  }
+  if (!moved.empty()) {
+    std::lock_guard<std::mutex> lock(self.inbox_mu);
+    for (auto it = moved.rbegin(); it != moved.rend(); ++it) self.inbox.push_front(*it);
+    self.inbox_size.store(long(self.inbox.size()), std::memory_order_release);
+  }
+}
+
+/// Owner: LIFO pop, rotating round-robin across lanes so every live
+/// submission makes progress. Empty lanes are recycled in passing.
+bool ThreadPool::pop_rotating(Worker& self, Item& out) {
+  for (std::size_t k = 0; k < Worker::kLanes; ++k) {
+    const std::size_t i = (self.rr + k) % Worker::kLanes;
+    Worker::Lane& lane = self.lanes[i];
+    if (lane.sub.load(std::memory_order_relaxed) == nullptr) continue;
+    ChaseLevDeque<Component>::Entry e;
+    if (lane.deq.pop(e)) {
+      self.rr = (i + 1) % Worker::kLanes;
+      out = Item{e.ptr, e.tag};
       return true;
     }
+    // pop() false means the lane is now empty (a lost last-element race
+    // handed the item to a thief) — recycle it for the next submission.
+    lane.sub.store(nullptr, std::memory_order_relaxed);
   }
-  // Steal: scan victims round-robin; take the oldest item whose submission
-  // admits this worker (capped submissions confine items to their set).
+  return false;
+}
+
+/// Thief: lock-free steal from the victim's lanes, rotating from the
+/// victim's steal cursor. A successful steal whose item turns out to be
+/// confined to a worker set excluding the thief (the lane was recycled
+/// mid-probe) is forwarded to the submission's first worker — always
+/// in-set — instead of being run here.
+bool ThreadPool::steal_lanes(Worker& victim, Worker& thief, int thief_wid, Item& out) {
   const int pool_size = size();
-  for (int d = 1; d < pool_size; ++d) {
-    Worker& victim = *workers_[size_t((wid + d) % pool_size)];
-    std::unique_lock<std::mutex> lock(victim.mu);
-    Item item;
-    if (victim.steal_oldest(wid, pool_size, item)) {
-      lock.unlock();
-      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
-      run_item(wid, std::move(item), /*stolen=*/true);
+  const unsigned cursor = victim.steal_rr.load(std::memory_order_relaxed);
+  for (std::size_t k = 0; k < Worker::kLanes; ++k) {
+    Worker::Lane& lane = victim.lanes[(std::size_t(cursor) + k) % Worker::kLanes];
+    for (;;) {
+      ChaseLevDeque<Component>::Entry e;
+      const auto r = lane.deq.steal(e);
+      if (r == ChaseLevDeque<Component>::Steal::Empty) break;
+      if (r == ChaseLevDeque<Component>::Steal::Lost) {
+        thief.steal_cas_retries.fetch_add(1, std::memory_order_relaxed);
+        continue;  // someone else made progress; retry this lane
+      }
+      Item item{e.ptr, e.tag};
+      Submission* s = item.comp->owner;
+      if (!s->worker_in_set(thief_wid, pool_size)) {
+        // Capped work: hand it to a worker inside the set and wake it.
+        push_inbox(*workers_[size_t(s->first_worker)], &item, 1);
+        signal_work();
+        break;  // keep scanning other lanes for admissible work
+      }
+      victim.steal_rr.store(cursor + unsigned(k) + 1, std::memory_order_relaxed);
+      out = item;
       return true;
     }
   }
   return false;
 }
 
+/// Thief: take an admissible item from the victim's inbox (mutexed — the
+/// inbox is the cold path; this keeps capped or lane-overflowed work
+/// reachable while its owner is busy). Parked submissions are served
+/// round-robin (oldest item of the chosen submission), mirroring the lane
+/// rotation: a blocked owner's inbox may hold several streams' backlogs, and
+/// a FIFO drain here would run one stream dry before touching the next —
+/// exactly the unfairness the lanes exist to prevent.
+bool ThreadPool::steal_inbox(Worker& victim, int thief_wid, Item& out) {
+  if (victim.inbox_size.load(std::memory_order_acquire) == 0) return false;
+  const int pool_size = size();
+  std::lock_guard<std::mutex> lock(victim.inbox_mu);
+  std::vector<Submission*> subs;  // distinct parked submissions, arrival order
+  for (const Item& it : victim.inbox) {
+    Submission* s = it.comp->owner;
+    if (std::find(subs.begin(), subs.end(), s) == subs.end()) subs.push_back(s);
+  }
+  for (std::size_t k = 0; k < subs.size(); ++k) {
+    Submission* want = subs[(victim.inbox_steal_rr + k) % subs.size()];
+    if (!want->worker_in_set(thief_wid, pool_size)) continue;
+    for (auto it = victim.inbox.begin(); it != victim.inbox.end(); ++it) {
+      if (it->comp->owner != want) continue;
+      out = *it;
+      victim.inbox.erase(it);
+      victim.inbox_size.store(long(victim.inbox.size()), std::memory_order_release);
+      victim.inbox_steal_rr += unsigned(k) + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Owner: push a ready successor onto the lane serving its submission;
+/// falls back to the own inbox under lane pressure. Returns true always
+/// (the fallback cannot fail) — the bool keeps the call sites readable.
+bool ThreadPool::push_local(Worker& self, Submission* sub, Item item) {
+  Worker::Lane* lane = self.lane_for(sub);
+  if (lane) {
+    lane->deq.push(ChaseLevDeque<Component>::Entry{item.comp, item.task});
+  } else {
+    push_inbox(self, &item, 1);
+  }
+  return true;
+}
+
+bool ThreadPool::try_run_one(int wid) {
+  Worker& self = *workers_[size_t(wid)];
+  drain_inbox(self);
+  Item item;
+  if (pop_rotating(self, item)) {
+    run_item(wid, item, /*stolen=*/false);
+    return true;
+  }
+  // Lane pressure can leave items parked in the own inbox (no free lane at
+  // drain time with every lane claimed). Run the oldest directly rather
+  // than stealing past work that is already ours.
+  {
+    bool took = false;
+    if (self.inbox_size.load(std::memory_order_acquire) != 0) {
+      std::lock_guard<std::mutex> lock(self.inbox_mu);
+      if (!self.inbox.empty()) {
+        item = self.inbox.front();
+        self.inbox.pop_front();
+        self.inbox_size.store(long(self.inbox.size()), std::memory_order_release);
+        took = true;
+      }
+    }
+    if (took) {
+      run_item(wid, item, /*stolen=*/false);
+      return true;
+    }
+  }
+  // Steal: scan victims round-robin — lock-free lane tops first, then the
+  // mutexed inboxes (capped work parked on a busy worker lives there).
+  const int pool_size = size();
+  for (int d = 1; d < pool_size; ++d) {
+    Worker& victim = *workers_[size_t((wid + d) % pool_size)];
+    if (steal_lanes(victim, self, wid, item)) {
+      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+      run_item(wid, item, /*stolen=*/true);
+      return true;
+    }
+  }
+  for (int d = 1; d < pool_size; ++d) {
+    Worker& victim = *workers_[size_t((wid + d) % pool_size)];
+    if (steal_inbox(victim, wid, item)) {
+      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+      run_item(wid, item, /*stolen=*/true);
+      return true;
+    }
+  }
+  if (pool_size > 1) self.empty_steal_probes.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
 void ThreadPool::run_item(int wid, Item item, bool stolen) {
   Component& comp = *item.comp;
+  // Replication: global id = copy * stride + local; graph/key lookups use
+  // the local index, dependency bookkeeping the global one.
+  const std::int32_t stride = comp.stride;
+  const std::int32_t local = item.task % stride;
+  const std::int32_t copy_base = item.task - local;
+  Worker& self = *workers_[size_t(wid)];
   if (!comp.failed.load(std::memory_order_acquire)) {
     // Observability hook: one relaxed load of the combined flag word is the
     // entire cost of the disabled path — tracing and the health layer share
@@ -615,8 +877,7 @@ void ThreadPool::run_item(int wid, Item item, bool stolen) {
     const unsigned obs_flags = obs::task_observation_flags().load(std::memory_order_relaxed);
     const std::int64_t t0 = obs_flags != 0 ? obs::now_ns() : 0;
     if (obs_flags & obs::kObsTaskHealth) {
-      Worker& self = *workers_[size_t(wid)];
-      const dag::Task& t = comp.graph->tasks[size_t(item.task)];
+      const dag::Task& t = comp.graph->tasks[size_t(local)];
       self.running_task.store(item.task, std::memory_order_relaxed);
       self.running_kind.store(std::uint8_t(t.kind), std::memory_order_relaxed);
       self.running_since.store(t0, std::memory_order_release);
@@ -624,6 +885,12 @@ void ThreadPool::run_item(int wid, Item item, bool stolen) {
     try {
       comp.body(item.task);
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      // Locality attribution (executed bodies only — cancelled tasks carry
+      // no cache traffic): on-home for affine components means "ran on the
+      // component's home worker"; spread components count un-stolen runs as
+      // home (the item ran where it was queued).
+      const bool on_home = comp.home >= 0 ? comp.home == wid : !stolen;
+      (on_home ? self.tasks_home : self.tasks_foreign).fetch_add(1, std::memory_order_relaxed);
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(comp.err_mu);
@@ -634,34 +901,34 @@ void ThreadPool::run_item(int wid, Item item, bool stolen) {
     if (obs_flags != 0) {
       const std::int64_t t1 = obs::now_ns();
       if (obs_flags & obs::kObsTaskTrace) {
-        const dag::Task& t = comp.graph->tasks[size_t(item.task)];
+        const dag::Task& t = comp.graph->tasks[size_t(local)];
         g_tracer.record(t0, t1, std::uint8_t(t.kind), t.i, t.piv, t.k, t.j, item.task,
-                        item.sub->id, std::int32_t(comp.gen), stolen);
+                        comp.owner->id, std::int32_t(comp.gen), stolen);
         g_kernel_profiler.record(std::uint8_t(t.kind), t1 - t0);
       }
       if (obs_flags & obs::kObsTaskHealth) {
-        Worker& self = *workers_[size_t(wid)];
         self.running_since.store(0, std::memory_order_relaxed);
         self.last_finish.store(t1, std::memory_order_release);
       }
     }
   }
   // Propagate readiness even for cancelled tasks so the component drains and
-  // completion still fires after a failure.
+  // completion still fires after a failure. Successors stay within the same
+  // copy: global successor = copy_base + local successor.
   std::vector<std::int32_t> ready;
-  for (std::int32_t s : comp.graph->tasks[size_t(item.task)].succ)
-    if (comp.npred[size_t(s)].fetch_sub(1, std::memory_order_acq_rel) == 1) ready.push_back(s);
+  for (std::int32_t s : comp.graph->tasks[size_t(local)].succ)
+    if (comp.npred[size_t(copy_base + s)].fetch_sub(1, std::memory_order_acq_rel) == 1)
+      ready.push_back(copy_base + s);
   if (!ready.empty()) {
     std::sort(ready.begin(), ready.end(), [&](std::int32_t a, std::int32_t b) {
-      return comp.keys[size_t(a)] != comp.keys[size_t(b)]
-                 ? comp.keys[size_t(a)] < comp.keys[size_t(b)]
-                 : a > b;
+      const long ka = comp.keys[size_t(a % stride)];
+      const long kb = comp.keys[size_t(b % stride)];
+      return ka != kb ? ka < kb : a > b;
     });
-    Worker& self = *workers_[size_t(wid)];
-    {
-      std::lock_guard<std::mutex> lock(self.mu);
-      for (std::int32_t s : ready) self.push(Item{item.sub, item.comp, s});
-    }
+    // Ascending priority pushed to the own lane -> LIFO pop takes the most
+    // urgent first, the same order the old mutexed deque preserved.
+    Submission* sub_of_comp = comp.owner;
+    for (std::int32_t s : ready) push_local(self, sub_of_comp, Item{item.comp, s});
     signal_work();
   }
   if (comp.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -675,6 +942,12 @@ void ThreadPool::run_item(int wid, Item item, bool stolen) {
       error = comp.error;
     }
     graphs_completed_.fetch_add(1, std::memory_order_relaxed);
+    // Count the retirement *before* firing the completion: anything that
+    // observes the callback's effects (a chained graft, a flag it sets) must
+    // also observe retired() covering this component. The inflight decrement
+    // below still comes after the callback, so close()/wait() can never see
+    // the submission drained between chained pipeline stages.
+    comp.owner->retired_components.fetch_add(1, std::memory_order_acq_rel);
     if (comp.on_complete) comp.on_complete(error);
     // Release everything the component captured: stream closures hold the
     // FactorStream state, which holds this submission — clearing here breaks
@@ -685,7 +958,7 @@ void ThreadPool::run_item(int wid, Item item, bool stolen) {
     comp.keepalive.reset();
     comp.keys_owned = std::vector<long>();
     comp.npred = std::vector<std::atomic<std::int32_t>>();
-    Submission& sub = *item.sub;
+    Submission& sub = *comp.owner;
     comp.retired.store(true, std::memory_order_release);  // last touch of comp
     if (sub.stream) {
       // Drop the fully-retired prefix so a long-lived stream's component
@@ -695,10 +968,25 @@ void ThreadPool::run_item(int wid, Item item, bool stolen) {
              sub.components.front().retired.load(std::memory_order_acquire))
         sub.components.pop_front();
     }
-    sub.retired_components.fetch_add(1, std::memory_order_acq_rel);
-    if (sub.inflight.fetch_sub(1, std::memory_order_seq_cst) == 1) finalize_if_drained(sub);
+    if (sub.inflight.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+      finalize_if_drained(sub);
+      // Last in-flight component: drop the submission's self-reference —
+      // unless a racing append re-armed in between (it re-sets self_ref
+      // under mu, so checking inflight under the same mutex is exact).
+      // `reaper` may hold the final reference; it dies after our last
+      // touch of `sub` below.
+      std::shared_ptr<Submission> reaper;
+      {
+        std::lock_guard<std::mutex> lock(sub.mu);
+        if (sub.inflight.load(std::memory_order_seq_cst) == 0)
+          reaper = std::move(sub.self_ref);
+      }
+      active_submissions_.fetch_sub(1, std::memory_order_acq_rel);
+      signal_work();  // wake help-loops, stream waiters, and a draining destructor
+      return;         // `sub` must not be touched past this point
+    }
     active_submissions_.fetch_sub(1, std::memory_order_acq_rel);
-    signal_work();  // wake help-loops, stream waiters, and a draining destructor
+    signal_work();
   }
 }
 

@@ -5,17 +5,31 @@
 // dominant for the "many repeated small factorizations" workload the ROADMAP
 // targets. ThreadPool keeps the workers alive across factorizations:
 //
-//   * one ready queue per (worker, live submission), guarded by a small
-//     per-worker mutex; owners pop LIFO within a submission's queue
-//     (locality) but rotate round-robin across submissions, idle workers
-//     steal the oldest admissible item from victims — see "fairness" below;
+//   * each worker owns a fixed set of *lanes* — one Chase–Lev lock-free
+//     deque per live submission it holds work for. The owner pushes and
+//     pops LIFO at the bottom (locality, relaxed fast path); idle workers
+//     steal FIFO from the top, paying one CAS — the steal path takes no
+//     locks. A small per-worker mutexed *inbox* is the cross-thread
+//     mailbox: dealers (submit/append from any thread) push there and the
+//     owner drains it into its lanes, preserving the single-producer
+//     invariant Chase–Lev requires;
 //   * the initial ready set of a DAG is dealt round-robin across workers in
 //     descending critical-path priority (the paper's scheduling rule), so
-//     every worker starts on the most urgent task it holds;
+//     every worker starts on the most urgent task it holds — except stream
+//     components under component-affine dealing (below);
 //   * several DAGs can be in flight at once (the batched serving API
 //     interleaves them); each submission can be capped to a subset of
 //     workers so `execute(g, body, threads)` keeps its exact-concurrency
 //     semantics for the scaling ablations.
+//
+// Locality (component-affine stealing, TILEDQR_AFFINE_STEAL, default on):
+// a *stream* component is dealt whole to one home worker — rotating across
+// the worker set per component, or pinned by the stream's affinity hint —
+// so one request's tiles stay in one core's cache; siblings steal across
+// components only when their own lanes run dry. One-shot submissions keep
+// the round-robin source spread: a single DAG's parallelism *is* the spread.
+// TILEDQR_PIN=1 additionally pins worker threads to cores
+// (pthread_setaffinity_np; a graceful no-op off Linux).
 //
 // A submission is a set of DAG *components*. The one-shot submit() carries
 // exactly one and closes immediately; a Stream (open_stream) stays open and
@@ -24,24 +38,26 @@
 // are generation-counted: each append bumps the submission's generation, the
 // component records the generation it was born in, and the component list is
 // append-only with stable addresses, so workers racing on items of an older
-// generation never observe a ready set being rebuilt under them. Completion
+// generation never observe a ready set being rebuilt under them. A component
+// may be *replicated* (`copies`): the same base graph scheduled copies times
+// with task ids offset by the graph size — how a homogeneous fused batch is
+// scheduled without ever materializing count x base-plan bytes. Completion
 // is per component (its own sentinel counter and callback); the submission
 // itself retires when it is closed and every generation has drained.
 //
 // Fairness (serving QoS): several live streams share the pool, and with one
 // LIFO deque per worker a chatty client's continuous grafts would keep
 // landing on top, starving a quieter stream's items at the bottom. Two
-// mechanisms keep concurrent streams interleaved: (1) stream grafts are
-// dealt from a pool-level weighted round-robin anchor — shared by all
-// streams and advanced by the number of sources dealt — so one client's
-// burst shifts the next client's graft past the workers it just loaded;
-// (2) each worker keeps one ready queue per live submission and rotates
-// round-robin across them when popping, so every submission visible to a
+// mechanisms keep concurrent streams interleaved: (1) stream components are
+// dealt from a pool-level round-robin anchor shared by all streams, so one
+// client's burst shifts the next client's graft past the workers it just
+// loaded; (2) each worker keeps one lane per live submission and rotates
+// round-robin across lanes when popping, so every submission visible to a
 // worker makes progress regardless of graft arrival order.
 //
 // Tasks only write their declared outputs, so results are bitwise identical
-// to the sequential replay for any worker count, steal order, or pool reuse
-// pattern.
+// to the sequential replay for any worker count, steal order, pinning, or
+// affinity setting.
 #pragma once
 
 #include <atomic>
@@ -65,7 +81,6 @@ class ThreadPool {
   // name them (definitions live in the .cpp).
   struct Component;
   struct Submission;
-  struct Item;
   struct Worker;
 
  public:
@@ -76,14 +91,21 @@ class ThreadPool {
   struct Stats {
     long graphs_completed = 0;  ///< DAG components fully retired
     long tasks_executed = 0;    ///< task bodies actually run
-    long tasks_stolen = 0;      ///< tasks taken from another worker's deque
+    long tasks_stolen = 0;      ///< tasks taken from another worker's lanes/inbox
     long streams_opened = 0;    ///< streaming submissions created
     long streams_live = 0;  ///< gauge: streams opened and neither closed nor
                             ///< abandoned (all handles dropped without close)
+    // Steal-path contention and locality attribution (summed over workers).
+    long steal_cas_retries = 0;   ///< lost top-CAS races while stealing
+    long empty_steal_probes = 0;  ///< full victim sweeps that found nothing
+    long tasks_home = 0;     ///< tasks run on their component's home worker
+                             ///< (spread components: run un-stolen)
+    long tasks_foreign = 0;  ///< tasks run off-home (lost locality)
   };
 
   /// `threads == 0` resolves to default_thread_count() (TILEDQR_THREADS or
   /// hardware concurrency), the same rule the rest of the library uses.
+  /// TILEDQR_PIN and TILEDQR_AFFINE_STEAL are read here, once.
   explicit ThreadPool(int threads = 0);
 
   /// Drains outstanding submissions, then stops and joins the workers.
@@ -102,14 +124,19 @@ class ThreadPool {
   /// released after `on_complete` returns. `max_workers <= 0` means all
   /// workers; otherwise the submission is confined to that many workers.
   /// `keys`, when non-null, supplies precomputed scheduling keys (one per
-  /// task, higher runs first) borrowed for the submission's lifetime — the
-  /// same contract as `g` — and the priority rule is not consulted; cached
-  /// plans pass their rank vector here to skip the per-submission rank sweep.
+  /// task of `g`, higher runs first) borrowed for the submission's lifetime —
+  /// the same contract as `g` — and the priority rule is not consulted;
+  /// cached plans pass their rank vector here to skip the per-submission
+  /// rank sweep. `copies > 1` schedules `copies` independent replicas of `g`
+  /// as ONE component: the body receives global indices
+  /// `copy * g.tasks.size() + local`, dependencies and keys replicate per
+  /// copy, and a task failure cancels the whole replicated component — the
+  /// scheduling contract of a homogeneous fused batch, at O(1) extra memory.
   void submit(const dag::TaskGraph& g, std::function<void(std::int32_t)> body,
               std::function<void(std::exception_ptr)> on_complete,
               SchedulePriority priority = SchedulePriority::CriticalPath, int max_workers = 0,
               std::shared_ptr<const void> keepalive = nullptr,
-              const std::vector<long>* keys = nullptr);
+              const std::vector<long>* keys = nullptr, int copies = 1);
 
   /// Future-returning flavor of submit().
   [[nodiscard]] std::future<void> submit(const dag::TaskGraph& g,
@@ -117,7 +144,7 @@ class ThreadPool {
                                          SchedulePriority priority = SchedulePriority::CriticalPath,
                                          int max_workers = 0,
                                          std::shared_ptr<const void> keepalive = nullptr,
-                                         const std::vector<long>* keys = nullptr);
+                                         const std::vector<long>* keys = nullptr, int copies = 1);
 
   /// Blocking convenience: submit and wait; rethrows the first task
   /// exception. Safe to call from inside a task body running on this pool —
@@ -145,13 +172,14 @@ class ThreadPool {
 
     /// Grafts `g` onto the live submission as a new component of the next
     /// generation and wakes workers; same argument contract as
-    /// ThreadPool::submit. Throws Error if the stream is closed or empty.
-    /// Appending from a task body or completion callback running on the pool
-    /// is safe (the tail of a solve pipeline chains its next stage this way).
+    /// ThreadPool::submit (including `copies` replication). Throws Error if
+    /// the stream is closed or empty. Appending from a task body or
+    /// completion callback running on the pool is safe (the tail of a solve
+    /// pipeline chains its next stage this way).
     void append(const dag::TaskGraph& g, std::function<void(std::int32_t)> body,
                 std::function<void(std::exception_ptr)> on_complete = nullptr,
                 std::shared_ptr<const void> keepalive = nullptr,
-                const std::vector<long>* keys = nullptr);
+                const std::vector<long>* keys = nullptr, int copies = 1);
 
     /// No further appends; idempotent. Does not block — pair with wait().
     void close();
@@ -178,8 +206,11 @@ class ThreadPool {
 
   /// Opens a streaming submission confined to `max_workers` workers
   /// (<= 0 = all), anchored like any submission. Components appended later
-  /// all share this worker set.
-  [[nodiscard]] Stream open_stream(int max_workers = 0);
+  /// all share this worker set. `affinity_hint >= 0` pins the stream's
+  /// component home worker (modulo its worker set) under component-affine
+  /// dealing — every graft lands on the same core; < 0 rotates homes across
+  /// the set per component (the default load-spreading policy).
+  [[nodiscard]] Stream open_stream(int max_workers = 0, int affinity_hint = -1);
 
   [[nodiscard]] Stats stats() const noexcept;
 
@@ -195,14 +226,17 @@ class ThreadPool {
     std::int32_t running_task = -1;     ///< its task index (valid while running)
     std::uint8_t running_kind = 0xFF;   ///< its KernelKind, 0xFF = non-kernel
     std::int64_t last_finish_ns = 0;    ///< end of the last retired task; 0 = never
+    long tasks_home = 0;     ///< tasks this worker ran on-home (locality kept)
+    long tasks_foreign = 0;  ///< tasks this worker ran off-home
   };
 
-  /// Probes every worker (brief per-worker lock each for the queue depth;
-  /// the running slots are lock-free). Safe from any thread.
+  /// Probes every worker. Entirely lock-free: lane depths are racy atomic
+  /// estimates and the running slots were already atomics — no worker mutex
+  /// exists to take. Safe from any thread.
   [[nodiscard]] std::vector<WorkerProbe> probe_workers() const;
 
   /// Total ready items across all workers — "is there runnable work a
-  /// stalled worker should be taking?". Same locking as probe_workers().
+  /// stalled worker should be taking?". Lock-free like probe_workers().
   [[nodiscard]] long ready_depth() const;
 
   /// Process-wide shared pool, lazily created with default_thread_count()
@@ -212,6 +246,14 @@ class ThreadPool {
  private:
   friend class Stream;
 
+  /// POD queue entry: {component, global task id}. Component lifetime is
+  /// guaranteed by its submission's self-reference (see Submission) while
+  /// any of its tasks is queued or running, so no shared_ptr rides along.
+  struct Item {
+    Component* comp = nullptr;
+    std::int32_t task = 0;
+  };
+
   std::shared_ptr<Submission> make_submission(int max_workers, bool closed);
   /// Appends one component (generation = current + 1) and deals its sources.
   Component& append_component(const std::shared_ptr<Submission>& sub, const dag::TaskGraph& g,
@@ -219,19 +261,27 @@ class ThreadPool {
                               std::function<void(std::exception_ptr)> on_complete,
                               SchedulePriority priority,
                               std::shared_ptr<const void> keepalive,
-                              const std::vector<long>* keys, bool check_closed);
+                              const std::vector<long>* keys, bool check_closed, int copies);
   std::shared_ptr<Submission> submit_impl(const dag::TaskGraph& g,
                                           std::function<void(std::int32_t)> body,
                                           std::function<void(std::exception_ptr)> on_complete,
                                           SchedulePriority priority, int max_workers,
                                           std::shared_ptr<const void> keepalive,
-                                          const std::vector<long>* keys);
+                                          const std::vector<long>* keys, int copies);
   void finalize_if_drained(Submission& sub);
   void wait_stream(const std::shared_ptr<Submission>& sub, long up_to_generation);
   void worker_main(int wid);
   bool try_run_one(int wid);
   void run_item(int wid, Item item, bool stolen);
   void signal_work();
+
+  // Lane/inbox plumbing (definitions in the .cpp, where Worker is complete).
+  void drain_inbox(Worker& self);
+  bool pop_rotating(Worker& self, Item& out);
+  bool steal_lanes(Worker& victim, Worker& thief, int thief_wid, Item& out);
+  bool steal_inbox(Worker& victim, int thief_wid, Item& out);
+  void push_inbox(Worker& w, const Item* items, std::size_t n);
+  bool push_local(Worker& self, Submission* sub, Item item);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
@@ -244,16 +294,22 @@ class ThreadPool {
   std::atomic<int> sleepers_{0};
   std::atomic<bool> stop_{false};
 
+  /// TILEDQR_PIN: pin worker threads to cores (worker w -> core w mod ncpu).
+  bool pin_workers_ = false;
+  /// TILEDQR_AFFINE_STEAL: deal stream components whole to a home worker.
+  bool affine_steal_ = true;
+
   /// In-flight *components*: a stream counts one per appended component, so
   /// an open-but-idle stream does not block the draining destructor.
   std::atomic<long> active_submissions_{0};
   /// Rotates the worker-set anchor (unsigned: wraps harmlessly in
   /// long-lived serving processes).
   std::atomic<unsigned> next_start_{0};
-  /// Pool-level deal round shared by ALL stream grafts, advanced by the
-  /// number of sources each graft deals (weighted round-robin): concurrent
-  /// streams interleave their components across the worker set instead of
-  /// each independently rotating from its own anchor.
+  /// Pool-level deal round shared by ALL stream grafts: under affine dealing
+  /// it advances by one per component (rotating component homes across
+  /// streams); under spread dealing by the number of sources dealt (weighted
+  /// round-robin). Either way concurrent streams interleave across the
+  /// worker set instead of each independently rotating from its own anchor.
   std::atomic<unsigned> stream_deal_round_{0};
   /// Streams closed or abandoned, monotone (streams_live is derived as
   /// streams_opened_ − this, keeping every stats() input monotone so the
@@ -263,7 +319,7 @@ class ThreadPool {
   /// destructor), so the counter cannot live in the pool object itself.
   std::shared_ptr<std::atomic<long>> streams_closed_{std::make_shared<std::atomic<long>>(0)};
 
-  // Stats (relaxed counters).
+  // Stats (relaxed counters; per-worker counters live on the Worker).
   std::atomic<long> graphs_completed_{0};
   std::atomic<long> tasks_executed_{0};
   std::atomic<long> tasks_stolen_{0};

@@ -1,0 +1,199 @@
+// Isolated tests for the Chase–Lev work-stealing deque underneath the
+// ThreadPool's lanes: owner LIFO order, thief FIFO order, growth, the
+// steal-vs-pop race on the last element, and a seeded multi-thread stress
+// run (widened under TILEDQR_STRESS; runs in the nightly TSan workflow via
+// the `stress` ctest label).
+#include <atomic>
+#include <cstdlib>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/chase_lev.hpp"
+
+namespace {
+
+using tiledqr::runtime::ChaseLevDeque;
+using Deque = ChaseLevDeque<int>;
+using Entry = Deque::Entry;
+using Steal = Deque::Steal;
+
+bool stress_mode() {
+  const char* v = std::getenv("TILEDQR_STRESS");
+  return v && *v && *v != '0';
+}
+
+TEST(ChaseLev, OwnerPopsLifo) {
+  Deque d;
+  int payload[8];
+  for (int i = 0; i < 8; ++i) d.push(Entry{&payload[i], i});
+  EXPECT_EQ(d.size(), 8);
+  for (int i = 7; i >= 0; --i) {
+    Entry e;
+    ASSERT_TRUE(d.pop(e));
+    EXPECT_EQ(e.ptr, &payload[i]);
+    EXPECT_EQ(e.tag, i);
+  }
+  Entry e;
+  EXPECT_FALSE(d.pop(e));
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(ChaseLev, ThiefStealsFifo) {
+  Deque d;
+  int payload[8];
+  for (int i = 0; i < 8; ++i) d.push(Entry{&payload[i], i});
+  for (int i = 0; i < 8; ++i) {
+    Entry e;
+    ASSERT_EQ(d.steal(e), Steal::Ok);  // no contention: single thread
+    EXPECT_EQ(e.ptr, &payload[i]);
+    EXPECT_EQ(e.tag, i);
+  }
+  Entry e;
+  EXPECT_EQ(d.steal(e), Steal::Empty);
+}
+
+TEST(ChaseLev, GrowthPreservesOrderAndInterleavesWithPops) {
+  // Start tiny so pushes cross several growth boundaries; interleave pops so
+  // the live range wraps the circular array before growing.
+  Deque d(/*capacity=*/2);
+  int payload[1];
+  int next_push = 0, next_pop_expect = -1;
+  std::vector<int> popped;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 7; ++i) d.push(Entry{payload, next_push++});
+    for (int i = 0; i < 3; ++i) {
+      Entry e;
+      ASSERT_TRUE(d.pop(e));
+      popped.push_back(e.tag);
+    }
+  }
+  // LIFO within each round: the three pops of round r are the last three
+  // pushes of round r, descending.
+  for (int round = 0; round < 50; ++round) {
+    const int top = (round + 1) * 7 - 1;
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(popped[size_t(round * 3 + i)], top - i);
+  }
+  // Remainder steals out FIFO: ascending over everything never popped.
+  std::vector<bool> taken(size_t(next_push), false);
+  for (int t : popped) taken[size_t(t)] = true;
+  int last = next_pop_expect;
+  for (;;) {
+    Entry e;
+    const auto r = d.steal(e);
+    if (r == Steal::Empty) break;
+    ASSERT_EQ(r, Steal::Ok);
+    EXPECT_GT(e.tag, last);
+    EXPECT_FALSE(taken[size_t(e.tag)]);
+    taken[size_t(e.tag)] = true;
+    last = e.tag;
+  }
+  for (bool t : taken) EXPECT_TRUE(t);
+}
+
+TEST(ChaseLev, LastElementRaceHandsItemToExactlyOneSide) {
+  // One item, one owner popping, one thief stealing, repeated: every round
+  // exactly one side must win it, and the loser must observe a miss (false /
+  // Empty / Lost), never a duplicate.
+  const int rounds = stress_mode() ? 20000 : 2000;
+  Deque d;
+  int payload[1];
+  std::atomic<int> owner_got{0}, thief_got{0};
+  std::atomic<int> round_flag{0};  // 0 = idle, 1 = armed, 2 = thief done
+  std::atomic<bool> stop{false};
+
+  std::thread thief([&] {
+    for (;;) {
+      while (round_flag.load(std::memory_order_acquire) != 1) {
+        if (stop.load(std::memory_order_acquire)) return;
+        std::this_thread::yield();
+      }
+      for (;;) {
+        Entry e;
+        const auto r = d.steal(e);
+        if (r == Steal::Ok) {
+          thief_got.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        if (r == Steal::Empty) break;  // owner won (Lost retries: owner CAS'd)
+      }
+      round_flag.store(2, std::memory_order_release);
+    }
+  });
+
+  for (int r = 0; r < rounds; ++r) {
+    d.push(Entry{payload, r});
+    round_flag.store(1, std::memory_order_release);
+    Entry e;
+    if (d.pop(e)) {
+      EXPECT_EQ(e.tag, r);
+      owner_got.fetch_add(1, std::memory_order_relaxed);
+    }
+    while (round_flag.load(std::memory_order_acquire) != 2) std::this_thread::yield();
+    // Both sides done: the deque must be empty and the item taken once.
+    EXPECT_TRUE(d.empty());
+    ASSERT_EQ(owner_got.load() + thief_got.load(), r + 1) << "round " << r;
+    round_flag.store(0, std::memory_order_release);
+  }
+  stop.store(true, std::memory_order_release);
+  thief.join();
+  EXPECT_EQ(owner_got.load() + thief_got.load(), rounds);
+}
+
+TEST(ChaseLevStress, SeededOwnerVsManyThieves) {
+  // Owner pushes/pops a seeded workload while several thieves hammer steal;
+  // every pushed tag must be consumed exactly once across all threads.
+  const int total = stress_mode() ? 200000 : 20000;
+  const int nthieves = stress_mode() ? 4 : 2;
+  Deque d(/*capacity=*/4);  // force growth under contention
+  int payload[1];
+  std::vector<std::vector<int>> stolen(static_cast<size_t>(nthieves));
+  std::vector<int> popped;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < nthieves; ++t)
+    thieves.emplace_back([&, t] {
+      std::minstd_rand rng(unsigned(1234 + t));
+      while (!done.load(std::memory_order_acquire)) {
+        Entry e;
+        if (d.steal(e) == Steal::Ok) stolen[size_t(t)].push_back(e.tag);
+        if ((rng() & 7u) == 0) std::this_thread::yield();
+      }
+      // Final sweep: drain anything left after the owner stopped.
+      for (;;) {
+        Entry e;
+        const auto r = d.steal(e);
+        if (r == Steal::Ok)
+          stolen[size_t(t)].push_back(e.tag);
+        else if (r == Steal::Empty)
+          break;
+      }
+    });
+
+  std::minstd_rand rng(42);
+  int next = 0;
+  while (next < total) {
+    // Bursty pushes and intermittent pops, seeded: same schedule every run.
+    const int burst = 1 + int(rng() % 16u);
+    for (int i = 0; i < burst && next < total; ++i) d.push(Entry{payload, next++});
+    const int pops = int(rng() % 8u);
+    for (int i = 0; i < pops; ++i) {
+      Entry e;
+      if (d.pop(e)) popped.push_back(e.tag);
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+  // The owner does NOT drain: the thieves' final sweeps must account for the
+  // remainder, proving steal() alone empties the deque.
+  std::vector<int> seen(size_t(total), 0);
+  for (int t : popped) ++seen[size_t(t)];
+  for (const auto& v : stolen)
+    for (int t : v) ++seen[size_t(t)];
+  for (int t = 0; t < total; ++t) ASSERT_EQ(seen[size_t(t)], 1) << "tag " << t;
+}
+
+}  // namespace

@@ -150,10 +150,22 @@ TEST(PlanCache, FusedPlansAreCachedAndBudgeted) {
   PlanCache cache;
   TreeConfig greedy{};
   auto fused = cache.get_fused(5, 2, greedy, 4);
-  ASSERT_EQ(fused->parts.size(), 4u);
+  ASSERT_TRUE(fused->homogeneous());  // thin descriptor, no materialized graph
+  ASSERT_EQ(fused->part_count(), 4);
   auto base = cache.get(5, 2, greedy);
-  EXPECT_EQ(fused->graph.tasks.size(), 4 * base->graph.tasks.size());
-  EXPECT_EQ(fused->ranks.size(), fused->graph.tasks.size());
+  EXPECT_EQ(fused->base.get(), base.get());  // shares the cached base plan
+  EXPECT_EQ(fused->total_tasks(), std::int64_t(4 * base->graph.tasks.size()));
+  EXPECT_EQ(fused->component_graph().tasks.size(), base->graph.tasks.size());
+  EXPECT_EQ(fused->component_ranks().size(), base->graph.tasks.size());
+  EXPECT_EQ(fused->copies(), 4);
+  // Global-index arithmetic: part boundaries and per-part task lookup.
+  const auto stride = std::int32_t(base->graph.tasks.size());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(fused->part_size(i), stride);
+    EXPECT_EQ(fused->part_of(i * stride), i);
+    EXPECT_EQ(fused->part_of((i + 1) * stride - 1), i);
+    EXPECT_EQ(&fused->task(i * stride), &base->graph.tasks.front());
+  }
   auto stats = cache.stats();
   EXPECT_EQ(stats.fused_misses, 1);
   EXPECT_EQ(stats.fused_entries, 1u);

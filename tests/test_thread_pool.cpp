@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "common/env.hpp"
+#include "core/qr_session.hpp"
 #include "core/tiled_qr.hpp"
 #include "matrix/generate.hpp"
 #include "runtime/thread_pool.hpp"
@@ -190,6 +191,63 @@ TEST(ThreadPool, FactorizationBitwiseIdenticalAcrossThreadCounts) {
               << "mismatch at (" << i << "," << j << ") threads=" << threads;
     }
   }
+}
+
+TEST(ThreadPool, FactorizationBitwiseIdenticalAcrossSchedulingModes) {
+  // Determinism across the locality knobs: the same batch factored under
+  // every TILEDQR_PIN x TILEDQR_AFFINE_STEAL combination — both read at pool
+  // construction, so each setting gets a fresh session — must be bitwise
+  // equal to the sequential replay. The batch is homogeneous, so this also
+  // drives the replicated-component (copies > 1) scheduling path.
+  core::Options opt;
+  opt.tree = trees::TreeConfig{};  // pin Greedy: a disengaged tree would autotune
+  opt.nb = 32;
+  opt.ib = 16;
+  constexpr int kBatch = 4;
+  std::vector<Matrix<double>> inputs;
+  std::vector<ConstMatrixView<double>> views;
+  for (int i = 0; i < kBatch; ++i)
+    inputs.push_back(random_matrix<double>(5 * 32, 3 * 32, 777 + unsigned(i)));
+  for (auto& a : inputs) views.push_back(ConstMatrixView<double>(a.view()));
+
+  std::vector<Matrix<double>> refs;
+  {
+    core::Options seq = opt;
+    seq.threads = 1;
+    for (auto& a : inputs)
+      refs.push_back(core::TiledQr<double>::factorize(a.view(), seq).factors().to_dense());
+  }
+
+  const char* old_pin = std::getenv("TILEDQR_PIN");
+  const char* old_affine = std::getenv("TILEDQR_AFFINE_STEAL");
+  for (int pin : {0, 1}) {
+    for (int affine : {0, 1}) {
+      setenv("TILEDQR_PIN", pin ? "1" : "0", 1);
+      setenv("TILEDQR_AFFINE_STEAL", affine ? "1" : "0", 1);
+      core::QrSession session(core::QrSession::Config{4});
+      auto results = session.factorize_batch(views, opt);
+      ASSERT_EQ(results.size(), size_t(kBatch));
+      for (int b = 0; b < kBatch; ++b) {
+        auto dense = results[size_t(b)].factors().to_dense();
+        const auto& ref = refs[size_t(b)];
+        for (std::int64_t j = 0; j < dense.cols(); ++j)
+          for (std::int64_t i = 0; i < dense.rows(); ++i)
+            ASSERT_EQ(dense(i, j), ref(i, j)) << "matrix " << b << " at (" << i << "," << j
+                                              << ") pin=" << pin << " affine=" << affine;
+      }
+      // The locality split accounts for executed tasks. The two counters are
+      // adjacent but separate atomics, so a snapshot taken while the last
+      // tasks are retiring may lag by up to one task per worker.
+      auto stats = session.pool_stats();
+      EXPECT_LE(stats.tasks_home + stats.tasks_foreign, stats.tasks_executed)
+          << "pin=" << pin << " affine=" << affine;
+      EXPECT_GE(stats.tasks_home + stats.tasks_foreign, stats.tasks_executed - 4)
+          << "pin=" << pin << " affine=" << affine;
+      EXPECT_GT(stats.tasks_home, 0) << "pin=" << pin << " affine=" << affine;
+    }
+  }
+  old_pin ? setenv("TILEDQR_PIN", old_pin, 1) : unsetenv("TILEDQR_PIN");
+  old_affine ? setenv("TILEDQR_AFFINE_STEAL", old_affine, 1) : unsetenv("TILEDQR_AFFINE_STEAL");
 }
 
 TEST(ThreadPool, DefaultPoolBacksExecute) {
