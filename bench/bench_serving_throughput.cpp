@@ -275,6 +275,8 @@ struct ScalingRow {
   long empty_steal_probes = 0;
   long tasks_home = 0;
   long tasks_foreign = 0;
+  std::int64_t steal_lat_p50_ns = 0;  ///< successful-steal scan latency, bucket upper bound
+  std::int64_t steal_lat_p95_ns = 0;
 };
 
 ScalingRow run_scaling_point(const Workload& w, int threads, bool pinned, int reps) {
@@ -290,6 +292,8 @@ ScalingRow run_scaling_point(const Workload& w, int threads, bool pinned, int re
   row.empty_steal_probes = stats.empty_steal_probes;
   row.tasks_home = stats.tasks_home;
   row.tasks_foreign = stats.tasks_foreign;
+  row.steal_lat_p50_ns = stats.steal_latency_quantile_ns(0.50);
+  row.steal_lat_p95_ns = stats.steal_latency_quantile_ns(0.95);
   return row;
 }
 
@@ -380,18 +384,19 @@ int main() {
   const int scaling_reps = std::max(2, knobs.reps);
   std::printf("multicore scaling (pool-batch, %d x %lldx%lld nb=%d, best of %d):\n", count,
               (long long)small_n, (long long)small_n, small_nb, scaling_reps);
-  std::printf("  %7s %6s %10s %9s %8s %8s %8s %9s %9s\n", "threads", "pinned", "fact/s",
-              "speedup", "stolen", "cas_ret", "empty", "home", "foreign");
+  std::printf("  %7s %6s %10s %9s %8s %8s %8s %9s %9s %9s %9s\n", "threads", "pinned", "fact/s",
+              "speedup", "stolen", "cas_ret", "empty", "home", "foreign", "st_p50us", "st_p95us");
   for (int t : {1, 2, 4, 8}) {
     for (bool pinned : {false, true}) {
       auto row = run_scaling_point(small, t, pinned, scaling_reps);
       const double base =
           scaling.empty() ? row.per_sec : scaling.front().per_sec;  // 1t unpinned
       row.speedup_vs_1t = row.per_sec / base;
-      std::printf("  %7d %6s %10.1f %8.2fx %8ld %8ld %8ld %9ld %9ld\n", row.threads,
+      std::printf("  %7d %6s %10.1f %8.2fx %8ld %8ld %8ld %9ld %9ld %9.1f %9.1f\n", row.threads,
                   row.pinned ? "yes" : "no", row.per_sec, row.speedup_vs_1t, row.tasks_stolen,
                   row.steal_cas_retries, row.empty_steal_probes, row.tasks_home,
-                  row.tasks_foreign);
+                  row.tasks_foreign, double(row.steal_lat_p50_ns) / 1e3,
+                  double(row.steal_lat_p95_ns) / 1e3);
       scaling.push_back(row);
     }
   }
@@ -491,10 +496,12 @@ int main() {
       json << stringf("%s\n    {\"threads\": %d, \"pinned\": %s, \"per_sec\": %.3f, "
                       "\"speedup_vs_1t\": %.3f, \"tasks_stolen\": %ld, "
                       "\"steal_cas_retries\": %ld, \"empty_steal_probes\": %ld, "
-                      "\"tasks_home\": %ld, \"tasks_foreign\": %ld}",
+                      "\"tasks_home\": %ld, \"tasks_foreign\": %ld, "
+                      "\"steal_latency_p50_ns\": %lld, \"steal_latency_p95_ns\": %lld}",
                       i ? "," : "", r.threads, r.pinned ? "true" : "false", r.per_sec,
                       r.speedup_vs_1t, r.tasks_stolen, r.steal_cas_retries,
-                      r.empty_steal_probes, r.tasks_home, r.tasks_foreign);
+                      r.empty_steal_probes, r.tasks_home, r.tasks_foreign,
+                      (long long)r.steal_lat_p50_ns, (long long)r.steal_lat_p95_ns);
     }
     json << "],\n";
     json << stringf("  \"observability\": {\"untraced_seconds\": %.6f, "

@@ -282,6 +282,8 @@ struct StreamScalingRow {
   long empty_steal_probes = 0;
   long tasks_home = 0;
   long tasks_foreign = 0;
+  std::int64_t steal_lat_p50_ns = 0;  ///< successful-steal scan latency, bucket upper bound
+  std::int64_t steal_lat_p95_ns = 0;
 };
 
 StreamScalingRow run_stream_scaling_point(const Workload& w, int threads, bool affine,
@@ -298,6 +300,8 @@ StreamScalingRow run_stream_scaling_point(const Workload& w, int threads, bool a
   row.empty_steal_probes = stats.empty_steal_probes;
   row.tasks_home = stats.tasks_home;
   row.tasks_foreign = stats.tasks_foreign;
+  row.steal_lat_p50_ns = stats.steal_latency_quantile_ns(0.50);
+  row.steal_lat_p95_ns = stats.steal_latency_quantile_ns(0.95);
   return row;
 }
 
@@ -540,18 +544,20 @@ int main() {
     std::printf("multicore scaling (streamed, %zu x %lldx%lld nb=%d, depth %d, best of %d):\n",
                 w.tiles.size(), (long long)small_n, (long long)small_n, nb, real_depth,
                 scaling_reps);
-    std::printf("  %7s %6s %10s %9s %8s %8s %8s %9s %9s\n", "threads", "affine", "fact/s",
-                "speedup", "stolen", "cas_ret", "empty", "home", "foreign");
+    std::printf("  %7s %6s %10s %9s %8s %8s %8s %9s %9s %9s %9s\n", "threads", "affine", "fact/s",
+                "speedup", "stolen", "cas_ret", "empty", "home", "foreign", "st_p50us",
+                "st_p95us");
     for (int t : {1, 2, 4, 8}) {
       for (bool affine : {true, false}) {
         auto row = run_stream_scaling_point(w, t, affine, real_depth, scaling_reps);
         const double base =
             scaling.empty() ? row.per_sec : scaling.front().per_sec;  // 1t affine
         row.speedup_vs_1t = row.per_sec / base;
-        std::printf("  %7d %6s %10.1f %8.2fx %8ld %8ld %8ld %9ld %9ld\n", row.threads,
-                    row.affine ? "yes" : "no", row.per_sec, row.speedup_vs_1t,
+        std::printf("  %7d %6s %10.1f %8.2fx %8ld %8ld %8ld %9ld %9ld %9.1f %9.1f\n",
+                    row.threads, row.affine ? "yes" : "no", row.per_sec, row.speedup_vs_1t,
                     row.tasks_stolen, row.steal_cas_retries, row.empty_steal_probes,
-                    row.tasks_home, row.tasks_foreign);
+                    row.tasks_home, row.tasks_foreign, double(row.steal_lat_p50_ns) / 1e3,
+                    double(row.steal_lat_p95_ns) / 1e3);
         scaling.push_back(row);
       }
     }
@@ -645,10 +651,12 @@ int main() {
       json << stringf("%s\n    {\"threads\": %d, \"affine_steal\": %s, \"per_sec\": %.3f, "
                       "\"speedup_vs_1t\": %.3f, \"tasks_stolen\": %ld, "
                       "\"steal_cas_retries\": %ld, \"empty_steal_probes\": %ld, "
-                      "\"tasks_home\": %ld, \"tasks_foreign\": %ld}",
+                      "\"tasks_home\": %ld, \"tasks_foreign\": %ld, "
+                      "\"steal_latency_p50_ns\": %lld, \"steal_latency_p95_ns\": %lld}",
                       i ? "," : "", r.threads, r.affine ? "true" : "false", r.per_sec,
                       r.speedup_vs_1t, r.tasks_stolen, r.steal_cas_retries,
-                      r.empty_steal_probes, r.tasks_home, r.tasks_foreign);
+                      r.empty_steal_probes, r.tasks_home, r.tasks_foreign,
+                      (long long)r.steal_lat_p50_ns, (long long)r.steal_lat_p95_ns);
     }
     json << "],\n";
     json << stringf("  \"acceptance_pass\": %s\n", ok ? "true" : "false") << "}\n";

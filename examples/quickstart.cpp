@@ -1,7 +1,10 @@
-// Quickstart: factor a tall random matrix with the Greedy tiled algorithm,
-// inspect the factors, and verify A = Q R numerically.
+// Quickstart: factor a random matrix with the Greedy tiled algorithm,
+// inspect the factors, and verify the decomposition numerically. Tall or
+// square inputs factor as A = Q R; wide inputs route to A = L Q.
 //
 //   ./quickstart [m] [n] [nb]
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -16,8 +19,9 @@ int main(int argc, char** argv) {
   const std::int64_t n = argc > 2 ? std::atoll(argv[2]) : 256;
   const int nb = argc > 3 ? std::atoi(argv[3]) : 64;
 
-  std::printf("tiledqr quickstart: QR of a %lld x %lld matrix, nb = %d\n", (long long)m,
-              (long long)n, nb);
+  const bool wide = m < n;
+  std::printf("tiledqr quickstart: %s of a %lld x %lld matrix, nb = %d\n", wide ? "LQ" : "QR",
+              (long long)m, (long long)n, nb);
 
   // 1. Build a random problem.
   auto a = random_matrix<double>(m, n, /*seed=*/42);
@@ -29,26 +33,40 @@ int main(int argc, char** argv) {
   opt.nb = nb;
   opt.ib = std::min(32, nb);
 
-  // 3. Factorize.
+  // 3. Factorize. The engine routes on shape: m >= n is QR, m < n is LQ
+  //    (transpose duality on the reduction grid).
   auto qr = core::TiledQr<double>::factorize(a.view(), opt);
   std::printf("algorithm          : %s\n", opt.tree->name().c_str());
   std::printf("tile grid          : %d x %d tiles\n", qr.factors().mt(), qr.factors().nt());
   std::printf("tasks in DAG       : %zu\n", qr.plan().graph.tasks.size());
   std::printf("critical path      : %ld units of nb^3/3 flops\n", qr.plan().critical_path);
 
-  // 4. Verify: A = Q R, Q^H Q = I, R upper triangular.
+  // 4. Verify: A = Q R (or A = L Q), the thin Q orthonormal, the triangular
+  //    factor actually triangular.
   auto q = qr.q_thin();
-  auto r = qr.r_factor();
-  Matrix<double> qrm(m, n);
-  blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, 1.0, q.view(), r.view(), 0.0, qrm.view());
+  Matrix<double> prod(m, n);
+  double tri_offband = 0.0;
+  if (wide) {
+    auto l = qr.l_factor();
+    blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, 1.0, l.view(), q.view(), 0.0, prod.view());
+    // L is lower triangular: its strict upper triangle must be exactly zero.
+    for (std::int64_t i = 0; i < l.rows(); ++i)
+      for (std::int64_t j = i + 1; j < l.cols(); ++j)
+        tri_offband = std::max(tri_offband, std::abs(l(i, j)));
+  } else {
+    auto r = qr.r_factor();
+    blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, 1.0, q.view(), r.view(), 0.0, prod.view());
+    tri_offband = below_diagonal_max<double>(r.view());
+  }
   double residual =
-      difference_norm<double>(a.view(), qrm.view()) / frobenius_norm<double>(a.view());
+      difference_norm<double>(a.view(), prod.view()) / frobenius_norm<double>(a.view());
   double orth = orthogonality_error<double>(q.view());
-  std::printf("||A - QR|| / ||A|| : %.3e\n", residual);
-  std::printf("||I - Q^H Q||      : %.3e\n", orth);
-  std::printf("R below-diag max   : %.3e\n", below_diagonal_max<double>(r.view()));
+  std::printf("||A - %s|| / ||A|| : %.3e\n", wide ? "LQ" : "QR", residual);
+  std::printf("||I - Q Q^H||      : %.3e\n", orth);
+  std::printf("%s off-band max     : %.3e\n", wide ? "L" : "R", tri_offband);
 
-  const bool ok = residual < 1e-13 * double(n) && orth < 1e-13 * double(n);
+  const bool ok =
+      residual < 1e-13 * double(n) && orth < 1e-13 * double(n) && tri_offband == 0.0;
   std::printf("%s\n", ok ? "OK" : "FAILED");
   return ok ? 0 : 1;
 }

@@ -7,7 +7,7 @@
 
 namespace tiledqr::core {
 
-Plan make_plan(int p, int q, const trees::TreeConfig& config) {
+Plan make_plan(int p, int q, const trees::TreeConfig& config, kernels::FactorKind factor) {
   Plan plan;
   if (trees::is_dynamic(config.kind)) {
     auto dyn = config.kind == trees::TreeKind::Asap
@@ -17,7 +17,7 @@ Plan make_plan(int p, int q, const trees::TreeConfig& config) {
   } else {
     plan.list = trees::make_static_elimination_list(p, q, config);
   }
-  plan.graph = dag::build_task_graph(p, q, plan.list);
+  plan.graph = dag::build_task_graph(p, q, plan.list, factor);
   plan.critical_path = sim::earliest_finish(plan.graph).critical_path;
   plan.ranks = runtime::downward_ranks(plan.graph);
   return plan;
@@ -35,6 +35,22 @@ FusedPlan make_fused_plan(std::span<const std::shared_ptr<const Plan>> plans) {
     fused.parts.push_back(
         FusedPlan::Part{begin, begin + std::int32_t(p->graph.tasks.size())});
     fused.ranks.insert(fused.ranks.end(), p->ranks.begin(), p->ranks.end());
+  }
+  return fused;
+}
+
+FusedPlan fuse_task_graphs(std::span<const dag::TaskGraph* const> graphs) {
+  FusedPlan fused;
+  size_t total = 0;
+  for (const auto* g : graphs) total += g->tasks.size();
+  fused.graph.tasks.reserve(total);
+  fused.ranks.reserve(total);
+  fused.parts.reserve(graphs.size());
+  for (const auto* g : graphs) {
+    const auto begin = fused.graph.append_offset(*g);
+    fused.parts.push_back(FusedPlan::Part{begin, begin + std::int32_t(g->tasks.size())});
+    const auto ranks = runtime::downward_ranks(*g);
+    fused.ranks.insert(fused.ranks.end(), ranks.begin(), ranks.end());
   }
   return fused;
 }

@@ -22,6 +22,10 @@ struct Plan {
   /// the CriticalPath scheduling keys. Computed once at planning time so
   /// repeated submissions of a cached plan skip the rank sweep entirely.
   std::vector<long> ranks;
+
+  /// Which factorization this plan describes. For LQ the graph lives on the
+  /// reduction grid (the tile grid of A^H).
+  [[nodiscard]] kernels::FactorKind factor() const noexcept { return graph.factor; }
 };
 
 /// A batch of independent plans fused into one scheduling object: the batch
@@ -108,8 +112,12 @@ struct FusedPlan {
   }
 };
 
-/// Builds the full plan for a p x q tile grid.
-[[nodiscard]] Plan make_plan(int p, int q, const trees::TreeConfig& config);
+/// Builds the full plan for a p x q tile grid. For FactorKind::LQ, (p, q)
+/// is the *reduction* grid — the tile grid of A^H, with p >= q — so every
+/// tree generator and simulator runs unchanged; only the emitted kernel
+/// kinds differ (the LQ duals).
+[[nodiscard]] Plan make_plan(int p, int q, const trees::TreeConfig& config,
+                             kernels::FactorKind factor = kernels::FactorKind::QR);
 
 /// Fuses a batch of plans (in order) into one FusedPlan, materializing the
 /// disjoint-union graph. The plans are typically shared cache entries;
@@ -120,6 +128,14 @@ struct FusedPlan {
 /// Thin fused plan for `count` parts that all share `base`: no graph is
 /// materialized — part ranges are stride arithmetic over the base plan.
 [[nodiscard]] FusedPlan make_homogeneous_fused_plan(std::shared_ptr<const Plan> base, int count);
+
+/// Fuses ad-hoc task graphs (e.g. per-request solve apply-stages) into one
+/// scheduling component, carrying scheduling ranks along: each graph's
+/// downward ranks are computed and concatenated — ranks never cross
+/// components, so the concatenation is the fused graph's rank vector. The
+/// result reuses FusedPlan's heterogeneous (materialized) representation;
+/// `parts` gives each source graph's global task-index range.
+[[nodiscard]] FusedPlan fuse_task_graphs(std::span<const dag::TaskGraph* const> graphs);
 
 /// Critical path only. Builds the full plan internally (it is not cheaper
 /// than make_plan); provided for readability at call sites that sweep many

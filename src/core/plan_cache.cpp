@@ -64,6 +64,7 @@ size_t PlanCache::KeyHash::operator()(const Key& k) const noexcept {
   mix(size_t(k.config.bs));
   mix(size_t(k.config.grasap_k));
   mix(size_t(k.fused_count));
+  mix(size_t(k.factor));
   return h;
 }
 
@@ -97,13 +98,14 @@ void PlanCache::evict_over_budget_locked(const Key* keep) {
   }
 }
 
-std::shared_ptr<const Plan> PlanCache::get(int p, int q, const trees::TreeConfig& config) {
-  return get_impl(p, q, config, /*count_stats=*/true);
+std::shared_ptr<const Plan> PlanCache::get(int p, int q, const trees::TreeConfig& config,
+                                           kernels::FactorKind factor) {
+  return get_impl(p, q, config, factor, /*count_stats=*/true);
 }
 
 std::shared_ptr<const Plan> PlanCache::get_impl(int p, int q, const trees::TreeConfig& config,
-                                                bool count_stats) {
-  const Key key{p, q, config, 0};
+                                                kernels::FactorKind factor, bool count_stats) {
+  const Key key{p, q, config, 0, factor};
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
@@ -116,7 +118,7 @@ std::shared_ptr<const Plan> PlanCache::get_impl(int p, int q, const trees::TreeC
   // Plan outside the lock: planning a big grid must not block hits on other
   // shapes. Concurrent misses of the same key each plan; first insert wins.
   const std::int64_t t0 = obs::now_ns();
-  auto plan = std::make_shared<const Plan>(make_plan(p, q, config));
+  auto plan = std::make_shared<const Plan>(make_plan(p, q, config, factor));
   plan_time_.record_ns(obs::now_ns() - t0);
   Entry entry;
   entry.bytes = plan_bytes(*plan);
@@ -128,9 +130,9 @@ std::shared_ptr<const Plan> PlanCache::get_impl(int p, int q, const trees::TreeC
 
 std::shared_ptr<const FusedPlan> PlanCache::get_fused(int p, int q,
                                                       const trees::TreeConfig& config,
-                                                      int count) {
+                                                      int count, kernels::FactorKind factor) {
   TILEDQR_CHECK(count >= 1, "PlanCache::get_fused: count must be >= 1");
-  const Key key{p, q, config, count};
+  const Key key{p, q, config, count, factor};
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
@@ -143,7 +145,7 @@ std::shared_ptr<const FusedPlan> PlanCache::get_fused(int p, int q,
   // Homogeneous by construction (count copies of one base plan), so the
   // fused entry is a thin stride descriptor sharing the base plan — not a
   // materialized count x base graph. The pool replicates at schedule time.
-  auto base = get_impl(p, q, config, /*count_stats=*/false);
+  auto base = get_impl(p, q, config, factor, /*count_stats=*/false);
   const std::int64_t t0 = obs::now_ns();
   auto fused =
       std::make_shared<const FusedPlan>(make_homogeneous_fused_plan(std::move(base), count));

@@ -31,8 +31,9 @@
 
 namespace tiledqr::core {
 
-/// Thread-safe memoizing cache of Plans keyed on (p, q, TreeConfig) and of
-/// FusedPlans keyed on (p, q, TreeConfig, count). Returned plans are shared
+/// Thread-safe memoizing cache of Plans keyed on (factor, p, q, TreeConfig)
+/// and of FusedPlans keyed on (factor, p, q, TreeConfig, count) — QR and LQ
+/// plans of the same reduction grid never collide. Returned plans are shared
 /// and immutable; entries live until clear() or LRU eviction under a byte
 /// budget.
 class PlanCache {
@@ -59,14 +60,17 @@ class PlanCache {
 
   /// Returns the cached plan for the shape, planning on first use. Safe to
   /// call concurrently; on a concurrent miss of the same key one plan wins
-  /// and the others are discarded (planning is outside the lock).
-  [[nodiscard]] std::shared_ptr<const Plan> get(int p, int q, const trees::TreeConfig& config);
+  /// and the others are discarded (planning is outside the lock). (p, q) is
+  /// the reduction grid for LQ plans.
+  [[nodiscard]] std::shared_ptr<const Plan> get(
+      int p, int q, const trees::TreeConfig& config,
+      kernels::FactorKind factor = kernels::FactorKind::QR);
 
   /// Returns the cached fusion of `count` copies of the (p, q, config) base
   /// plan — the scheduling object for a homogeneous batch. count >= 1.
-  [[nodiscard]] std::shared_ptr<const FusedPlan> get_fused(int p, int q,
-                                                           const trees::TreeConfig& config,
-                                                           int count);
+  [[nodiscard]] std::shared_ptr<const FusedPlan> get_fused(
+      int p, int q, const trees::TreeConfig& config, int count,
+      kernels::FactorKind factor = kernels::FactorKind::QR);
 
   /// Caps the estimated heap footprint of cached entries; least-recently-
   /// used entries are evicted (immediately, and on later inserts) until the
@@ -87,6 +91,7 @@ class PlanCache {
     int q;
     trees::TreeConfig config;
     int fused_count;  ///< 0 = base plan, >= 1 = fused plan of that many parts
+    kernels::FactorKind factor;
     friend bool operator==(const Key&, const Key&) = default;
   };
   struct KeyHash {
@@ -109,6 +114,7 @@ class PlanCache {
   /// reflects client calls.
   [[nodiscard]] std::shared_ptr<const Plan> get_impl(int p, int q,
                                                      const trees::TreeConfig& config,
+                                                     kernels::FactorKind factor,
                                                      bool count_stats);
 
   mutable std::mutex mu_;

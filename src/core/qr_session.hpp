@@ -1,4 +1,5 @@
-// QrSession: the batched / asynchronous / streaming serving front end.
+// FactorSession: the batched / asynchronous / streaming serving front end
+// (QrSession remains as an alias from when the session was QR-only).
 //
 // A session owns a persistent worker pool and a plan cache and amortizes
 // both across many factorizations — the "heavy traffic of repeated, often
@@ -7,7 +8,13 @@
 // pool; a *batch* is fused into one submission (see below) so the scheduler
 // overlaps the tail of one factorization with the heads of the next.
 //
-//   core::QrSession session;                       // pool + plan cache
+// Every entry path routes on shape: tall/square inputs factor by QR, wide
+// inputs (m < n) by LQ on the transposed (reduction) grid — same trees,
+// same runtime, LQ kernels wrapping their QR duals. Solves follow suit:
+// least squares for tall inputs, the minimum-norm solution for wide ones
+// (L⁻¹b first, then the apply-Q̃ DAG — the stage order reverses).
+//
+//   core::FactorSession session;                   // pool + plan cache
 //   auto fut = session.submit<double>(a.view(), opt);
 //   ...                                            // overlap with other work
 //   core::TiledQr<double> qr = fut.get();          // rethrows task errors
@@ -84,7 +91,7 @@ namespace tiledqr::core {
 template <typename T>
 class FactorStream;
 
-class QrSession {
+class FactorSession {
  public:
   struct Config {
     /// Worker count of the session pool; 0 = TILEDQR_THREADS or hardware
@@ -152,11 +159,12 @@ class QrSession {
     int affinity_hint = -1;
   };
 
-  QrSession() : pool_(0) {}
-  explicit QrSession(Config config) : tuner_(std::move(config.tuner)), pool_(config.threads) {}
+  FactorSession() : pool_(0) {}
+  explicit FactorSession(Config config)
+      : tuner_(std::move(config.tuner)), pool_(config.threads) {}
 
-  QrSession(const QrSession&) = delete;
-  QrSession& operator=(const QrSession&) = delete;
+  FactorSession(const FactorSession&) = delete;
+  FactorSession& operator=(const FactorSession&) = delete;
 
   /// Asynchronous factorization of a dense matrix (copied into tiled
   /// layout on the calling thread). The future resolves once every kernel
@@ -286,7 +294,7 @@ class QrSession {
     auto state = std::make_shared<Apply>();
     std::future<TileMatrix<T>> future = state->promise.get_future();
     try {
-      TILEDQR_CHECK(c.mt() == qr.a_.mt() && c.nb() == qr.a_.nb(),
+      TILEDQR_CHECK(c.mt() == qr.reduction_p() && c.nb() == qr.a_.nb(),
                     "apply_q_async: row tiling of C must match the factorization");
       state->c = std::move(c);
       state->graph = qr.build_apply_graph(trans, state->c.nt());
@@ -314,9 +322,12 @@ class QrSession {
   template <typename T>
   std::future<TileMatrix<T>> apply_q_async(TiledQr<T>&&, ApplyTrans, TileMatrix<T>) = delete;
 
-  /// Least squares against a finished factorization: computes Qᵀb on the
-  /// pool, then the triangular solve on the worker that retires the apply
-  /// DAG. `qr` is borrowed and must stay alive until the future resolves.
+  /// Solve against a finished factorization. QR (m >= n): computes Qᵀb on
+  /// the pool, then the triangular solve on the worker that retires the
+  /// apply DAG. LQ (m < n): the stage order reverses — the L⁻¹b head runs
+  /// here on the calling thread (it is a small triangular solve), then the
+  /// apply-Q̃ DAG on the pool produces the minimum-norm solution directly.
+  /// `qr` is borrowed and must stay alive until the future resolves.
   template <typename T>
   [[nodiscard]] std::future<Matrix<T>> solve_least_squares_async(const TiledQr<T>& qr,
                                                                  ConstMatrixView<T> b) {
@@ -327,31 +338,33 @@ class QrSession {
     };
     auto state = std::make_shared<Solve>();
     std::future<Matrix<T>> future = state->promise.get_future();
+    const bool lq = qr.kind() == kernels::FactorKind::LQ;
+    const ApplyTrans trans = lq ? ApplyTrans::NoTrans : ApplyTrans::ConjTrans;
     try {
-      TILEDQR_CHECK(qr.a_.m() >= qr.a_.n(), "solve_least_squares_async: requires m >= n");
       TILEDQR_CHECK(b.rows() == qr.a_.m(), "solve_least_squares_async: rhs row mismatch");
       if (b.cols() == 0) {
         state->promise.set_value(Matrix<T>(qr.a_.n(), 0));
         return future;
       }
-      state->c = TileMatrix<T>::from_dense(b, qr.a_.nb());
-      state->graph = qr.build_apply_graph(ApplyTrans::ConjTrans, state->c.nt());
+      state->c = lq ? qr.start_minimum_norm(b) : TileMatrix<T>::from_dense(b, qr.a_.nb());
+      state->graph = qr.build_apply_graph(trans, state->c.nt());
     } catch (...) {
       state->promise.set_exception(std::current_exception());
       return future;
     }
     pool_.submit(
         state->graph,
-        [raw = state.get(), &qr](std::int32_t id) {
-          qr.run_apply_task(raw->graph.tasks[size_t(id)], ApplyTrans::ConjTrans, raw->c);
+        [raw = state.get(), &qr, trans](std::int32_t id) {
+          qr.run_apply_task(raw->graph.tasks[size_t(id)], trans, raw->c);
         },
-        [state, &qr](std::exception_ptr error) {
+        [state, &qr, lq](std::exception_ptr error) {
           if (error) {
             state->promise.set_exception(error);
             return;
           }
           try {
-            state->promise.set_value(qr.finish_least_squares(state->c));
+            state->promise.set_value(lq ? state->c.to_dense()
+                                        : qr.finish_least_squares(state->c));
           } catch (...) {
             state->promise.set_exception(std::current_exception());
           }
@@ -363,73 +376,90 @@ class QrSession {
   template <typename T>
   std::future<Matrix<T>> solve_least_squares_async(TiledQr<T>&&, ConstMatrixView<T>) = delete;
 
-  /// The full least-squares pipeline, end-to-end on the session pool:
-  /// factorize A, apply Qᵀ to b, triangular-solve R x = (Qᵀb)[0:n] — three
-  /// chained stages with no spawn-path fallback and no intermediate blocking
-  /// (each stage is submitted by the worker that retires the previous one).
-  /// `opt.threads > 0` caps the pool workers the pipeline may occupy; a
-  /// disengaged `opt.tree` is routed through the autotuner for A's shape.
+  /// The full solve pipeline, end-to-end on the session pool. QR (m >= n):
+  /// factorize A, apply Qᵀ to b, triangular-solve R x = (Qᵀb)[0:n]. LQ
+  /// (m < n): factorize A, triangular-solve L y = b, apply Q̃ to [y; 0] —
+  /// the minimum-norm solution; the stage order reverses, so the trsm runs
+  /// on the worker that retires the factorization and the apply DAG is the
+  /// final stage. Chained stages with no spawn-path fallback and no
+  /// intermediate blocking (each stage is submitted by the worker that
+  /// retires the previous one). `opt.threads > 0` caps the pool workers the
+  /// pipeline may occupy; a disengaged `opt.tree` is routed through the
+  /// autotuner for A's reduction-grid shape.
   template <typename T>
   [[nodiscard]] std::future<Matrix<T>> solve_least_squares_async(ConstMatrixView<T> a,
                                                                  ConstMatrixView<T> b,
                                                                  Options opt) {
     struct Pipeline {
       TiledQr<T> qr;
-      TileMatrix<T> c;  ///< b tiles; becomes Qᵀb once the apply stage drains
+      TileMatrix<T> c;   ///< QR: b tiles -> Qᵀb; LQ: padded L⁻¹b -> Q̃[y;0]
+      Matrix<T> b;       ///< LQ only: dense rhs, tiled after the trsm head
       dag::TaskGraph apply_graph;
       std::promise<Matrix<T>> promise;
     };
     const int worker_cap = normalize_threads(opt);
     auto state = std::make_shared<Pipeline>();
     std::future<Matrix<T>> future = state->promise.get_future();
+    bool lq = false;
     try {
-      TILEDQR_CHECK(a.rows() >= a.cols(), "solve_least_squares_async: requires m >= n");
       TILEDQR_CHECK(b.rows() == a.rows(), "solve_least_squares_async: rhs row mismatch");
       auto tiles = TileMatrix<T>::from_dense(a, opt.nb);
-      if (!opt.tree) opt.tree = choose_tree(tiles.mt(), tiles.nt(), worker_cap);
+      lq = tiles.m() < tiles.n();
+      if (!opt.tree) opt.tree = choose_tree_for(tiles, worker_cap);
       state->qr = TiledQr<T>::prepare(std::move(tiles), opt, cache_);
-      if (b.cols() > 0) state->c = TileMatrix<T>::from_dense(b, opt.nb);
+      if (b.cols() > 0) {
+        if (lq) {
+          state->b = Matrix<T>(b.rows(), b.cols());
+          copy(b, state->b.view());
+        } else {
+          state->c = TileMatrix<T>::from_dense(b, opt.nb);
+        }
+      }
     } catch (...) {
       state->promise.set_exception(std::current_exception());
       return future;
     }
     note_plan(state->qr.plan_);
     runtime::ThreadPool* pool = &pool_;
+    const ApplyTrans trans = lq ? ApplyTrans::NoTrans : ApplyTrans::ConjTrans;
     pool_.submit(
         state->qr.plan_->graph,
         [raw = state.get(), ib = opt.ib](std::int32_t idx) {
           TiledQr<T>& qr = raw->qr;
           run_task_kernels(qr.plan_->graph.tasks[size_t(idx)], qr.a_, qr.t_, qr.t2_, ib);
         },
-        [state, pool, worker_cap](std::exception_ptr error) {
+        [state, pool, worker_cap, lq, trans](std::exception_ptr error) {
           if (error) {
             state->promise.set_exception(error);
             return;
           }
           try {
-            if (state->c.n() == 0) {  // zero-column rhs: answer is n x 0
+            const bool empty_rhs = lq ? state->b.cols() == 0 : state->c.n() == 0;
+            if (empty_rhs) {  // zero-column rhs: answer is n x 0
               state->promise.set_value(Matrix<T>(state->qr.a_.n(), 0));
               return;
             }
-            state->apply_graph =
-                state->qr.build_apply_graph(ApplyTrans::ConjTrans, state->c.nt());
+            if (lq)
+              state->c =
+                  state->qr.start_minimum_norm(ConstMatrixView<T>(state->b.view()));
+            state->apply_graph = state->qr.build_apply_graph(trans, state->c.nt());
           } catch (...) {
             state->promise.set_exception(std::current_exception());
             return;
           }
           pool->submit(
               state->apply_graph,
-              [raw = state.get()](std::int32_t id) {
-                raw->qr.run_apply_task(raw->apply_graph.tasks[size_t(id)],
-                                       ApplyTrans::ConjTrans, raw->c);
+              [raw = state.get(), trans](std::int32_t id) {
+                raw->qr.run_apply_task(raw->apply_graph.tasks[size_t(id)], trans, raw->c);
               },
-              [state](std::exception_ptr apply_error) {
+              [state, lq](std::exception_ptr apply_error) {
                 if (apply_error) {
                   state->promise.set_exception(apply_error);
                   return;
                 }
                 try {
-                  state->promise.set_value(state->qr.finish_least_squares(state->c));
+                  state->promise.set_value(lq ? state->c.to_dense()
+                                              : state->qr.finish_least_squares(state->c));
                 } catch (...) {
                   state->promise.set_exception(std::current_exception());
                 }
@@ -467,7 +497,7 @@ class QrSession {
   [[nodiscard]] std::future<TiledQr<T>> submit_auto(TileMatrix<T> a, const AutoOptions& opt = {}) {
     validate_auto_options(opt);
     Options full;
-    full.tree = choose_tree(a.mt(), a.nt(), opt.threads);
+    full.tree = choose_tree_for(a, opt.threads);
     full.nb = a.nb();
     full.ib = opt.ib;
     full.threads = opt.threads;
@@ -490,15 +520,32 @@ class QrSession {
   /// plus how it was reached (forced / refined / model makespan).
   /// `worker_cap > 0` tunes for a request confined to that many workers
   /// (the AutoOptions::threads semantics); 0 tunes for the whole pool.
-  [[nodiscard]] tuner::TunedDecision decide_tree(int p, int q, int worker_cap = 0) {
+  [[nodiscard]] tuner::TunedDecision decide_tree(int p, int q, int worker_cap = 0,
+                                                 kernels::FactorKind factor =
+                                                     kernels::FactorKind::QR) {
     int workers = worker_cap > 0 ? std::min(worker_cap, pool_.size()) : pool_.size();
-    return tuner_.decide(p, q, workers, cache_, &pool_);
+    return tuner_.decide(p, q, workers, cache_, &pool_, factor);
   }
 
   /// Just the chosen TreeConfig — useful to pin the auto decision into an
-  /// explicit Options (e.g. for the async pipelines).
-  [[nodiscard]] trees::TreeConfig choose_tree(int p, int q, int worker_cap = 0) {
-    return decide_tree(p, q, worker_cap).config;
+  /// explicit Options (e.g. for the async pipelines). (p, q) is the
+  /// reduction grid the elimination tree runs on — wide inputs pass the
+  /// transposed grid (see choose_tree_for).
+  [[nodiscard]] trees::TreeConfig choose_tree(int p, int q, int worker_cap = 0,
+                                              kernels::FactorKind factor =
+                                                  kernels::FactorKind::QR) {
+    return decide_tree(p, q, worker_cap, factor).config;
+  }
+
+  /// Shape-routed choose_tree: wide inputs (m < n) tune on the transposed
+  /// (reduction) grid under their LQ key, everything else on the grid as-is
+  /// — the same routing prepare() applies, so the tuner always sees p >= q.
+  template <typename T>
+  [[nodiscard]] trees::TreeConfig choose_tree_for(const TileMatrix<T>& tiles,
+                                                  int worker_cap = 0) {
+    return tiles.m() < tiles.n()
+               ? choose_tree(tiles.nt(), tiles.mt(), worker_cap, kernels::FactorKind::LQ)
+               : choose_tree(tiles.mt(), tiles.nt(), worker_cap);
   }
 
   [[nodiscard]] tuner::Tuner& tree_tuner() noexcept { return tuner_; }
@@ -606,7 +653,7 @@ class QrSession {
       try {
         TileMatrix<T> tiles = make_tiles(i);
         Options per = opt;
-        if (!per.tree) per.tree = choose_tree(tiles.mt(), tiles.nt(), worker_cap);
+        if (!per.tree) per.tree = choose_tree_for(tiles, worker_cap);
         batch->parts.emplace_back(TiledQr<T>::prepare(std::move(tiles), per, cache_));
         note_plan(batch->parts.back().qr.plan_);
         futures.push_back(batch->parts.back().promise.get_future());
@@ -661,9 +708,9 @@ class QrSession {
     if (homogeneous) {
       // Every part shares the front plan, so the front part's (normalized)
       // tree is the fused-cache key for all of them.
-      batch->cached =
-          cache_.get_fused(front_plan->graph.p, front_plan->graph.q,
-                           *batch->parts.front().qr.options().tree, int(batch->parts.size()));
+      batch->cached = cache_.get_fused(front_plan->graph.p, front_plan->graph.q,
+                                       *batch->parts.front().qr.options().tree,
+                                       int(batch->parts.size()), front_plan->graph.factor);
       batch->fused = batch->cached.get();
     } else {
       std::vector<std::shared_ptr<const Plan>> plans;
@@ -761,9 +808,13 @@ class QrSession {
   std::shared_ptr<const Plan> last_plan_;
 };
 
+/// Historical name from when the session was QR-only; existing call sites
+/// keep compiling unchanged.
+using QrSession = FactorSession;
+
 // ------------------------------------------------------------ FactorStream --
 
-/// Streaming fusion handle (QrSession::stream). push()/push_solve() return
+/// Streaming fusion handle (FactorSession::stream). push()/push_solve() return
 /// futures immediately; requests accumulate while the stream's in-flight
 /// work drains and every flush grafts them — coalesced into one fused
 /// component per plan via the session PlanCache's FusedPlan machinery — onto
@@ -784,7 +835,7 @@ class QrSession {
 /// concurrently. A request whose preparation fails resolves its own future
 /// with the exception; a kernel failure cancels only the component (graft)
 /// it rode in on — other grafts keep running. The stream must be closed (or
-/// destroyed — the destructor closes) before its QrSession dies, and close()
+/// destroyed — the destructor closes) before its FactorSession dies, and close()
 /// must not be called from a pool task body.
 ///
 /// Serving QoS (StreamOptions): `max_queued` + `overflow` bound the
@@ -894,11 +945,12 @@ class FactorStream {
     return future;
   }
 
-  /// Full least-squares pipeline for one request: factorize A, then chain
-  /// the Qᵀb apply + triangular solve into the same stream (the apply graph
-  /// is grafted by the worker that retires the factorization — ROADMAP's
-  /// "batched solve"). Results are bitwise identical to
-  /// QrSession::solve_least_squares_async(a, b, opt) with the same tree.
+  /// Full solve pipeline for one request: factorize A, then chain the solve
+  /// stages into the same stream — Qᵀb apply + trsm for tall A, trsm head +
+  /// apply-Q̃ (minimum norm) for wide A. Apply stages of concurrent solves
+  /// coalesce: each flush grafts every ready apply graph as one fused
+  /// component (ROADMAP's "batched solve"). Results are bitwise identical to
+  /// FactorSession::solve_least_squares_async(a, b, opt) with the same tree.
   /// Backpressure treats a solve as one request from admission until its
   /// solution future resolves (the chained stages keep the slot).
   [[nodiscard]] std::future<Matrix<T>> push_solve(ConstMatrixView<T> a, ConstMatrixView<T> b) {
@@ -912,10 +964,15 @@ class FactorStream {
     }
     req->admit_ns = obs::now_ns();
     try {
-      TILEDQR_CHECK(a.rows() >= a.cols(), "push_solve: requires m >= n");
       TILEDQR_CHECK(b.rows() == a.rows(), "push_solve: rhs row mismatch");
       req->qr = prepare(TileMatrix<T>::from_dense(a, state_->opts.nb));
-      if (b.cols() > 0) req->c = TileMatrix<T>::from_dense(b, state_->opts.nb);
+      if (req->qr.kind() == kernels::FactorKind::LQ) {
+        req->apply_trans = ApplyTrans::NoTrans;
+        req->b = Matrix<T>(b.rows(), b.cols());
+        copy(b, req->b.view());
+      } else if (b.cols() > 0) {
+        req->c = TileMatrix<T>::from_dense(b, state_->opts.nb);
+      }
     } catch (...) {
       fail_request(state_, *req, std::current_exception());
       return future;
@@ -953,11 +1010,14 @@ class FactorStream {
   void flush() {
     TILEDQR_CHECK(valid(), "FactorStream::flush: moved-from or empty stream handle");
     std::vector<Group> groups;
+    std::deque<std::shared_ptr<Request>> applies;
     {
       std::lock_guard<std::mutex> lock(state_->mu);
       groups = take_groups_locked(*state_);
       if (groups.empty()) ++state_->empty_flushes;
+      applies = take_applies_locked(*state_);
     }
+    graft_applies(state_, std::move(applies));
     graft(state_, std::move(groups));
   }
 
@@ -970,6 +1030,7 @@ class FactorStream {
   void drain() {
     TILEDQR_CHECK(valid(), "FactorStream::drain: moved-from or empty stream handle");
     std::vector<Group> groups;
+    std::deque<std::shared_ptr<Request>> applies;
     {
       std::lock_guard<std::mutex> lock(state_->mu);
       if (!state_->corked) {
@@ -978,7 +1039,9 @@ class FactorStream {
         // not an empty flush.
         if (groups.empty()) ++state_->empty_flushes;
       }
+      applies = take_applies_locked(*state_);
     }
+    graft_applies(state_, std::move(applies));
     graft(state_, std::move(groups));
     std::unique_lock<std::mutex> lock(state_->mu);
     state_->retire_cv.wait(lock, [&] { return state_->unresolved == 0; });
@@ -1025,7 +1088,7 @@ class FactorStream {
     return state_->stream.generation();
   }
 
-  /// The session-level live snapshot (QrSession::health_report) from the
+  /// The session-level live snapshot (FactorSession::health_report) from the
   /// stream handle a server actually holds.
   [[nodiscard]] std::string health_report() const {
     TILEDQR_CHECK(valid(), "FactorStream::health_report: moved-from or empty stream handle");
@@ -1036,7 +1099,7 @@ class FactorStream {
   explicit operator bool() const noexcept { return valid(); }
 
  private:
-  friend class QrSession;
+  friend class FactorSession;
 
   /// One pushed request: its prepared factorization, sentinel counter within
   /// its graft, and (for solves) the rhs tiles + chained apply graph.
@@ -1044,8 +1107,22 @@ class FactorStream {
     TiledQr<T> qr;
     std::promise<TiledQr<T>> promise;
     std::atomic<std::int32_t> remaining{0};
+    /// Sentinel counter for the fused *apply* graft — deliberately separate
+    /// from `remaining`: a peer's flush can claim and graft this request's
+    /// apply stage between the factor part's last task body and the factor
+    /// component's completion callback, so reusing one counter would let
+    /// that callback mistake a live apply count for an unfinished factor
+    /// part and fail an already-chained solve.
+    std::atomic<std::int32_t> apply_remaining{0};
     bool solve = false;
     TileMatrix<T> c;
+    /// Wide (LQ) solves only: the dense rhs. The apply operand `c` cannot be
+    /// tiled at push time — it is the padded L⁻¹b in the transposed-world
+    /// tiling, which exists only after the factorization's trsm head.
+    Matrix<T> b;
+    /// Transposed-world op for the chained apply stage: Qᵀ (ConjTrans) for
+    /// least squares, Q̃ (NoTrans) for the minimum-norm solve.
+    ApplyTrans apply_trans = ApplyTrans::ConjTrans;
     dag::TaskGraph apply_graph;
     std::promise<Matrix<T>> solve_promise;
     /// Admission timestamp (obs::now_ns), stamped once a push holds its
@@ -1063,9 +1140,9 @@ class FactorStream {
   /// Shared stream state: worker completion callbacks outlive the handle's
   /// stack frames, so everything they touch lives here.
   struct State {
-    QrSession* session = nullptr;
+    FactorSession* session = nullptr;
     runtime::ThreadPool::Stream stream;
-    QrSession::StreamOptions opts;
+    FactorSession::StreamOptions opts;
     int worker_cap = 0;  ///< pre-clamped; the tuner keys on this concurrency
 
     mutable std::mutex mu;
@@ -1077,6 +1154,12 @@ class FactorStream {
     bool corked = false;
     bool closed = false;
     std::deque<std::shared_ptr<Request>> pending;
+    /// Solve requests whose factorization finished and whose apply graph is
+    /// built: instead of each grafting its own component, they accumulate
+    /// here and every flush point grafts them as ONE fused component
+    /// (fuse_task_graphs), so a burst of streamed solves pays one graft for
+    /// all its apply stages.
+    std::deque<std::shared_ptr<Request>> ready_applies;
     long inflight = 0;  ///< grafted components not yet retired
     long pushed = 0;
     long unresolved = 0;  ///< admitted requests whose future hasn't resolved
@@ -1099,7 +1182,7 @@ class FactorStream {
     obs::MetricsRegistry::SourceHandle metrics_source;
   };
 
-  FactorStream(QrSession* session, QrSession::StreamOptions opts) : state_(std::make_shared<State>()) {
+  FactorStream(FactorSession* session, FactorSession::StreamOptions opts) : state_(std::make_shared<State>()) {
     TILEDQR_CHECK(opts.nb >= 1, stringf("StreamOptions::nb must be >= 1 (got %d)", opts.nb));
     TILEDQR_CHECK(opts.ib >= 1, stringf("StreamOptions::ib must be >= 1 (got %d)", opts.ib));
     TILEDQR_CHECK(opts.max_pending >= 1, "StreamOptions::max_pending must be >= 1");
@@ -1178,7 +1261,7 @@ class FactorStream {
     std::unique_lock<std::mutex> lock(s.mu);
     TILEDQR_CHECK(!s.closed, "FactorStream: push on a closed stream");
     if (s.opts.max_queued > 0 && s.unresolved >= long(s.opts.max_queued)) {
-      if (s.opts.overflow == QrSession::StreamOverflow::Reject) {
+      if (s.opts.overflow == FactorSession::StreamOverflow::Reject) {
         ++s.rejected;
         return std::make_exception_ptr(Error(
             stringf("FactorStream: backpressure reject — stream already holds max_queued=%d "
@@ -1213,9 +1296,9 @@ class FactorStream {
     opt.nb = state_->opts.nb;
     opt.ib = state_->opts.ib;
     opt.threads = state_->worker_cap == 0 ? state_->session->pool_.size() : state_->worker_cap;
-    opt.tree = state_->opts.tree ? *state_->opts.tree
-                                 : state_->session->choose_tree(tiles.mt(), tiles.nt(),
-                                                                state_->worker_cap);
+    opt.tree = state_->opts.tree
+                   ? *state_->opts.tree
+                   : state_->session->choose_tree_for(tiles, state_->worker_cap);
     TiledQr<T> qr = TiledQr<T>::prepare(std::move(tiles), opt, state_->session->cache_);
     state_->session->note_plan(qr.plan_);
     return qr;
@@ -1256,6 +1339,18 @@ class FactorStream {
   /// accounts them in flight. Caller holds s.mu; the actual appends happen
   /// outside the lock in graft(). Linear scan: pending is bounded by
   /// max_pending and distinct plans are few.
+  /// Claims the ready-apply queue for one fused graft, accounting it in
+  /// flight (a single component regardless of how many solves it carries).
+  /// Caller holds s.mu.
+  [[nodiscard]] static std::deque<std::shared_ptr<Request>> take_applies_locked(State& s) {
+    std::deque<std::shared_ptr<Request>> applies;
+    if (!s.ready_applies.empty()) {
+      applies.swap(s.ready_applies);
+      ++s.inflight;
+    }
+    return applies;
+  }
+
   [[nodiscard]] static std::vector<Group> take_groups_locked(State& s) {
     std::vector<Group> groups;
     if (s.pending.empty()) return groups;
@@ -1287,7 +1382,7 @@ class FactorStream {
           const Plan& plan = *g.reqs.front()->qr.plan_;
           g.fused = state->session->cache_.get_fused(plan.graph.p, plan.graph.q,
                                                      *g.reqs.front()->qr.options().tree,
-                                                     int(g.reqs.size()));
+                                                     int(g.reqs.size()), plan.graph.factor);
           state->fused_requests.fetch_add(long(g.reqs.size()), std::memory_order_relaxed);
         } catch (...) {
           for (auto& req : g.reqs) fail_request(state, *req, std::current_exception());
@@ -1361,8 +1456,12 @@ class FactorStream {
   }
 
   /// A request's factorization finished (sentinel or single-component
-  /// completion). Plain pushes resolve; solves chain their apply/trsm stage
-  /// into the same stream, from the worker that got here.
+  /// completion). Plain pushes resolve; solves build their apply stage (for
+  /// wide inputs the L⁻¹b trsm head runs here, on the worker that got here)
+  /// and queue it on ready_applies — the next flush point grafts every
+  /// queued apply as one fused component. Progress is guaranteed without a
+  /// flush here: the factor component this request rode in on has not
+  /// retired yet, and its retirement callback flushes the queue.
   static void finish_request(const std::shared_ptr<State>& state,
                              const std::shared_ptr<Request>& req) {
     if (!req->solve) {
@@ -1371,51 +1470,121 @@ class FactorStream {
       return;
     }
     try {
-      if (req->c.n() == 0) {  // zero-column rhs: answer is n x 0
+      const bool lq = req->qr.kind() == kernels::FactorKind::LQ;
+      if (lq ? req->b.cols() == 0 : req->c.n() == 0) {  // zero-column rhs
         req->solve_promise.set_value(Matrix<T>(req->qr.a_.n(), 0));
         request_resolved(state, *req);
         return;
       }
-      req->apply_graph = req->qr.build_apply_graph(ApplyTrans::ConjTrans, req->c.nt());
+      if (lq) req->c = req->qr.start_minimum_norm(ConstMatrixView<T>(req->b.view()));
+      req->apply_graph = req->qr.build_apply_graph(req->apply_trans, req->c.nt());
     } catch (...) {
       req->solve_promise.set_exception(std::current_exception());
       request_resolved(state, *req);
       return;
     }
-    {
-      std::lock_guard<std::mutex> lock(state->mu);
-      ++state->inflight;  // the chained stage counts like any graft
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->ready_applies.push_back(req);
+  }
+
+  /// The apply stage of one solve finished: the trsm tail (QR) or the dense
+  /// gather (LQ — the trsm already ran before the apply) resolves the
+  /// solution future.
+  static void finish_apply(const std::shared_ptr<State>& state,
+                           const std::shared_ptr<Request>& req) {
+    try {
+      req->solve_promise.set_value(req->apply_trans == ApplyTrans::NoTrans
+                                       ? req->c.to_dense()
+                                       : req->qr.finish_least_squares(req->c));
+    } catch (...) {
+      req->solve_promise.set_exception(std::current_exception());
     }
-    // Safe even though the factor component has not retired yet: the pool
-    // stream admits appends from task bodies and completion callbacks, and
-    // the factor component keeps the submission non-drained throughout.
+    request_resolved(state, *req);
+  }
+
+  /// Grafts the claimed ready_applies as ONE component: a single apply graph
+  /// when one solve is ready, otherwise the rank-carrying disjoint union
+  /// (fuse_task_graphs) of every queued apply graph, with per-request
+  /// sentinels resolving each solution as its part drains. The caller
+  /// already accounted the graft in `inflight`. Safe even though the factor
+  /// components may not have retired yet: the pool stream admits appends
+  /// from task bodies and completion callbacks.
+  static void graft_applies(const std::shared_ptr<State>& state,
+                            std::deque<std::shared_ptr<Request>> applies) {
+    if (applies.empty()) return;
+    if (applies.size() == 1) {
+      auto req = applies.front();
+      try {
+        state->stream.append(
+            req->apply_graph,
+            [raw = req.get()](std::int32_t id) {
+              raw->qr.run_apply_task(raw->apply_graph.tasks[size_t(id)], raw->apply_trans,
+                                     raw->c);
+            },
+            [state, req](std::exception_ptr error) {
+              if (error)
+                fail_request(state, *req, error);
+              else
+                finish_apply(state, req);
+              on_component_retired(state);
+            },
+            req);
+      } catch (...) {
+        // Close race: the pool stream refused the stage. Fail the solve and
+        // retire the phantom graft, or the inflight/unresolved accounting
+        // leaks and the request's future never resolves.
+        fail_request(state, *req, std::current_exception());
+        on_component_retired(state);
+      }
+      return;
+    }
+    struct ApplyGroup {
+      std::vector<std::shared_ptr<Request>> reqs;
+      FusedPlan fused;
+    };
+    auto group = std::make_shared<ApplyGroup>();
+    group->reqs.assign(std::make_move_iterator(applies.begin()),
+                       std::make_move_iterator(applies.end()));
+    try {
+      std::vector<const dag::TaskGraph*> graphs;
+      graphs.reserve(group->reqs.size());
+      for (const auto& req : group->reqs) graphs.push_back(&req->apply_graph);
+      group->fused = fuse_task_graphs(graphs);
+    } catch (...) {
+      auto error = std::current_exception();
+      for (auto& req : group->reqs) fail_request(state, *req, error);
+      on_component_retired(state);
+      return;
+    }
+    for (size_t i = 0; i < group->reqs.size(); ++i)
+      group->reqs[i]->apply_remaining.store(group->fused.part_size(int(i)),
+                                            std::memory_order_relaxed);
     try {
       state->stream.append(
-          req->apply_graph,
-          [raw = req.get()](std::int32_t id) {
-            raw->qr.run_apply_task(raw->apply_graph.tasks[size_t(id)], ApplyTrans::ConjTrans,
-                                   raw->c);
+          group->fused.component_graph(),
+          [state, raw = group.get()](std::int32_t idx) {
+            const FusedPlan& fused = raw->fused;
+            const size_t part = size_t(fused.part_of(idx));
+            Request& req = *raw->reqs[part];
+            req.qr.run_apply_task(fused.task(idx), req.apply_trans, req.c);
+            // Per-request sentinel, same machinery as the factor grafts: the
+            // last retiring apply task of this part resolves its solution.
+            if (req.apply_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+              finish_apply(state, raw->reqs[part]);
           },
-          [state, req](std::exception_ptr error) {
-            if (error) {
-              req->solve_promise.set_exception(error);
-            } else {
-              try {
-                req->solve_promise.set_value(req->qr.finish_least_squares(req->c));
-              } catch (...) {
-                req->solve_promise.set_exception(std::current_exception());
-              }
-            }
-            request_resolved(state, *req);
+          [state, group](std::exception_ptr error) {
+            for (auto& req : group->reqs)
+              if (req->apply_remaining.load(std::memory_order_acquire) != 0)
+                fail_request(state, *req,
+                             error ? error
+                                   : std::make_exception_ptr(
+                                         Error("FactorStream: component cancelled")));
             on_component_retired(state);
           },
-          req);
+          group, &group->fused.component_ranks());
     } catch (...) {
-      // Close race: the pool stream refused the chained stage. Fail the
-      // solve and retire the phantom graft, or the inflight/unresolved
-      // accounting leaks and the request's future never resolves.
-      req->solve_promise.set_exception(std::current_exception());
-      request_resolved(state, *req);
+      auto error = std::current_exception();
+      for (auto& req : group->reqs) fail_request(state, *req, error);
       on_component_retired(state);
     }
   }
@@ -1436,14 +1605,20 @@ class FactorStream {
   /// what used to be batch boundaries.
   static void on_component_retired(const std::shared_ptr<State>& state) {
     std::vector<Group> groups;
+    std::deque<std::shared_ptr<Request>> applies;
     {
       std::lock_guard<std::mutex> lock(state->mu);
       --state->inflight;
+      // Ready apply stages flush unconditionally — they are latency-critical
+      // solve tails whose requests already hold slots, so neither the cork
+      // nor the watermark applies to them.
+      applies = take_applies_locked(*state);
       if (!state->corked && state->inflight <= long(state->opts.low_watermark) &&
           !state->pending.empty())
         groups = take_groups_locked(*state);
     }
     state->retire_cv.notify_all();
+    graft_applies(state, std::move(applies));
     graft(state, std::move(groups));
   }
 
@@ -1451,7 +1626,7 @@ class FactorStream {
 };
 
 template <typename T>
-FactorStream<T> QrSession::stream(StreamOptions opt) {
+FactorStream<T> FactorSession::stream(StreamOptions opt) {
   return FactorStream<T>(this, std::move(opt));
 }
 

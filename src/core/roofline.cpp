@@ -7,7 +7,9 @@
 namespace tiledqr::core {
 
 long total_weight_units(int p, int q) {
-  TILEDQR_CHECK(p >= q, "total_weight_units: requires p >= q");
+  // Wide grids route through the LQ dual: the factorization runs on the
+  // transposed (reduction) grid, so its total weight is the QR weight there.
+  if (p < q) std::swap(p, q);
   return 6L * p * q * q - 2L * q * q * q;
 }
 

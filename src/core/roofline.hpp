@@ -10,7 +10,9 @@
 namespace tiledqr::core {
 
 /// Total task weight of any valid tiled QR algorithm on a p x q grid:
-/// 6 p q^2 - 2 q^3 in units of n_b^3/3 flops (requires p >= q).
+/// 6 p q^2 - 2 q^3 in units of n_b^3/3 flops. Wide grids (p < q) factor by
+/// LQ duality on the transposed grid, so their weight is the transposed
+/// grid's QR weight — the function is symmetric under transposition.
 [[nodiscard]] long total_weight_units(int p, int q);
 
 /// Flops of the m x n factorization: 2 m n^2 - (2/3) n^3 (x4 for complex).

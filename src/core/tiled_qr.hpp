@@ -1,15 +1,21 @@
 // TiledQr<T>: the public entry point of the library.
 //
-//   auto qr = TiledQr<double>::factorize(a, options);   // A = Q R
-//   Matrix<double> r = qr.r_factor();
-//   Matrix<double> q = qr.q_thin();
-//   Matrix<double> x = qr.solve_least_squares(b);       // min ||A x - b||
+//   auto qr = TiledQr<double>::factorize(a, options);   // A = Q R  (m >= n)
+//   Matrix<double> r = qr.r_factor();                   //          or A = L Q
+//   Matrix<double> q = qr.q_thin();                     //          (m < n)
+//   Matrix<double> x = qr.solve_least_squares(b);       // min ||A x - b||,
+//                                                       // min-norm when wide
 //
-// The factorization runs the selected tiled algorithm (Greedy by default)
+// The factorization routes on shape: tall/square matrices run the tiled QR
+// column reduction, wide matrices (m < n) the LQ row reduction by transpose
+// duality — the same elimination trees and runtime on the transposed
+// (reduction) grid, with each LQ kernel wrapping its QR dual on adjointed
+// tiles. Either way the selected tiled algorithm (Greedy by default) runs
 // through the dataflow runtime; the factored tiles retain the full
-// transformation log (GEQRT reflectors below the diagonal, TT reflector
-// tails above it, block factors in the T/T2 stores), so op(Q) can be applied
-// to anything afterwards (LAPACK xORMQR-style).
+// transformation log (GEQRT reflectors below the diagonal / GELQT row
+// reflectors above it, TT reflector tails on the other side, block factors
+// in the T/T2 stores), so op(Q) can be applied to anything afterwards
+// (LAPACK xORMQR/xORMLQ-style).
 #pragma once
 
 #include <optional>
@@ -31,10 +37,10 @@ namespace tiledqr::core {
 using kernels::ApplyTrans;
 
 /// Factorization options. `tree` left disengaged means "pick for me": the
-/// QrSession batch/pipeline/stream paths route it through the tree autotuner
-/// per shape, while the direct TiledQr paths (no tuner in scope) fall back
-/// to the paper's recommended default, Greedy with TT kernels. An engaged
-/// tree is always honored verbatim.
+/// FactorSession batch/pipeline/stream paths route it through the tree
+/// autotuner per shape, while the direct TiledQr paths (no tuner in scope)
+/// fall back to the paper's recommended default, Greedy with TT kernels. An
+/// engaged tree is always honored verbatim.
 struct Options {
   std::optional<trees::TreeConfig> tree{};  ///< algorithm; nullopt = auto/Greedy
   int nb = 128;                             ///< tile size
@@ -67,7 +73,10 @@ class TStore {
 };
 
 /// Runs one DAG task's kernel on the tile storage (shared by TiledQr and the
-/// benchmark driver).
+/// benchmark driver). LQ task coordinates live in the reduction grid (the
+/// transposed tile grid), so reduction tile (r, c) is A-layout tile (c, r);
+/// the factorization updates adjoint their C tiles through scratch because
+/// the wrapped QR update kernels run in the transposed world.
 template <typename T>
 void run_task_kernels(const dag::Task& t, TileMatrix<T>& a, TStore<T>& ts, TStore<T>& t2s,
                       int ib) {
@@ -93,6 +102,39 @@ void run_task_kernels(const dag::Task& t, TileMatrix<T>& a, TStore<T>& ts, TStor
       kernels::ttmqr(ApplyTrans::ConjTrans, ib, a.tile(t.i, t.k), t2s.at(t.i, t.k),
                      a.tile(t.piv, t.j), a.tile(t.i, t.j));
       break;
+    case kernels::KernelKind::GELQT:
+      kernels::gelqt(ib, a.tile(t.k, t.i), ts.at(t.i, t.k));
+      break;
+    case kernels::KernelKind::UNMLQ: {
+      kernels::detail::AdjointScratch<T> c(a.tile(t.j, t.i));
+      kernels::unmlq(ApplyTrans::ConjTrans, ib, a.tile(t.k, t.i), ts.at(t.i, t.k), c.view());
+      c.commit();
+      break;
+    }
+    case kernels::KernelKind::TSLQT:
+      kernels::tslqt(ib, a.tile(t.k, t.piv), a.tile(t.k, t.i), ts.at(t.i, t.k));
+      break;
+    case kernels::KernelKind::TSMLQ: {
+      kernels::detail::AdjointScratch<T> c1(a.tile(t.j, t.piv));
+      kernels::detail::AdjointScratch<T> c2(a.tile(t.j, t.i));
+      kernels::tsmlq(ApplyTrans::ConjTrans, ib, a.tile(t.k, t.i), ts.at(t.i, t.k), c1.view(),
+                     c2.view());
+      c1.commit();
+      c2.commit();
+      break;
+    }
+    case kernels::KernelKind::TTLQT:
+      kernels::ttlqt(ib, a.tile(t.k, t.piv), a.tile(t.k, t.i), t2s.at(t.i, t.k));
+      break;
+    case kernels::KernelKind::TTMLQ: {
+      kernels::detail::AdjointScratch<T> c1(a.tile(t.j, t.piv));
+      kernels::detail::AdjointScratch<T> c2(a.tile(t.j, t.i));
+      kernels::ttmlq(ApplyTrans::ConjTrans, ib, a.tile(t.k, t.i), t2s.at(t.i, t.k), c1.view(),
+                     c2.view());
+      c1.commit();
+      c2.commit();
+      break;
+    }
   }
 }
 
@@ -125,19 +167,36 @@ class TiledQr {
     return qr;
   }
 
-  /// The factored tiles: R in the upper triangle of the top q tile rows,
+  /// The factored tiles: R in the upper triangle of the top q tile rows
+  /// (QR), or L in the lower triangle of the left tile columns (LQ);
   /// reflector data elsewhere.
   [[nodiscard]] const TileMatrix<T>& factors() const noexcept { return a_; }
   [[nodiscard]] const Plan& plan() const noexcept { return *plan_; }
   [[nodiscard]] const Options& options() const noexcept { return opt_; }
 
-  /// The n x n (m >= n) or m x n upper-triangular/trapezoidal R factor.
+  /// Which factorization this object holds: QR for m >= n, LQ for m < n.
+  [[nodiscard]] kernels::FactorKind kind() const noexcept { return kind_; }
+
+  /// The n x n upper-triangular R factor (QR factorizations only).
   [[nodiscard]] Matrix<T> r_factor() const {
+    TILEDQR_CHECK(kind_ == kernels::FactorKind::QR, "r_factor: requires a QR factorization");
     const std::int64_t k = std::min(a_.m(), a_.n());
     Matrix<T> r(k, a_.n());
     for (std::int64_t j = 0; j < a_.n(); ++j)
       for (std::int64_t i = 0; i <= std::min<std::int64_t>(j, k - 1); ++i) r(i, j) = a_.at(i, j);
     return r;
+  }
+
+  /// The m x m lower-triangular L factor (LQ factorizations only). L = R̃^H
+  /// of the dual QR, stored in A-layout in the lower triangle of the left
+  /// tile columns.
+  [[nodiscard]] Matrix<T> l_factor() const {
+    TILEDQR_CHECK(kind_ == kernels::FactorKind::LQ, "l_factor: requires an LQ factorization");
+    const std::int64_t k = std::min(a_.m(), a_.n());
+    Matrix<T> l(a_.m(), k);
+    for (std::int64_t i = 0; i < a_.m(); ++i)
+      for (std::int64_t j = 0; j <= std::min<std::int64_t>(i, k - 1); ++j) l(i, j) = a_.at(i, j);
+    return l;
   }
 
   /// Builds the op(Q)-application DAG for a conformal tiled matrix with
@@ -146,18 +205,30 @@ class TiledQr {
   /// only references this factorization's log, so it can be submitted to any
   /// executor (QrSession submits it asynchronously to its own pool).
   [[nodiscard]] dag::TaskGraph build_apply_graph(ApplyTrans trans, int c_nt) const {
-    // Transformation log in application order.
+    // Transformation log in application order. For LQ factorizations C is a
+    // transposed-world matrix (its rows live in A's column space), so the
+    // row index of the apply grid is the reduction grid's row count.
     std::vector<const dag::Task*> ops;
     for (const auto& task : plan_->graph.tasks)
-      if (task.kind == kernels::KernelKind::GEQRT || task.kind == kernels::KernelKind::TSQRT ||
-          task.kind == kernels::KernelKind::TTQRT)
-        ops.push_back(&task);
+      switch (task.kind) {
+        case kernels::KernelKind::GEQRT:
+        case kernels::KernelKind::TSQRT:
+        case kernels::KernelKind::TTQRT:
+        case kernels::KernelKind::GELQT:
+        case kernels::KernelKind::TSLQT:
+        case kernels::KernelKind::TTLQT:
+          ops.push_back(&task);
+          break;
+        default:
+          break;
+      }
     if (trans == ApplyTrans::NoTrans) std::reverse(ops.begin(), ops.end());
 
     dag::TaskGraph g;
-    g.p = a_.mt();
+    g.factor = plan_->graph.factor;
+    g.p = reduction_p();
     g.q = c_nt;
-    std::vector<std::int32_t> last(size_t(a_.mt()) * size_t(c_nt), -1);
+    std::vector<std::int32_t> last(size_t(g.p) * size_t(c_nt), -1);
     auto touch = [&](int row, int jc, std::int32_t id) {
       auto& slot = last[size_t(row) * size_t(c_nt) + size_t(jc)];
       if (slot >= 0) {
@@ -166,14 +237,26 @@ class TiledQr {
       }
       slot = id;
     };
+    auto apply_kind = [](kernels::KernelKind k) {
+      switch (k) {
+        case kernels::KernelKind::GEQRT:
+          return kernels::KernelKind::UNMQR;
+        case kernels::KernelKind::TSQRT:
+          return kernels::KernelKind::TSMQR;
+        case kernels::KernelKind::TTQRT:
+          return kernels::KernelKind::TTMQR;
+        case kernels::KernelKind::GELQT:
+          return kernels::KernelKind::UNMLQ;
+        case kernels::KernelKind::TSLQT:
+          return kernels::KernelKind::TSMLQ;
+        default:
+          return kernels::KernelKind::TTMLQ;
+      }
+    };
     for (const auto* op : ops) {
       for (int jc = 0; jc < c_nt; ++jc) {
         auto id = std::int32_t(g.tasks.size());
-        kernels::KernelKind kind =
-            op->kind == kernels::KernelKind::GEQRT   ? kernels::KernelKind::UNMQR
-            : op->kind == kernels::KernelKind::TSQRT ? kernels::KernelKind::TSMQR
-                                                     : kernels::KernelKind::TTMQR;
-        g.tasks.push_back(dag::Task{kind, op->i, op->piv, op->k, jc, 0, {}});
+        g.tasks.push_back(dag::Task{apply_kind(op->kind), op->i, op->piv, op->k, jc, 0, {}});
         if (op->piv >= 0) touch(op->piv, jc, id);
         touch(op->i, jc, id);
       }
@@ -182,6 +265,8 @@ class TiledQr {
   }
 
   /// Runs one task of an apply graph built by build_apply_graph against C.
+  /// LQ apply kernels adjoint the reflector tile internally, so C's tiles
+  /// (transposed-world operands) pass straight through.
   void run_apply_task(const dag::Task& task, ApplyTrans trans, TileMatrix<T>& c) const {
     const int ib = opt_.ib;
     switch (task.kind) {
@@ -193,8 +278,20 @@ class TiledQr {
         kernels::tsmqr(trans, ib, a_.tile(task.i, task.k), t_.at(task.i, task.k),
                        c.tile(task.piv, task.j), c.tile(task.i, task.j));
         break;
-      default:
+      case kernels::KernelKind::TTMQR:
         kernels::ttmqr(trans, ib, a_.tile(task.i, task.k), t2_.at(task.i, task.k),
+                       c.tile(task.piv, task.j), c.tile(task.i, task.j));
+        break;
+      case kernels::KernelKind::UNMLQ:
+        kernels::unmlq(trans, ib, a_.tile(task.k, task.i), t_.at(task.i, task.k),
+                       c.tile(task.i, task.j));
+        break;
+      case kernels::KernelKind::TSMLQ:
+        kernels::tsmlq(trans, ib, a_.tile(task.k, task.i), t_.at(task.i, task.k),
+                       c.tile(task.piv, task.j), c.tile(task.i, task.j));
+        break;
+      default:
+        kernels::ttmlq(trans, ib, a_.tile(task.k, task.i), t2_.at(task.i, task.k),
                        c.tile(task.piv, task.j), c.tile(task.i, task.j));
         break;
     }
@@ -205,7 +302,7 @@ class TiledQr {
   /// (LAPACK xUNMQR's role, parallelized like the factorization itself).
   /// Results are bitwise identical to the sequential replay.
   void apply_q(ApplyTrans trans, TileMatrix<T>& c, int threads) const {
-    TILEDQR_CHECK(c.mt() == a_.mt() && c.nb() == a_.nb(),
+    TILEDQR_CHECK(c.mt() == reduction_p() && c.nb() == a_.nb(),
                   "apply_q: row tiling of C must match the factorization");
     if (threads <= 1) {
       apply_q(trans, c);
@@ -217,9 +314,10 @@ class TiledQr {
   }
 
   /// Applies op(Q) to a tiled matrix with the same row tiling (any number of
-  /// columns), replaying the transformation log sequentially.
+  /// columns), replaying the transformation log sequentially. For an LQ
+  /// factorization C is a transposed-world matrix (c.mt() == a_.nt()).
   void apply_q(ApplyTrans trans, TileMatrix<T>& c) const {
-    TILEDQR_CHECK(c.mt() == a_.mt() && c.nb() == a_.nb(),
+    TILEDQR_CHECK(c.mt() == reduction_p() && c.nb() == a_.nb(),
                   "apply_q: row tiling of C must match the factorization");
     const int ib = opt_.ib;
     auto apply_one = [&](const dag::Task& task) {
@@ -239,6 +337,21 @@ class TiledQr {
             kernels::ttmqr(trans, ib, a_.tile(task.i, task.k), t2_.at(task.i, task.k),
                            c.tile(task.piv, jc), c.tile(task.i, jc));
           break;
+        case kernels::KernelKind::GELQT:
+          for (int jc = 0; jc < c.nt(); ++jc)
+            kernels::unmlq(trans, ib, a_.tile(task.k, task.i), t_.at(task.i, task.k),
+                           c.tile(task.i, jc));
+          break;
+        case kernels::KernelKind::TSLQT:
+          for (int jc = 0; jc < c.nt(); ++jc)
+            kernels::tsmlq(trans, ib, a_.tile(task.k, task.i), t_.at(task.i, task.k),
+                           c.tile(task.piv, jc), c.tile(task.i, jc));
+          break;
+        case kernels::KernelKind::TTLQT:
+          for (int jc = 0; jc < c.nt(); ++jc)
+            kernels::ttmlq(trans, ib, a_.tile(task.k, task.i), t2_.at(task.i, task.k),
+                           c.tile(task.piv, jc), c.tile(task.i, jc));
+          break;
         default:
           break;  // update kernels are not part of the log
       }
@@ -251,9 +364,22 @@ class TiledQr {
     }
   }
 
-  /// Forms the thin m x n Q factor explicitly (m >= n).
+  /// Forms the thin Q factor explicitly: m x n with orthonormal columns for
+  /// QR (m >= n), m x n with orthonormal rows for LQ (m < n).
   [[nodiscard]] Matrix<T> q_thin() const {
-    TILEDQR_CHECK(a_.m() >= a_.n(), "q_thin: requires m >= n");
+    if (kind_ == kernels::FactorKind::LQ) {
+      // Thin Q̃ (n x m) of the dual QR, adjointed back: Q = Q̃^H.
+      const std::int64_t m = a_.m();
+      TileMatrix<T> c(a_.n(), m, a_.nb());
+      for (std::int64_t i = 0; i < m; ++i)
+        c.tile(int(i / a_.nb()), int(i / a_.nb()))(i % a_.nb(), i % a_.nb()) = T(1);
+      apply_q(ApplyTrans::NoTrans, c, opt_.threads);
+      Matrix<T> qt = c.to_dense();
+      Matrix<T> q(m, a_.n());
+      for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t j = 0; j < a_.n(); ++j) q(i, j) = conj_if_complex(qt(j, i));
+      return q;
+    }
     TileMatrix<T> c(a_.m(), a_.n(), a_.nb());
     for (std::int64_t i = 0; i < a_.n(); ++i)
       c.tile(int(i / a_.nb()), int(i / a_.nb()))(i % a_.nb(), i % a_.nb()) = T(1);
@@ -276,10 +402,39 @@ class TiledQr {
     return x;
   }
 
-  /// Least squares: min_x || A x - b ||_2 for tall A (m >= n); b is m x nrhs.
+  /// The triangular head of the minimum-norm solve: y = L^{-1} b on the
+  /// logical m x m triangle (the zero-padded tile triangle is singular, so
+  /// the solve must use element dimensions), padded to length n and tiled in
+  /// the transposed-world row tiling, ready for the apply-Q̃ DAG. Split out
+  /// so the session's async pipeline can run the apply stage on the pool.
+  [[nodiscard]] TileMatrix<T> start_minimum_norm(ConstMatrixView<T> b) const {
+    const std::int64_t m = a_.m();
+    Matrix<T> ypad(a_.n(), b.cols());
+    copy(b, ypad.sub(0, 0, m, b.cols()));
+    Matrix<T> l = l_factor();
+    auto head = ypad.sub(0, 0, m, b.cols());
+    blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Op::NoTrans, blas::Diag::NonUnit,
+               T(1), l.sub(0, 0, m, m), head);
+    return TileMatrix<T>::from_dense(ConstMatrixView<T>(ypad.view()), a_.nb());
+  }
+
+  /// Minimum-norm solution of the underdetermined system A x = b for wide A
+  /// (m < n): y = L^{-1} b, x = Q^H y = Q̃ [y; 0]. b is m x nrhs.
+  [[nodiscard]] Matrix<T> solve_minimum_norm(ConstMatrixView<T> b) const {
+    TILEDQR_CHECK(kind_ == kernels::FactorKind::LQ,
+                  "solve_minimum_norm: requires a wide (LQ) factorization");
+    TILEDQR_CHECK(b.rows() == a_.m(), "solve_minimum_norm: rhs row mismatch");
+    if (b.cols() == 0) return Matrix<T>(a_.n(), 0);
+    TileMatrix<T> c = start_minimum_norm(b);
+    apply_q(ApplyTrans::NoTrans, c, opt_.threads);
+    return c.to_dense();
+  }
+
+  /// Least squares: min_x || A x - b ||_2 for tall A (m >= n), or the
+  /// minimum-norm solution of A x = b for wide A (m < n); b is m x nrhs.
   /// nrhs == 0 is a valid degenerate system (the answer is n x 0).
   [[nodiscard]] Matrix<T> solve_least_squares(ConstMatrixView<T> b) const {
-    TILEDQR_CHECK(a_.m() >= a_.n(), "solve_least_squares: requires m >= n");
+    if (kind_ == kernels::FactorKind::LQ) return solve_minimum_norm(b);
     TILEDQR_CHECK(b.rows() == a_.m(), "solve_least_squares: rhs row mismatch");
     if (b.cols() == 0) return Matrix<T>(a_.n(), 0);
     auto c = TileMatrix<T>::from_dense(b, a_.nb());
@@ -295,20 +450,33 @@ class TiledQr {
   }
 
  private:
-  friend class QrSession;
+  friend class FactorSession;
   template <typename U>
   friend class FactorStream;
 
-  /// Only prepare() and QrSession build TiledQr objects: a default-
+  /// Only prepare() and FactorSession build TiledQr objects: a default-
   /// constructed one would have a null plan_, so the constructor is not
   /// part of the public API.
   TiledQr() = default;
 
+  /// Rows of the reduction grid — the tile grid the elimination tree runs
+  /// on: (mt, nt) for QR, the transposed (nt, mt) for LQ. Always p >= q, so
+  /// the tree generators never see a wide grid. This is also the row-tile
+  /// count op(Q) application targets must match.
+  [[nodiscard]] int reduction_p() const noexcept {
+    return kind_ == kernels::FactorKind::LQ ? a_.nt() : a_.mt();
+  }
+  [[nodiscard]] int reduction_q() const noexcept {
+    return kind_ == kernels::FactorKind::LQ ? a_.mt() : a_.nt();
+  }
+
   /// Allocates storage and fetches the (possibly cached) plan without
-  /// executing; factorize() and QrSession's async path both start here.
-  /// A disengaged `opt.tree` resolves to the Greedy/TT default here (the
-  /// session paths resolve it through the autotuner before calling); the
-  /// stored options always carry the tree actually used.
+  /// executing; factorize() and FactorSession's async path both start here.
+  /// Routes on element shape: m < n factors by LQ on the transposed
+  /// (reduction) grid, everything else by QR. A disengaged `opt.tree`
+  /// resolves to the Greedy/TT default here (the session paths resolve it
+  /// through the autotuner before calling); the stored options always carry
+  /// the tree actually used.
   [[nodiscard]] static TiledQr prepare(TileMatrix<T> a, Options opt,
                                        PlanCache& cache = PlanCache::default_cache()) {
     TiledQr qr;
@@ -317,14 +485,18 @@ class TiledQr {
     if (!opt.tree) opt.tree = trees::TreeConfig{};
     qr.opt_ = opt;
     qr.a_ = std::move(a);
-    qr.plan_ = cache.get(qr.a_.mt(), qr.a_.nt(), *opt.tree);
-    qr.t_ = TStore<T>(qr.a_.mt(), qr.a_.nt(), opt.ib, qr.a_.nb());
-    qr.t2_ = TStore<T>(qr.a_.mt(), qr.a_.nt(), opt.ib, qr.a_.nb());
+    qr.kind_ =
+        qr.a_.m() < qr.a_.n() ? kernels::FactorKind::LQ : kernels::FactorKind::QR;
+    const int rp = qr.reduction_p(), rq = qr.reduction_q();
+    qr.plan_ = cache.get(rp, rq, *opt.tree, qr.kind_);
+    qr.t_ = TStore<T>(rp, rq, opt.ib, qr.a_.nb());
+    qr.t2_ = TStore<T>(rp, rq, opt.ib, qr.a_.nb());
     return qr;
   }
 
   Options opt_;
   TileMatrix<T> a_;
+  kernels::FactorKind kind_ = kernels::FactorKind::QR;
   std::shared_ptr<const Plan> plan_;
   TStore<T> t_;
   TStore<T> t2_;

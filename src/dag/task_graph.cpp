@@ -65,7 +65,9 @@ void apply_accesses(DependencyTracker& deps, std::int32_t id, const Task& t) {
   const int piv = t.piv;
   const int k = t.k;
   const int j = t.j;
-  switch (t.kind) {
+  // LQ kernels access the reduction grid exactly as their QR duals do (the
+  // coordinates already live there), so one switch covers both factorizations.
+  switch (kernels::qr_dual(t.kind)) {
     case KernelKind::GEQRT:
       deps.modify(id, i, k, kU);
       deps.modify(id, i, k, kL);
@@ -105,6 +107,8 @@ void apply_accesses(DependencyTracker& deps, std::int32_t id, const Task& t) {
       deps.modify(id, i, j, kU);
       deps.modify(id, i, j, kL);
       break;
+    default:
+      break;
   }
 }
 
@@ -112,6 +116,7 @@ void apply_accesses(DependencyTracker& deps, std::int32_t id, const Task& t) {
 
 std::int32_t TaskGraph::append_offset(const TaskGraph& other) {
   const auto offset = std::int32_t(tasks.size());
+  if (offset == 0) factor = other.factor;  // adopt the first component's kind
   tasks.reserve(tasks.size() + other.tasks.size());
   for (const Task& t : other.tasks) {
     tasks.push_back(t);
@@ -123,13 +128,15 @@ std::int32_t TaskGraph::append_offset(const TaskGraph& other) {
   return offset;
 }
 
-TaskGraph build_task_graph(int p, int q, const trees::EliminationList& list) {
+TaskGraph build_task_graph(int p, int q, const trees::EliminationList& list,
+                           kernels::FactorKind factor) {
   auto valid = trees::validate_elimination_list(p, q, list);
   TILEDQR_CHECK(valid.ok, "build_task_graph: invalid elimination list: " + valid.message);
 
   TaskGraph g;
   g.p = p;
   g.q = q;
+  g.factor = factor;
   g.zero_task.assign(size_t(p) * size_t(q), -1);
 
   DependencyTracker deps(p, q, g.tasks);
@@ -139,6 +146,7 @@ TaskGraph build_task_graph(int p, int q, const trees::EliminationList& list) {
   };
 
   auto emit = [&](KernelKind kind, int i, int piv, int k, int j) -> std::int32_t {
+    if (factor == kernels::FactorKind::LQ) kind = kernels::lq_dual(kind);
     auto id = std::int32_t(g.tasks.size());
     g.tasks.push_back(Task{kind, i, piv, k, j, 0, {}});
     apply_accesses(deps, id, g.tasks.back());

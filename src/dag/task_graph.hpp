@@ -46,9 +46,16 @@ struct Task {
 };
 
 /// Full task graph for one factorization.
+///
+/// For LQ graphs (factor == FactorKind::LQ) the grid is the *reduction*
+/// grid — the tile grid of A^H, so p >= q always holds and every tree
+/// builder works unchanged — and tasks carry the LQ kernel kinds. Task
+/// coordinates live in the reduction grid; the executor maps coordinate
+/// (r, c) to the A-layout tile (c, r).
 struct TaskGraph {
   int p = 0;
   int q = 0;
+  kernels::FactorKind factor = kernels::FactorKind::QR;
   std::vector<Task> tasks;
   /// zero_task[i*q + k] = index of the task that zeroes tile (i,k); -1 if
   /// the tile is not zeroed (on/above diagonal).
@@ -86,8 +93,12 @@ struct TaskGraph {
 
 /// Builds the task graph for an elimination list; the list is validated
 /// first (throws tiledqr::Error with the validator's diagnostic on failure).
-/// Tasks appear in a dependency-consistent (topological) order.
-[[nodiscard]] TaskGraph build_task_graph(int p, int q, const trees::EliminationList& list);
+/// Tasks appear in a dependency-consistent (topological) order. For
+/// FactorKind::LQ the same elimination structure is emitted with the dual
+/// LQ kernel kinds (the list describes the reduction grid either way).
+[[nodiscard]] TaskGraph build_task_graph(
+    int p, int q, const trees::EliminationList& list,
+    kernels::FactorKind factor = kernels::FactorKind::QR);
 
 /// Recomputes `npred`/`succ` for an externally-assembled task list (kinds and
 /// tile coordinates set, tasks in emission order) by replaying the access

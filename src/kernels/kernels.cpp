@@ -2,6 +2,10 @@
 
 namespace tiledqr::kernels {
 
+const char* factor_kind_name(FactorKind k) noexcept {
+  return k == FactorKind::LQ ? "LQ" : "QR";
+}
+
 const char* kernel_name(KernelKind k) noexcept {
   switch (k) {
     case KernelKind::GEQRT: return "GEQRT";
@@ -10,6 +14,12 @@ const char* kernel_name(KernelKind k) noexcept {
     case KernelKind::TSMQR: return "TSMQR";
     case KernelKind::TTQRT: return "TTQRT";
     case KernelKind::TTMQR: return "TTMQR";
+    case KernelKind::GELQT: return "GELQT";
+    case KernelKind::UNMLQ: return "UNMLQ";
+    case KernelKind::TSLQT: return "TSLQT";
+    case KernelKind::TSMLQ: return "TSMLQ";
+    case KernelKind::TTLQT: return "TTLQT";
+    case KernelKind::TTMLQ: return "TTMLQ";
   }
   return "?";
 }

@@ -5,24 +5,69 @@
 #include <cstdint>
 
 #include "kernels/householder.hpp"
+#include "kernels/lq_kernels.hpp"
 #include "kernels/tile_kernels.hpp"
 
 namespace tiledqr::kernels {
 
-/// The six tile kernels of Table 1.
-enum class KernelKind : std::uint8_t { GEQRT, UNMQR, TSQRT, TSMQR, TTQRT, TTMQR };
+/// Which factorization a plan/graph/kernel belongs to. QR reduces below the
+/// diagonal by columns (the paper's algorithm); LQ reduces right of the
+/// diagonal by rows, implemented by transpose duality over the QR kernels.
+enum class FactorKind : std::uint8_t { QR, LQ };
 
-inline constexpr int kNumKernelKinds = 6;
+[[nodiscard]] const char* factor_kind_name(FactorKind k) noexcept;
 
-/// Task weight in units of nb^3/3 flops (paper Table 1).
+/// The six tile kernels of Table 1, plus their LQ duals. The LQ kinds are
+/// ordered so that `kind - kNumQrKernelKinds` is the QR dual: GELQT wraps
+/// GEQRT on transposed tiles, UNMLQ wraps UNMQR, and so on.
+enum class KernelKind : std::uint8_t {
+  GEQRT,
+  UNMQR,
+  TSQRT,
+  TSMQR,
+  TTQRT,
+  TTMQR,
+  GELQT,
+  UNMLQ,
+  TSLQT,
+  TSMLQ,
+  TTLQT,
+  TTMLQ,
+};
+
+/// Distinct QR kernel shapes — the size of per-kernel weight/rate profiles.
+/// An LQ kernel shares its dual's profile slot (same flops, same microkernel
+/// work on transposed tiles), so profile arrays stay 6-wide.
+inline constexpr int kNumQrKernelKinds = 6;
+
+/// Total enum size (QR + LQ), for name tables and per-kind histograms.
+inline constexpr int kNumKernelKinds = 12;
+
+[[nodiscard]] constexpr bool is_lq_kernel(KernelKind k) noexcept {
+  return int(k) >= kNumQrKernelKinds;
+}
+
+/// The QR kernel an LQ kernel wraps (identity on QR kinds).
+[[nodiscard]] constexpr KernelKind qr_dual(KernelKind k) noexcept {
+  return is_lq_kernel(k) ? KernelKind(int(k) - kNumQrKernelKinds) : k;
+}
+
+/// The LQ kernel wrapping a QR kernel (identity on LQ kinds).
+[[nodiscard]] constexpr KernelKind lq_dual(KernelKind k) noexcept {
+  return is_lq_kernel(k) ? k : KernelKind(int(k) + kNumQrKernelKinds);
+}
+
+/// Task weight in units of nb^3/3 flops (paper Table 1). An LQ kernel does
+/// exactly its dual's flops on transposed tiles.
 [[nodiscard]] constexpr int kernel_weight(KernelKind k) noexcept {
-  switch (k) {
+  switch (qr_dual(k)) {
     case KernelKind::GEQRT: return 4;
     case KernelKind::UNMQR: return 6;
     case KernelKind::TSQRT: return 6;
     case KernelKind::TSMQR: return 12;
     case KernelKind::TTQRT: return 2;
     case KernelKind::TTMQR: return 6;
+    default: break;
   }
   return 0;
 }

@@ -42,16 +42,22 @@ template <typename T>
   return std::sqrt(sum);
 }
 
-/// Frobenius distance of a^H a (or a a^H) from the identity: || I - a^H a ||_F.
+/// Frobenius distance of a^H a (or a a^H) from the identity: the Gram
+/// matrix of the smaller dimension, so tall/square inputs are checked for
+/// orthonormal columns (|| I - Q^H Q ||_F) and wide inputs for orthonormal
+/// rows (|| I - Q Q^H ||_F) — the thin Q of an LQ factorization.
 template <typename T>
 [[nodiscard]] RealType<T> orthogonality_error(ConstMatrixView<T> q) {
-  // Computes || I - Q^H Q ||_F without forming Q^H Q densely when q is tall.
+  const bool wide = q.rows() < q.cols();
+  const std::int64_t dim = wide ? q.rows() : q.cols();
+  const std::int64_t len = wide ? q.cols() : q.rows();
   RealType<T> sum = 0;
-  for (std::int64_t j = 0; j < q.cols(); ++j) {
-    for (std::int64_t k = 0; k < q.cols(); ++k) {
+  for (std::int64_t j = 0; j < dim; ++j) {
+    for (std::int64_t k = 0; k < dim; ++k) {
       T dot = T(0);
-      for (std::int64_t i = 0; i < q.rows(); ++i)
-        dot += conj_if_complex(q(i, j)) * q(i, k);
+      for (std::int64_t i = 0; i < len; ++i)
+        dot += wide ? q(j, i) * conj_if_complex(q(k, i))
+                    : conj_if_complex(q(i, j)) * q(i, k);
       if (j == k) dot -= T(1);
       sum += ScalarTraits<T>::abs_sq(dot);
     }

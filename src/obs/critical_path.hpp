@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/kernels.hpp"
 #include "obs/trace.hpp"
 
 namespace tiledqr::dag {
@@ -68,7 +69,7 @@ struct CriticalPathWorker {
 /// against the full-trace span (a dropped event can hide a longer chain).
 struct CriticalPathBreakdown {
   static constexpr int kGapBuckets = 32;  ///< log2 ns buckets, [2^b, 2^(b+1))
-  static constexpr int kKinds = 6;        ///< kernels::kNumKernelKinds
+  static constexpr int kKinds = kernels::kNumKernelKinds;  ///< QR + LQ kinds
 
   bool valid = false;          ///< a chain of at least one task was found
   std::uint32_t submission = 0;  ///< trace submission id analyzed

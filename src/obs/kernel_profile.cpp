@@ -15,21 +15,31 @@ perf::WeightProfile KernelProfiler::live_profile(const perf::WeightProfile& fall
 
   perf::WeightProfile out;
   out.id = "live";
-  // Rescale fallback weights into observed-seconds units using the kinds
-  // that were actually seen, so unobserved kinds stay comparable.
+  // The profile is 6-wide; fold each LQ kind into its QR dual's slot
+  // (count-weighted mean across both histograms).
+  constexpr int kSlots = kernels::kNumQrKernelKinds;
+  long slot_count[kSlots] = {};
+  double slot_seconds[kSlots] = {};
+  for (int k = 0; k < kKinds; ++k) {
+    const int s = int(kernels::qr_dual(static_cast<kernels::KernelKind>(k)));
+    slot_count[s] += hist_[k].count();
+    slot_seconds[s] += double(hist_[k].count()) * mean_seconds(k);
+  }
+  // Rescale fallback weights into observed-seconds units using the slots
+  // that were actually seen, so unobserved slots stay comparable.
   double ratio_sum = 0.0;
   int ratio_n = 0;
-  for (int k = 0; k < kKinds; ++k) {
-    if (hist_[k].count() > 0 && fallback.weight[std::size_t(k)] > 0.0) {
-      ratio_sum += mean_seconds(k) / fallback.weight[std::size_t(k)];
+  for (int s = 0; s < kSlots; ++s) {
+    if (slot_count[s] > 0 && fallback.weight[std::size_t(s)] > 0.0) {
+      ratio_sum += slot_seconds[s] / double(slot_count[s]) / fallback.weight[std::size_t(s)];
       ++ratio_n;
     }
   }
   double scale = ratio_n > 0 ? ratio_sum / ratio_n : 1.0;
-  for (int k = 0; k < kKinds; ++k) {
-    out.weight[std::size_t(k)] = hist_[k].count() > 0
-                                     ? mean_seconds(k)
-                                     : fallback.weight[std::size_t(k)] * scale;
+  for (int s = 0; s < kSlots; ++s) {
+    out.weight[std::size_t(s)] = slot_count[s] > 0
+                                     ? slot_seconds[s] / double(slot_count[s])
+                                     : fallback.weight[std::size_t(s)] * scale;
   }
   return out;
 }

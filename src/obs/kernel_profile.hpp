@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "kernels/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "perf/kernel_bench.hpp"
 
@@ -24,7 +25,11 @@ namespace tiledqr::obs {
 
 class KernelProfiler {
  public:
-  static constexpr int kKinds = 6;  ///< kernels::kNumKernelKinds
+  /// One histogram per KernelKind — QR and LQ kinds are tracked separately
+  /// (the LQ wrappers pay extra adjoint copies, so their timings are
+  /// legitimately distinct), then folded into the dual's slot when a
+  /// 6-kernel WeightProfile is produced.
+  static constexpr int kKinds = kernels::kNumKernelKinds;
 
   /// Record one task of `kind` (kernels::KernelKind) taking `ns`. Kinds
   /// outside [0, kKinds) are ignored.
@@ -42,7 +47,8 @@ class KernelProfiler {
   [[nodiscard]] const Histogram& histogram(int kind) const noexcept { return hist_[kind]; }
 
   /// WeightProfile (id "live") from the observed means; see file comment for
-  /// the fallback fill. Returns `fallback` unchanged when nothing was
+  /// the fallback fill. LQ samples aggregate into their QR dual's slot (the
+  /// profile is 6-wide). Returns `fallback` unchanged when nothing was
   /// recorded, so callers can pass the result to the tuner unconditionally.
   [[nodiscard]] perf::WeightProfile live_profile(
       const perf::WeightProfile& fallback = perf::sc11_profile()) const;

@@ -115,7 +115,8 @@ KernelRates measure_kernel_rates(int nb, int ib, CacheMode mode, int reps) {
   KernelRates rates;
   auto sec = measure_kernel_seconds<T>(nb, ib, mode, reps);
   constexpr bool cplx = is_complex_v<T>;
-  for (int k = 0; k < kernels::kNumKernelKinds; ++k) {
+  // Rates are per QR kernel; the LQ wrappers share their dual's slot.
+  for (int k = 0; k < kernels::kNumQrKernelKinds; ++k) {
     double flops = kernels::kernel_flops(KernelKind(k), nb, cplx);
     rates.kernel[size_t(k)] = flops / sec[size_t(k)] * 1e-9;
   }
@@ -138,7 +139,7 @@ KernelRates measure_kernel_rates(int nb, int ib, CacheMode mode, int reps) {
 WeightProfile table1_profile() {
   WeightProfile p;
   p.id = "table1";
-  for (int k = 0; k < kernels::kNumKernelKinds; ++k)
+  for (int k = 0; k < kernels::kNumQrKernelKinds; ++k)
     p.weight[size_t(k)] = double(kernels::kernel_weight(KernelKind(k)));
   return p;
 }
@@ -150,7 +151,7 @@ WeightProfile sc11_profile() {
   constexpr double kNonTsRate = 0.7;
   WeightProfile p = table1_profile();
   p.id = "sc11";
-  for (int k = 0; k < kernels::kNumKernelKinds; ++k) {
+  for (int k = 0; k < kernels::kNumQrKernelKinds; ++k) {
     auto kind = KernelKind(k);
     if (kind != KernelKind::TSQRT && kind != KernelKind::TSMQR)
       p.weight[size_t(k)] /= kNonTsRate;

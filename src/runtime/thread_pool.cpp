@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <deque>
 
 #include "common/env.hpp"
@@ -223,6 +224,14 @@ struct ThreadPool::Worker {
   std::atomic<long> tasks_foreign{0};
   std::atomic<long> steal_cas_retries{0};
   std::atomic<long> empty_steal_probes{0};
+  /// Successful-steal latency, power-of-two ns buckets (kStealLatencyBuckets).
+  std::array<std::atomic<long>, ThreadPool::kStealLatencyBuckets> steal_latency_hist{};
+
+  void record_steal_latency(std::int64_t ns) noexcept {
+    int b = ns <= 0 ? 0 : std::bit_width(static_cast<std::uint64_t>(ns)) - 1;
+    b = std::min(b, ThreadPool::kStealLatencyBuckets - 1);
+    steal_latency_hist[std::size_t(b)].fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Health slots, stamped by run_item only while a HealthMonitor is live
   // (obs::kObsTaskHealth): what this worker is executing right now and when
@@ -274,6 +283,8 @@ ThreadPool::ThreadPool(int threads) {
         out.push_back({"empty_steal_probes", double(s.empty_steal_probes)});
         out.push_back({"tasks_home", double(s.tasks_home)});
         out.push_back({"tasks_foreign", double(s.tasks_foreign)});
+        out.push_back({"steal_latency_p50_ns", double(s.steal_latency_quantile_ns(0.50))});
+        out.push_back({"steal_latency_p95_ns", double(s.steal_latency_quantile_ns(0.95))});
       });
 }
 
@@ -300,7 +311,7 @@ ThreadPool::Stats ThreadPool::stats() const noexcept {
   // the same guarantee the old field-by-field code gave). The per-worker
   // counters are summed per pass; a sum of monotone counters is monotone,
   // so the agreement argument covers them too.
-  constexpr int kN = 9;
+  constexpr int kN = 9 + kStealLatencyBuckets;
   long a[kN];
   long b[kN];
   auto read = [&](long v[kN]) {
@@ -309,12 +320,14 @@ ThreadPool::Stats ThreadPool::stats() const noexcept {
     v[2] = tasks_stolen_.load(std::memory_order_acquire);
     v[3] = streams_opened_.load(std::memory_order_acquire);
     v[4] = streams_closed_->load(std::memory_order_acquire);
-    v[5] = v[6] = v[7] = v[8] = 0;
+    std::fill(v + 5, v + kN, 0L);
     for (const auto& w : workers_) {
       v[5] += w->steal_cas_retries.load(std::memory_order_acquire);
       v[6] += w->empty_steal_probes.load(std::memory_order_acquire);
       v[7] += w->tasks_home.load(std::memory_order_acquire);
       v[8] += w->tasks_foreign.load(std::memory_order_acquire);
+      for (int k = 0; k < kStealLatencyBuckets; ++k)
+        v[9 + k] += w->steal_latency_hist[std::size_t(k)].load(std::memory_order_acquire);
     }
   };
   read(a);
@@ -333,7 +346,22 @@ ThreadPool::Stats ThreadPool::stats() const noexcept {
   s.empty_steal_probes = b[6];
   s.tasks_home = b[7];
   s.tasks_foreign = b[8];
+  for (int k = 0; k < kStealLatencyBuckets; ++k) s.steal_latency_hist[std::size_t(k)] = b[9 + k];
   return s;
+}
+
+std::int64_t ThreadPool::Stats::steal_latency_quantile_ns(double q) const noexcept {
+  long total = 0;
+  for (long c : steal_latency_hist) total += c;
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const long target = std::max(1L, long(q * double(total) + 0.5));
+  long seen = 0;
+  for (int b = 0; b < kStealLatencyBuckets; ++b) {
+    seen += steal_latency_hist[std::size_t(b)];
+    if (seen >= target) return std::int64_t(1) << (b + 1);  // bucket upper bound
+  }
+  return std::int64_t(1) << kStealLatencyBuckets;
 }
 
 std::vector<ThreadPool::WorkerProbe> ThreadPool::probe_workers() const {
@@ -351,6 +379,9 @@ std::vector<ThreadPool::WorkerProbe> ThreadPool::probe_workers() const {
     p.last_finish_ns = wk.last_finish.load(std::memory_order_acquire);
     p.tasks_home = wk.tasks_home.load(std::memory_order_relaxed);
     p.tasks_foreign = wk.tasks_foreign.load(std::memory_order_relaxed);
+    for (int k = 0; k < kStealLatencyBuckets; ++k)
+      p.steal_latency_hist[std::size_t(k)] =
+          wk.steal_latency_hist[std::size_t(k)].load(std::memory_order_relaxed);
     out.push_back(p);
   }
   return out;
@@ -837,12 +868,16 @@ bool ThreadPool::try_run_one(int wid) {
     }
   }
   // Steal: scan victims round-robin — lock-free lane tops first, then the
-  // mutexed inboxes (capped work parked on a busy worker lives there).
+  // mutexed inboxes (capped work parked on a busy worker lives there). The
+  // scan is timed so successful steals feed the per-worker latency
+  // histogram; one clock read per scan, paid only once local work ran dry.
   const int pool_size = size();
+  const std::int64_t steal_t0 = pool_size > 1 ? obs::now_ns() : 0;
   for (int d = 1; d < pool_size; ++d) {
     Worker& victim = *workers_[size_t((wid + d) % pool_size)];
     if (steal_lanes(victim, self, wid, item)) {
       tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+      self.record_steal_latency(obs::now_ns() - steal_t0);
       run_item(wid, item, /*stolen=*/true);
       return true;
     }
@@ -851,6 +886,7 @@ bool ThreadPool::try_run_one(int wid) {
     Worker& victim = *workers_[size_t((wid + d) % pool_size)];
     if (steal_inbox(victim, wid, item)) {
       tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+      self.record_steal_latency(obs::now_ns() - steal_t0);
       run_item(wid, item, /*stolen=*/true);
       return true;
     }

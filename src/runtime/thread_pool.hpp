@@ -60,6 +60,7 @@
 // affinity setting.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -88,6 +89,11 @@ class ThreadPool {
   /// every underlying counter is monotone and the reader re-reads until two
   /// consecutive passes agree, so the returned struct reflects one instant
   /// (e.g. tasks_stolen never exceeds tasks_executed by a torn read).
+  /// Power-of-two steal-latency buckets: bucket b counts successful steals
+  /// whose scan latency (entering the steal scan -> item acquired) fell in
+  /// [2^b, 2^(b+1)) ns; the last bucket absorbs the tail (>= 8ms).
+  static constexpr int kStealLatencyBuckets = 24;
+
   struct Stats {
     long graphs_completed = 0;  ///< DAG components fully retired
     long tasks_executed = 0;    ///< task bodies actually run
@@ -101,6 +107,13 @@ class ThreadPool {
     long tasks_home = 0;     ///< tasks run on their component's home worker
                              ///< (spread components: run un-stolen)
     long tasks_foreign = 0;  ///< tasks run off-home (lost locality)
+    /// Latency distribution per successful steal, summed over workers.
+    std::array<long, kStealLatencyBuckets> steal_latency_hist{};
+
+    /// Bucket-resolution quantile of the steal-latency distribution: the
+    /// upper bound (ns) of the bucket holding the q-quantile sample, 0 when
+    /// no steal was recorded. q in [0, 1].
+    [[nodiscard]] std::int64_t steal_latency_quantile_ns(double q) const noexcept;
   };
 
   /// `threads == 0` resolves to default_thread_count() (TILEDQR_THREADS or
@@ -228,6 +241,9 @@ class ThreadPool {
     std::int64_t last_finish_ns = 0;    ///< end of the last retired task; 0 = never
     long tasks_home = 0;     ///< tasks this worker ran on-home (locality kept)
     long tasks_foreign = 0;  ///< tasks this worker ran off-home
+    /// This worker's successful-steal latency distribution (see
+    /// kStealLatencyBuckets); racy relaxed reads, like the counters above.
+    std::array<long, kStealLatencyBuckets> steal_latency_hist{};
   };
 
   /// Probes every worker. Entirely lock-free: lane depths are racy atomic

@@ -104,7 +104,10 @@ WeightedBoundedResult simulate_bounded_weighted(const dag::TaskGraph& g, int wor
                                                 const std::array<double, 6>& w,
                                                 SimPriority priority) {
   return run_list_schedule<double>(g, workers, priority,
-                                   [&](size_t t) { return w[size_t(g.tasks[t].kind)]; });
+                                   [&](size_t t) {
+                                     // LQ kinds share their QR dual's weight profile slot.
+                                     return w[size_t(kernels::qr_dual(g.tasks[t].kind))];
+                                   });
 }
 
 }  // namespace tiledqr::sim

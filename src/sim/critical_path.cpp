@@ -25,7 +25,8 @@ CpResult earliest_finish(const dag::TaskGraph& g) {
 double critical_path_weighted(const dag::TaskGraph& g, const std::array<double, 6>& w) {
   std::vector<double> finish(g.tasks.size(), 0.0);
   double cp = 0.0;
-  auto weight = [&](size_t t) { return w[size_t(g.tasks[t].kind)]; };
+  // LQ kinds share their QR dual's weight profile slot.
+  auto weight = [&](size_t t) { return w[size_t(kernels::qr_dual(g.tasks[t].kind))]; };
   for (size_t t = 0; t < g.tasks.size(); ++t) {
     if (finish[t] == 0.0) finish[t] = weight(t);
     for (std::int32_t s : g.tasks[t].succ)

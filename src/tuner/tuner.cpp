@@ -137,14 +137,15 @@ std::vector<TreeConfig> candidate_configs(int p, int q) {
 }
 
 std::vector<Candidate> Tuner::rank_candidates(int p, int q, int workers,
-                                              core::PlanCache& cache) const {
+                                              core::PlanCache& cache,
+                                              kernels::FactorKind factor) const {
   TILEDQR_CHECK(workers >= 1, "Tuner: need at least one worker");
   std::vector<TreeConfig> configs = candidate_configs(p, q);
 
   std::vector<Candidate> ranked;
   ranked.reserve(configs.size());
   for (const TreeConfig& c : configs) {
-    auto plan = cache.get(p, q, c);
+    auto plan = cache.get(p, q, c, factor);
     auto sim = sim::simulate_bounded_weighted(plan->graph, workers, config_.profile.weight,
                                               sim::SimPriority::CriticalPath);
     ranked.push_back(Candidate{c, sim.makespan, -1.0});
@@ -171,10 +172,11 @@ std::optional<TreeConfig> Tuner::forced_tree_cached(int p, int q) {
 }
 
 TunedDecision Tuner::decide(int p, int q, int workers, core::PlanCache& cache,
-                            runtime::ThreadPool* pool) {
+                            runtime::ThreadPool* pool, kernels::FactorKind factor) {
   // Env override: bypasses table, model, and refinement entirely (A/B
   // escape hatch). No simulation and a memoized parse (forced_tree_cached),
-  // so the forced path does no per-request work.
+  // so the forced path does no per-request work. The forced config depends
+  // only on the reduction-grid shape, never on the factor kind.
   if (auto forced = forced_tree_cached(p, q)) {
     TunedDecision d;
     d.config = *forced;
@@ -182,15 +184,19 @@ TunedDecision Tuner::decide(int p, int q, int workers, core::PlanCache& cache,
     return d;
   }
 
-  if (auto hit = table_.lookup(p, q, workers, config_.profile.id)) return *hit;
+  if (auto hit = table_.lookup(p, q, workers, config_.profile.id, factor)) return *hit;
 
   // Stage 1: model ranking.
-  std::vector<Candidate> ranked = rank_candidates(p, q, workers, cache);
+  std::vector<Candidate> ranked = rank_candidates(p, q, workers, cache, factor);
   TunedDecision d;
   d.config = ranked.front().config;
   d.model_makespan = ranked.front().model_makespan;
 
   // Stage 2: time the top-k candidates on the real pool, keep the winner.
+  // For LQ the timing problem is the transpose-dual QR factorization of the
+  // same reduction grid — by duality it runs the identical kernel mix, so
+  // its measured ordering transfers (and it avoids teaching the stage-2
+  // driver about A-layout tile coordinates).
   if (config_.refine_top_k > 0 && pool != nullptr) {
     const size_t k = std::min(size_t(config_.refine_top_k), ranked.size());
     // One timing matrix for the whole candidate field.
@@ -214,7 +220,7 @@ TunedDecision Tuner::decide(int p, int q, int workers, core::PlanCache& cache,
 
   // The table arbitrates concurrent misses: whoever records first wins and
   // everyone returns the stored decision.
-  return table_.record(p, q, workers, config_.profile.id, d);
+  return table_.record(p, q, workers, config_.profile.id, d, factor);
 }
 
 }  // namespace tiledqr::tuner

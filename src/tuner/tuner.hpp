@@ -116,25 +116,35 @@ class Tuner {
   Tuner(const Tuner&) = delete;
   Tuner& operator=(const Tuner&) = delete;
 
-  /// The full decision for a p x q tile grid on `workers` workers:
+  /// The full decision for a p x q reduction grid on `workers` workers:
   /// TILEDQR_TREE override first, then the tuning table, then the stage-1
-  /// model ranking (+ stage-2 refinement on `pool` when configured).
+  /// model ranking (+ stage-2 refinement on `pool` when configured). For LQ
+  /// workloads callers pass the reduction grid (element grid transposed, so
+  /// p >= q always holds here) and FactorKind::LQ; the decision is tabled
+  /// under its own key and the candidate plans cached are LQ plans.
   /// Thread-safe; concurrent misses on the same key tune redundantly but
   /// all return the same decision — the table keeps the first recorded
   /// winner and record() hands it back to the losers.
   [[nodiscard]] TunedDecision decide(int p, int q, int workers, core::PlanCache& cache,
-                                     runtime::ThreadPool* pool = nullptr);
+                                     runtime::ThreadPool* pool = nullptr,
+                                     kernels::FactorKind factor = kernels::FactorKind::QR);
 
   /// Convenience: just the chosen TreeConfig.
   [[nodiscard]] trees::TreeConfig choose(int p, int q, int workers, core::PlanCache& cache,
-                                         runtime::ThreadPool* pool = nullptr) {
-    return decide(p, q, workers, cache, pool).config;
+                                         runtime::ThreadPool* pool = nullptr,
+                                         kernels::FactorKind factor = kernels::FactorKind::QR) {
+    return decide(p, q, workers, cache, pool, factor).config;
   }
 
   /// The stage-1 candidate set, ranked best (smallest model makespan) first.
-  /// Exposed for benches and tests; plans go through `cache`.
-  [[nodiscard]] std::vector<Candidate> rank_candidates(int p, int q, int workers,
-                                                       core::PlanCache& cache) const;
+  /// Exposed for benches and tests; plans go through `cache` (keyed on
+  /// `factor`, so the winner's plan is already cached for the workload that
+  /// asked). LQ graphs rank identically to their QR duals — every LQ kernel
+  /// shares its dual's weight-profile slot — but fetching them under the LQ
+  /// key keeps the pre-caching guarantee.
+  [[nodiscard]] std::vector<Candidate> rank_candidates(
+      int p, int q, int workers, core::PlanCache& cache,
+      kernels::FactorKind factor = kernels::FactorKind::QR) const;
 
   [[nodiscard]] const TunerConfig& config() const noexcept { return config_; }
   [[nodiscard]] TuningTable& table() noexcept { return table_; }

@@ -304,6 +304,7 @@ size_t TuningTable::KeyHash::operator()(const Key& k) const noexcept {
   mix(size_t(k.p));
   mix(size_t(k.q));
   mix(size_t(k.workers));
+  mix(size_t(k.factor));
   return h;
 }
 
@@ -326,9 +327,10 @@ TuningTable& TuningTable::operator=(TuningTable&& other) noexcept {
 }
 
 std::optional<TunedDecision> TuningTable::lookup(int p, int q, int workers,
-                                                 const std::string& profile) {
+                                                 const std::string& profile,
+                                                 kernels::FactorKind factor) {
   std::lock_guard lock(mu_);
-  auto it = map_.find(Key{p, q, workers, profile});
+  auto it = map_.find(Key{p, q, workers, profile, factor});
   if (it == map_.end()) {
     ++misses_;
     return std::nullopt;
@@ -338,12 +340,13 @@ std::optional<TunedDecision> TuningTable::lookup(int p, int q, int workers,
 }
 
 TunedDecision TuningTable::record(int p, int q, int workers, const std::string& profile,
-                                  const TunedDecision& decision) {
+                                  const TunedDecision& decision,
+                                  kernels::FactorKind factor) {
   std::lock_guard lock(mu_);
   // Insert-if-absent: concurrent tuners racing on the same key converge on
   // the first recorded decision (stage-2 timing noise could otherwise make
   // them disagree), and the refinement counter matches live entries.
-  auto [it, inserted] = map_.try_emplace(Key{p, q, workers, profile}, decision);
+  auto [it, inserted] = map_.try_emplace(Key{p, q, workers, profile, factor}, decision);
   if (inserted && decision.refined) ++refinements_;
   return it->second;
 }
@@ -366,8 +369,9 @@ std::string TuningTable::to_json() const {
   sorted.reserve(map_.size());
   for (const auto& [key, decision] : map_) sorted.emplace_back(&key, &decision);
   std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
-    return std::tie(a.first->p, a.first->q, a.first->workers, a.first->profile) <
-           std::tie(b.first->p, b.first->q, b.first->workers, b.first->profile);
+    return std::tie(a.first->p, a.first->q, a.first->workers, a.first->profile,
+                    a.first->factor) < std::tie(b.first->p, b.first->q, b.first->workers,
+                                                b.first->profile, b.first->factor);
   });
 
   std::ostringstream out;
@@ -381,9 +385,11 @@ std::string TuningTable::to_json() const {
     first = false;
     out << stringf(
         "    {\"p\": %d, \"q\": %d, \"workers\": %d, \"profile\": \"%s\", "
+        "\"factor\": \"%s\", "
         "\"kind\": \"%s\", \"family\": \"%s\", \"bs\": %d, \"grasap_k\": %d, "
         "\"model_makespan\": %.17g, \"measured_seconds\": %.17g, \"refined\": %s}",
         key->p, key->q, key->workers, json_escape(key->profile).c_str(),
+        kernels::factor_kind_name(key->factor),
         tree_kind_name(d->config.kind),
         d->config.family == trees::KernelFamily::TS ? "TS" : "TT", d->config.bs,
         d->config.grasap_k, d->model_makespan, d->measured_seconds,
@@ -415,6 +421,17 @@ TuningTable TuningTable::from_json(std::string_view json) {
     key.q = int(long_field(e, "q"));
     key.workers = int(long_field(e, "workers"));
     key.profile = string_field(e, "profile");
+    // "factor" was added with the LQ workload; tables written before then
+    // have no such field and are all-QR, so probe with find() rather than
+    // field() (which throws on absence).
+    if (auto fit = e.find("factor"); fit != e.end()) {
+      TILEDQR_CHECK(fit->second.type == JsonValue::Type::String,
+                    "tuning table JSON: field \"factor\" must be a string");
+      const std::string& f = fit->second.string;
+      TILEDQR_CHECK(f == "QR" || f == "LQ",
+                    stringf("tuning table JSON: unknown factor kind \"%s\"", f.c_str()));
+      key.factor = f == "LQ" ? kernels::FactorKind::LQ : kernels::FactorKind::QR;
+    }
     // Range sanity at load time: a corrupt entry must fail here, not later
     // inside tree generation when the first matching request arrives.
     TILEDQR_CHECK(key.p >= 1 && key.q >= 1 && key.workers >= 1,

@@ -1,10 +1,12 @@
 // TuningTable: the persisted memory of the tree autotuner.
 //
-// Maps (p, q, workers, weight-profile id) — the same shape-and-resources key
-// the PlanCache uses, plus the profile so decisions made under one weight
-// model are never served under another — to the tuner's decision for that
-// key: the chosen TreeConfig, the stage-1 model makespan, and (when stage 2
-// ran) the measured seconds of the winning candidate.
+// Maps (p, q, workers, weight-profile id, factor kind) — the same
+// shape-and-resources key the PlanCache uses, plus the profile so decisions
+// made under one weight model are never served under another, plus the
+// factor kind so a QR and an LQ workload on the same reduction grid keep
+// independent entries — to the tuner's decision for that key: the chosen
+// TreeConfig, the stage-1 model makespan, and (when stage 2 ran) the
+// measured seconds of the winning candidate.
 //
 // The table is thread-safe and serializes to/from a small standalone JSON
 // document, so a serving process can load yesterday's decisions at startup
@@ -21,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "kernels/kernels.hpp"
 #include "trees/elimination.hpp"
 
 namespace tiledqr::tuner {
@@ -62,8 +65,9 @@ class TuningTable {
   TuningTable& operator=(TuningTable&& other) noexcept;
 
   /// Returns the recorded decision, counting a hit or miss.
-  [[nodiscard]] std::optional<TunedDecision> lookup(int p, int q, int workers,
-                                                    const std::string& profile);
+  [[nodiscard]] std::optional<TunedDecision> lookup(
+      int p, int q, int workers, const std::string& profile,
+      kernels::FactorKind factor = kernels::FactorKind::QR);
 
   /// Records the decision for a key and returns the authoritative entry:
   /// the first record wins — later records for the same key are ignored (so
@@ -71,7 +75,8 @@ class TuningTable {
   /// back. Newly recorded decisions with `refined == true` bump the
   /// refinement counter. Use clear() to force re-tuning.
   TunedDecision record(int p, int q, int workers, const std::string& profile,
-                       const TunedDecision& decision);
+                       const TunedDecision& decision,
+                       kernels::FactorKind factor = kernels::FactorKind::QR);
 
   [[nodiscard]] Stats stats() const;
   void clear();
@@ -97,6 +102,7 @@ class TuningTable {
     int q = 0;
     int workers = 0;
     std::string profile;
+    kernels::FactorKind factor = kernels::FactorKind::QR;
     friend bool operator==(const Key&, const Key&) = default;
   };
   struct KeyHash {

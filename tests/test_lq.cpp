@@ -1,0 +1,279 @@
+// LQ workload tests: the first non-QR factorization through the
+// algorithm-generic engine. Covers numerical quality (||A - L Q|| / ||A||
+// and row-orthonormality of Q across elimination trees and kernel
+// families), bitwise determinism against the sequential replay across the
+// TILEDQR_PIN x TILEDQR_AFFINE_STEAL scheduling sweep, wide-shape routing
+// through every session entry point (submit, stream push, batch), and the
+// factor-kind keying of the PlanCache and TuningTable (same reduction grid,
+// distinct entries).
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/plan_cache.hpp"
+#include "core/qr_session.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/norms.hpp"
+#include "runtime/executor.hpp"
+#include "tuner/tuning_table.hpp"
+
+namespace tiledqr {
+namespace {
+
+using core::Options;
+using core::QrSession;
+using core::TiledQr;
+using kernels::FactorKind;
+using trees::KernelFamily;
+using trees::TreeConfig;
+using trees::TreeKind;
+
+/// Relative residual ||A - L Q||_F / ||A||_F with L and Q formed explicitly.
+template <typename T>
+double lq_residual(const Matrix<T>& a, const TiledQr<T>& lq) {
+  auto l = lq.l_factor();  // m x m lower triangular
+  auto q = lq.q_thin();    // m x n, orthonormal rows
+  Matrix<T> prod(a.rows(), a.cols());
+  blas::gemm(blas::Op::NoTrans, blas::Op::NoTrans, T(1), l.view(), q.view(), T(0), prod.view());
+  return double(difference_norm<T>(a.view(), prod.view()) / frobenius_norm<T>(a.view()));
+}
+
+/// Sequential per-matrix LQ replay through the pre-pool spawn path: the plan
+/// lives on the reduction grid (nt, mt) and the kernels run on the A-layout
+/// tiles — the reference every scheduled LQ result must match bit for bit.
+Matrix<double> replay_sequential_lq(const Matrix<double>& a, int nb, int ib,
+                                    const TreeConfig& tree) {
+  auto tiles = TileMatrix<double>::from_dense(a.view(), nb);
+  auto plan = core::make_plan(tiles.nt(), tiles.mt(), tree, FactorKind::LQ);
+  core::TStore<double> ts(tiles.nt(), tiles.mt(), ib, tiles.nb());
+  core::TStore<double> t2s(tiles.nt(), tiles.mt(), ib, tiles.nb());
+  runtime::execute_spawn(
+      plan.graph,
+      [&](std::int32_t idx) {
+        core::run_task_kernels(plan.graph.tasks[size_t(idx)], tiles, ts, t2s, ib);
+      },
+      1);
+  return tiles.to_dense();
+}
+
+void expect_bitwise(const Matrix<double>& got, const Matrix<double>& want,
+                    const std::string& what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (std::int64_t j = 0; j < got.cols(); ++j)
+    for (std::int64_t i = 0; i < got.rows(); ++i)
+      ASSERT_EQ(got(i, j), want(i, j)) << what << " at (" << i << "," << j << ")";
+}
+
+// ------------------------------------------------------- numerical quality --
+
+TEST(LqFactorization, ResidualAndOrthogonalityAcrossTrees) {
+  const std::vector<std::pair<TreeConfig, const char*>> algos = {
+      {{TreeKind::FlatTree, KernelFamily::TS, 1, 0}, "flat-ts"},
+      {{TreeKind::FlatTree, KernelFamily::TT, 1, 0}, "flat-tt"},
+      {{TreeKind::Greedy, KernelFamily::TT, 1, 0}, "greedy-tt"},
+      {{TreeKind::Fibonacci, KernelFamily::TT, 1, 0}, "fibonacci-tt"},
+      {{TreeKind::PlasmaTree, KernelFamily::TT, 2, 0}, "plasma-tt-d2"},
+  };
+  // Wide shapes only (m < n routes to LQ), including ragged sizes that
+  // exercise the zero-padded tile triangle.
+  const std::vector<std::tuple<std::int64_t, std::int64_t, int, int>> shapes = {
+      {16, 48, 8, 4},  // 2 x 6 tile grid
+      {13, 45, 8, 3},  // ragged: padding path
+      {7, 56, 7, 7},   // single tile row
+      {31, 33, 16, 8}, // barely wide
+  };
+  for (const auto& [tree, label] : algos) {
+    for (const auto& [m, n, nb, ib] : shapes) {
+      Options opt;
+      opt.tree = tree;
+      opt.nb = nb;
+      opt.ib = ib;
+      opt.threads = 2;
+      auto a = random_matrix<double>(m, n, unsigned(100 * m + n));
+      auto lq = TiledQr<double>::factorize(a.view(), opt);
+      const std::string what =
+          std::string(label) + " m=" + std::to_string(m) + " n=" + std::to_string(n);
+      ASSERT_EQ(lq.kind(), FactorKind::LQ) << what;
+      EXPECT_LE(lq_residual(a, lq), 1e-13) << what;
+      auto q = lq.q_thin();
+      EXPECT_LE(double(orthogonality_error<double>(q.view())), 1e-13) << what;
+    }
+  }
+}
+
+TEST(LqFactorization, ComplexWideResidual) {
+  using C = std::complex<double>;
+  Options opt;
+  opt.tree = TreeConfig{TreeKind::Greedy, KernelFamily::TT, 1, 0};
+  opt.nb = 8;
+  opt.ib = 4;
+  opt.threads = 2;
+  auto a = random_matrix<C>(16, 48, 11);
+  auto lq = TiledQr<C>::factorize(a.view(), opt);
+  ASSERT_EQ(lq.kind(), FactorKind::LQ);
+  EXPECT_LE(lq_residual(a, lq), 1e-11);
+  auto q = lq.q_thin();
+  EXPECT_LE(double(orthogonality_error<C>(q.view())), 1e-11);
+}
+
+// ---------------------------------------------------- scheduling determinism --
+
+TEST(LqFactorization, BitwiseDeterministicAcrossPinAffineSweep) {
+  // Every (TILEDQR_PIN, TILEDQR_AFFINE_STEAL) scheduling mode must produce
+  // factors bitwise identical to the 1-thread sequential replay: LQ tasks
+  // are commutative-free (each tile has one writer chain), so scheduling
+  // order must not leak into the bits.
+  Options opt;
+  opt.tree = TreeConfig{};  // pin Greedy: a disengaged tree would autotune
+  opt.nb = 16;
+  opt.ib = 8;
+  constexpr int kMats = 3;
+  std::vector<Matrix<double>> inputs;
+  std::vector<Matrix<double>> refs;
+  for (int i = 0; i < kMats; ++i) {
+    inputs.push_back(random_matrix<double>(2 * 16 - 3, 5 * 16 - 1, 910 + unsigned(i)));
+    refs.push_back(replay_sequential_lq(inputs.back(), opt.nb, opt.ib, *opt.tree));
+  }
+
+  const char* old_pin = std::getenv("TILEDQR_PIN");
+  const char* old_affine = std::getenv("TILEDQR_AFFINE_STEAL");
+  for (int pin : {0, 1}) {
+    for (int affine : {0, 1}) {
+      setenv("TILEDQR_PIN", pin ? "1" : "0", 1);
+      setenv("TILEDQR_AFFINE_STEAL", affine ? "1" : "0", 1);
+      QrSession session(QrSession::Config{4});
+      std::vector<std::future<TiledQr<double>>> futs;
+      for (const auto& a : inputs)
+        futs.push_back(session.submit<double>(ConstMatrixView<double>(a.view()), opt));
+      for (int i = 0; i < kMats; ++i) {
+        auto lq = futs[size_t(i)].get();
+        ASSERT_EQ(lq.kind(), FactorKind::LQ);
+        expect_bitwise(lq.factors().to_dense(), refs[size_t(i)],
+                       "matrix " + std::to_string(i) + " pin=" + std::to_string(pin) +
+                           " affine=" + std::to_string(affine));
+      }
+    }
+  }
+  old_pin ? setenv("TILEDQR_PIN", old_pin, 1) : unsetenv("TILEDQR_PIN");
+  old_affine ? setenv("TILEDQR_AFFINE_STEAL", old_affine, 1)
+             : unsetenv("TILEDQR_AFFINE_STEAL");
+}
+
+// ------------------------------------------------------------ shape routing --
+
+TEST(LqRouting, WideShapesRouteThroughEverySessionPath) {
+  // submit, stream push, and the fused batch all route on element shape:
+  // m < n goes LQ, and all three produce bitwise-identical factors.
+  const TreeConfig tree{};
+  Options opt;
+  opt.tree = tree;
+  opt.nb = 16;
+  opt.ib = 8;
+  auto a = random_matrix<double>(2 * 16, 5 * 16, 77);
+  const auto want = replay_sequential_lq(a, opt.nb, opt.ib, tree);
+
+  QrSession session(QrSession::Config{2});
+  auto sub = session.submit<double>(ConstMatrixView<double>(a.view()), opt).get();
+  ASSERT_EQ(sub.kind(), FactorKind::LQ);
+  expect_bitwise(sub.factors().to_dense(), want, "submit");
+
+  QrSession::StreamOptions sopt;
+  sopt.nb = opt.nb;
+  sopt.ib = opt.ib;
+  sopt.tree = tree;
+  auto stream = session.stream<double>(sopt);
+  auto pushed = stream.push(ConstMatrixView<double>(a.view()));
+  stream.close();
+  auto streamed = pushed.get();
+  ASSERT_EQ(streamed.kind(), FactorKind::LQ);
+  expect_bitwise(streamed.factors().to_dense(), want, "stream push");
+}
+
+TEST(LqRouting, MixedTallAndWideBatchRoutesPerMatrix) {
+  // One fused graft carrying a QR part and an LQ part: routing is per
+  // matrix, and fusion must not cross-talk between the two worlds.
+  const TreeConfig tree{};
+  Options opt;
+  opt.tree = tree;
+  opt.nb = 16;
+  opt.ib = 8;
+  auto tall = random_matrix<double>(5 * 16, 2 * 16, 21);
+  auto wide = random_matrix<double>(2 * 16 - 1, 5 * 16 - 3, 22);
+  std::vector<ConstMatrixView<double>> views = {ConstMatrixView<double>(tall.view()),
+                                                ConstMatrixView<double>(wide.view())};
+  QrSession session(QrSession::Config{2});
+  auto results = session.factorize_batch(views, opt);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].kind(), FactorKind::QR);
+  EXPECT_EQ(results[1].kind(), FactorKind::LQ);
+  expect_bitwise(results[1].factors().to_dense(),
+                 replay_sequential_lq(wide, opt.nb, opt.ib, tree), "wide batch part");
+  EXPECT_LE(lq_residual(wide, results[1]), 1e-13);
+}
+
+// -------------------------------------------------------- factor-kind keys --
+
+TEST(LqKeys, PlanCacheKeysOnFactorKind) {
+  // A QR and an LQ workload on the same reduction grid (p, q, config) must
+  // get distinct cache entries — colliding would hand QR kernels to an LQ
+  // run or vice versa.
+  core::PlanCache cache;
+  const TreeConfig cfg{TreeKind::Greedy, KernelFamily::TT, 1, 0};
+  auto qr_plan = cache.get(6, 2, cfg, FactorKind::QR);
+  auto lq_plan = cache.get(6, 2, cfg, FactorKind::LQ);
+  ASSERT_NE(qr_plan, lq_plan);
+  EXPECT_EQ(qr_plan->graph.factor, FactorKind::QR);
+  EXPECT_EQ(lq_plan->graph.factor, FactorKind::LQ);
+  // Same elimination tree, dual kernel kinds.
+  ASSERT_EQ(qr_plan->graph.tasks.size(), lq_plan->graph.tasks.size());
+  for (size_t i = 0; i < qr_plan->graph.tasks.size(); ++i)
+    EXPECT_EQ(kernels::lq_dual(qr_plan->graph.tasks[i].kind), lq_plan->graph.tasks[i].kind);
+  auto s = cache.stats();
+  EXPECT_EQ(s.misses, 2);
+  EXPECT_EQ(s.entries, 2u);
+  // Repeat lookups hit their own entries.
+  EXPECT_EQ(cache.get(6, 2, cfg, FactorKind::QR), qr_plan);
+  EXPECT_EQ(cache.get(6, 2, cfg, FactorKind::LQ), lq_plan);
+  EXPECT_EQ(cache.stats().hits, 2);
+}
+
+TEST(LqKeys, TuningTableKeysOnFactorKindAndRoundTrips) {
+  tuner::TuningTable table;
+  tuner::TunedDecision qr_dec;
+  qr_dec.config = TreeConfig{TreeKind::Greedy, KernelFamily::TT, 1, 0};
+  qr_dec.model_makespan = 12.5;
+  tuner::TunedDecision lq_dec;
+  lq_dec.config = TreeConfig{TreeKind::FlatTree, KernelFamily::TS, 1, 0};
+  lq_dec.model_makespan = 14.0;
+  lq_dec.measured_seconds = 0.25;
+  lq_dec.refined = true;
+
+  (void)table.record(8, 3, 4, "table1", qr_dec, FactorKind::QR);
+  (void)table.record(8, 3, 4, "table1", lq_dec, FactorKind::LQ);
+  EXPECT_EQ(table.stats().entries, 2u);
+
+  auto got_qr = table.lookup(8, 3, 4, "table1", FactorKind::QR);
+  auto got_lq = table.lookup(8, 3, 4, "table1", FactorKind::LQ);
+  ASSERT_TRUE(got_qr.has_value());
+  ASSERT_TRUE(got_lq.has_value());
+  EXPECT_EQ(*got_qr, qr_dec);
+  EXPECT_EQ(*got_lq, lq_dec);
+
+  // The factor kind survives serialization: both entries round-trip and
+  // stay independently addressable.
+  auto reloaded = tuner::TuningTable::from_json(table.to_json());
+  EXPECT_EQ(reloaded.stats().entries, 2u);
+  auto rt_qr = reloaded.lookup(8, 3, 4, "table1", FactorKind::QR);
+  auto rt_lq = reloaded.lookup(8, 3, 4, "table1", FactorKind::LQ);
+  ASSERT_TRUE(rt_qr.has_value());
+  ASSERT_TRUE(rt_lq.has_value());
+  EXPECT_EQ(*rt_qr, qr_dec);
+  EXPECT_EQ(*rt_lq, lq_dec);
+}
+
+}  // namespace
+}  // namespace tiledqr

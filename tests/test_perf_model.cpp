@@ -15,7 +15,15 @@ namespace {
 TEST(Roofline, TotalWeightFormula) {
   EXPECT_EQ(core::total_weight_units(40, 10), 6L * 40 * 100 - 2L * 1000);
   EXPECT_EQ(core::total_weight_units(4, 4), 6L * 4 * 16 - 2L * 64);
-  EXPECT_THROW((void)core::total_weight_units(3, 4), Error);
+}
+
+TEST(Roofline, TotalWeightTransposeAgreement) {
+  // A wide grid factorizes as the LQ dual of its transpose, so the roofline
+  // work of (p, q) and (q, p) must agree in both orientations.
+  for (auto [p, q] : std::vector<std::pair<int, int>>{{3, 4}, {10, 40}, {1, 7}}) {
+    EXPECT_EQ(core::total_weight_units(p, q), core::total_weight_units(q, p));
+    EXPECT_EQ(core::total_weight_units(p, q), 6L * q * p * p - 2L * p * p * p);
+  }
 }
 
 TEST(Roofline, TotalWeightMatchesDag) {

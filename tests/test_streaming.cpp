@@ -206,6 +206,65 @@ TEST(FactorStream, PushSolveMatchesAsyncPipelineBitwise) {
   }
 }
 
+TEST(FactorStream, CorkedSolveBurstCoalescesApplyStages) {
+  // A corked homogeneous burst of solves rides ONE fused factor graft; each
+  // request's apply stage is queued as its factor part retires, and the
+  // factor component's retirement callback claims the whole queue and
+  // grafts it as ONE fused apply component. Before apply coalescing this
+  // burst produced 1 + kSolves components; now it is exactly 2. Run once
+  // tall (QR: apply-Qᵀb then trsm tail) and once wide (LQ: trsm head then
+  // apply-Q̃ minimum norm) — both solve tails ride the coalesced path.
+  const TreeConfig tree{};
+  constexpr int kSolves = 5;
+  for (bool wide : {false, true}) {
+    const std::int64_t m = wide ? 2 * 16 - 1 : 4 * 16 - 3;
+    const std::int64_t n = wide ? 4 * 16 - 3 : 2 * 16 - 1;
+    const std::string label = wide ? "wide" : "tall";
+    std::vector<Matrix<double>> as, bs;
+    for (int i = 0; i < kSolves; ++i) {
+      as.push_back(random_matrix<double>(m, n, 600 + unsigned(i) + (wide ? 50u : 0u)));
+      bs.push_back(random_matrix<double>(m, 2, 700 + unsigned(i) + (wide ? 50u : 0u)));
+    }
+    QrSession session(QrSession::Config{2});
+    QrSession::StreamOptions sopt;
+    sopt.nb = 16;
+    sopt.ib = 8;
+    sopt.tree = tree;
+    auto stream = session.stream<double>(sopt);
+    stream.cork();
+    std::vector<std::future<Matrix<double>>> streamed;
+    for (int i = 0; i < kSolves; ++i)
+      streamed.push_back(stream.push_solve(ConstMatrixView<double>(as[size_t(i)].view()),
+                                           ConstMatrixView<double>(bs[size_t(i)].view())));
+    EXPECT_EQ(stream.stats().components, 0) << label;
+    stream.uncork();
+    std::vector<Matrix<double>> xs;
+    for (auto& f : streamed) xs.push_back(f.get());
+    stream.drain();  // quiesce: `unresolved` drops after the promise resolves
+    {
+      auto s = stream.stats();
+      EXPECT_EQ(s.components, 2) << label;  // fused factor graft + fused apply graft
+      EXPECT_EQ(s.fused_requests, kSolves) << label;
+      EXPECT_EQ(s.unresolved, 0) << label;
+    }
+    stream.close();
+
+    QrSession ref_session(QrSession::Config{2});
+    Options opt;
+    opt.tree = tree;
+    opt.nb = 16;
+    opt.ib = 8;
+    for (int i = 0; i < kSolves; ++i) {
+      auto want =
+          ref_session
+              .solve_least_squares_async(ConstMatrixView<double>(as[size_t(i)].view()),
+                                         ConstMatrixView<double>(bs[size_t(i)].view()), opt)
+              .get();
+      expect_bitwise(xs[size_t(i)], want, label + " coalesced solve " + std::to_string(i));
+    }
+  }
+}
+
 TEST(FactorStream, ZeroColumnRhsSolveIsDegenerate) {
   QrSession session(QrSession::Config{2});
   QrSession::StreamOptions sopt;

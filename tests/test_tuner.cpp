@@ -290,17 +290,22 @@ TEST(Tuner, AcceptsLiveProfileAndRoundTripsThroughTable) {
   // layer's kernel profiler) drives the tuner like any synthetic profile,
   // and its decisions persist under the "live" id.
   obs::KernelProfiler prof;
-  // Plausible per-kernel timings: updates cost more than panels, TS kernels
-  // run at higher rate than TT (the paper's §5 asymmetry).
-  const std::int64_t ns[obs::KernelProfiler::kKinds] = {40000, 55000, 52000,
-                                                        90000, 60000, 110000};
-  for (int kind = 0; kind < obs::KernelProfiler::kKinds; ++kind)
-    for (int s = 0; s < 32; ++s) prof.record(std::uint8_t(kind), ns[kind]);
+  // Plausible per-QR-kernel timings: updates cost more than panels, TS
+  // kernels run at higher rate than TT (the paper's §5 asymmetry). The
+  // profiler tracks the LQ kinds in separate histograms, so feed each LQ
+  // kind the same timing as its QR dual: the folded 6-wide profile must
+  // come out at exactly those means.
+  const std::int64_t ns[kernels::kNumQrKernelKinds] = {40000, 55000, 52000,
+                                                       90000, 60000, 110000};
+  for (int kind = 0; kind < obs::KernelProfiler::kKinds; ++kind) {
+    const int slot = int(kernels::qr_dual(static_cast<kernels::KernelKind>(kind)));
+    for (int s = 0; s < 32; ++s) prof.record(std::uint8_t(kind), ns[slot]);
+  }
 
   perf::WeightProfile live = prof.live_profile();
   EXPECT_EQ(live.id, "live");
-  for (int kind = 0; kind < obs::KernelProfiler::kKinds; ++kind)
-    EXPECT_NEAR(live.weight[std::size_t(kind)], double(ns[kind]) / 1e9, 1e-12);
+  for (int slot = 0; slot < kernels::kNumQrKernelKinds; ++slot)
+    EXPECT_NEAR(live.weight[std::size_t(slot)], double(ns[slot]) / 1e9, 1e-12);
 
   TunerConfig config;
   config.profile = live;
